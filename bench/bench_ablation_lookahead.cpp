@@ -1,0 +1,71 @@
+// §5.4 ablation — serialization lookahead: before assigning a node, a
+// window of the sorted list is examined so the assignment does not steal a
+// later node's serialization slot.
+//
+// Paper findings: serialization rises (but little on large machines, where
+// the scheduler already keeps serial streams together); on small machines
+// execution time increases 10–30% from the extra serialization; the effect
+// disappears at large machine sizes.
+#include <iostream>
+
+#include "harness/report.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bm;
+  const CliFlags flags(argc, argv);
+  RunOptions opt;
+  opt.seeds = static_cast<std::size_t>(flags.get_int("seeds", 100));
+  opt.base_seed = static_cast<std::uint64_t>(flags.get_int("base-seed", 1990));
+
+  GeneratorConfig gen;
+  gen.num_statements = static_cast<std::uint32_t>(flags.get_int("statements", 60));
+  gen.num_variables = static_cast<std::uint32_t>(flags.get_int("variables", 10));
+  const auto window = static_cast<std::size_t>(flags.get_int("window", 4));
+
+  print_bench_header(
+      "§5.4c — serialization lookahead ablation", "§5.4",
+      "60 statements, 10 variables; window p=" + std::to_string(window), opt);
+
+  TextTable table({"#PEs", "policy", "serialized", "barrier", "compl min",
+                   "compl max"});
+  SchedulerConfig cfg;
+  cfg.lookahead_window = window;
+  for (std::size_t procs : {2u, 4u, 8u, 16u, 32u}) {
+    cfg.num_procs = procs;
+    for (AssignmentPolicy policy :
+         {AssignmentPolicy::kListSerialize, AssignmentPolicy::kLookahead}) {
+      cfg.assignment = policy;
+      const PointAggregate agg = run_point(gen, cfg, opt);
+      const FractionAggregate& f = agg.fractions;
+      table.add_row({std::to_string(procs), std::string(to_string(policy)),
+                     TextTable::pct(f.serialized_frac.mean()),
+                     TextTable::pct(f.barrier_frac.mean()),
+                     TextTable::num(f.completion_min.mean(), 1),
+                     TextTable::num(f.completion_max.mean(), 1)});
+    }
+  }
+  table.render(std::cout);
+
+  // Window-size sweep at a fixed machine size.
+  std::cout << "\nwindow-size sweep (4 PEs):\n";
+  TextTable wtable({"window p", "serialized", "barrier", "compl min",
+                    "compl max"});
+  cfg.num_procs = 4;
+  cfg.assignment = AssignmentPolicy::kLookahead;
+  for (std::size_t p : {1u, 2u, 4u, 8u, 16u}) {
+    cfg.lookahead_window = p;
+    const PointAggregate agg = run_point(gen, cfg, opt);
+    const FractionAggregate& f = agg.fractions;
+    wtable.add_row({std::to_string(p),
+                    TextTable::pct(f.serialized_frac.mean()),
+                    TextTable::pct(f.barrier_frac.mean()),
+                    TextTable::num(f.completion_min.mean(), 1),
+                    TextTable::num(f.completion_max.mean(), 1)});
+  }
+  wtable.render(std::cout);
+  std::cout << "\nPaper: lookahead raises serialization modestly; on few "
+               "PEs it lengthens the critical path (+10..30% execution "
+               "time); the effect vanishes on many PEs.\n";
+  return 0;
+}

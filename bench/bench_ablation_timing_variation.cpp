@@ -1,0 +1,40 @@
+// §5.4 ablation — instruction timing variation: regenerate the benchmarks
+// with much wider per-instruction [min,max] ranges (width scaled by a
+// factor, minima preserved).
+//
+// Paper finding: the barrier fraction is not very sensitive to the timing
+// variation, rising only slightly for very large variations.
+#include <iostream>
+
+#include "harness/report.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bm;
+  const CliFlags flags(argc, argv);
+  RunOptions opt;
+  opt.seeds = static_cast<std::size_t>(flags.get_int("seeds", 100));
+  opt.base_seed = static_cast<std::uint64_t>(flags.get_int("base-seed", 1990));
+
+  GeneratorConfig gen;
+  gen.num_statements = static_cast<std::uint32_t>(flags.get_int("statements", 60));
+  gen.num_variables = static_cast<std::uint32_t>(flags.get_int("variables", 10));
+
+  print_bench_header("§5.4d — instruction timing variation ablation", "§5.4",
+                     "60 statements, 10 variables, 8 PEs; range width × k",
+                     opt);
+
+  SchedulerConfig cfg;
+  cfg.num_procs = static_cast<std::size_t>(flags.get_int("procs", 8));
+  std::vector<SeriesRow> rows;
+  for (double factor : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    RunOptions o = opt;
+    o.timing = TimingModel::table1_with_variation(factor);
+    rows.push_back({"width x " + TextTable::num(factor, 1),
+                    run_point(gen, cfg, o)});
+  }
+  print_fraction_series("variation", rows, "ablation_timing_variation.csv");
+  std::cout << "\nPaper: the barrier fraction increases only slightly even "
+               "for large timing variations.\n";
+  return 0;
+}

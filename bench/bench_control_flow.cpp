@@ -1,0 +1,89 @@
+// §7 extension — control flow: barrier MIMD vs lockstep (VLIW) bound on
+// structured programs with data-dependent loops. Not a figure in the paper;
+// it quantifies the introduction's claim that barrier MIMDs extend static
+// scheduling to "multiple flow-paths ... and variable-execution-time
+// instructions" that VLIWs must provision for in the worst case.
+#include <iostream>
+
+#include "cfg/cfg_gen.hpp"
+#include "cfg/cfg_sim.hpp"
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bm;
+  const CliFlags flags(argc, argv);
+  RunOptions opt;
+  opt.seeds = static_cast<std::size_t>(flags.get_int("seeds", 60));
+  opt.base_seed = static_cast<std::uint64_t>(flags.get_int("base-seed", 1990));
+
+  print_bench_header(
+      "control flow — barrier MIMD vs lockstep worst-case bound",
+      "§1/§7 (extension; no paper figure)",
+      "structured programs, depth 2, loops with trip counts 1..T", opt);
+
+  CfgGeneratorConfig gen;
+  gen.block = GeneratorConfig{.num_statements = 10, .num_variables = 8,
+                              .num_constants = 4, .const_max = 64};
+  gen.max_depth = 2;
+
+  SchedulerConfig sc;
+  sc.num_procs = static_cast<std::size_t>(flags.get_int("procs", 8));
+
+  TextTable table({"max trip T", "blocks", "barrier mean compl",
+                   "barrier worst path", "VLIW lockstep bound",
+                   "bound / mean", "barrier frac"});
+  CsvWriter csv("control_flow.csv");
+  csv.write_row({"max_trip", "mean_completion", "worst_path", "vliw_bound",
+                 "ratio"});
+  for (std::int64_t max_trip : {1, 2, 4, 8, 16}) {
+    gen.max_trip = max_trip;
+    RunningStats mean_compl, worst_path, vliw_bound, blocks, barrier_frac;
+    for (std::size_t i = 0; i < opt.seeds; ++i) {
+      Rng rng = benchmark_rng(opt.base_seed, i);
+      const CfgProgram cfg = generate_cfg(gen, rng);
+      const CfgScheduleResult s =
+          schedule_cfg(cfg, sc, TimingModel::table1(), rng);
+      blocks.add(static_cast<double>(cfg.size()));
+      barrier_frac.add(s.barrier_fraction());
+      vliw_bound.add(static_cast<double>(
+          vliw_cfg_worst_case(cfg, sc.num_procs, TimingModel::table1(), 1)));
+      double total = 0;
+      Time worst = 0;
+      for (int run = 0; run < 5; ++run) {
+        std::vector<std::int64_t> memory(cfg.num_vars());
+        for (auto& m : memory) m = rng.uniform(-100, 100);
+        const CfgExecResult r = run_cfg(s, CfgSimConfig{}, memory, rng);
+        total += static_cast<double>(r.completion);
+        CfgSimConfig hi;
+        hi.sampling = SamplingMode::kAllMax;
+        worst = std::max(worst, run_cfg(s, hi, memory, rng).completion);
+      }
+      mean_compl.add(total / 5.0);
+      worst_path.add(static_cast<double>(worst));
+    }
+    table.add_row({std::to_string(max_trip),
+                   TextTable::num(blocks.mean(), 1),
+                   TextTable::num(mean_compl.mean(), 1),
+                   TextTable::num(worst_path.mean(), 1),
+                   TextTable::num(vliw_bound.mean(), 1),
+                   TextTable::num(vliw_bound.mean() / mean_compl.mean(), 2) +
+                       "x",
+                   TextTable::pct(barrier_frac.mean())});
+    csv.write_row({std::to_string(max_trip),
+                   std::to_string(mean_compl.mean()),
+                   std::to_string(worst_path.mean()),
+                   std::to_string(vliw_bound.mean()),
+                   std::to_string(vliw_bound.mean() / mean_compl.mean())});
+  }
+  table.render(std::cout);
+  std::cout << "(series written to control_flow.csv)\n"
+            << "\nExpected shape: the lockstep bound stays 1.3–2x above the "
+               "barrier machine's actual mean. At small T the gap comes "
+               "from untaken if-arms (the VLIW provisions both); at large T "
+               "from loop trip counts (the VLIW pays T where the actual "
+               "draw averages (1+T)/2). Either way the barrier MIMD pays "
+               "only the path taken.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 14: scatter plot of serialized fraction (vertical) vs statically
+// scheduled fraction (horizontal) for >2000 benchmarks containing 65–132
+// implied synchronizations. The paper observes the center of mass near the
+// 85% line: about 85% of synchronizations need no runtime synchronization.
+#include <iostream>
+
+#include "harness/report.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bm;
+  const CliFlags flags(argc, argv);
+  RunOptions opt;
+  opt.seeds = static_cast<std::size_t>(flags.get_int("seeds", 2600));
+  opt.base_seed = static_cast<std::uint64_t>(flags.get_int("base-seed", 1990));
+
+  GeneratorConfig gen;
+  gen.num_statements = static_cast<std::uint32_t>(flags.get_int("statements", 70));
+  gen.num_variables = static_cast<std::uint32_t>(flags.get_int("variables", 15));
+  SchedulerConfig cfg;
+  cfg.num_procs = static_cast<std::size_t>(flags.get_int("procs", 8));
+
+  print_bench_header(
+      "Figure 14 — serialized vs static fraction scatter",
+      "Fig. 14 (§5)",
+      std::to_string(gen.num_statements) + " statements, " +
+          std::to_string(gen.num_variables) + " variables, " +
+          std::to_string(cfg.num_procs) + " PEs; keep blocks with 65–132 syncs",
+      opt);
+
+  std::vector<std::pair<double, double>> points;  // (static, serialized)
+  RunningStats combined, syncs;
+  run_point(gen, cfg, opt, [&](const BenchmarkOutcome& o) {
+    if (o.stats.implied_syncs < 65 || o.stats.implied_syncs > 132) return;
+    points.emplace_back(o.stats.static_fraction(),
+                        o.stats.serialized_fraction());
+    combined.add(o.stats.no_runtime_sync_fraction());
+    syncs.add(static_cast<double>(o.stats.implied_syncs));
+  });
+
+  std::cout << render_scatter(points, /*diagonal_level=*/0.85);
+  std::cout << "\nBenchmarks in the 65–132 sync band: " << points.size()
+            << " (mean syncs " << TextTable::num(syncs.mean(), 1) << ")\n";
+  std::cout << "serialized+static (center of mass): mean "
+            << TextTable::pct(combined.mean()) << ", stddev "
+            << TextTable::pct(combined.stddev()) << ", range ["
+            << TextTable::pct(combined.min()) << ", "
+            << TextTable::pct(combined.max()) << "]\n";
+  std::cout << "Paper: center of mass near the 85% line.\n";
+
+  CsvWriter csv("fig14_scatter.csv");
+  csv.write_row({"static_fraction", "serialized_fraction"});
+  for (const auto& [x, y] : points)
+    csv.write_row({std::to_string(x), std::to_string(y)});
+  std::cout << "(points written to fig14_scatter.csv)\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// google-benchmark microbenchmarks: throughput of the compiler-side
+// pipeline (synthesis, DAG construction, scheduling with each insertion
+// policy, VLIW baseline). Not a paper figure — engineering instrumentation.
+#include <benchmark/benchmark.h>
+
+#include "codegen/synthesize.hpp"
+#include "sched/scheduler.hpp"
+#include "vliw/vliw.hpp"
+
+namespace {
+
+using namespace bm;
+
+GeneratorConfig gen_for(std::int64_t statements) {
+  GeneratorConfig g;
+  g.num_statements = static_cast<std::uint32_t>(statements);
+  g.num_variables = 10;
+  return g;
+}
+
+void BM_Synthesize(benchmark::State& state) {
+  const GeneratorConfig gen = gen_for(state.range(0));
+  Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synthesize_benchmark(gen, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Synthesize)->Arg(20)->Arg(60)->Arg(120);
+
+void BM_BuildInstrDag(benchmark::State& state) {
+  Rng rng(42);
+  const SynthesisResult s = synthesize_benchmark(gen_for(state.range(0)), rng);
+  const TimingModel tm = TimingModel::table1();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InstrDag::build(s.program, tm));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BuildInstrDag)->Arg(20)->Arg(60)->Arg(120);
+
+void BM_ScheduleConservative(benchmark::State& state) {
+  Rng rng(42);
+  const SynthesisResult s = synthesize_benchmark(gen_for(state.range(0)), rng);
+  const InstrDag dag = InstrDag::build(s.program, TimingModel::table1());
+  SchedulerConfig cfg;
+  cfg.num_procs = 8;
+  for (auto _ : state) {
+    Rng tie_rng(7);
+    benchmark::DoNotOptimize(schedule_program(dag, cfg, tie_rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ScheduleConservative)->Arg(20)->Arg(60)->Arg(120);
+
+void BM_ScheduleOptimal(benchmark::State& state) {
+  Rng rng(42);
+  const SynthesisResult s = synthesize_benchmark(gen_for(state.range(0)), rng);
+  const InstrDag dag = InstrDag::build(s.program, TimingModel::table1());
+  SchedulerConfig cfg;
+  cfg.num_procs = 8;
+  cfg.insertion = InsertionPolicy::kOptimal;
+  for (auto _ : state) {
+    Rng tie_rng(7);
+    benchmark::DoNotOptimize(schedule_program(dag, cfg, tie_rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ScheduleOptimal)->Arg(20)->Arg(60)->Arg(120);
+
+void BM_ScheduleVliw(benchmark::State& state) {
+  Rng rng(42);
+  const SynthesisResult s = synthesize_benchmark(gen_for(state.range(0)), rng);
+  const InstrDag dag = InstrDag::build(s.program, TimingModel::table1());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule_vliw(dag, 8));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ScheduleVliw)->Arg(20)->Arg(60)->Arg(120);
+
+void BM_ScheduleManyProcs(benchmark::State& state) {
+  Rng rng(42);
+  const SynthesisResult s = synthesize_benchmark(gen_for(100), rng);
+  const InstrDag dag = InstrDag::build(s.program, TimingModel::table1());
+  SchedulerConfig cfg;
+  cfg.num_procs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Rng tie_rng(7);
+    benchmark::DoNotOptimize(schedule_program(dag, cfg, tie_rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ScheduleManyProcs)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// google-benchmark microbenchmarks: throughput of the SBM/DBM execution
+// simulators. Not a paper figure — engineering instrumentation.
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "codegen/synthesize.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace bm;
+
+struct Prepared {
+  // The schedule holds a pointer to the dag, so keep the dag's address
+  // stable across the return-by-value move.
+  std::unique_ptr<InstrDag> dag;
+  ScheduleResult result;
+};
+
+Prepared prepare(std::size_t statements, MachineKind machine) {
+  GeneratorConfig gen;
+  gen.num_statements = static_cast<std::uint32_t>(statements);
+  gen.num_variables = 10;
+  Rng rng(42);
+  const SynthesisResult s = synthesize_benchmark(gen, rng);
+  Prepared p;
+  p.dag = std::make_unique<InstrDag>(
+      InstrDag::build(s.program, TimingModel::table1()));
+  SchedulerConfig cfg;
+  cfg.num_procs = 8;
+  cfg.machine = machine;
+  p.result = schedule_program(*p.dag, cfg, rng);
+  return p;
+}
+
+void BM_SimulateSbm(benchmark::State& state) {
+  const Prepared p =
+      prepare(static_cast<std::size_t>(state.range(0)), MachineKind::kSBM);
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate(
+        *p.result.schedule, {MachineKind::kSBM, SamplingMode::kUniform}, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimulateSbm)->Arg(20)->Arg(60)->Arg(120);
+
+void BM_SimulateDbm(benchmark::State& state) {
+  const Prepared p =
+      prepare(static_cast<std::size_t>(state.range(0)), MachineKind::kDBM);
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate(
+        *p.result.schedule, {MachineKind::kDBM, SamplingMode::kUniform}, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimulateDbm)->Arg(20)->Arg(60)->Arg(120);
+
+void BM_ValidateTrace(benchmark::State& state) {
+  const Prepared p = prepare(100, MachineKind::kSBM);
+  Rng rng(9);
+  const ExecTrace trace = simulate(
+      *p.result.schedule, {MachineKind::kSBM, SamplingMode::kUniform}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_violations(*p.dag, trace));
+  }
+}
+BENCHMARK(BM_ValidateTrace);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Control flow on a barrier MIMD (§7 extension): generate a structured
+// program with branches and data-dependent while loops, schedule each block
+// with the paper's algorithms (rejoin barrier at every boundary), execute
+// it, and compare against the lockstep worst-case bound a VLIW must
+// provision — the machine class the paper's introduction says cannot run
+// such programs efficiently.
+#include <iostream>
+
+#include "cfg/cfg_gen.hpp"
+#include "cfg/cfg_sim.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bm;
+  const CliFlags flags(argc, argv);
+
+  CfgGeneratorConfig gen;
+  gen.block = GeneratorConfig{
+      .num_statements =
+          static_cast<std::uint32_t>(flags.get_int("statements", 10)),
+      .num_variables = static_cast<std::uint32_t>(flags.get_int("variables", 8)),
+      .num_constants = 4,
+      .const_max = 64};
+  gen.max_depth = static_cast<std::uint32_t>(flags.get_int("depth", 2));
+  gen.max_trip = flags.get_int("max-trip", 6);
+
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 7)));
+  const CfgProgram cfg = generate_cfg(gen, rng);
+  std::cout << "=== Structured program (" << cfg.size() << " blocks, "
+            << cfg.total_instructions() << " tuples) ===\n"
+            << cfg.to_string() << '\n';
+
+  SchedulerConfig sc;
+  sc.num_procs = static_cast<std::size_t>(flags.get_int("procs", 8));
+  const CfgScheduleResult sched =
+      schedule_cfg(cfg, sc, TimingModel::table1(), rng);
+  std::cout << "per-block scheduling: " << sched.implied_syncs
+            << " implied syncs, " << sched.barriers << " barriers ("
+            << TextTable::pct(sched.barrier_fraction()) << "), serialized "
+            << TextTable::pct(sched.serialized_fraction()) << "\n\n";
+
+  // Execute with random initial memory and random timing draws.
+  RunningStats completion;
+  CfgExecResult last;
+  for (int run = 0; run < 200; ++run) {
+    std::vector<std::int64_t> memory(cfg.num_vars());
+    for (auto& m : memory) m = rng.uniform(-100, 100);
+    last = run_cfg(sched, CfgSimConfig{}, memory, rng);
+    completion.add(static_cast<double>(last.completion));
+  }
+  const Time vliw_bound =
+      vliw_cfg_worst_case(cfg, sc.num_procs, TimingModel::table1(), 1);
+
+  std::cout << "=== 200 executions (random memory and timing draws) ===\n";
+  std::cout << "barrier MIMD completion: mean "
+            << TextTable::num(completion.mean(), 1) << ", range ["
+            << completion.min() << ", " << completion.max() << "]\n";
+  std::cout << "blocks executed (last run): " << last.blocks_executed << '\n';
+  std::cout << "VLIW lockstep worst-case bound: " << vliw_bound << " ("
+            << TextTable::num(static_cast<double>(vliw_bound) /
+                                  completion.mean(),
+                              2)
+            << "x the barrier machine's mean)\n";
+  std::cout << "\nThe VLIW must provision every loop for its maximum trip "
+               "count; the barrier MIMD pays only the path actually "
+               "taken, block by block.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// sweep_explorer — interactive parameter-sweep tool over the full pipeline.
+//
+// Sweeps one axis (statements | variables | procs | latency | trip) while
+// holding the rest fixed, and prints the fraction series — a generalized
+// version of the Fig. 15/16/17 drivers for your own parameter choices.
+//
+//   ./sweep_explorer --axis procs --values 2,4,8,16,64 --statements 80
+//   ./sweep_explorer --axis latency --values 0,2,8 --machine dbm
+#include <iostream>
+#include <sstream>
+
+#include "harness/report.hpp"
+#include "machine/presets.hpp"
+#include "support/cli.hpp"
+
+namespace {
+
+std::vector<long> parse_values(const std::string& csv, long fallback) {
+  if (csv.empty()) return {fallback};
+  std::vector<long> out;
+  std::stringstream ss(csv);
+  std::string part;
+  while (std::getline(ss, part, ',')) out.push_back(std::stol(part));
+  if (out.empty()) out.push_back(fallback);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bm;
+  const CliFlags flags(argc, argv);
+
+  GeneratorConfig gen;
+  gen.num_statements = static_cast<std::uint32_t>(flags.get_int("statements", 60));
+  gen.num_variables = static_cast<std::uint32_t>(flags.get_int("variables", 10));
+  SchedulerConfig cfg;
+  cfg.num_procs = static_cast<std::size_t>(flags.get_int("procs", 8));
+  cfg.machine = flags.get("machine", "sbm") == "dbm" ? MachineKind::kDBM
+                                                     : MachineKind::kSBM;
+  cfg.insertion = flags.get("insertion", "conservative") == "optimal"
+                      ? InsertionPolicy::kOptimal
+                      : InsertionPolicy::kConservative;
+  cfg.barrier_latency = flags.get_int("latency", 0);
+
+  RunOptions opt;
+  opt.seeds = static_cast<std::size_t>(flags.get_int("seeds", 100));
+  opt.base_seed = static_cast<std::uint64_t>(flags.get_int("base-seed", 1990));
+
+  // --preset <name> loads a shipped machine description (timing model,
+  // barrier latency, default size); explicit flags still override.
+  if (flags.has("preset")) {
+    const MachineDescription& m = machine_preset(flags.get("preset", ""));
+    opt.timing = m.timing;
+    cfg.barrier_latency = m.barrier_latency;
+    if (!flags.has("procs")) cfg.num_procs = m.default_procs;
+    std::cout << "machine preset: " << m.name << " — " << m.summary << '\n';
+  }
+
+  const std::string axis = flags.get("axis", "procs");
+  const std::vector<long> values =
+      parse_values(flags.get("values", ""), static_cast<long>(cfg.num_procs));
+
+  std::cout << "sweep over --axis " << axis << " ("
+            << to_string(cfg.machine) << ", " << to_string(cfg.insertion)
+            << ", " << opt.seeds << " seeds/point)\n";
+  std::vector<SeriesRow> rows;
+  for (long v : values) {
+    if (axis == "statements")
+      gen.num_statements = static_cast<std::uint32_t>(v);
+    else if (axis == "variables")
+      gen.num_variables = static_cast<std::uint32_t>(v);
+    else if (axis == "procs")
+      cfg.num_procs = static_cast<std::size_t>(v);
+    else if (axis == "latency")
+      cfg.barrier_latency = v;
+    else {
+      std::cerr << "unknown --axis " << axis
+                << " (use statements|variables|procs|latency)\n";
+      return 1;
+    }
+    rows.push_back({std::to_string(v), run_point(gen, cfg, opt)});
+  }
+  print_fraction_series(axis, rows, flags.get("csv", ""));
+  return 0;
+}

@@ -1,0 +1,69 @@
+// One benchmark, two machines (§6): schedule the same optimized block for a
+// VLIW (lockstep, all-max times) and a barrier MIMD, show both schedules,
+// and measure the barrier machine's completion distribution by simulation.
+#include <iostream>
+
+#include "codegen/synthesize.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "vliw/vliw.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bm;
+  const CliFlags flags(argc, argv);
+  const auto procs = static_cast<std::size_t>(flags.get_int("procs", 8));
+
+  GeneratorConfig gen;
+  gen.num_statements = static_cast<std::uint32_t>(flags.get_int("statements", 60));
+  gen.num_variables = static_cast<std::uint32_t>(flags.get_int("variables", 10));
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1990)));
+
+  const SynthesisResult synth = synthesize_benchmark(gen, rng);
+  const InstrDag dag = InstrDag::build(synth.program, TimingModel::table1());
+  std::cout << "Benchmark: " << synth.program.size() << " tuples, "
+            << dag.implied_syncs() << " implied syncs, critical path "
+            << dag.critical_path().to_string() << "\n\n";
+
+  // VLIW: deterministic lockstep, every instruction at its max time.
+  const VliwSchedule vliw = schedule_vliw(dag, procs);
+  std::cout << "VLIW (" << procs << " units, all-max): makespan "
+            << vliw.makespan << ", units used " << vliw.procs_used << '\n';
+
+  // Barrier MIMD: asynchronous with static barrier placement.
+  SchedulerConfig cfg;
+  cfg.num_procs = procs;
+  const ScheduleResult r = schedule_program(dag, cfg, rng);
+  std::cout << "Barrier MIMD: completion range "
+            << r.stats.completion.to_string() << ", "
+            << r.stats.barriers_final << " barriers\n\n";
+
+  // Empirical completion distribution over uniform draws.
+  RunningStats sim;
+  std::vector<double> samples;
+  for (int run = 0; run < 2000; ++run) {
+    const ExecTrace t =
+        simulate(*r.schedule, {cfg.machine, SamplingMode::kUniform}, rng);
+    sim.add(static_cast<double>(t.completion));
+    samples.push_back(static_cast<double>(t.completion));
+  }
+
+  const auto v = static_cast<double>(vliw.makespan);
+  TextTable table({"quantity", "time", "normalized to VLIW"});
+  table.add_row({"VLIW makespan", TextTable::num(v, 0), "1.000"});
+  table.add_row({"barrier all-min", std::to_string(r.stats.completion.min),
+                 TextTable::num(static_cast<double>(r.stats.completion.min) / v, 3)});
+  table.add_row({"barrier mean (2000 draws)", TextTable::num(sim.mean(), 1),
+                 TextTable::num(sim.mean() / v, 3)});
+  table.add_row({"barrier p95", TextTable::num(percentile(samples, 0.95), 1),
+                 TextTable::num(percentile(samples, 0.95) / v, 3)});
+  table.add_row({"barrier all-max", std::to_string(r.stats.completion.max),
+                 TextTable::num(static_cast<double>(r.stats.completion.max) / v, 3)});
+  table.render(std::cout);
+  std::cout << "\n§6: the barrier machine's worst case tracks the VLIW while "
+               "its expected time benefits from every early-finishing "
+               "variable-time instruction.\n";
+  return 0;
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full verification: configure, build, run the test suite, and smoke every
+# bench binary with a reduced seed count.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/bench_*; do
+  name="$(basename "$b")"
+  case "$name" in
+    bench_scheduler_perf|bench_sim_perf)
+      "$b" > /dev/null && echo "ok  $name" ;;
+    *)
+      "$b" --seeds 10 > /dev/null && echo "ok  $name" ;;
+  esac
+done
+echo "all checks passed"

@@ -1,0 +1,190 @@
+#include "barrier/barrier_dag.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace bm {
+
+BarrierDag::BarrierDag(std::size_t num_barrier_ids, BarrierId initial,
+                       std::span<const BarrierChainInput> chains,
+                       Time barrier_latency)
+    : initial_(initial),
+      latency_(barrier_latency),
+      index_(num_barrier_ids, kInvalidNode) {
+  BM_REQUIRE(initial < num_barrier_ids, "initial barrier id out of range");
+  BM_REQUIRE(barrier_latency >= 0, "barrier latency must be >= 0");
+
+  auto intern = [&](BarrierId b) -> NodeId {
+    BM_REQUIRE(b < index_.size(), "barrier id out of range");
+    if (index_[b] == kInvalidNode) {
+      index_[b] = g_.add_node();
+      ids_.push_back(b);
+    }
+    return index_[b];
+  };
+  intern(initial_);
+
+  for (const BarrierChainInput& chain : chains) {
+    BM_REQUIRE(!chain.barriers.empty() && chain.barriers.front() == initial_,
+               "every chain must start at the initial barrier");
+    BM_REQUIRE(chain.segments.size() + 1 == chain.barriers.size(),
+               "chain segment count mismatch");
+    for (std::size_t i = 0; i + 1 < chain.barriers.size(); ++i) {
+      const NodeId u = intern(chain.barriers[i]);
+      const NodeId v = intern(chain.barriers[i + 1]);
+      BM_REQUIRE(u != v, "consecutive chain barriers must differ");
+      g_.add_edge(u, v);
+      const auto key = edge_key(u, v);
+      const auto it = edges_.find(key);
+      if (it == edges_.end())
+        edges_.emplace(key, chain.segments[i]);
+      else
+        it->second = it->second.join_max(chain.segments[i]);  // Fig. 13 rule
+    }
+  }
+  BM_REQUIRE(is_dag(g_), "barrier ordering contains a cycle");
+
+  // Fire ranges: longest paths from the initial barrier under min and max
+  // edge times (achieved by the all-min / all-max draws respectively).
+  const NodeId root = index_[initial_];
+  auto min_w = [&](NodeId a, NodeId b) {
+    return edges_.at(edge_key(a, b)).min + latency_;
+  };
+  auto max_w = [&](NodeId a, NodeId b) {
+    return edges_.at(edge_key(a, b)).max + latency_;
+  };
+  const std::vector<Time> fmin = longest_from(g_, root, min_w);
+  const std::vector<Time> fmax = longest_from(g_, root, max_w);
+  fire_.resize(g_.size());
+  for (NodeId n = 0; n < g_.size(); ++n) {
+    BM_REQUIRE(fmin[n] != kUnreachable,
+               "barrier not reachable from the initial barrier");
+    fire_[n] = TimeRange{fmin[n], fmax[n]};
+  }
+
+  // Reflexive-transitive closure, in reverse topological order.
+  reach_.assign(g_.size(), DynBitset(g_.size()));
+  const std::vector<NodeId> order = topo_order(g_);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId n = *it;
+    reach_[n].set(n);
+    for (NodeId s : g_.succs(n)) reach_[n] |= reach_[s];
+  }
+
+  dom_ = std::make_unique<DominatorTree>(g_, root);
+}
+
+bool BarrierDag::known(BarrierId b) const {
+  return b < index_.size() && index_[b] != kInvalidNode;
+}
+
+NodeId BarrierDag::index_of(BarrierId b) const {
+  BM_REQUIRE(known(b), "unknown barrier id");
+  return index_[b];
+}
+
+bool BarrierDag::has_edge(BarrierId u, BarrierId v) const {
+  return edges_.count(edge_key(index_of(u), index_of(v))) > 0;
+}
+
+TimeRange BarrierDag::edge_range(BarrierId u, BarrierId v) const {
+  const auto it = edges_.find(edge_key(index_of(u), index_of(v)));
+  BM_REQUIRE(it != edges_.end(), "no such barrier edge");
+  return it->second;
+}
+
+TimeRange BarrierDag::fire_range(BarrierId b) const {
+  return fire_[index_of(b)];
+}
+
+bool BarrierDag::path_exists(BarrierId u, BarrierId v) const {
+  return reach_[index_of(u)].test(index_of(v));
+}
+
+BarrierId BarrierDag::common_dominator(BarrierId a, BarrierId b) const {
+  return ids_[dom_->common_dominator(index_of(a), index_of(b))];
+}
+
+Time BarrierDag::psi_max(BarrierId u, BarrierId v) const {
+  auto w = [&](NodeId a, NodeId b) {
+    return edges_.at(edge_key(a, b)).max + latency_;
+  };
+  return longest_from(g_, index_of(u), w)[index_of(v)];
+}
+
+Time BarrierDag::psi_min(BarrierId u, BarrierId v) const {
+  auto w = [&](NodeId a, NodeId b) {
+    return edges_.at(edge_key(a, b)).min + latency_;
+  };
+  return longest_from(g_, index_of(u), w)[index_of(v)];
+}
+
+Time BarrierDag::psi_min_star(
+    BarrierId u, BarrierId w,
+    std::span<const std::pair<BarrierId, BarrierId>> forced_max) const {
+  std::vector<std::uint64_t> forced;
+  forced.reserve(forced_max.size());
+  for (const auto& [a, b] : forced_max)
+    forced.push_back(edge_key(index_of(a), index_of(b)));
+  std::sort(forced.begin(), forced.end());
+  auto weight = [&](NodeId a, NodeId b) {
+    const auto key = edge_key(a, b);
+    const TimeRange r = edges_.at(key);
+    return latency_ + (std::binary_search(forced.begin(), forced.end(), key)
+                           ? r.max
+                           : r.min);
+  };
+  return longest_from(g_, index_of(u), weight)[index_of(w)];
+}
+
+std::vector<BarrierId> BarrierDag::linear_extension() const {
+  std::vector<std::size_t> indegree(g_.size());
+  for (NodeId n = 0; n < g_.size(); ++n) indegree[n] = g_.preds(n).size();
+
+  auto better = [&](NodeId a, NodeId b) {  // true if a should fire before b
+    const auto ka = std::pair<Time, BarrierId>{fire_[a].min, ids_[a]};
+    const auto kb = std::pair<Time, BarrierId>{fire_[b].min, ids_[b]};
+    return ka < kb;
+  };
+  std::vector<NodeId> ready;
+  for (NodeId n = 0; n < g_.size(); ++n)
+    if (indegree[n] == 0) ready.push_back(n);
+
+  std::vector<BarrierId> out;
+  out.reserve(g_.size());
+  while (!ready.empty()) {
+    const auto it = std::min_element(ready.begin(), ready.end(), better);
+    const NodeId n = *it;
+    ready.erase(it);
+    out.push_back(ids_[n]);
+    for (NodeId s : g_.succs(n))
+      if (--indegree[s] == 0) ready.push_back(s);
+  }
+  BM_ASSERT_INTERNAL(out.size() == g_.size(), "linear extension incomplete");
+  return out;
+}
+
+BarrierDag::MaxPathRange::MaxPathRange(const BarrierDag& dag, NodeId from,
+                                       NodeId to)
+    : dag_(dag),
+      inner_(dag.g_, from, to, [&dag](NodeId a, NodeId b) {
+        return dag.edges_.at(edge_key(a, b)).max + dag.latency_;
+      }) {}
+
+bool BarrierDag::MaxPathRange::next(std::vector<BarrierId>& path,
+                                    Time& length) {
+  Path internal;
+  if (!inner_.next(internal, length)) return false;
+  path.clear();
+  path.reserve(internal.size());
+  for (NodeId n : internal) path.push_back(dag_.ids_[n]);
+  return true;
+}
+
+BarrierDag::MaxPathRange BarrierDag::max_paths(BarrierId u,
+                                               BarrierId v) const {
+  return MaxPathRange(*this, index_of(u), index_of(v));
+}
+
+}  // namespace bm

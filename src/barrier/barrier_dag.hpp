@@ -1,0 +1,128 @@
+// The barrier dag (B, <_b) of §3.1/§4.4, built from per-processor barrier
+// chains. Provides every static-timing query the insertion algorithms need:
+//
+//  - edge ranges with the Fig. 13 aggregation rule (a barrier edge traversed
+//    by several processors takes the max of the segment minima AND the max of
+//    the segment maxima — no processor proceeds until all arrive),
+//  - barrier fire-time ranges [B_min, B_max] from the initial barrier,
+//  - reachability (PathFind, §4.4.1 step 1),
+//  - the dominator tree / nearest common dominating barrier (step 2),
+//  - longest-path queries ψ_max, ψ_min, the overlap-adjusted ψ*_min, and
+//    ordered enumeration of k-longest max-paths (§4.4.2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/dominators.hpp"
+#include "graph/paths.hpp"
+#include "ir/timing.hpp"
+#include "support/bitset.hpp"
+
+namespace bm {
+
+using BarrierId = std::uint32_t;
+inline constexpr BarrierId kInvalidBarrier = ~BarrierId{0};
+
+/// One processor's view: the barriers it participates in, in stream order
+/// (starting with the initial barrier), and the execution-time range of the
+/// code between each consecutive pair.
+struct BarrierChainInput {
+  std::vector<BarrierId> barriers;  ///< size >= 1; barriers[0] == initial
+  std::vector<TimeRange> segments;  ///< size == barriers.size() - 1
+};
+
+class BarrierDag {
+ public:
+  /// `num_barrier_ids` bounds the id space; ids not appearing in any chain
+  /// are unknown. Every chain must begin with `initial`. `barrier_latency`
+  /// is the hardware cost from the last arrival to the synchronized release
+  /// (the paper's experiments assume 0, §5; the companion hardware paper
+  /// motivates small nonzero values) — it is charged once per barrier hop
+  /// in every fire-range and ψ-path computation.
+  BarrierDag(std::size_t num_barrier_ids, BarrierId initial,
+             std::span<const BarrierChainInput> chains,
+             Time barrier_latency = 0);
+
+  Time barrier_latency() const { return latency_; }
+
+  BarrierId initial() const { return initial_; }
+  bool known(BarrierId b) const;
+  std::size_t barrier_count() const { return ids_.size(); }
+  const std::vector<BarrierId>& barrier_ids() const { return ids_; }
+
+  /// Aggregated code range on edge u→v; edge must exist.
+  TimeRange edge_range(BarrierId u, BarrierId v) const;
+  bool has_edge(BarrierId u, BarrierId v) const;
+
+  /// Fire-time interval relative to the initial barrier: B_min achieved in
+  /// the all-min draw, B_max in the all-max draw.
+  TimeRange fire_range(BarrierId b) const;
+
+  /// True iff u == v or a directed path u → v exists (u <_b v).
+  bool path_exists(BarrierId u, BarrierId v) const;
+  /// True iff the two barriers are comparable under <_b (or equal).
+  bool ordered(BarrierId u, BarrierId v) const {
+    return path_exists(u, v) || path_exists(v, u);
+  }
+
+  /// Nearest common dominating barrier (nearest common ancestor in the
+  /// dominator tree rooted at the initial barrier).
+  BarrierId common_dominator(BarrierId a, BarrierId b) const;
+
+  /// Longest u→v path length under max edge times; kUnreachable if no path;
+  /// 0 when u == v.
+  Time psi_max(BarrierId u, BarrierId v) const;
+  /// Longest u→v path length under min edge times.
+  Time psi_min(BarrierId u, BarrierId v) const;
+
+  /// ψ*_min (§4.4.2): longest u→w path under min edge times, except the
+  /// given edges take their max time (the overlap adjustment).
+  Time psi_min_star(
+      BarrierId u, BarrierId w,
+      std::span<const std::pair<BarrierId, BarrierId>> forced_max) const;
+
+  /// Deterministic linear extension of <_b, starting with the initial
+  /// barrier: Kahn's algorithm preferring the earliest min fire time (ties
+  /// by id). This is the order the SBM hardware queue is loaded in — a
+  /// linear extension can delay but never deadlock the mask FIFO.
+  std::vector<BarrierId> linear_extension() const;
+
+  /// Enumerates u→v paths in non-increasing max-time length. Wraps
+  /// PathEnumerator, translating to public barrier ids.
+  class MaxPathRange {
+   public:
+    bool next(std::vector<BarrierId>& path, Time& length);
+
+   private:
+    friend class BarrierDag;
+    MaxPathRange(const BarrierDag& dag, NodeId from, NodeId to);
+    const BarrierDag& dag_;
+    PathEnumerator inner_;
+  };
+  MaxPathRange max_paths(BarrierId u, BarrierId v) const;
+
+ private:
+  NodeId index_of(BarrierId b) const;  // throws if unknown
+  static std::uint64_t edge_key(NodeId a, NodeId b) {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  BarrierId initial_;
+  Time latency_ = 0;
+  std::vector<BarrierId> ids_;        ///< dense index -> barrier id
+  std::vector<NodeId> index_;         ///< barrier id -> dense index
+  Digraph g_;
+  std::map<std::uint64_t, TimeRange> edges_;
+  std::vector<TimeRange> fire_;
+  std::vector<DynBitset> reach_;      ///< reach_[u].test(v): path u→v (refl.)
+  std::unique_ptr<DominatorTree> dom_;
+};
+
+}  // namespace bm

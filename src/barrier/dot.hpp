@@ -1,0 +1,21 @@
+// Graphviz DOT export for the two graphs the paper draws: the instruction
+// DAG (Fig. 2) and the barrier dag (Fig. 10). Feed the output to `dot -Tpng`
+// to recreate the figures for any block.
+#pragma once
+
+#include <string>
+
+#include "barrier/barrier_dag.hpp"
+#include "graph/instr_dag.hpp"
+#include "ir/program.hpp"
+
+namespace bm {
+
+/// Instruction DAG with tuple labels (uid + mnemonic) and the min/max
+/// execution-time range on each node; dummy entry/exit shown as points.
+std::string instr_dag_to_dot(const InstrDag& dag, const Program& prog);
+
+/// Barrier dag with fire ranges on nodes and code ranges on edges.
+std::string barrier_dag_to_dot(const BarrierDag& dag);
+
+}  // namespace bm

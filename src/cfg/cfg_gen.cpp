@@ -1,0 +1,203 @@
+#include "cfg/cfg_gen.hpp"
+
+#include <optional>
+
+#include "codegen/emitter.hpp"
+#include "opt/passes.hpp"
+#include "support/assert.hpp"
+
+namespace bm {
+
+void CfgGeneratorConfig::validate() const {
+  block.validate();
+  BM_REQUIRE(seq_length >= 1, "sequences need at least one construct");
+  BM_REQUIRE(if_prob >= 0 && loop_prob >= 0 && if_prob + loop_prob <= 1.0,
+             "construct probabilities must form a distribution");
+  BM_REQUIRE(1 <= min_trip && min_trip <= max_trip, "bad trip-count range");
+}
+
+namespace {
+
+struct Construct {
+  enum class Kind { kPlain, kIf, kWhile };
+  Kind kind = Kind::kPlain;
+  StatementList stmts;             // plain body or if-condition prelude
+  VarId aux_var = 0;               // if: condition temp; while: counter
+  std::int64_t trip = 0;           // while only
+  std::vector<Construct> then_seq; // if-then or while body
+  std::vector<Construct> else_seq; // if-else
+};
+
+class Generator {
+ public:
+  Generator(const CfgGeneratorConfig& config, Rng& rng)
+      : config_(config), stmt_gen_(config.block), rng_(rng),
+        next_aux_(config.block.num_variables) {}
+
+  CfgProgram run() {
+    const std::vector<Construct> top = gen_seq(0);
+
+    CfgProgram cfg(next_aux_);
+    // Exit block: empty body.
+    BasicBlock exit_block;
+    exit_block.term = BasicBlock::Terminator::kExit;
+    const BlockId exit_id = cfg_append(cfg, std::move(exit_block));
+    const BlockId entry = lower_seq(cfg, top, exit_id, 1);
+    cfg.set_num_vars(next_aux_);
+    cfg.set_entry(entry);
+    cfg.validate();
+    return cfg;
+  }
+
+ private:
+  std::vector<Construct> gen_seq(std::uint32_t depth) {
+    std::vector<Construct> seq;
+    for (std::uint32_t k = 0; k < config_.seq_length; ++k) {
+      Construct c;
+      const double r = rng_.uniform01();
+      if (depth < config_.max_depth && r < config_.loop_prob) {
+        c.kind = Construct::Kind::kWhile;
+        c.aux_var = next_aux_++;
+        c.trip = rng_.uniform(config_.min_trip, config_.max_trip);
+        c.then_seq = gen_seq(depth + 1);
+      } else if (depth < config_.max_depth &&
+                 r < config_.loop_prob + config_.if_prob) {
+        c.kind = Construct::Kind::kIf;
+        c.aux_var = next_aux_++;
+        c.stmts = stmt_gen_.generate(rng_);
+        c.then_seq = gen_seq(depth + 1);
+        if (rng_.chance(0.7)) c.else_seq = gen_seq(depth + 1);
+      } else {
+        c.kind = Construct::Kind::kPlain;
+        c.stmts = stmt_gen_.generate(rng_);
+      }
+      seq.push_back(std::move(c));
+    }
+    return seq;
+  }
+
+  BlockId cfg_append(CfgProgram& cfg, BasicBlock block) {
+    // Bodies may reference aux variables allocated later; sizes are
+    // reconciled by set_num_vars at the end of run().
+    cfg.set_num_vars(next_aux_);
+    return cfg.append(std::move(block));
+  }
+
+  Program emit_block(const StatementList& stmts) {
+    Program p = emit_tuples(stmts, next_aux_);
+    optimize(p);
+    return p;
+  }
+
+  BlockId lower_seq(CfgProgram& cfg, const std::vector<Construct>& seq,
+                    BlockId cont, std::size_t mult) {
+    BlockId next = cont;
+    for (auto it = seq.rbegin(); it != seq.rend(); ++it)
+      next = lower_construct(cfg, *it, next, mult);
+    return next;
+  }
+
+  BlockId lower_construct(CfgProgram& cfg, const Construct& c, BlockId cont,
+                          std::size_t mult) {
+    switch (c.kind) {
+      case Construct::Kind::kPlain: {
+        BasicBlock b;
+        b.body = emit_block(c.stmts);
+        b.term = BasicBlock::Terminator::kJump;
+        b.taken = cont;
+        b.max_executions = mult;
+        return cfg_append(cfg, std::move(b));
+      }
+      case Construct::Kind::kIf: {
+        const BlockId then_entry = lower_seq(cfg, c.then_seq, cont, mult);
+        const BlockId else_entry =
+            c.else_seq.empty() ? cont : lower_seq(cfg, c.else_seq, cont, mult);
+        // Condition prelude: the generated statements plus
+        //   aux = x & 1;
+        // whose stored value decides the branch.
+        StatementList stmts = c.stmts;
+        Assign cond_stmt;
+        cond_stmt.lhs = c.aux_var;
+        cond_stmt.op = Opcode::kAnd;
+        cond_stmt.a = StmtOperand::variable(
+            static_cast<VarId>(rng_.index(config_.block.num_variables)));
+        cond_stmt.b = StmtOperand::constant(1);
+        stmts.push_back(cond_stmt);
+
+        BasicBlock b;
+        b.body = emit_block(stmts);
+        b.max_executions = mult;
+        const Operand cond = last_store_value(b.body, c.aux_var);
+        if (cond.is_const()) {
+          // Constant-folded branch: resolved at compile time.
+          b.term = BasicBlock::Terminator::kJump;
+          b.taken = cond.const_value() != 0 ? then_entry : else_entry;
+        } else {
+          b.term = BasicBlock::Terminator::kBranch;
+          b.cond = cond.tuple_id();
+          b.taken = then_entry;
+          b.not_taken = else_entry;
+        }
+        return cfg_append(cfg, std::move(b));
+      }
+      case Construct::Kind::kWhile: {
+        // do-while with a dedicated counter:
+        //   pre:   counter = trip;            jump body
+        //   body:  ...                        (lowered with cont = latch)
+        //   latch: counter = counter - 1;     branch body if counter != 0
+        BasicBlock latch_stub;  // placeholder; filled after body lowering
+        latch_stub.term = BasicBlock::Terminator::kExit;
+        latch_stub.max_executions = mult * static_cast<std::size_t>(c.trip);
+        const BlockId latch = cfg_append(cfg, std::move(latch_stub));
+
+        const BlockId body_entry = lower_seq(
+            cfg, c.then_seq, latch, mult * static_cast<std::size_t>(c.trip));
+
+        BasicBlock& l = cfg.block(latch);
+        Program decrement(next_aux_);
+        const TupleId load =
+            decrement.append(Tuple::load(0, c.aux_var));
+        const TupleId sub = decrement.append(Tuple::binary(
+            1, Opcode::kSub, Operand::tuple(load), Operand::constant(1)));
+        decrement.append(Tuple::store(2, c.aux_var, Operand::tuple(sub)));
+        l.body = std::move(decrement);
+        l.term = BasicBlock::Terminator::kBranch;
+        l.cond = sub;
+        l.taken = body_entry;
+        l.not_taken = cont;
+
+        BasicBlock pre;
+        Program init(next_aux_);
+        init.append(Tuple::store(0, c.aux_var, Operand::constant(c.trip)));
+        pre.body = std::move(init);
+        pre.term = BasicBlock::Terminator::kJump;
+        pre.taken = body_entry;
+        pre.max_executions = mult;
+        return cfg_append(cfg, std::move(pre));
+      }
+    }
+    throw Error("unreachable construct kind");
+  }
+
+  /// The value operand stored by the last store to `var` in the block.
+  static Operand last_store_value(const Program& body, VarId var) {
+    for (std::size_t i = body.size(); i-- > 0;)
+      if (body[i].is_store() && body[i].var == var) return body[i].lhs;
+    throw Error("condition variable was never stored");
+  }
+
+  const CfgGeneratorConfig& config_;
+  StatementGenerator stmt_gen_;
+  Rng& rng_;
+  VarId next_aux_;
+};
+
+}  // namespace
+
+CfgProgram generate_cfg(const CfgGeneratorConfig& config, Rng& rng) {
+  config.validate();
+  Generator gen(config, rng);
+  return gen.run();
+}
+
+}  // namespace bm

@@ -1,0 +1,29 @@
+// Structured random program generator for the control-flow extension:
+// nested sequences of plain blocks, if/else regions, and counted while
+// loops (do-while form, data-dependent trip counters), lowered to a
+// CfgProgram. Every generated program terminates: loops decrement a
+// dedicated counter variable initialized to a bounded trip count.
+#pragma once
+
+#include "cfg/cfg_ir.hpp"
+#include "codegen/generator.hpp"
+
+namespace bm {
+
+struct CfgGeneratorConfig {
+  GeneratorConfig block;          ///< per-block statement parameters
+  std::uint32_t max_depth = 2;    ///< nesting depth of if/while regions
+  std::uint32_t seq_length = 3;   ///< constructs per sequence
+  double if_prob = 0.30;          ///< P(construct is an if/else region)
+  double loop_prob = 0.30;        ///< P(construct is a while loop)
+  std::int64_t min_trip = 1;      ///< loop trip count range (inclusive)
+  std::int64_t max_trip = 6;
+
+  void validate() const;
+};
+
+/// Generates one structured program. Auxiliary variables (loop counters,
+/// branch-condition temporaries) are appended after the base variables.
+CfgProgram generate_cfg(const CfgGeneratorConfig& config, Rng& rng);
+
+}  // namespace bm

@@ -1,0 +1,79 @@
+#include "cfg/cfg_ir.hpp"
+
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace bm {
+
+void CfgProgram::set_num_vars(std::uint32_t n) {
+  num_vars_ = n;
+  for (BasicBlock& b : blocks_) b.body.set_num_vars(n);
+}
+
+BlockId CfgProgram::append(BasicBlock block) {
+  block.body.set_num_vars(num_vars_);
+  blocks_.push_back(std::move(block));
+  return static_cast<BlockId>(blocks_.size() - 1);
+}
+
+void CfgProgram::set_entry(BlockId b) {
+  BM_REQUIRE(b < blocks_.size(), "entry block out of range");
+  entry_ = b;
+}
+
+void CfgProgram::validate() const {
+  BM_REQUIRE(!blocks_.empty(), "control-flow program has no blocks");
+  BM_REQUIRE(entry_ < blocks_.size(), "entry block out of range");
+  for (const BasicBlock& b : blocks_) {
+    BM_REQUIRE(b.body.num_vars() == num_vars_, "block variable-space mismatch");
+    b.body.validate();
+    BM_REQUIRE(b.max_executions >= 1, "max_executions must be >= 1");
+    switch (b.term) {
+      case BasicBlock::Terminator::kExit:
+        break;
+      case BasicBlock::Terminator::kJump:
+        BM_REQUIRE(b.taken < blocks_.size(), "jump target out of range");
+        break;
+      case BasicBlock::Terminator::kBranch:
+        BM_REQUIRE(b.taken < blocks_.size() && b.not_taken < blocks_.size(),
+                   "branch target out of range");
+        BM_REQUIRE(b.cond < b.body.size(), "branch condition out of range");
+        BM_REQUIRE(!b.body[b.cond].is_store(),
+                   "branch condition must be a value-producing tuple");
+        break;
+    }
+  }
+}
+
+std::size_t CfgProgram::total_instructions() const {
+  std::size_t n = 0;
+  for (const BasicBlock& b : blocks_) n += b.body.size();
+  return n;
+}
+
+std::string CfgProgram::to_string() const {
+  std::ostringstream os;
+  os << "entry: block " << entry_ << '\n';
+  for (BlockId id = 0; id < blocks_.size(); ++id) {
+    const BasicBlock& b = blocks_[id];
+    os << "block " << id << " (" << b.body.size() << " tuples, worst-case x"
+       << b.max_executions << "): ";
+    switch (b.term) {
+      case BasicBlock::Terminator::kExit:
+        os << "exit";
+        break;
+      case BasicBlock::Terminator::kJump:
+        os << "jump -> " << b.taken;
+        break;
+      case BasicBlock::Terminator::kBranch:
+        os << "if t" << b.cond << " != 0 -> " << b.taken << " else -> "
+           << b.not_taken;
+        break;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace bm

@@ -1,0 +1,71 @@
+// Control-flow extension (§7 "ongoing work"): programs as graphs of basic
+// blocks with conditional branches and counted while-loops. Each block is
+// scheduled as in the paper; a full machine rejoin at every block boundary
+// resets the timing fuzziness to zero, so static scheduling applies inside
+// every block regardless of the path taken — the property VLIWs cannot
+// offer for data-dependent control flow.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace bm {
+
+using BlockId = std::uint32_t;
+
+struct BasicBlock {
+  Program body;
+
+  enum class Terminator : std::uint8_t {
+    kExit,    ///< program ends after this block
+    kJump,    ///< unconditional transfer to `taken`
+    kBranch,  ///< to `taken` if the cond tuple's value != 0, else `not_taken`
+  };
+  Terminator term = Terminator::kExit;
+  TupleId cond = kInvalidTuple;  ///< kBranch only: dense tuple id in `body`
+  BlockId taken = 0;
+  BlockId not_taken = 0;
+
+  /// Static worst-case execution count (product of enclosing loop bounds);
+  /// this is what a lockstep machine must provision for.
+  std::size_t max_executions = 1;
+};
+
+class CfgProgram {
+ public:
+  explicit CfgProgram(std::uint32_t num_vars = 0) : num_vars_(num_vars) {}
+
+  std::uint32_t num_vars() const { return num_vars_; }
+  void set_num_vars(std::uint32_t n);
+
+  std::size_t size() const { return blocks_.size(); }
+  bool empty() const { return blocks_.empty(); }
+  const BasicBlock& block(BlockId b) const { return blocks_.at(b); }
+  BasicBlock& block(BlockId b) { return blocks_.at(b); }
+
+  BlockId entry() const { return entry_; }
+  void set_entry(BlockId b);
+
+  BlockId append(BasicBlock block);
+
+  /// Throws bm::Error unless every block body validates against num_vars,
+  /// every target is in range, and every branch condition names a value
+  /// tuple of its own body.
+  void validate() const;
+
+  /// Total instruction count across blocks.
+  std::size_t total_instructions() const;
+
+  /// Multi-line structural dump.
+  std::string to_string() const;
+
+ private:
+  std::uint32_t num_vars_ = 0;
+  BlockId entry_ = 0;
+  std::vector<BasicBlock> blocks_;
+};
+
+}  // namespace bm

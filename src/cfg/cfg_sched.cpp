@@ -1,0 +1,56 @@
+#include "cfg/cfg_sched.hpp"
+
+#include "vliw/vliw.hpp"
+
+namespace bm {
+
+double CfgScheduleResult::barrier_fraction() const {
+  if (implied_syncs == 0) return 0.0;
+  return static_cast<double>(barriers) / static_cast<double>(implied_syncs);
+}
+
+double CfgScheduleResult::serialized_fraction() const {
+  if (implied_syncs == 0) return 0.0;
+  return static_cast<double>(serialized_edges) /
+         static_cast<double>(implied_syncs);
+}
+
+CfgScheduleResult schedule_cfg(const CfgProgram& cfg,
+                               const SchedulerConfig& config,
+                               const TimingModel& timing, Rng& rng) {
+  cfg.validate();
+  CfgScheduleResult out;
+  out.cfg = &cfg;
+  out.blocks.reserve(cfg.size());
+  SchedulerConfig block_config = config;
+  block_config.add_final_barrier = true;  // block boundary = machine rejoin
+  for (BlockId id = 0; id < cfg.size(); ++id) {
+    CfgBlockSchedule bs;
+    bs.dag = std::make_unique<InstrDag>(
+        InstrDag::build(cfg.block(id).body, timing));
+    bs.result = schedule_program(*bs.dag, block_config, rng);
+    out.implied_syncs += bs.result.stats.implied_syncs;
+    out.serialized_edges += bs.result.stats.serialized_edges;
+    out.barriers += bs.result.stats.barriers_final;
+    out.blocks.push_back(std::move(bs));
+  }
+  return out;
+}
+
+Time vliw_cfg_worst_case(const CfgProgram& cfg, std::size_t procs,
+                         const TimingModel& timing, Time control_overhead) {
+  cfg.validate();
+  Time total = 0;
+  std::size_t worst_case_transfers = 0;
+  for (BlockId id = 0; id < cfg.size(); ++id) {
+    const BasicBlock& b = cfg.block(id);
+    const InstrDag dag = InstrDag::build(b.body, timing);
+    const VliwSchedule v = schedule_vliw(dag, procs);
+    total += v.makespan * static_cast<Time>(b.max_executions);
+    if (b.term != BasicBlock::Terminator::kExit)
+      worst_case_transfers += b.max_executions;
+  }
+  return total + control_overhead * static_cast<Time>(worst_case_transfers);
+}
+
+}  // namespace bm

@@ -1,0 +1,85 @@
+#include "cfg/cfg_sim.hpp"
+
+#include "support/assert.hpp"
+
+namespace bm {
+
+namespace {
+
+/// Shared control loop: walks blocks from the entry, calling `on_block` for
+/// each executed block; the callback returns the interpreted values used
+/// for branch decisions.
+template <typename OnBlock>
+CfgExecResult walk(const CfgProgram& cfg,
+                   std::vector<std::int64_t> initial_memory,
+                   std::size_t max_transfers, OnBlock&& on_block) {
+  cfg.validate();
+  CfgExecResult out;
+  out.memory = std::move(initial_memory);
+  out.memory.resize(cfg.num_vars(), 0);
+  out.block_counts.assign(cfg.size(), 0);
+
+  BlockId cur = cfg.entry();
+  for (;;) {
+    BM_REQUIRE(out.blocks_executed < max_transfers,
+               "control-flow execution exceeded the transfer budget");
+    const BasicBlock& b = cfg.block(cur);
+    ++out.block_counts[cur];
+    ++out.blocks_executed;
+
+    const EvalResult eval = on_block(cur, b, out.memory);
+    out.memory = eval.memory;
+
+    switch (b.term) {
+      case BasicBlock::Terminator::kExit:
+        return out;
+      case BasicBlock::Terminator::kJump:
+        cur = b.taken;
+        break;
+      case BasicBlock::Terminator::kBranch:
+        cur = eval.values.at(b.cond) != 0 ? b.taken : b.not_taken;
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+CfgExecResult run_cfg(const CfgScheduleResult& scheduled,
+                      const CfgSimConfig& config,
+                      std::vector<std::int64_t> initial_memory, Rng& rng) {
+  BM_REQUIRE(scheduled.cfg != nullptr, "unscheduled control-flow program");
+  BM_REQUIRE(config.control_overhead >= 0, "negative control overhead");
+  const CfgProgram& cfg = *scheduled.cfg;
+  BM_REQUIRE(scheduled.blocks.size() == cfg.size(),
+             "schedule does not match the program");
+
+  Time completion = 0;
+  std::size_t transfers = 0;
+  CfgExecResult out = walk(
+      cfg, std::move(initial_memory), config.max_transfers,
+      [&](BlockId id, const BasicBlock& b,
+          const std::vector<std::int64_t>& memory) {
+        const ExecTrace trace =
+            simulate(*scheduled.blocks[id].result.schedule,
+                     {config.machine, config.sampling}, rng);
+        completion += trace.completion;
+        if (b.term != BasicBlock::Terminator::kExit) ++transfers;
+        return eval_program(b.body, memory);
+      });
+  out.completion =
+      completion + config.control_overhead * static_cast<Time>(transfers);
+  return out;
+}
+
+CfgExecResult interpret_cfg(const CfgProgram& cfg,
+                            std::vector<std::int64_t> initial_memory,
+                            std::size_t max_transfers) {
+  return walk(cfg, std::move(initial_memory), max_transfers,
+              [](BlockId, const BasicBlock& b,
+                 const std::vector<std::int64_t>& memory) {
+                return eval_program(b.body, memory);
+              });
+}
+
+}  // namespace bm

@@ -1,0 +1,39 @@
+// Execution of a scheduled control-flow program: blocks run through the
+// barrier-hardware simulator (timing) and the reference interpreter
+// (values); branch decisions come from the interpreted condition tuples.
+// Block boundaries cost `control_overhead` (broadcast of the branch
+// decision with the rejoin barrier).
+#pragma once
+
+#include "cfg/cfg_sched.hpp"
+#include "ir/interp.hpp"
+#include "sim/simulator.hpp"
+
+namespace bm {
+
+struct CfgSimConfig {
+  MachineKind machine = MachineKind::kSBM;
+  SamplingMode sampling = SamplingMode::kUniform;
+  Time control_overhead = 1;        ///< cycles per block transfer
+  std::size_t max_transfers = 1u << 20;  ///< runaway guard
+};
+
+struct CfgExecResult {
+  Time completion = 0;
+  std::vector<std::int64_t> memory;        ///< final variable values
+  std::size_t blocks_executed = 0;
+  std::vector<std::size_t> block_counts;   ///< executions per block
+};
+
+/// Runs the program once from the given initial memory.
+CfgExecResult run_cfg(const CfgScheduleResult& scheduled,
+                      const CfgSimConfig& config,
+                      std::vector<std::int64_t> initial_memory, Rng& rng);
+
+/// Pure value semantics (no timing): the reference the simulator must
+/// match. Returns final memory and per-block execution counts.
+CfgExecResult interpret_cfg(const CfgProgram& cfg,
+                            std::vector<std::int64_t> initial_memory,
+                            std::size_t max_transfers = 1u << 20);
+
+}  // namespace bm

@@ -1,0 +1,38 @@
+#include "codegen/emitter.hpp"
+
+#include <optional>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace bm {
+
+Program emit_tuples(const StatementList& stmts, std::uint32_t num_vars) {
+  Program prog(num_vars);
+  // Current value of each variable, once known (load or assignment).
+  std::vector<std::optional<Operand>> value(num_vars);
+  std::uint32_t next_uid = 0;
+
+  auto read = [&](const StmtOperand& o) -> Operand {
+    if (!o.is_var()) return Operand::constant(o.value);
+    BM_REQUIRE(o.var < num_vars, "statement references unknown variable");
+    if (!value[o.var]) {
+      const TupleId id = prog.append(Tuple::load(next_uid++, o.var));
+      value[o.var] = Operand::tuple(id);
+    }
+    return *value[o.var];
+  };
+
+  for (const Assign& s : stmts) {
+    BM_REQUIRE(s.lhs < num_vars, "statement assigns unknown variable");
+    const Operand a = read(s.a);
+    const Operand b = read(s.b);
+    const TupleId result =
+        prog.append(Tuple::binary(next_uid++, s.op, a, b));
+    prog.append(Tuple::store(next_uid++, s.lhs, Operand::tuple(result)));
+    value[s.lhs] = Operand::tuple(result);
+  }
+  return prog;
+}
+
+}  // namespace bm

@@ -1,0 +1,16 @@
+// Statement → tuple lowering (§2.2): the first read of a variable emits a
+// Load; each assignment emits a Store; subsequent reads forward the stored
+// value (value propagation), so at most one Load per variable appears.
+#pragma once
+
+#include "codegen/statement.hpp"
+#include "ir/program.hpp"
+
+namespace bm {
+
+/// Lowers a statement list over `num_vars` variables into a tuple Program.
+/// Tuple uids are assigned in emission order (matching the paper's tuple
+/// numbers before optimization removes some).
+Program emit_tuples(const StatementList& stmts, std::uint32_t num_vars);
+
+}  // namespace bm

@@ -1,0 +1,50 @@
+#include "codegen/generator.hpp"
+
+#include "support/assert.hpp"
+
+namespace bm {
+
+void GeneratorConfig::validate() const {
+  BM_REQUIRE(num_statements > 0, "need at least one statement");
+  BM_REQUIRE(num_variables > 0, "need at least one variable");
+  BM_REQUIRE(const_max >= 1, "const_max must be >= 1");
+  BM_REQUIRE(const_operand_prob >= 0.0 && const_operand_prob <= 1.0,
+             "const_operand_prob must be a probability");
+}
+
+StatementGenerator::StatementGenerator(GeneratorConfig config)
+    : config_(config) {
+  config_.validate();
+  for (Opcode op : all_opcodes()) {
+    if (!is_binary_op(op)) continue;
+    ops_.push_back(op);
+    weights_.push_back(opcode_frequency_percent(op));
+  }
+}
+
+StatementList StatementGenerator::generate(Rng& rng) const {
+  // Fix the literal pool for this benchmark instance.
+  std::vector<std::int64_t> constants(config_.num_constants);
+  for (auto& c : constants) c = rng.uniform(1, config_.const_max);
+
+  auto draw_operand = [&]() -> StmtOperand {
+    if (!constants.empty() && rng.chance(config_.const_operand_prob))
+      return StmtOperand::constant(constants[rng.index(constants.size())]);
+    return StmtOperand::variable(
+        static_cast<VarId>(rng.index(config_.num_variables)));
+  };
+
+  StatementList stmts;
+  stmts.reserve(config_.num_statements);
+  for (std::uint32_t i = 0; i < config_.num_statements; ++i) {
+    Assign s;
+    s.lhs = static_cast<VarId>(rng.index(config_.num_variables));
+    s.op = ops_[rng.weighted(weights_)];
+    s.a = draw_operand();
+    s.b = draw_operand();
+    stmts.push_back(s);
+  }
+  return stmts;
+}
+
+}  // namespace bm

@@ -1,0 +1,47 @@
+// Random basic-block generator (§2.2). Draws assignment statements whose
+// operation mix follows Table 1's Alexander–Wortman frequencies; operands are
+// drawn uniformly from the variable and constant pools.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codegen/statement.hpp"
+#include "support/rng.hpp"
+
+namespace bm {
+
+struct GeneratorConfig {
+  std::uint32_t num_statements = 20;
+  std::uint32_t num_variables = 8;   ///< ≈ parallelism width after opt (§2.2)
+  std::uint32_t num_constants = 4;   ///< size of the literal pool
+
+  /// Probability that an operand is a literal rather than a variable.
+  /// Kept small (real instruction mixes are variable-dominated); large
+  /// values make constant folding collapse whole blocks, which would skew
+  /// the scheduling statistics the way §2.2 warns about.
+  double const_operand_prob = 0.15;
+
+  /// Constant literal values are drawn from [1, const_max]; zero is excluded
+  /// so folded divisions stay defined.
+  std::int64_t const_max = 64;
+
+  void validate() const;  ///< throws bm::Error on nonsense parameters
+};
+
+class StatementGenerator {
+ public:
+  explicit StatementGenerator(GeneratorConfig config);
+
+  /// Generates one benchmark's statement list; consumes draws from rng.
+  StatementList generate(Rng& rng) const;
+
+  const GeneratorConfig& config() const { return config_; }
+
+ private:
+  GeneratorConfig config_;
+  std::vector<Opcode> ops_;       ///< binary opcodes, enum order
+  std::vector<double> weights_;   ///< Table-1 frequencies for ops_
+};
+
+}  // namespace bm

@@ -1,0 +1,139 @@
+#include "codegen/parser.hpp"
+
+#include <cctype>
+#include <map>
+#include <optional>
+
+#include "support/assert.hpp"
+
+namespace bm {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& source) : src_(source) {}
+
+  ParsedBlock run() {
+    ParsedBlock out;
+    std::map<std::string, VarId> vars;
+    skip_space();
+    while (!at_end()) {
+      out.statements.push_back(parse_assignment(vars, out.var_names));
+      skip_space();
+    }
+    out.num_vars = static_cast<std::uint32_t>(out.var_names.size());
+    BM_REQUIRE(!out.statements.empty(), "empty program");
+    return out;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw Error("parse error at line " + std::to_string(line_) + ": " + msg);
+  }
+
+  bool at_end() const { return pos_ >= src_.size(); }
+  char peek() const { return at_end() ? '\0' : src_[pos_]; }
+  char advance() {
+    const char ch = src_[pos_++];
+    if (ch == '\n') ++line_;
+    return ch;
+  }
+
+  void skip_space() {
+    while (!at_end()) {
+      const char ch = peek();
+      if (std::isspace(static_cast<unsigned char>(ch))) {
+        advance();
+      } else if (ch == '#') {
+        while (!at_end() && peek() != '\n') advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string parse_identifier() {
+    skip_space();
+    std::string name;
+    while (!at_end() &&
+           (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_'))
+      name += advance();
+    if (name.empty() || std::isdigit(static_cast<unsigned char>(name[0])))
+      fail("expected identifier");
+    return name;
+  }
+
+  std::int64_t parse_literal() {
+    std::string digits;
+    if (peek() == '-') digits += advance();
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())))
+      digits += advance();
+    if (digits.empty() || digits == "-") fail("expected integer literal");
+    return std::stoll(digits);
+  }
+
+  void expect(char ch) {
+    skip_space();
+    if (peek() != ch) fail(std::string("expected '") + ch + "'");
+    advance();
+  }
+
+  VarId intern(const std::string& name, std::map<std::string, VarId>& vars,
+               std::vector<std::string>& names) {
+    const auto it = vars.find(name);
+    if (it != vars.end()) return it->second;
+    const auto id = static_cast<VarId>(names.size());
+    vars.emplace(name, id);
+    names.push_back(name);
+    return id;
+  }
+
+  StmtOperand parse_operand(std::map<std::string, VarId>& vars,
+                            std::vector<std::string>& names) {
+    skip_space();
+    const char ch = peek();
+    if (std::isdigit(static_cast<unsigned char>(ch)) || ch == '-')
+      return StmtOperand::constant(parse_literal());
+    return StmtOperand::variable(intern(parse_identifier(), vars, names));
+  }
+
+  Opcode parse_operator() {
+    skip_space();
+    switch (peek()) {
+      case '+': advance(); return Opcode::kAdd;
+      case '-': advance(); return Opcode::kSub;
+      case '*': advance(); return Opcode::kMul;
+      case '/': advance(); return Opcode::kDiv;
+      case '%': advance(); return Opcode::kMod;
+      case '&': advance(); return Opcode::kAnd;
+      case '|': advance(); return Opcode::kOr;
+      default: fail("expected operator (+ - * / % & |)");
+    }
+  }
+
+  Assign parse_assignment(std::map<std::string, VarId>& vars,
+                          std::vector<std::string>& names) {
+    Assign s;
+    s.lhs = intern(parse_identifier(), vars, names);
+    expect('=');
+    s.a = parse_operand(vars, names);
+    s.op = parse_operator();
+    s.b = parse_operand(vars, names);
+    expect(';');
+    return s;
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+}  // namespace
+
+ParsedBlock parse_statements(const std::string& source) {
+  Parser parser(source);
+  return parser.run();
+}
+
+}  // namespace bm

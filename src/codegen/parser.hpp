@@ -1,0 +1,29 @@
+// Front end for the paper's "simple language consisting of basic blocks of
+// code with no control flow constructs" (§2): assignment statements over
+// single-letter (or named) variables, integer literals, and the seven
+// binary operators.
+//
+//   b = a + c;
+//   d = b * 17;     # comments run to end of line
+//   a = d % b;
+//
+// Variables are bound to ids in first-appearance order.
+#pragma once
+
+#include <string>
+
+#include "codegen/statement.hpp"
+
+namespace bm {
+
+struct ParsedBlock {
+  StatementList statements;
+  std::uint32_t num_vars = 0;
+  std::vector<std::string> var_names;  ///< id → source name
+};
+
+/// Parses a block of assignment statements. Throws bm::Error with a
+/// line-numbered message on any syntax error.
+ParsedBlock parse_statements(const std::string& source);
+
+}  // namespace bm

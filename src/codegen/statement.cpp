@@ -1,0 +1,33 @@
+#include "codegen/statement.hpp"
+
+#include <sstream>
+
+namespace bm {
+
+namespace {
+std::string operand_str(const StmtOperand& o) {
+  return o.is_var() ? var_name(o.var) : std::to_string(o.value);
+}
+
+std::string_view op_symbol(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd: return "+";
+    case Opcode::kSub: return "-";
+    case Opcode::kAnd: return "&";
+    case Opcode::kOr: return "|";
+    case Opcode::kMul: return "*";
+    case Opcode::kDiv: return "/";
+    case Opcode::kMod: return "%";
+    default: return "?";
+  }
+}
+}  // namespace
+
+std::string statement_to_string(const Assign& s) {
+  std::ostringstream os;
+  os << var_name(s.lhs) << " = " << operand_str(s.a) << ' ' << op_symbol(s.op)
+     << ' ' << operand_str(s.b) << ';';
+  return os.str();
+}
+
+}  // namespace bm

@@ -1,0 +1,42 @@
+// Source-level form of the synthetic benchmarks (§2.2): a basic block is a
+// list of assignment statements `var = a OP b` over variables and constants.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/opcode.hpp"
+#include "ir/tuple.hpp"
+
+namespace bm {
+
+/// An operand at statement level: a variable or a literal constant.
+struct StmtOperand {
+  enum class Kind : std::uint8_t { kVar, kConst };
+
+  Kind kind = Kind::kVar;
+  VarId var = 0;
+  std::int64_t value = 0;
+
+  static StmtOperand variable(VarId v) { return {Kind::kVar, v, 0}; }
+  static StmtOperand constant(std::int64_t c) { return {Kind::kConst, 0, c}; }
+
+  bool is_var() const { return kind == Kind::kVar; }
+
+  bool operator==(const StmtOperand&) const = default;
+};
+
+/// `lhs = a op b`
+struct Assign {
+  VarId lhs = 0;
+  Opcode op = Opcode::kAdd;
+  StmtOperand a;
+  StmtOperand b;
+};
+
+using StatementList = std::vector<Assign>;
+
+std::string statement_to_string(const Assign& s);
+
+}  // namespace bm

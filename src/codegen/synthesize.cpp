@@ -1,0 +1,16 @@
+#include "codegen/synthesize.hpp"
+
+#include "codegen/emitter.hpp"
+
+namespace bm {
+
+SynthesisResult synthesize_benchmark(const GeneratorConfig& config, Rng& rng) {
+  SynthesisResult result;
+  StatementGenerator gen(config);
+  result.statements = gen.generate(rng);
+  result.program = emit_tuples(result.statements, config.num_variables);
+  result.opt_stats = optimize(result.program);
+  return result;
+}
+
+}  // namespace bm

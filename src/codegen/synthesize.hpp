@@ -1,0 +1,20 @@
+// One-call benchmark synthesis: generate statements, lower to tuples, and
+// run the local optimizer — the full §2.2 pipeline.
+#pragma once
+
+#include "codegen/generator.hpp"
+#include "ir/program.hpp"
+#include "opt/passes.hpp"
+
+namespace bm {
+
+struct SynthesisResult {
+  StatementList statements;  ///< the source-level block
+  Program program;           ///< optimized tuple program
+  OptStats opt_stats;
+};
+
+/// Generates and optimizes one synthetic benchmark.
+SynthesisResult synthesize_benchmark(const GeneratorConfig& config, Rng& rng);
+
+}  // namespace bm

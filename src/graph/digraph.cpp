@@ -1,0 +1,62 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+
+namespace bm {
+
+NodeId Digraph::add_node() {
+  succs_.emplace_back();
+  preds_.emplace_back();
+  return static_cast<NodeId>(succs_.size() - 1);
+}
+
+void Digraph::add_edge(NodeId from, NodeId to) {
+  BM_REQUIRE(from < size() && to < size(), "edge endpoint out of range");
+  BM_REQUIRE(from != to, "self-edges are not allowed");
+  auto& out = succs_[from];
+  if (std::find(out.begin(), out.end(), to) != out.end()) return;
+  out.push_back(to);
+  preds_[to].push_back(from);
+}
+
+bool Digraph::has_edge(NodeId from, NodeId to) const {
+  BM_REQUIRE(from < size() && to < size(), "edge endpoint out of range");
+  const auto& out = succs_[from];
+  return std::find(out.begin(), out.end(), to) != out.end();
+}
+
+std::size_t Digraph::edge_count() const {
+  std::size_t n = 0;
+  for (const auto& out : succs_) n += out.size();
+  return n;
+}
+
+std::vector<NodeId> topo_order(const Digraph& g) {
+  std::vector<std::size_t> indegree(g.size());
+  for (NodeId n = 0; n < g.size(); ++n) indegree[n] = g.preds(n).size();
+  std::vector<NodeId> ready;
+  for (NodeId n = 0; n < g.size(); ++n)
+    if (indegree[n] == 0) ready.push_back(n);
+  std::vector<NodeId> order;
+  order.reserve(g.size());
+  while (!ready.empty()) {
+    const NodeId n = ready.back();
+    ready.pop_back();
+    order.push_back(n);
+    for (NodeId s : g.succs(n))
+      if (--indegree[s] == 0) ready.push_back(s);
+  }
+  BM_REQUIRE(order.size() == g.size(), "graph has a cycle");
+  return order;
+}
+
+bool is_dag(const Digraph& g) {
+  try {
+    topo_order(g);
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+}  // namespace bm

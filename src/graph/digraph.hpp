@@ -1,0 +1,48 @@
+// Small dense directed-graph container shared by the instruction DAG and the
+// barrier dag. Nodes are integer ids 0..size()-1; parallel edges are
+// coalesced.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace bm {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(std::size_t num_nodes)
+      : succs_(num_nodes), preds_(num_nodes) {}
+
+  std::size_t size() const { return succs_.size(); }
+
+  /// Appends a node; returns its id.
+  NodeId add_node();
+
+  /// Adds edge from→to (no-op if already present). Self-edges are rejected.
+  void add_edge(NodeId from, NodeId to);
+
+  bool has_edge(NodeId from, NodeId to) const;
+
+  const std::vector<NodeId>& succs(NodeId n) const { return succs_.at(n); }
+  const std::vector<NodeId>& preds(NodeId n) const { return preds_.at(n); }
+
+  std::size_t edge_count() const;
+
+ private:
+  std::vector<std::vector<NodeId>> succs_;
+  std::vector<std::vector<NodeId>> preds_;
+};
+
+/// Topological order (Kahn). Throws bm::Error if the graph has a cycle.
+std::vector<NodeId> topo_order(const Digraph& g);
+
+/// True if the graph is acyclic.
+bool is_dag(const Digraph& g);
+
+}  // namespace bm

@@ -1,0 +1,98 @@
+#include "graph/dominators.hpp"
+
+#include <algorithm>
+
+namespace bm {
+
+namespace {
+/// Reverse postorder of nodes reachable from root (iterative DFS).
+std::vector<NodeId> reverse_postorder(const Digraph& g, NodeId root) {
+  std::vector<NodeId> post;
+  std::vector<std::uint8_t> state(g.size(), 0);  // 0=unseen 1=open 2=done
+  std::vector<std::pair<NodeId, std::size_t>> stack{{root, 0}};
+  state[root] = 1;
+  while (!stack.empty()) {
+    auto& [n, next_child] = stack.back();
+    if (next_child < g.succs(n).size()) {
+      const NodeId s = g.succs(n)[next_child++];
+      if (state[s] == 0) {
+        state[s] = 1;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      state[n] = 2;
+      post.push_back(n);
+      stack.pop_back();
+    }
+  }
+  std::reverse(post.begin(), post.end());
+  return post;
+}
+}  // namespace
+
+DominatorTree::DominatorTree(const Digraph& g, NodeId root)
+    : root_(root),
+      idom_(g.size(), kInvalidNode),
+      depth_(g.size(), 0) {
+  BM_REQUIRE(root < g.size(), "root out of range");
+  const std::vector<NodeId> rpo = reverse_postorder(g, root);
+  std::vector<std::size_t> rpo_index(g.size(), ~std::size_t{0});
+  for (std::size_t i = 0; i < rpo.size(); ++i) rpo_index[rpo[i]] = i;
+
+  idom_[root] = root;
+
+  auto intersect = [&](NodeId a, NodeId b) {
+    while (a != b) {
+      while (rpo_index[a] > rpo_index[b]) a = idom_[a];
+      while (rpo_index[b] > rpo_index[a]) b = idom_[b];
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId n : rpo) {
+      if (n == root) continue;
+      NodeId new_idom = kInvalidNode;
+      for (NodeId p : g.preds(n)) {
+        if (idom_[p] == kInvalidNode) continue;  // pred not processed yet
+        new_idom = (new_idom == kInvalidNode) ? p : intersect(p, new_idom);
+      }
+      if (new_idom != kInvalidNode && idom_[n] != new_idom) {
+        idom_[n] = new_idom;
+        changed = true;
+      }
+    }
+  }
+
+  for (NodeId n : rpo) {
+    if (n == root) continue;
+    BM_ASSERT_INTERNAL(idom_[n] != kInvalidNode, "reachable node has no idom");
+    depth_[n] = depth_[idom_[n]] + 1;
+  }
+}
+
+bool DominatorTree::dominates(NodeId a, NodeId b) const {
+  BM_REQUIRE(reachable(a) && reachable(b), "node unreachable from root");
+  while (depth_[b] > depth_[a]) b = idom_[b];
+  return a == b;
+}
+
+NodeId DominatorTree::common_dominator(NodeId a, NodeId b) const {
+  BM_REQUIRE(reachable(a) && reachable(b), "node unreachable from root");
+  while (a != b) {
+    if (depth_[a] >= depth_[b])
+      a = idom_[a];
+    else
+      b = idom_[b];
+  }
+  return a;
+}
+
+std::size_t DominatorTree::depth(NodeId n) const {
+  BM_REQUIRE(reachable(n), "node unreachable from root");
+  return depth_[n];
+}
+
+}  // namespace bm

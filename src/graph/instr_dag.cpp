@@ -1,0 +1,83 @@
+#include "graph/instr_dag.hpp"
+
+#include <optional>
+
+#include "graph/paths.hpp"
+
+namespace bm {
+
+InstrDag InstrDag::build(const Program& prog, const TimingModel& tm) {
+  prog.validate();
+  InstrDag dag;
+  const std::size_t n = prog.size();
+  dag.num_instr_ = n;
+  dag.g_ = Digraph(n + 2);
+  dag.entry_ = static_cast<NodeId>(n);
+  dag.exit_ = static_cast<NodeId>(n + 1);
+
+  dag.time_.resize(n + 2, TimeRange{0, 0});
+  for (std::size_t i = 0; i < n; ++i) dag.time_[i] = tm.range(prog[i].op);
+
+  // Dataflow edges.
+  for (std::size_t i = 0; i < n; ++i) {
+    const Tuple& t = prog[i];
+    for (int k = 0; k < t.operand_count(); ++k)
+      if (t.operand(k).is_tuple())
+        dag.g_.add_edge(t.operand(k).tuple_id(), static_cast<NodeId>(i));
+  }
+
+  // Memory dependences per variable: flow (store→load), anti (load→store),
+  // output (store→store).
+  std::vector<std::optional<NodeId>> last_store(prog.num_vars());
+  std::vector<std::vector<NodeId>> loads_since(prog.num_vars());
+  for (std::size_t i = 0; i < n; ++i) {
+    const Tuple& t = prog[i];
+    const auto node = static_cast<NodeId>(i);
+    if (t.is_load()) {
+      if (last_store[t.var]) dag.g_.add_edge(*last_store[t.var], node);
+      loads_since[t.var].push_back(node);
+    } else if (t.is_store()) {
+      for (NodeId l : loads_since[t.var]) dag.g_.add_edge(l, node);
+      if (last_store[t.var]) dag.g_.add_edge(*last_store[t.var], node);
+      last_store[t.var] = node;
+      loads_since[t.var].clear();
+    }
+  }
+
+  // Record implied synchronizations before wiring the dummy nodes.
+  for (NodeId from = 0; from < n; ++from)
+    for (NodeId to : dag.g_.succs(from)) dag.sync_edges_.emplace_back(from, to);
+
+  // Entry/exit dummies.
+  for (NodeId i = 0; i < n; ++i) {
+    if (dag.g_.preds(i).empty()) dag.g_.add_edge(dag.entry_, i);
+    if (dag.g_.succs(i).empty()) dag.g_.add_edge(i, dag.exit_);
+  }
+  if (n == 0) dag.g_.add_edge(dag.entry_, dag.exit_);
+
+  // Heights: h(i) = t(i) + max over successors of h(s); h(exit) = 0.
+  // Realized as a longest path to exit with edge weight = source node time.
+  auto min_w = [&](NodeId a, NodeId) { return dag.time_[a].min; };
+  auto max_w = [&](NodeId a, NodeId) { return dag.time_[a].max; };
+  dag.h_min_ = longest_to(dag.g_, dag.exit_, min_w);
+  dag.h_max_ = longest_to(dag.g_, dag.exit_, max_w);
+
+  // ASAP finish: f(i) = t(i) + max over predecessors of f(p); f(entry) = 0.
+  auto min_in = [&](NodeId, NodeId b) { return dag.time_[b].min; };
+  auto max_in = [&](NodeId, NodeId b) { return dag.time_[b].max; };
+  const std::vector<Time> fmin = longest_from(dag.g_, dag.entry_, min_in);
+  const std::vector<Time> fmax = longest_from(dag.g_, dag.entry_, max_in);
+  dag.asap_.resize(n + 2, TimeRange{0, 0});
+  for (NodeId i = 0; i < n + 2; ++i) {
+    BM_ASSERT_INTERNAL(fmin[i] != kUnreachable, "node unreachable from entry");
+    dag.asap_[i] = TimeRange{fmin[i], fmax[i]};
+  }
+  dag.critical_ = dag.asap_[dag.exit_];
+  return dag;
+}
+
+std::vector<TimeRange> InstrDag::asap_instruction_columns() const {
+  return {asap_.begin(), asap_.begin() + static_cast<std::ptrdiff_t>(num_instr_)};
+}
+
+}  // namespace bm

@@ -1,0 +1,71 @@
+// Instruction DAG (§4.1): tuples as nodes, precedence constraints as edges,
+// plus single entry/exit dummy nodes of zero execution time. Carries the
+// scheduler's labeling data: min/max heights, ASAP finish ranges, and the
+// critical-path bounds.
+//
+// Edges are:
+//  - dataflow: producer tuple → consumer tuple (one per distinct operand),
+//  - memory flow: Store v → later Load v,
+//  - anti: Load v → next Store v,
+//  - output: Store v → next Store v.
+// On generator output (post-optimization) only dataflow and anti edges occur.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "ir/program.hpp"
+
+namespace bm {
+
+class InstrDag {
+ public:
+  /// Builds the DAG for an optimized basic block.
+  static InstrDag build(const Program& prog, const TimingModel& tm);
+
+  const Digraph& graph() const { return g_; }
+  NodeId entry() const { return entry_; }
+  NodeId exit() const { return exit_; }
+
+  /// Number of instruction (non-dummy) nodes; their node ids equal their
+  /// dense tuple ids in the program.
+  std::size_t num_instructions() const { return num_instr_; }
+  bool is_dummy(NodeId n) const { return n >= num_instr_; }
+
+  const TimeRange& time(NodeId n) const { return time_.at(n); }
+
+  /// Heights (§4.1): length of the longest path from node n to the exit,
+  /// summing node times including n's own.
+  Time h_min(NodeId n) const { return h_min_.at(n); }
+  Time h_max(NodeId n) const { return h_max_.at(n); }
+
+  /// ASAP finish-time range on unbounded processors — the two rightmost
+  /// columns of Fig. 1.
+  const TimeRange& asap_finish(NodeId n) const { return asap_.at(n); }
+  std::vector<TimeRange> asap_instruction_columns() const;
+
+  /// Critical-path bounds t_cr: longest entry→exit path under min and max
+  /// times respectively — a lower bound on any schedule's completion.
+  const TimeRange& critical_path() const { return critical_; }
+
+  /// Producer/consumer pairs between instruction nodes — the paper's "Total
+  /// Implied Synchronizations" is sync_edges().size().
+  const std::vector<std::pair<NodeId, NodeId>>& sync_edges() const {
+    return sync_edges_;
+  }
+  std::size_t implied_syncs() const { return sync_edges_.size(); }
+
+ private:
+  Digraph g_;
+  std::size_t num_instr_ = 0;
+  NodeId entry_ = kInvalidNode;
+  NodeId exit_ = kInvalidNode;
+  std::vector<TimeRange> time_;
+  std::vector<Time> h_min_, h_max_;
+  std::vector<TimeRange> asap_;
+  TimeRange critical_{0, 0};
+  std::vector<std::pair<NodeId, NodeId>> sync_edges_;
+};
+
+}  // namespace bm

@@ -1,0 +1,76 @@
+#include "graph/paths.hpp"
+
+#include <algorithm>
+
+namespace bm {
+
+std::vector<Time> longest_from(const Digraph& g, NodeId src,
+                               const EdgeWeightFn& weight) {
+  BM_REQUIRE(src < g.size(), "source out of range");
+  std::vector<Time> dist(g.size(), kUnreachable);
+  dist[src] = 0;
+  for (NodeId n : topo_order(g)) {
+    if (dist[n] == kUnreachable) continue;
+    for (NodeId s : g.succs(n))
+      dist[s] = std::max(dist[s], dist[n] + weight(n, s));
+  }
+  return dist;
+}
+
+std::vector<Time> longest_to(const Digraph& g, NodeId dst,
+                             const EdgeWeightFn& weight) {
+  BM_REQUIRE(dst < g.size(), "destination out of range");
+  std::vector<Time> dist(g.size(), kUnreachable);
+  dist[dst] = 0;
+  const std::vector<NodeId> order = topo_order(g);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId n = *it;
+    for (NodeId s : g.succs(n)) {
+      if (dist[s] == kUnreachable) continue;
+      dist[n] = std::max(dist[n], weight(n, s) + dist[s]);
+    }
+  }
+  return dist;
+}
+
+PathEnumerator::PathEnumerator(const Digraph& g, NodeId from, NodeId to,
+                               EdgeWeightFn weight)
+    : g_(g), to_(to), weight_(std::move(weight)) {
+  BM_REQUIRE(from < g.size() && to < g.size(), "endpoint out of range");
+  to_dist_ = longest_to(g_, to_, weight_);
+  if (to_dist_[from] != kUnreachable) {
+    Partial p;
+    p.prefix_length = 0;
+    p.priority = to_dist_[from];
+    p.nodes = {from};
+    heap_.push_back(std::move(p));
+  }
+}
+
+bool PathEnumerator::next(Path& path, Time& length) {
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), PartialLess{});
+    Partial cur = std::move(heap_.back());
+    heap_.pop_back();
+
+    const NodeId last = cur.nodes.back();
+    if (last == to_) {
+      path = std::move(cur.nodes);
+      length = cur.prefix_length;
+      return true;
+    }
+    for (NodeId s : g_.succs(last)) {
+      if (to_dist_[s] == kUnreachable) continue;  // cannot complete
+      Partial ext;
+      ext.prefix_length = cur.prefix_length + weight_(last, s);
+      ext.priority = ext.prefix_length + to_dist_[s];
+      ext.nodes = cur.nodes;
+      ext.nodes.push_back(s);
+      heap_.push_back(std::move(ext));
+      std::push_heap(heap_.begin(), heap_.end(), PartialLess{});
+    }
+  }
+  return false;
+}
+
+}  // namespace bm

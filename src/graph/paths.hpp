@@ -1,0 +1,62 @@
+// Longest-path computations on DAGs — the workhorse of both the height
+// labeling (§4.1) and the barrier-dag timing queries (§4.4).
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "ir/timing.hpp"
+
+namespace bm {
+
+/// Sentinel for "unreachable" in longest-path arrays.
+inline constexpr Time kUnreachable = std::numeric_limits<Time>::min() / 4;
+
+using EdgeWeightFn = std::function<Time(NodeId, NodeId)>;
+
+/// Longest edge-weighted distance from `src` to every node (kUnreachable
+/// where no path exists; 0 at src). Requires an acyclic graph.
+std::vector<Time> longest_from(const Digraph& g, NodeId src,
+                               const EdgeWeightFn& weight);
+
+/// Longest edge-weighted distance from every node to `dst`.
+std::vector<Time> longest_to(const Digraph& g, NodeId dst,
+                             const EdgeWeightFn& weight);
+
+/// A path as a node sequence (front = source, back = destination).
+using Path = std::vector<NodeId>;
+
+/// Enumerates u→v paths in non-increasing order of total edge weight.
+/// Best-first search over path prefixes with the exact longest-remaining
+/// distance as priority, so each next() is optimal among unreported paths.
+class PathEnumerator {
+ public:
+  PathEnumerator(const Digraph& g, NodeId from, NodeId to,
+                 EdgeWeightFn weight);
+
+  /// Returns the next-longest path, or false when exhausted. On success,
+  /// `path` and `length` are filled.
+  bool next(Path& path, Time& length);
+
+ private:
+  struct Partial {
+    Time priority;  // prefix length + exact longest completion
+    Time prefix_length;
+    Path nodes;
+  };
+  struct PartialLess {
+    bool operator()(const Partial& a, const Partial& b) const {
+      return a.priority < b.priority;
+    }
+  };
+
+  const Digraph& g_;
+  NodeId to_;
+  EdgeWeightFn weight_;
+  std::vector<Time> to_dist_;  // longest distance to `to_` per node
+  std::vector<Partial> heap_;
+};
+
+}  // namespace bm

@@ -1,0 +1,64 @@
+#include "harness/experiment.hpp"
+
+#include "support/assert.hpp"
+
+namespace bm {
+
+Rng benchmark_rng(std::uint64_t base_seed, std::size_t index) {
+  std::uint64_t mix = base_seed;
+  (void)split_mix64(mix);
+  mix ^= 0x5851F42D4C957F2Dull * (index + 1);
+  return Rng(split_mix64(mix));
+}
+
+PointAggregate run_point(const GeneratorConfig& gen,
+                         const SchedulerConfig& sched, const RunOptions& opt,
+                         const PerBenchmarkHook& hook) {
+  PointAggregate agg;
+  for (std::size_t i = 0; i < opt.seeds; ++i) {
+    Rng rng = benchmark_rng(opt.base_seed, i);
+    const SynthesisResult synth = synthesize_benchmark(gen, rng);
+    const InstrDag dag = InstrDag::build(synth.program, opt.timing);
+
+    BenchmarkOutcome outcome;
+    outcome.seed_index = i;
+    outcome.program_size = synth.program.size();
+
+    ScheduleResult scheduled = schedule_program(dag, sched, rng);
+    outcome.stats = scheduled.stats;
+    agg.fractions.add(scheduled.stats);
+    agg.program_size.add(static_cast<double>(synth.program.size()));
+
+    if (opt.with_vliw) {
+      const VliwSchedule vliw = schedule_vliw(dag, sched.num_procs);
+      outcome.vliw_makespan = vliw.makespan;
+      agg.vliw_makespan.add(static_cast<double>(vliw.makespan));
+    }
+
+    if (opt.sim_runs > 0 || opt.validate_draws) {
+      const std::size_t runs = opt.sim_runs > 0 ? opt.sim_runs : 1;
+      if (opt.validate_draws) {
+        for (std::size_t r = 0; r < runs; ++r) {
+          const ExecTrace t = simulate(*scheduled.schedule,
+                                       {sched.machine, SamplingMode::kUniform},
+                                       rng);
+          agg.violation_count += find_violations(dag, t).size();
+        }
+      }
+      outcome.barrier_completion = summarize_completion(
+          *scheduled.schedule, sched.machine, opt.sim_runs, rng);
+      if (opt.with_vliw && outcome.vliw_makespan > 0) {
+        const auto v = static_cast<double>(outcome.vliw_makespan);
+        agg.norm_min.add(static_cast<double>(outcome.barrier_completion.min_draw) / v);
+        agg.norm_max.add(static_cast<double>(outcome.barrier_completion.max_draw) / v);
+        if (opt.sim_runs > 0)
+          agg.norm_mean.add(outcome.barrier_completion.mean / v);
+      }
+    }
+
+    if (hook) hook(outcome);
+  }
+  return agg;
+}
+
+}  // namespace bm

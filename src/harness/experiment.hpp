@@ -1,0 +1,58 @@
+// Experiment driver: one "point" = one (generator, scheduler) parameter
+// combination evaluated over many seeded synthetic benchmarks, exactly as in
+// §5 (100 benchmarks per point, results averaged). Optionally also runs the
+// VLIW baseline and the execution simulator per benchmark.
+#pragma once
+
+#include <functional>
+
+#include "codegen/synthesize.hpp"
+#include "metrics/aggregate.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "support/stats.hpp"
+#include "vliw/vliw.hpp"
+
+namespace bm {
+
+struct RunOptions {
+  std::size_t seeds = 100;          ///< benchmarks per point (paper: 100)
+  std::uint64_t base_seed = 1990;   ///< printed by every bench header
+  TimingModel timing = TimingModel::table1();
+
+  bool with_vliw = false;           ///< also schedule the VLIW baseline
+  std::size_t sim_runs = 0;         ///< uniform-draw simulations per benchmark
+  bool validate_draws = false;      ///< assert no dependence violations
+};
+
+/// Everything measured for one benchmark instance.
+struct BenchmarkOutcome {
+  std::size_t seed_index = 0;
+  std::size_t program_size = 0;       ///< optimized tuple count
+  ScheduleStats stats;
+  Time vliw_makespan = 0;             ///< when with_vliw
+  CompletionSummary barrier_completion;  ///< when sim_runs > 0
+};
+
+struct PointAggregate {
+  FractionAggregate fractions;
+  RunningStats program_size;
+  RunningStats vliw_makespan;
+  /// Barrier-machine completion normalized to the VLIW makespan (Fig. 18):
+  /// the all-min draw, all-max draw, and simulated mean.
+  RunningStats norm_min, norm_max, norm_mean;
+  std::size_t violation_count = 0;  ///< across all validated draws (expect 0)
+};
+
+using PerBenchmarkHook = std::function<void(const BenchmarkOutcome&)>;
+
+/// Runs one parameter point. The i-th benchmark uses an independent stream
+/// derived from (base_seed, i), so points are reproducible and extensible.
+PointAggregate run_point(const GeneratorConfig& gen,
+                         const SchedulerConfig& sched, const RunOptions& opt,
+                         const PerBenchmarkHook& hook = nullptr);
+
+/// Per-benchmark RNG stream used by run_point (exposed for tests/examples).
+Rng benchmark_rng(std::uint64_t base_seed, std::size_t index);
+
+}  // namespace bm

@@ -1,0 +1,37 @@
+// Shared report formatting for the bench binaries: headers, fraction-series
+// tables, CSV dumps, and a text scatter plot (Fig. 14).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "support/table.hpp"
+
+namespace bm {
+
+/// Prints the bench banner: experiment id, paper reference, configuration,
+/// and the base seed so every run is reproducible.
+void print_bench_header(const std::string& experiment,
+                        const std::string& paper_ref,
+                        const std::string& workload, const RunOptions& opt);
+
+/// One row of a fraction-series table.
+struct SeriesRow {
+  std::string x;  ///< the sweep value (e.g. "#statements = 20")
+  PointAggregate agg;
+};
+
+/// Renders the standard fraction columns (mean over seeds) for a sweep, and
+/// optionally writes `csv_path` (skipped when empty).
+void print_fraction_series(const std::string& x_label,
+                           const std::vector<SeriesRow>& rows,
+                           const std::string& csv_path);
+
+/// ASCII scatter plot: y = serialized fraction, x = static fraction, both in
+/// [0,1]; `diagonal` draws the x+y = level reference line.
+std::string render_scatter(const std::vector<std::pair<double, double>>& xy,
+                           double diagonal_level, std::size_t width = 61,
+                           std::size_t height = 25);
+
+}  // namespace bm

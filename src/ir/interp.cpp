@@ -1,0 +1,28 @@
+#include "ir/interp.hpp"
+
+namespace bm {
+
+EvalResult eval_program(const Program& prog,
+                        std::vector<std::int64_t> initial_memory) {
+  EvalResult result;
+  result.memory = std::move(initial_memory);
+  result.memory.resize(prog.num_vars(), 0);
+  result.values.assign(prog.size(), 0);
+
+  auto operand_value = [&](const Operand& o) {
+    return o.is_const() ? o.const_value() : result.values[o.tuple_id()];
+  };
+  for (std::size_t i = 0; i < prog.size(); ++i) {
+    const Tuple& t = prog[i];
+    if (t.is_load())
+      result.values[i] = result.memory[t.var];
+    else if (t.is_store())
+      result.memory[t.var] = operand_value(t.lhs);
+    else
+      result.values[i] =
+          fold_binary(t.op, operand_value(t.lhs), operand_value(t.rhs));
+  }
+  return result;
+}
+
+}  // namespace bm

@@ -1,0 +1,24 @@
+// Reference interpreter for tuple programs: value semantics only (no
+// timing). Used by the control-flow simulator to evaluate branch conditions
+// and by tests to prove the optimizer preserves meaning.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace bm {
+
+struct EvalResult {
+  std::vector<std::int64_t> memory;  ///< final variable values
+  std::vector<std::int64_t> values;  ///< per-tuple result values
+};
+
+/// Executes the block with the given initial memory (resized/zero-extended
+/// to num_vars). Division and modulo by zero yield 0, matching
+/// fold_binary.
+EvalResult eval_program(const Program& prog,
+                        std::vector<std::int64_t> initial_memory);
+
+}  // namespace bm

@@ -1,0 +1,66 @@
+#include "ir/opcode.hpp"
+
+#include "support/assert.hpp"
+
+namespace bm {
+
+std::string_view opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kLoad: return "Load";
+    case Opcode::kStore: return "Store";
+    case Opcode::kAdd: return "Add";
+    case Opcode::kSub: return "Sub";
+    case Opcode::kAnd: return "And";
+    case Opcode::kOr: return "Or";
+    case Opcode::kMul: return "Mul";
+    case Opcode::kDiv: return "Div";
+    case Opcode::kMod: return "Mod";
+  }
+  return "?";
+}
+
+bool is_binary_op(Opcode op) {
+  return op != Opcode::kLoad && op != Opcode::kStore;
+}
+
+double opcode_frequency_percent(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd: return 45.8;
+    case Opcode::kSub: return 33.9;
+    case Opcode::kAnd: return 8.8;
+    case Opcode::kOr: return 5.2;
+    case Opcode::kMul: return 2.9;
+    case Opcode::kDiv: return 2.2;
+    case Opcode::kMod: return 1.2;
+    case Opcode::kLoad:
+    case Opcode::kStore: return 0.0;
+  }
+  return 0.0;
+}
+
+std::int64_t fold_binary(Opcode op, std::int64_t lhs, std::int64_t rhs) {
+  switch (op) {
+    case Opcode::kAdd: return lhs + rhs;
+    case Opcode::kSub: return lhs - rhs;
+    case Opcode::kAnd: return lhs & rhs;
+    case Opcode::kOr: return lhs | rhs;
+    case Opcode::kMul: return lhs * rhs;
+    case Opcode::kDiv: return rhs == 0 ? 0 : lhs / rhs;
+    case Opcode::kMod: return rhs == 0 ? 0 : lhs % rhs;
+    case Opcode::kLoad:
+    case Opcode::kStore: break;
+  }
+  throw Error("fold_binary on non-binary opcode");
+}
+
+bool is_commutative(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kMul: return true;
+    default: return false;
+  }
+}
+
+}  // namespace bm

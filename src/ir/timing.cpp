@@ -1,0 +1,66 @@
+#include "ir/timing.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace bm {
+
+std::string TimeRange::to_string() const {
+  std::ostringstream os;
+  os << '[' << min << ',' << max << ']';
+  return os.str();
+}
+
+TimingModel TimingModel::table1() {
+  TimingModel m;
+  m.set(Opcode::kLoad, {1, 4});
+  m.set(Opcode::kStore, {1, 1});
+  m.set(Opcode::kAdd, {1, 1});
+  m.set(Opcode::kSub, {1, 1});
+  m.set(Opcode::kAnd, {1, 1});
+  m.set(Opcode::kOr, {1, 1});
+  m.set(Opcode::kMul, {16, 24});
+  m.set(Opcode::kDiv, {24, 32});
+  m.set(Opcode::kMod, {24, 32});
+  return m;
+}
+
+TimingModel TimingModel::table1_with_variation(double factor) {
+  BM_REQUIRE(factor >= 0.0, "variation factor must be >= 0");
+  TimingModel m = table1();
+  for (Opcode op : all_opcodes()) {
+    const TimeRange r = m.range(op);
+    const auto new_width =
+        static_cast<Time>(std::llround(static_cast<double>(r.width()) * factor));
+    m.set(op, {r.min, r.min + new_width});
+  }
+  return m;
+}
+
+TimingModel TimingModel::table1_all_max() {
+  TimingModel m = table1();
+  for (Opcode op : all_opcodes()) {
+    const TimeRange r = m.range(op);
+    m.set(op, TimeRange::fixed(r.max));
+  }
+  return m;
+}
+
+const TimeRange& TimingModel::range(Opcode op) const {
+  return ranges_[static_cast<std::size_t>(op)];
+}
+
+void TimingModel::set(Opcode op, TimeRange r) {
+  BM_REQUIRE(r.valid() && r.min >= 0, "invalid time range");
+  ranges_[static_cast<std::size_t>(op)] = r;
+}
+
+bool TimingModel::is_deterministic() const {
+  for (Opcode op : all_opcodes())
+    if (!range(op).is_fixed()) return false;
+  return true;
+}
+
+}  // namespace bm

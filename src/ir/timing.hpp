@@ -1,0 +1,86 @@
+// Execution-time model: per-instruction [min,max] ranges (Table 1) and the
+// interval arithmetic the scheduler's static analysis is built on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "ir/opcode.hpp"
+
+namespace bm {
+
+using Time = std::int64_t;
+
+/// Closed integral interval [min,max] of possible execution times.
+struct TimeRange {
+  Time min = 0;
+  Time max = 0;
+
+  constexpr TimeRange() = default;
+  constexpr TimeRange(Time mn, Time mx) : min(mn), max(mx) {}
+  static constexpr TimeRange fixed(Time t) { return {t, t}; }
+
+  constexpr bool valid() const { return 0 <= min && min <= max; }
+  constexpr Time width() const { return max - min; }
+  constexpr bool is_fixed() const { return min == max; }
+
+  /// Sequential composition: this code followed by other.
+  constexpr TimeRange operator+(const TimeRange& o) const {
+    return {min + o.min, max + o.max};
+  }
+  TimeRange& operator+=(const TimeRange& o) {
+    min += o.min;
+    max += o.max;
+    return *this;
+  }
+
+  /// Barrier-join composition (Fig. 13 rule): no processor proceeds until all
+  /// arrive, so both bounds combine by max.
+  constexpr TimeRange join_max(const TimeRange& o) const {
+    return {min > o.min ? min : o.min, max > o.max ? max : o.max};
+  }
+
+  /// True if the two ranges share at least one instant (used by barrier
+  /// merging, §4.4.3).
+  constexpr bool overlaps(const TimeRange& o) const {
+    return min <= o.max && o.min <= max;
+  }
+
+  constexpr bool contains(Time t) const { return min <= t && t <= max; }
+
+  constexpr bool operator==(const TimeRange& o) const = default;
+
+  std::string to_string() const;
+};
+
+/// Maps opcodes to execution-time ranges. The default is Table 1; the
+/// variation scale (§5.4) and fully custom models are supported.
+class TimingModel {
+ public:
+  /// Table 1: Load [1,4], Store/Add/Sub/And/Or [1,1], Mul [16,24],
+  /// Div [24,32], Mod [24,32].
+  static TimingModel table1();
+
+  /// Table 1 with every variable range's width multiplied by `factor`
+  /// (min preserved, max = min + width*factor, at least min). Models the
+  /// "very large timing variations" experiment of §5.4.
+  static TimingModel table1_with_variation(double factor);
+
+  /// All instructions pinned to their Table-1 maximum — the VLIW assumption
+  /// of §6.
+  static TimingModel table1_all_max();
+
+  TimingModel() = default;  // all zero; set() every opcode before use
+
+  const TimeRange& range(Opcode op) const;
+  void set(Opcode op, TimeRange r);
+
+  /// True if no opcode has a variable execution time.
+  bool is_deterministic() const;
+
+ private:
+  std::array<TimeRange, kNumOpcodes> ranges_{};
+};
+
+}  // namespace bm

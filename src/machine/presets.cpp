@@ -1,0 +1,77 @@
+#include "machine/presets.hpp"
+
+#include "support/assert.hpp"
+
+namespace bm {
+
+namespace {
+
+std::vector<MachineDescription> build_presets() {
+  std::vector<MachineDescription> out;
+
+  {
+    MachineDescription m;
+    m.name = "paper-risc-node";
+    m.summary = "Table 1 exactly; barriers fire on last arrival (the "
+                "paper's single-chip multiprocessor RISC node)";
+    m.timing = TimingModel::table1();
+    m.barrier_latency = 0;
+    m.default_procs = 8;
+    out.push_back(std::move(m));
+  }
+  {
+    MachineDescription m;
+    m.name = "bus-smp";
+    m.summary = "shared-bus SMP: loads contend on the bus ([1,12]); one "
+                "cycle of barrier release latency";
+    m.timing = TimingModel::table1();
+    m.timing.set(Opcode::kLoad, {1, 12});
+    m.barrier_latency = 1;
+    m.default_procs = 8;
+    out.push_back(std::move(m));
+  }
+  {
+    MachineDescription m;
+    m.name = "pipelined-fpu";
+    m.summary = "pipelined multiplier/divider (fixed latency; the hardware "
+                "§6 recommends to cut worst-case times)";
+    m.timing = TimingModel::table1();
+    m.timing.set(Opcode::kMul, TimeRange::fixed(18));
+    m.timing.set(Opcode::kDiv, TimeRange::fixed(26));
+    m.timing.set(Opcode::kMod, TimeRange::fixed(26));
+    m.barrier_latency = 0;
+    m.default_procs = 8;
+    out.push_back(std::move(m));
+  }
+  {
+    MachineDescription m;
+    m.name = "network-cluster";
+    m.summary = "multistage interconnect: loads [2,20]; barrier release "
+                "costs 4 cycles";
+    m.timing = TimingModel::table1();
+    m.timing.set(Opcode::kLoad, {2, 20});
+    m.barrier_latency = 4;
+    m.default_procs = 16;
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<MachineDescription>& machine_presets() {
+  static const std::vector<MachineDescription> presets = build_presets();
+  return presets;
+}
+
+const MachineDescription& machine_preset(std::string_view name) {
+  for (const MachineDescription& m : machine_presets())
+    if (m.name == name) return m;
+  std::string valid;
+  for (const MachineDescription& m : machine_presets())
+    valid += (valid.empty() ? "" : ", ") + m.name;
+  throw Error("unknown machine preset '" + std::string(name) +
+              "' (valid: " + valid + ")");
+}
+
+}  // namespace bm

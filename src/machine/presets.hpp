@@ -1,0 +1,36 @@
+// Named machine descriptions: bundled timing model + barrier hardware cost
+// + default size, so examples, benches, and downstream users can pick a
+// machine by name instead of re-deriving Table-1 variants.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/timing.hpp"
+
+namespace bm {
+
+struct MachineDescription {
+  std::string name;
+  std::string summary;
+  TimingModel timing;
+  Time barrier_latency = 0;
+  std::size_t default_procs = 8;
+};
+
+/// The machines shipped with the library:
+///  - "paper-risc-node": Table 1 exactly, free barriers (the paper's §2/§5
+///    single-chip multiprocessor RISC node).
+///  - "bus-smp": shared-bus contention — Load [1,12], everything else
+///    Table 1, barrier latency 1.
+///  - "pipelined-fpu": constant-time multiplier/divider (extra hardware the
+///    paper's §6 recommends), Load [1,4].
+///  - "network-cluster": multistage-interconnect loads [2,20], barrier
+///    latency 4 — the regime where static scheduling is hardest.
+const std::vector<MachineDescription>& machine_presets();
+
+/// Lookup by name; throws bm::Error with the list of valid names.
+const MachineDescription& machine_preset(std::string_view name);
+
+}  // namespace bm

@@ -1,0 +1,32 @@
+#include "metrics/aggregate.hpp"
+
+namespace bm {
+
+void FractionAggregate::add(const ScheduleStats& s) {
+  barrier_frac.add(s.barrier_fraction());
+  serialized_frac.add(s.serialized_fraction());
+  static_frac.add(s.static_fraction());
+  no_runtime_frac.add(s.no_runtime_sync_fraction());
+  implied_syncs.add(static_cast<double>(s.implied_syncs));
+  barriers.add(static_cast<double>(s.barriers_final));
+  barriers_inserted.add(static_cast<double>(s.barriers_inserted));
+  merges.add(static_cast<double>(s.merges));
+  repairs.add(static_cast<double>(s.repair_barriers));
+  procs_used.add(static_cast<double>(s.procs_used));
+  completion_min.add(static_cast<double>(s.completion.min));
+  completion_max.add(static_cast<double>(s.completion.max));
+  if (s.cross_edges > 0) {
+    cross_resolved_frac.add(
+        static_cast<double>(s.cross_path_satisfied +
+                            s.cross_timing_satisfied) /
+        static_cast<double>(s.cross_edges));
+  }
+  const std::size_t timing_checked =
+      s.cross_timing_satisfied + s.barriers_inserted;
+  if (timing_checked > 0) {
+    timing_avoidance_frac.add(static_cast<double>(s.cross_timing_satisfied) /
+                              static_cast<double>(timing_checked));
+  }
+}
+
+}  // namespace bm

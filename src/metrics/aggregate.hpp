@@ -1,0 +1,37 @@
+// Aggregation of per-benchmark schedule statistics into the per-point
+// averages the paper plots (100 synthetic benchmarks per curve point, §5).
+#pragma once
+
+#include "sched/scheduler.hpp"
+#include "support/stats.hpp"
+
+namespace bm {
+
+/// Streaming aggregate of ScheduleStats over many benchmarks.
+struct FractionAggregate {
+  RunningStats barrier_frac;
+  RunningStats serialized_frac;
+  RunningStats static_frac;
+  RunningStats no_runtime_frac;
+  RunningStats implied_syncs;
+  RunningStats barriers;
+  RunningStats barriers_inserted;
+  RunningStats merges;
+  RunningStats repairs;
+  RunningStats procs_used;
+  RunningStats completion_min;
+  RunningStats completion_max;
+  /// Fraction of cross-PE pairs resolved without a new barrier at check
+  /// time (path- or timing-satisfied).
+  RunningStats cross_resolved_frac;
+
+  /// §3's "about 28%": among pairs that reach the timing check (no barrier
+  /// chain orders them yet), the fraction resolved statically thanks to
+  /// earlier barriers' timing — timing-satisfied / (timing-satisfied +
+  /// barriers inserted).
+  RunningStats timing_avoidance_frac;
+
+  void add(const ScheduleStats& s);
+};
+
+}  // namespace bm

@@ -1,0 +1,106 @@
+#include "mimd/directed.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace bm {
+
+DirectedSyncResult simulate_directed(const Schedule& sched,
+                                     const DirectedSyncConfig& config,
+                                     Rng& rng) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (const auto& [g, i] : sched.instr_dag().sync_edges()) {
+    if (!sched.placed(g) || !sched.placed(i)) continue;
+    if (sched.loc(g).proc == sched.loc(i).proc) continue;
+    edges.emplace_back(g, i);
+  }
+  return simulate_directed(sched, config, rng, edges);
+}
+
+DirectedSyncResult simulate_directed(
+    const Schedule& sched, const DirectedSyncConfig& config, Rng& rng,
+    std::span<const std::pair<NodeId, NodeId>> sync_edges) {
+  BM_REQUIRE(config.post_cost >= 0, "post cost must be >= 0");
+  BM_REQUIRE(config.latency.valid(), "invalid latency range");
+
+  const InstrDag& dag = sched.instr_dag();
+  DirectedSyncResult result;
+  ExecTrace& trace = result.trace;
+  const std::size_t n = dag.num_instructions();
+  trace.start.assign(n, kNotExecuted);
+  trace.finish.assign(n, kNotExecuted);
+
+  // Cross-processor consumers per producer; a producer posts once per
+  // distinct consumer processor (one signal wakes all its readers there).
+  std::vector<std::vector<NodeId>> cross_preds(n);
+  std::vector<std::size_t> post_ops(n, 0);
+  for (const auto& [g, i] : sync_edges) {
+    BM_REQUIRE(g < n && i < n && sched.placed(g) && sched.placed(i),
+               "sync edge references unplaced instruction");
+    if (sched.loc(g).proc == sched.loc(i).proc) continue;
+    cross_preds[i].push_back(g);
+  }
+  std::vector<std::vector<ProcId>> posted(n);
+  for (NodeId i = 0; i < n; ++i) {
+    const ProcId consumer_proc = sched.placed(i) ? sched.loc(i).proc : 0;
+    for (NodeId g : cross_preds[i]) {
+      auto& procs = posted[g];
+      if (std::find(procs.begin(), procs.end(), consumer_proc) == procs.end()) {
+        procs.push_back(consumer_proc);
+        ++post_ops[g];
+      }
+    }
+  }
+
+  // Per-processor in-order execution. An instruction may start once the
+  // processor is free and every cross-processor producer's signal has
+  // arrived. Streams follow list order, so this never deadlocks.
+  std::vector<Time> proc_time(sched.num_procs(), 0);
+  std::vector<std::uint32_t> idx(sched.num_procs(), 0);
+  std::vector<Time> signal_arrival(n, kNotExecuted);
+
+  auto try_advance = [&](ProcId p) -> bool {
+    const auto& stream = sched.stream(p);
+    while (idx[p] < stream.size() && stream[idx[p]].is_barrier) ++idx[p];
+    if (idx[p] >= stream.size()) return false;
+    const NodeId node = stream[idx[p]].id;
+    Time ready = proc_time[p];
+    for (NodeId g : cross_preds[node]) {
+      if (signal_arrival[g] == kNotExecuted) return false;  // not posted yet
+      ready = std::max(ready, signal_arrival[g]);
+    }
+    trace.start[node] = ready;
+    Time finish = ready + sample_time(dag.time(node), config.sampling, rng);
+    trace.finish[node] = finish;
+    // Post signals to consumer processors after executing the sync ops.
+    if (post_ops[node] > 0) {
+      finish += config.post_cost * static_cast<Time>(post_ops[node]);
+      signal_arrival[node] =
+          finish + sample_time(config.latency, config.sampling, rng);
+      result.runtime_syncs += post_ops[node];
+    }
+    proc_time[p] = finish;
+    ++idx[p];
+    return true;
+  };
+
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (ProcId p = 0; p < sched.num_procs(); ++p)
+      while (try_advance(p)) progressed = true;
+  }
+  for (ProcId p = 0; p < sched.num_procs(); ++p) {
+    const auto& stream = sched.stream(p);
+    std::uint32_t remaining = idx[p];
+    while (remaining < stream.size() && stream[remaining].is_barrier)
+      ++remaining;
+    BM_ASSERT_INTERNAL(remaining >= stream.size(),
+                       "directed-sync simulation deadlocked");
+    trace.completion = std::max(trace.completion, proc_time[p]);
+  }
+  return result;
+}
+
+}  // namespace bm

@@ -1,0 +1,50 @@
+// Conventional-MIMD baseline (§1, Fig. 3): the same node placement, but
+// every cross-processor producer→consumer pair is enforced by a *runtime*
+// directed synchronization — the producer posts a synchronization object
+// that travels through the network for a stochastic latency, and the
+// consumer blocks until it arrives. This is the machine the paper's ">77%
+// of synchronizations need no runtime synchronization" headline is measured
+// against.
+#pragma once
+
+#include <span>
+#include <utility>
+
+#include "sched/schedule.hpp"
+#include "sim/sampler.hpp"
+#include "sim/trace.hpp"
+
+namespace bm {
+
+struct DirectedSyncConfig {
+  /// Cycles the producer spends executing the post/signal operation.
+  Time post_cost = 1;
+  /// Network transit latency range of the synchronization object (§3: "a
+  /// potentially unbounded amount of time dependent on routing and
+  /// traffic"); drawn per edge per run.
+  TimeRange latency{1, 8};
+  SamplingMode sampling = SamplingMode::kUniform;
+};
+
+struct DirectedSyncResult {
+  ExecTrace trace;               ///< barrier_fire left empty
+  std::size_t runtime_syncs = 0; ///< directed sync operations executed
+};
+
+/// Executes the schedule's instruction placement under directed-sync
+/// semantics. Barrier entries in the streams are ignored (the conventional
+/// machine has none); instruction order per processor is preserved. Every
+/// cross-processor dependence edge costs the producer `post_cost` once per
+/// consumer processor and delays the consumer by the drawn latency.
+DirectedSyncResult simulate_directed(const Schedule& sched,
+                                     const DirectedSyncConfig& config,
+                                     Rng& rng);
+
+/// Same, but synchronizing only the given producer→consumer pairs (e.g. the
+/// `kept` set of a SyncReduction); elided pairs must be implied by program
+/// order plus the retained pairs, or the trace will show violations.
+DirectedSyncResult simulate_directed(
+    const Schedule& sched, const DirectedSyncConfig& config, Rng& rng,
+    std::span<const std::pair<NodeId, NodeId>> sync_edges);
+
+}  // namespace bm

@@ -1,0 +1,89 @@
+#include "mimd/reduce.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/assert.hpp"
+
+namespace bm {
+
+namespace {
+
+/// Is `to` reachable from `from` over chain edges + the given sync edges,
+/// excluding the sync edge at index `skip`?
+bool reachable_without(
+    const std::vector<std::vector<NodeId>>& chain_succs,
+    const std::vector<std::pair<NodeId, NodeId>>& syncs,
+    const std::vector<bool>& active, std::size_t skip, NodeId from,
+    NodeId to) {
+  std::vector<bool> visited(chain_succs.size(), false);
+  std::vector<NodeId> stack{from};
+  visited[from] = true;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    if (n == to) return true;
+    for (NodeId s : chain_succs[n]) {
+      if (!visited[s]) {
+        visited[s] = true;
+        stack.push_back(s);
+      }
+    }
+    for (std::size_t k = 0; k < syncs.size(); ++k) {
+      if (k == skip || !active[k]) continue;
+      if (syncs[k].first != n) continue;
+      const NodeId s = syncs[k].second;
+      if (!visited[s]) {
+        visited[s] = true;
+        stack.push_back(s);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+SyncReduction reduce_directed_syncs(const Schedule& sched) {
+  const InstrDag& dag = sched.instr_dag();
+  const std::size_t n = dag.num_instructions();
+
+  // Per-processor program-order chains (barriers ignored: the conventional
+  // machine has none).
+  std::vector<std::vector<NodeId>> chain_succs(n);
+  for (ProcId p = 0; p < sched.num_procs(); ++p) {
+    NodeId prev = kInvalidNode;
+    for (const ScheduleEntry& e : sched.stream(p)) {
+      if (e.is_barrier) continue;
+      if (prev != kInvalidNode) chain_succs[prev].push_back(e.id);
+      prev = e.id;
+    }
+  }
+
+  // Distinct cross-processor dependence pairs, in deterministic order.
+  std::vector<std::pair<NodeId, NodeId>> syncs;
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const auto& [g, i] : dag.sync_edges()) {
+    BM_REQUIRE(sched.placed(g) && sched.placed(i),
+               "all instructions must be placed");
+    if (sched.loc(g).proc == sched.loc(i).proc) continue;
+    if (seen.insert({g, i}).second) syncs.emplace_back(g, i);
+  }
+
+  SyncReduction out;
+  out.total_cross_edges = syncs.size();
+  std::vector<bool> active(syncs.size(), true);
+  for (std::size_t k = 0; k < syncs.size(); ++k) {
+    if (reachable_without(chain_succs, syncs, active, k, syncs[k].first,
+                          syncs[k].second)) {
+      active[k] = false;
+      ++out.elided;
+    }
+  }
+  for (std::size_t k = 0; k < syncs.size(); ++k)
+    if (active[k]) out.kept.push_back(syncs[k]);
+  out.retained = out.kept.size();
+  return out;
+}
+
+}  // namespace bm

@@ -1,0 +1,36 @@
+// Shaffer-style synchronization elision for conventional MIMDs ([Shaf89],
+// cited in §3): a directed synchronization for a cross-processor dependence
+// g→i is redundant when the remaining graph — per-processor program order
+// plus the other retained synchronizations — already orders g before i.
+// This is the *structural* subset of what barrier scheduling achieves; the
+// paper's contribution is the additional *timing*-based elision, so the gap
+// between the two is exactly the value of min/max execution-time tracking.
+#pragma once
+
+#include "sched/schedule.hpp"
+
+namespace bm {
+
+struct SyncReduction {
+  std::size_t total_cross_edges = 0;   ///< directed syncs before reduction
+  std::size_t retained = 0;            ///< syncs that must stay
+  std::size_t elided = 0;              ///< removed as transitively implied
+  /// Kept edges (producer, consumer), for the directed-sync simulator.
+  std::vector<std::pair<NodeId, NodeId>> kept;
+
+  double elision_fraction() const {
+    return total_cross_edges == 0
+               ? 0.0
+               : static_cast<double>(elided) /
+                     static_cast<double>(total_cross_edges);
+  }
+};
+
+/// Computes the transitive reduction of the cross-processor dependence
+/// edges over the schedule's instruction placement (program order within
+/// each processor is free). Edges are considered in a deterministic order;
+/// an edge is elided iff the remaining structure still orders its
+/// endpoints.
+SyncReduction reduce_directed_syncs(const Schedule& sched);
+
+}  // namespace bm

@@ -1,0 +1,187 @@
+#include "opt/passes.hpp"
+
+#include <map>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace bm {
+
+namespace {
+
+/// Key for value numbering: opcode + canonicalized operands. Operands are
+/// encoded as (is_const, value) pairs; commutative operations sort them.
+using ValueKey =
+    std::tuple<Opcode, bool, std::int64_t, bool, std::int64_t, VarId>;
+
+ValueKey make_key(const Tuple& t) {
+  if (t.is_load()) return {t.op, false, 0, false, 0, t.var};
+  std::pair<bool, std::int64_t> a{t.lhs.is_const(), t.lhs.value};
+  std::pair<bool, std::int64_t> b{t.rhs.is_const(), t.rhs.value};
+  if (is_commutative(t.op) && b < a) std::swap(a, b);
+  return {t.op, a.first, a.second, b.first, b.second, 0};
+}
+
+bool is_const_val(const Operand& o, std::int64_t v) {
+  return o.is_const() && o.const_value() == v;
+}
+
+/// Algebraic identities (value propagation). Returns the operand the tuple
+/// simplifies to, if any.
+std::optional<Operand> simplify(const Tuple& t) {
+  if (!t.is_binary()) return std::nullopt;
+  const Operand& a = t.lhs;
+  const Operand& b = t.rhs;
+  const bool same = a == b;
+  switch (t.op) {
+    case Opcode::kAdd:
+      if (is_const_val(a, 0)) return b;
+      if (is_const_val(b, 0)) return a;
+      break;
+    case Opcode::kSub:
+      if (is_const_val(b, 0)) return a;
+      if (same) return Operand::constant(0);
+      break;
+    case Opcode::kMul:
+      if (is_const_val(a, 1)) return b;
+      if (is_const_val(b, 1)) return a;
+      if (is_const_val(a, 0) || is_const_val(b, 0)) return Operand::constant(0);
+      break;
+    case Opcode::kDiv:
+      if (is_const_val(b, 1)) return a;
+      if (is_const_val(a, 0)) return Operand::constant(0);
+      break;
+    case Opcode::kMod:
+      if (is_const_val(b, 1)) return Operand::constant(0);
+      if (is_const_val(a, 0)) return Operand::constant(0);
+      break;
+    case Opcode::kAnd:
+      if (same) return a;
+      if (is_const_val(a, 0) || is_const_val(b, 0)) return Operand::constant(0);
+      break;
+    case Opcode::kOr:
+      if (same) return a;
+      if (is_const_val(a, 0)) return b;
+      if (is_const_val(b, 0)) return a;
+      break;
+    default:
+      break;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+OptStats forward_rewrite(Program& prog, const OptOptions& options) {
+  OptStats stats;
+  std::vector<Tuple> out;
+  out.reserve(prog.size());
+  // For each old tuple id: its replacement operand (a new-id tuple ref or a
+  // constant).
+  std::vector<Operand> result(prog.size());
+  std::map<ValueKey, TupleId> seen;  // value numbering over kept tuples
+
+  auto resolve = [&](Operand o) -> Operand {
+    if (o.is_tuple()) return result[o.tuple_id()];
+    return o;
+  };
+
+  for (std::size_t i = 0; i < prog.size(); ++i) {
+    Tuple t = prog[i];
+    for (int k = 0; k < t.operand_count(); ++k)
+      t.operand(k) = resolve(t.operand(k));
+
+    if (t.is_binary() && t.lhs.is_const() && t.rhs.is_const()) {
+      result[i] = Operand::constant(
+          fold_binary(t.op, t.lhs.const_value(), t.rhs.const_value()));
+      ++stats.folded;
+      continue;
+    }
+    if (options.algebraic) {
+      if (auto simplified = simplify(t)) {
+        result[i] = *simplified;
+        ++stats.simplified;
+        continue;
+      }
+    }
+    if (!t.is_store()) {
+      const ValueKey key = make_key(t);
+      const auto it = seen.find(key);
+      if (it != seen.end()) {
+        result[i] = Operand::tuple(it->second);
+        ++stats.cse;
+        continue;
+      }
+      const auto new_id = static_cast<TupleId>(out.size());
+      seen.emplace(key, new_id);
+      result[i] = Operand::tuple(new_id);
+      out.push_back(t);
+      continue;
+    }
+    // Store: kept as-is (no value produced).
+    result[i] = Operand::constant(0);  // never referenced
+    out.push_back(t);
+  }
+  prog.replace_all(std::move(out));
+  return stats;
+}
+
+std::size_t dead_code_eliminate(Program& prog) {
+  const std::size_t n = prog.size();
+  std::vector<bool> live(n, false);
+
+  // Roots: the last store of each variable is the block's observable output.
+  std::vector<std::optional<std::size_t>> last_store(prog.num_vars());
+  for (std::size_t i = 0; i < n; ++i)
+    if (prog[i].is_store()) last_store[prog[i].var] = i;
+  for (const auto& idx : last_store)
+    if (idx) live[*idx] = true;
+
+  // Backward propagation through operand edges.
+  for (std::size_t i = n; i-- > 0;) {
+    if (!live[i]) continue;
+    const Tuple& t = prog[i];
+    for (int k = 0; k < t.operand_count(); ++k)
+      if (t.operand(k).is_tuple()) live[t.operand(k).tuple_id()] = true;
+  }
+
+  std::vector<Tuple> out;
+  out.reserve(n);
+  std::vector<TupleId> remap(n, kInvalidTuple);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!live[i]) continue;
+    Tuple t = prog[i];
+    for (int k = 0; k < t.operand_count(); ++k) {
+      Operand& o = t.operand(k);
+      if (o.is_tuple()) {
+        BM_ASSERT_INTERNAL(remap[o.tuple_id()] != kInvalidTuple,
+                           "live tuple references dead tuple");
+        o = Operand::tuple(remap[o.tuple_id()]);
+      }
+    }
+    remap[i] = static_cast<TupleId>(out.size());
+    out.push_back(t);
+  }
+  const std::size_t removed = n - out.size();
+  prog.replace_all(std::move(out));
+  return removed;
+}
+
+OptStats optimize(Program& prog, const OptOptions& options) {
+  OptStats total;
+  for (;;) {
+    const OptStats s = forward_rewrite(prog, options);
+    const std::size_t dead = dead_code_eliminate(prog);
+    total.folded += s.folded;
+    total.simplified += s.simplified;
+    total.cse += s.cse;
+    total.dead += dead;
+    if (s.total_removed() + dead == 0) break;
+  }
+  prog.validate();
+  return total;
+}
+
+}  // namespace bm

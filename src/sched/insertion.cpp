@@ -1,0 +1,200 @@
+#include "sched/insertion.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace bm {
+
+namespace {
+
+/// Bound on the §4.4.2 path enumeration; if exceeded we fall back to the
+/// conservative answer (insert a barrier). Never reached on block-sized
+/// barrier dags in practice.
+constexpr std::size_t kMaxEnumeratedPaths = 4096;
+
+struct PairContext {
+  ProcId producer_proc, consumer_proc;
+  std::uint32_t producer_pos, consumer_pos;
+  BarrierId last_bar_g, last_bar_i;
+  BarrierId common_dom;
+  Time delta_max_g;   ///< max time from after LastBar(g) through g
+  Time delta_min_i;   ///< min time from after LastBar(i) up to (not incl.) i
+};
+
+PairContext make_context(const Schedule& sched, NodeId g, NodeId i) {
+  const Schedule::Loc lg = sched.loc(g);
+  const Schedule::Loc li = sched.loc(i);
+  PairContext ctx;
+  ctx.producer_proc = lg.proc;
+  ctx.consumer_proc = li.proc;
+  ctx.producer_pos = lg.pos;
+  ctx.consumer_pos = li.pos;
+  ctx.last_bar_g = sched.last_barrier_before(lg.proc, lg.pos);
+  ctx.last_bar_i = sched.last_barrier_before(li.proc, li.pos);
+  ctx.common_dom =
+      sched.barrier_dag().common_dominator(ctx.last_bar_g, ctx.last_bar_i);
+  ctx.delta_max_g = sched.delta_through(lg.proc, lg.pos).max;
+  ctx.delta_min_i = sched.delta_before(li.proc, li.pos).min;
+  return ctx;
+}
+
+/// §4.4.1 step 1 (PathFind): a barrier chain NextBar(g) →* LastBar(i)
+/// already orders g before i.
+bool path_satisfied(const Schedule& sched, const PairContext& ctx) {
+  const auto next_bar_g =
+      sched.next_barrier_after(ctx.producer_proc, ctx.producer_pos);
+  return next_bar_g &&
+         sched.barrier_dag().path_exists(*next_bar_g, ctx.last_bar_i);
+}
+
+/// §4.4.1 steps 2–5: single longest-path timing check.
+bool conservative_timing_satisfied(const Schedule& sched,
+                                   const PairContext& ctx) {
+  const BarrierDag& bd = sched.barrier_dag();
+  const Time t_max_g =
+      bd.psi_max(ctx.common_dom, ctx.last_bar_g) + ctx.delta_max_g;
+  const Time t_min_i =
+      bd.psi_min(ctx.common_dom, ctx.last_bar_i) + ctx.delta_min_i;
+  return t_min_i >= t_max_g;
+}
+
+/// §4.4.2: walk the k-longest producer-side paths; for each, recompute the
+/// consumer-side longest path with overlapping edges forced to their max.
+bool optimal_timing_satisfied(const Schedule& sched, const PairContext& ctx) {
+  const BarrierDag& bd = sched.barrier_dag();
+  const Time base_min =
+      bd.psi_min(ctx.common_dom, ctx.last_bar_i) + ctx.delta_min_i;
+
+  auto paths = bd.max_paths(ctx.common_dom, ctx.last_bar_g);
+  std::vector<BarrierId> path;
+  Time length = 0;
+  std::size_t enumerated = 0;
+  while (paths.next(path, length)) {
+    if (length + ctx.delta_max_g <= base_min) return true;  // rest is shorter
+    if (++enumerated > kMaxEnumeratedPaths) return false;   // give up safely
+    std::vector<std::pair<BarrierId, BarrierId>> overlap_edges;
+    overlap_edges.reserve(path.size());
+    for (std::size_t k = 0; k + 1 < path.size(); ++k)
+      overlap_edges.emplace_back(path[k], path[k + 1]);
+    const Time adjusted =
+        bd.psi_min_star(ctx.common_dom, ctx.last_bar_i, overlap_edges) +
+        ctx.delta_min_i;
+    if (length + ctx.delta_max_g > adjusted) return false;
+  }
+  return true;  // every producer-side path individually dominated
+}
+
+bool timing_satisfied(const Schedule& sched, const PairContext& ctx,
+                      InsertionPolicy policy) {
+  return policy == InsertionPolicy::kConservative
+             ? conservative_timing_satisfied(sched, ctx)
+             : optimal_timing_satisfied(sched, ctx);
+}
+
+/// §4.4.1 step 6 producer-side placement: right after g, unless the
+/// consumer side's worst case extends past g — then after the g⁺ whose
+/// max-time execution window covers T_max(i⁻) (or at the segment end).
+std::uint32_t producer_side_position(const Schedule& sched,
+                                     const PairContext& ctx) {
+  const BarrierDag& bd = sched.barrier_dag();
+  const Time t_max_i_minus =
+      bd.psi_max(ctx.common_dom, ctx.last_bar_i) +
+      sched.delta_before(ctx.consumer_proc, ctx.consumer_pos).max;
+  Time t_max_end =
+      bd.psi_max(ctx.common_dom, ctx.last_bar_g) + ctx.delta_max_g;
+
+  std::uint32_t pos = ctx.producer_pos + 1;
+  const auto& stream = sched.stream(ctx.producer_proc);
+  while (t_max_end < t_max_i_minus && pos < stream.size() &&
+         !stream[pos].is_barrier) {
+    t_max_end += sched.instr_dag().time(stream[pos].id).max;
+    ++pos;  // barrier goes after this g⁺
+  }
+  return pos;
+}
+
+}  // namespace
+
+bool sync_satisfied(const Schedule& sched, NodeId g, NodeId i,
+                    InsertionPolicy policy) {
+  BM_REQUIRE(sched.placed(g) && sched.placed(i), "both nodes must be placed");
+  const Schedule::Loc lg = sched.loc(g);
+  const Schedule::Loc li = sched.loc(i);
+  if (lg.proc == li.proc) {
+    BM_REQUIRE(lg.pos < li.pos, "producer must precede consumer in stream");
+    return true;
+  }
+  const PairContext ctx = make_context(sched, g, i);
+  return path_satisfied(sched, ctx) || timing_satisfied(sched, ctx, policy);
+}
+
+namespace {
+
+/// Inserts a barrier enforcing g→i: the consumer side goes just before i;
+/// the producer side prefers the paper's g⁺ position, but any position
+/// after g is tried until one keeps the joint order feasible (no placement
+/// may force some other consumer's region to complete before its producer —
+/// see Schedule::order_feasible). Given the feasibility invariant, a
+/// feasible position always exists: the candidate range (after g, before
+/// the first producer-processor entry reachable from i) is non-empty, or a
+/// cycle would already exist.
+void insert_barrier_guarded(Schedule& sched, const PairContext& ctx) {
+  std::vector<Schedule::Loc> locs{{ctx.producer_proc, 0},
+                                  {ctx.consumer_proc, ctx.consumer_pos}};
+  const std::uint32_t paper_pos = producer_side_position(sched, ctx);
+  locs[0].pos = paper_pos;
+  if (sched.order_feasible(locs)) {
+    sched.insert_barrier(locs);
+    return;
+  }
+  const auto stream_size =
+      static_cast<std::uint32_t>(sched.stream(ctx.producer_proc).size());
+  for (std::uint32_t pos = ctx.producer_pos + 1; pos <= stream_size; ++pos) {
+    if (pos == paper_pos) continue;
+    locs[0].pos = pos;
+    if (sched.order_feasible(locs)) {
+      sched.insert_barrier(locs);
+      return;
+    }
+  }
+  BM_ASSERT_INTERNAL(false,
+                     "no feasible barrier placement: order invariant broken");
+}
+
+}  // namespace
+
+SyncOutcome ensure_sync(Schedule& sched, NodeId g, NodeId i,
+                        InsertionPolicy policy, bool merge_barriers) {
+  BM_REQUIRE(sched.placed(g) && sched.placed(i), "both nodes must be placed");
+  SyncOutcome outcome;
+  const Schedule::Loc lg = sched.loc(g);
+  const Schedule::Loc li = sched.loc(i);
+  if (lg.proc == li.proc) {
+    BM_REQUIRE(lg.pos < li.pos, "producer must precede consumer in stream");
+    outcome.kind = SyncOutcome::Kind::kSerialized;
+    return outcome;
+  }
+
+  const PairContext ctx = make_context(sched, g, i);
+  if (path_satisfied(sched, ctx)) {
+    outcome.kind = SyncOutcome::Kind::kPathSatisfied;
+    return outcome;
+  }
+  if (timing_satisfied(sched, ctx, policy)) {
+    outcome.kind = SyncOutcome::Kind::kTimingSatisfied;
+    return outcome;
+  }
+
+  insert_barrier_guarded(sched, ctx);
+  outcome.kind = SyncOutcome::Kind::kBarrierInserted;
+  if (merge_barriers) outcome.merges = sched.merge_overlapping_all();
+  // Merging may have replaced the barrier we just inserted; report the
+  // surviving barrier now guarding the consumer.
+  outcome.barrier = sched.last_barrier_before(ctx.consumer_proc,
+                                              sched.loc(i).pos);
+  return outcome;
+}
+
+}  // namespace bm

@@ -1,0 +1,37 @@
+// Barrier insertion (§4.4): given a producer/consumer pair scheduled on
+// different processors, decide whether static timing already guarantees the
+// ordering and, if not, insert a barrier — placed just before the consumer
+// and after the producer (possibly after some g⁺, step 6).
+#pragma once
+
+#include "graph/instr_dag.hpp"
+#include "sched/policies.hpp"
+#include "sched/schedule.hpp"
+
+namespace bm {
+
+/// How a producer/consumer synchronization was handled.
+struct SyncOutcome {
+  enum class Kind {
+    kSerialized,      ///< same processor — program order suffices
+    kPathSatisfied,   ///< §4.4.1 step 1: barrier chain already orders them
+    kTimingSatisfied, ///< steps 2–5 (or the §4.4.2 loop) resolved it
+    kBarrierInserted, ///< a new barrier was required
+  };
+  Kind kind = Kind::kSerialized;
+  BarrierId barrier = kInvalidBarrier;  ///< when kBarrierInserted
+  std::size_t merges = 0;               ///< §4.4.3 merges triggered
+};
+
+/// Pure check: is edge g→i statically satisfied by the current schedule?
+/// Both nodes must be placed; same-processor pairs are satisfied by
+/// serialization (requires producer earlier in the stream).
+bool sync_satisfied(const Schedule& sched, NodeId g, NodeId i,
+                    InsertionPolicy policy);
+
+/// Ensures the g→i ordering, inserting (and for SBM merging) a barrier if
+/// the static analysis cannot resolve it.
+SyncOutcome ensure_sync(Schedule& sched, NodeId g, NodeId i,
+                        InsertionPolicy policy, bool merge_barriers);
+
+}  // namespace bm

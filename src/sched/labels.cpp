@@ -1,0 +1,23 @@
+#include "sched/labels.hpp"
+
+#include <algorithm>
+
+namespace bm {
+
+std::vector<NodeId> make_list_order(const InstrDag& dag,
+                                    OrderingPolicy policy) {
+  std::vector<NodeId> order(dag.num_instructions());
+  for (NodeId i = 0; i < order.size(); ++i) order[i] = i;
+
+  auto key = [&](NodeId n) {
+    if (policy == OrderingPolicy::kMaxThenMin)
+      return std::pair<Time, Time>{dag.h_max(n), dag.h_min(n)};
+    return std::pair<Time, Time>{dag.h_min(n), dag.h_max(n)};
+  };
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return key(a) > key(b);  // descending
+  });
+  return order;
+}
+
+}  // namespace bm

@@ -1,0 +1,19 @@
+// §4.2 node ordering: sort instruction nodes by descending maximum height,
+// ties broken by descending minimum height (or the swapped §5.4 ablation).
+// Stable final tie-break on node id keeps runs deterministic.
+#pragma once
+
+#include <vector>
+
+#include "graph/instr_dag.hpp"
+#include "sched/policies.hpp"
+
+namespace bm {
+
+/// Priority-ordered instruction list for the list scheduler. Producers
+/// always precede their consumers (heights strictly decrease along edges for
+/// positive-time instructions).
+std::vector<NodeId> make_list_order(const InstrDag& dag,
+                                    OrderingPolicy policy);
+
+}  // namespace bm

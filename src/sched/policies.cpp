@@ -1,0 +1,27 @@
+#include "sched/policies.hpp"
+
+namespace bm {
+
+std::string_view to_string(MachineKind k) {
+  return k == MachineKind::kSBM ? "SBM" : "DBM";
+}
+
+std::string_view to_string(InsertionPolicy p) {
+  return p == InsertionPolicy::kConservative ? "conservative" : "optimal";
+}
+
+std::string_view to_string(OrderingPolicy p) {
+  return p == OrderingPolicy::kMaxThenMin ? "hmax-then-hmin"
+                                          : "hmin-then-hmax";
+}
+
+std::string_view to_string(AssignmentPolicy p) {
+  switch (p) {
+    case AssignmentPolicy::kListSerialize: return "list-serialize";
+    case AssignmentPolicy::kRoundRobin: return "round-robin";
+    case AssignmentPolicy::kLookahead: return "lookahead";
+  }
+  return "?";
+}
+
+}  // namespace bm

@@ -1,0 +1,60 @@
+// Scheduler configuration: machine kind (SBM/DBM), barrier-insertion
+// algorithm, node-ordering priority, and node-assignment heuristic —
+// including the §5.4 ablation variants.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace bm {
+
+/// §3.2: the static barrier MIMD orders barriers at compile time (mask FIFO)
+/// and therefore merges unordered overlapping barriers (§4.4.3); the dynamic
+/// barrier MIMD matches associatively and needs no merging.
+enum class MachineKind { kSBM, kDBM };
+
+/// §4.4.1 conservative vs §4.4.2 "optimal" barrier insertion.
+enum class InsertionPolicy { kConservative, kOptimal };
+
+/// §4.2 node ordering: maximum height first (default) or the §5.4 ablation
+/// with minimum height as the primary key.
+enum class OrderingPolicy { kMaxThenMin, kMinThenMax };
+
+/// §4.3 node assignment: the serialize-or-earliest list heuristic (default),
+/// the §5.4 round-robin ablation, or list assignment with a serialization
+/// lookahead window.
+enum class AssignmentPolicy { kListSerialize, kRoundRobin, kLookahead };
+
+struct SchedulerConfig {
+  std::size_t num_procs = 8;
+  MachineKind machine = MachineKind::kSBM;
+
+  /// Hardware barrier cost: cycles from the last participant's arrival to
+  /// the synchronized release. The paper's experiments assume 0 ("barriers
+  /// were assumed to always execute immediately", §5); the companion
+  /// hardware paper motivates small values. Charged in the static analysis
+  /// and by the simulators.
+  long barrier_latency = 0;
+  InsertionPolicy insertion = InsertionPolicy::kConservative;
+  OrderingPolicy ordering = OrderingPolicy::kMaxThenMin;
+  AssignmentPolicy assignment = AssignmentPolicy::kListSerialize;
+  std::size_t lookahead_window = 4;  ///< used when assignment == kLookahead
+
+  /// Append a barrier across all used processors after the last instruction
+  /// (machine rejoin). Never counted in the barrier fraction.
+  bool add_final_barrier = true;
+
+  /// Post-scheduling fixpoint re-verification of every cross-processor edge,
+  /// inserting repair barriers where retroactive placement or merging
+  /// disturbed an earlier static resolution. The paper does not describe
+  /// this guard; with its algorithms repairs are empirically (near) zero,
+  /// and the sweep guarantees soundness by construction.
+  bool repair_sweep = true;
+};
+
+std::string_view to_string(MachineKind k);
+std::string_view to_string(InsertionPolicy p);
+std::string_view to_string(OrderingPolicy p);
+std::string_view to_string(AssignmentPolicy p);
+
+}  // namespace bm

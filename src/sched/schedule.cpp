@@ -1,0 +1,326 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace bm {
+
+Schedule::Schedule(const InstrDag& dag, std::size_t num_procs,
+                   Time barrier_latency)
+    : dag_(&dag),
+      barrier_latency_(barrier_latency),
+      streams_(num_procs),
+      instr_loc_(dag.num_instructions()),
+      instr_placed_(dag.num_instructions(), false) {
+  BM_REQUIRE(num_procs >= 1, "need at least one processor");
+  BM_REQUIRE(barrier_latency >= 0, "barrier latency must be >= 0");
+  // Barrier 0: the initial barrier across all processors (§3.1).
+  DynBitset all(num_procs);
+  all.set_all();
+  masks_.push_back(std::move(all));
+  alive_.push_back(true);
+}
+
+const std::vector<ScheduleEntry>& Schedule::stream(ProcId p) const {
+  BM_REQUIRE(p < streams_.size(), "processor id out of range");
+  return streams_[p];
+}
+
+const DynBitset& Schedule::barrier_mask(BarrierId b) const {
+  BM_REQUIRE(b < masks_.size() && alive_[b], "barrier not alive");
+  return masks_[b];
+}
+
+std::optional<BarrierId> Schedule::final_barrier() const {
+  return final_barrier_;
+}
+
+std::size_t Schedule::inserted_barrier_count() const {
+  std::size_t n = 0;
+  for (BarrierId b = 1; b < alive_.size(); ++b)
+    if (alive_[b] && (!final_barrier_ || b != *final_barrier_)) ++n;
+  return n;
+}
+
+bool Schedule::placed(NodeId instr) const {
+  BM_REQUIRE(instr < instr_placed_.size(), "not an instruction node");
+  return instr_placed_[instr];
+}
+
+Schedule::Loc Schedule::loc(NodeId instr) const {
+  BM_REQUIRE(placed(instr), "instruction not placed");
+  return instr_loc_[instr];
+}
+
+void Schedule::append_instr(ProcId p, NodeId instr) {
+  BM_REQUIRE(p < streams_.size(), "processor id out of range");
+  BM_REQUIRE(instr < instr_placed_.size() && !instr_placed_[instr],
+             "instruction already placed or not an instruction");
+  instr_loc_[instr] = {p, static_cast<std::uint32_t>(streams_[p].size())};
+  instr_placed_[instr] = true;
+  streams_[p].push_back(ScheduleEntry::instr(instr));
+  invalidate();
+}
+
+std::optional<NodeId> Schedule::last_instr(ProcId p) const {
+  const auto& s = stream(p);
+  for (auto it = s.rbegin(); it != s.rend(); ++it)
+    if (!it->is_barrier) return it->id;
+  return std::nullopt;
+}
+
+std::size_t Schedule::instr_count(ProcId p) const {
+  const auto& s = stream(p);
+  std::size_t n = 0;
+  for (const auto& e : s)
+    if (!e.is_barrier) ++n;
+  return n;
+}
+
+BarrierId Schedule::last_barrier_before(ProcId p, std::uint32_t pos) const {
+  const auto& s = stream(p);
+  BM_REQUIRE(pos <= s.size(), "position out of range");
+  for (std::uint32_t i = pos; i-- > 0;)
+    if (s[i].is_barrier) return s[i].id;
+  return kInitialBarrier;
+}
+
+std::optional<BarrierId> Schedule::next_barrier_after(
+    ProcId p, std::uint32_t pos) const {
+  const auto& s = stream(p);
+  BM_REQUIRE(pos < s.size(), "position out of range");
+  for (std::uint32_t i = pos + 1; i < s.size(); ++i)
+    if (s[i].is_barrier) return s[i].id;
+  return std::nullopt;
+}
+
+TimeRange Schedule::delta_through(ProcId p, std::uint32_t pos) const {
+  const auto& s = stream(p);
+  BM_REQUIRE(pos < s.size() && !s[pos].is_barrier,
+             "delta_through requires an instruction position");
+  return delta_before(p, pos) + instr_time(s[pos].id);
+}
+
+TimeRange Schedule::delta_before(ProcId p, std::uint32_t pos) const {
+  const auto& s = stream(p);
+  BM_REQUIRE(pos <= s.size(), "position out of range");
+  TimeRange total{0, 0};
+  for (std::uint32_t i = pos; i-- > 0;) {
+    if (s[i].is_barrier) break;
+    total += instr_time(s[i].id);
+  }
+  return total;
+}
+
+const BarrierDag& Schedule::barrier_dag() const {
+  if (!analysis_) {
+    std::vector<BarrierChainInput> chains(streams_.size());
+    for (ProcId p = 0; p < streams_.size(); ++p) {
+      BarrierChainInput& chain = chains[p];
+      chain.barriers.push_back(kInitialBarrier);
+      TimeRange seg{0, 0};
+      for (const ScheduleEntry& e : streams_[p]) {
+        if (e.is_barrier) {
+          chain.segments.push_back(seg);
+          chain.barriers.push_back(e.id);
+          seg = TimeRange{0, 0};
+        } else {
+          seg += instr_time(e.id);
+        }
+      }
+      // Tail code after the last barrier is not part of the dag.
+    }
+    analysis_.emplace(masks_.size(), kInitialBarrier, chains,
+                      barrier_latency_);
+  }
+  return *analysis_;
+}
+
+TimeRange Schedule::proc_finish(ProcId p) const {
+  const BarrierDag& bd = barrier_dag();
+  const auto& s = stream(p);
+  const BarrierId last = last_barrier_before(p, static_cast<std::uint32_t>(s.size()));
+  return bd.fire_range(last) +
+         delta_before(p, static_cast<std::uint32_t>(s.size()));
+}
+
+TimeRange Schedule::completion() const {
+  TimeRange total{0, 0};
+  for (ProcId p = 0; p < streams_.size(); ++p)
+    total = total.join_max(proc_finish(p));
+  return total;
+}
+
+void Schedule::reindex(ProcId p) {
+  const auto& s = streams_[p];
+  for (std::uint32_t i = 0; i < s.size(); ++i)
+    if (!s[i].is_barrier) instr_loc_[s[i].id] = {p, i};
+}
+
+BarrierId Schedule::insert_barrier(const std::vector<Loc>& at) {
+  BM_REQUIRE(!at.empty(), "barrier needs at least one participant");
+  DynBitset mask(num_procs());
+  for (const Loc& l : at) {
+    BM_REQUIRE(l.proc < num_procs(), "processor id out of range");
+    BM_REQUIRE(!mask.test(l.proc), "duplicate processor in barrier insertion");
+    BM_REQUIRE(l.pos <= streams_[l.proc].size(), "position out of range");
+    mask.set(l.proc);
+  }
+  const auto id = static_cast<BarrierId>(masks_.size());
+  masks_.push_back(std::move(mask));
+  alive_.push_back(true);
+  for (const Loc& l : at) {
+    auto& s = streams_[l.proc];
+    s.insert(s.begin() + l.pos, ScheduleEntry::barrier(id));
+    reindex(l.proc);
+  }
+  invalidate();
+  return id;
+}
+
+bool Schedule::order_feasible(std::span<const Loc> virtual_barrier,
+                              BarrierId merge_keep,
+                              BarrierId merge_victim) const {
+  // Node layout: [0, n) instructions, [n, n + id_bound) barriers,
+  // n + id_bound = the virtual barrier.
+  const std::size_t n = instr_placed_.size();
+  const std::size_t barrier_node = n + masks_.size();
+  const std::size_t num_nodes = barrier_node + 1;
+
+  auto barrier_index = [&](BarrierId b) -> std::size_t {
+    if (merge_victim != kInvalidBarrier && b == merge_victim)
+      b = merge_keep;  // unified node
+    return n + b;
+  };
+
+  std::vector<std::vector<std::uint32_t>> succs(num_nodes);
+  std::vector<std::size_t> indegree(num_nodes, 0);
+  auto add_edge = [&](std::size_t from, std::size_t to) {
+    if (from == to) return;  // merged barriers adjacent on a chain
+    succs[from].push_back(static_cast<std::uint32_t>(to));
+    ++indegree[to];
+  };
+  auto entry_node = [&](const ScheduleEntry& e) {
+    return e.is_barrier ? barrier_index(e.id) : e.id;
+  };
+
+  // Stream order (with the virtual barrier spliced in).
+  for (ProcId p = 0; p < streams_.size(); ++p) {
+    std::optional<std::uint32_t> splice;
+    for (const Loc& l : virtual_barrier)
+      if (l.proc == p) splice = l.pos;
+    std::size_t prev = barrier_index(kInitialBarrier);
+    const auto& s = streams_[p];
+    for (std::uint32_t k = 0; k <= s.size(); ++k) {
+      if (splice && *splice == k) {
+        add_edge(prev, barrier_node);
+        prev = barrier_node;
+      }
+      if (k == s.size()) break;
+      const std::size_t node = entry_node(s[k]);
+      add_edge(prev, node);
+      prev = node;
+    }
+  }
+
+  // Every placed dependence edge must remain jointly enforceable.
+  for (const auto& [g, i] : dag_->sync_edges())
+    if (instr_placed_[g] && instr_placed_[i]) add_edge(g, i);
+
+  // Kahn acyclicity check.
+  std::vector<std::uint32_t> ready;
+  for (std::size_t v = 0; v < num_nodes; ++v)
+    if (indegree[v] == 0) ready.push_back(static_cast<std::uint32_t>(v));
+  std::size_t seen = 0;
+  while (!ready.empty()) {
+    const std::uint32_t v = ready.back();
+    ready.pop_back();
+    ++seen;
+    for (std::uint32_t s : succs[v])
+      if (--indegree[s] == 0) ready.push_back(s);
+  }
+  return seen == num_nodes;
+}
+
+std::size_t Schedule::merge_overlapping_all() {
+  std::size_t merges = 0;
+  std::vector<std::pair<BarrierId, BarrierId>> rejected;
+  for (;;) {
+    const BarrierDag& bd = barrier_dag();
+    BarrierId keep = kInvalidBarrier, victim = kInvalidBarrier;
+    for (BarrierId a = 1; a < masks_.size() && keep == kInvalidBarrier; ++a) {
+      if (!alive_[a]) continue;
+      if (final_barrier_ && a == *final_barrier_) continue;
+      for (BarrierId b = a + 1; b < masks_.size(); ++b) {
+        if (!alive_[b]) continue;
+        if (final_barrier_ && b == *final_barrier_) continue;
+        if (!bd.fire_range(a).overlaps(bd.fire_range(b)) || bd.ordered(a, b))
+          continue;
+        if (std::find(rejected.begin(), rejected.end(),
+                      std::pair{a, b}) != rejected.end())
+          continue;
+        if (!order_feasible({}, a, b)) {
+          rejected.emplace_back(a, b);
+          ++merges_skipped_;
+          continue;
+        }
+        keep = a;
+        victim = b;
+        break;
+      }
+    }
+    if (keep == kInvalidBarrier) return merges;
+    // Merge: relabel the victim's stream entries, union the masks.
+    BM_ASSERT_INTERNAL(!masks_[keep].intersects(masks_[victim]),
+                       "unordered barriers cannot share a processor");
+    masks_[keep] |= masks_[victim];
+    alive_[victim] = false;
+    masks_[victim].clear();
+    for (auto& s : streams_)
+      for (auto& e : s)
+        if (e.is_barrier && e.id == victim) e.id = keep;
+    invalidate();
+    ++merges;
+  }
+}
+
+void Schedule::add_final_barrier() {
+  BM_REQUIRE(!final_barrier_, "final barrier already added");
+  std::vector<Loc> at;
+  for (ProcId p = 0; p < num_procs(); ++p)
+    if (instr_count(p) > 0)
+      at.push_back({p, static_cast<std::uint32_t>(streams_[p].size())});
+  if (at.size() < 2) return;
+  final_barrier_ = insert_barrier(at);
+}
+
+void Schedule::set_final_barrier(BarrierId b) {
+  BM_REQUIRE(!final_barrier_, "final barrier already set");
+  BM_REQUIRE(b < masks_.size() && alive_[b], "barrier not alive");
+  for (ProcId p = 0; p < num_procs(); ++p) {
+    if (!masks_[b].test(p)) continue;
+    const auto& s = streams_[p];
+    BM_REQUIRE(!s.empty() && s.back().is_barrier && s.back().id == b,
+               "final barrier must end every participating stream");
+  }
+  final_barrier_ = b;
+}
+
+std::string Schedule::to_string() const {
+  std::ostringstream os;
+  for (ProcId p = 0; p < num_procs(); ++p) {
+    os << "P" << p << ':';
+    for (const ScheduleEntry& e : streams_[p]) {
+      if (e.is_barrier)
+        os << " |B" << e.id << '|';
+      else
+        os << " n" << e.id;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace bm

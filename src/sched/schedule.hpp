@@ -1,0 +1,160 @@
+// Schedule: the authoritative barrier-MIMD schedule representation.
+//
+// Each processor owns a stream of entries (instructions and barrier waits) in
+// execution order. Barriers are registered with participation masks; the
+// initial barrier (id 0) implicitly precedes every stream (§3.1). All timing
+// analysis — fire ranges, dominators, ψ-paths — is derived lazily through a
+// BarrierDag rebuilt after mutations.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "barrier/barrier_dag.hpp"
+#include "graph/instr_dag.hpp"
+#include "support/bitset.hpp"
+
+namespace bm {
+
+using ProcId = std::uint32_t;
+
+struct ScheduleEntry {
+  bool is_barrier = false;
+  std::uint32_t id = 0;  ///< NodeId (instruction) or BarrierId
+
+  static ScheduleEntry instr(NodeId n) { return {false, n}; }
+  static ScheduleEntry barrier(BarrierId b) { return {true, b}; }
+};
+
+class Schedule {
+ public:
+  /// The InstrDag must outlive the schedule (supplies instruction times).
+  /// `barrier_latency` is the hardware cost from last arrival to release,
+  /// charged per barrier in all static analysis and by the simulators.
+  Schedule(const InstrDag& dag, std::size_t num_procs,
+           Time barrier_latency = 0);
+
+  std::size_t num_procs() const { return streams_.size(); }
+  const InstrDag& instr_dag() const { return *dag_; }
+  Time barrier_latency() const { return barrier_latency_; }
+  const std::vector<ScheduleEntry>& stream(ProcId p) const;
+
+  // --- barriers ------------------------------------------------------------
+  static constexpr BarrierId kInitialBarrier = 0;
+  std::size_t barrier_id_bound() const { return masks_.size(); }
+  bool barrier_alive(BarrierId b) const { return alive_.at(b); }
+  const DynBitset& barrier_mask(BarrierId b) const;
+  /// The final rejoin barrier, if add_final_barrier() was called.
+  std::optional<BarrierId> final_barrier() const;
+  /// Alive barriers excluding the initial barrier and the final rejoin —
+  /// the count the Barrier Synchronization Fraction is computed from.
+  std::size_t inserted_barrier_count() const;
+
+  // --- instruction placement ------------------------------------------------
+  struct Loc {
+    ProcId proc = 0;
+    std::uint32_t pos = 0;  ///< index into the processor's stream
+  };
+  bool placed(NodeId instr) const;
+  Loc loc(NodeId instr) const;
+  void append_instr(ProcId p, NodeId instr);
+  /// Last instruction entry on p (ignoring barriers), if any.
+  std::optional<NodeId> last_instr(ProcId p) const;
+  std::size_t instr_count(ProcId p) const;
+
+  // --- stream-relative queries (all positions index the proc's stream) -----
+  /// LastBar: last barrier entry strictly before pos (initial if none).
+  BarrierId last_barrier_before(ProcId p, std::uint32_t pos) const;
+  /// NextBar: first barrier entry strictly after pos, if any.
+  std::optional<BarrierId> next_barrier_after(ProcId p,
+                                              std::uint32_t pos) const;
+  /// δ including pos: summed time of instruction entries in
+  /// (LastBar(pos), pos]. pos must hold an instruction.
+  TimeRange delta_through(ProcId p, std::uint32_t pos) const;
+  /// δ excluding pos: summed time of instruction entries after the last
+  /// barrier before pos, up to but not including pos. pos may equal the
+  /// stream size (end).
+  TimeRange delta_before(ProcId p, std::uint32_t pos) const;
+
+  // --- analysis -------------------------------------------------------------
+  /// Lazily (re)built barrier dag over the current streams.
+  const BarrierDag& barrier_dag() const;
+  /// When this processor has retired its whole stream: fire range of its
+  /// last barrier plus the tail code.
+  TimeRange proc_finish(ProcId p) const;
+  /// All processors finished (achieved by the all-min / all-max draws).
+  TimeRange completion() const;
+
+  // --- mutation ---------------------------------------------------------
+  /// Inserts a new barrier entry at each given position (one Loc per
+  /// distinct processor; existing entries at >= pos shift right). Returns
+  /// the new barrier's id. Participation mask = the given processors.
+  BarrierId insert_barrier(const std::vector<Loc>& at);
+
+  /// §4.4.3 SBM merging, run to a global fixpoint: while any two alive
+  /// unordered barriers have overlapping fire ranges, merge them (union
+  /// masks; the higher-id barrier's stream entries are relabeled to the
+  /// lower id). Returns the number of merges performed.
+  ///
+  /// The paper merges only the newly inserted barrier; we extend this to a
+  /// global fixpoint because a later insertion can shift fire ranges and
+  /// create a *stale* unordered overlap, which would let the SBM's FIFO
+  /// delay a barrier past its static fire window and silently invalidate
+  /// earlier timing-based resolutions. After the fixpoint, all unordered
+  /// barrier pairs have disjoint ranges, so the SBM queue (loaded in
+  /// fire-min order) never delays any barrier beyond the dag semantics.
+  ///
+  /// A merge is skipped as *illegal* when unioning the pair would create a
+  /// path NextBar(i) →* LastBar(g) for some placed cross-processor
+  /// dependence edge g→i: such an ordering forces the consumer to finish
+  /// before its producer starts and no later barrier could repair it (the
+  /// paper's merge rule lacks this guard). Skipped pairs are counted in
+  /// merges_skipped().
+  std::size_t merge_overlapping_all();
+
+  /// Unordered-overlapping pairs left unmerged by the legality guard since
+  /// construction (diagnostic; ≈0 in practice).
+  std::size_t merges_skipped() const { return merges_skipped_; }
+
+  /// The joint-order feasibility check behind both legality guards: the
+  /// combined graph of per-processor stream order, barrier orderings, and
+  /// *all* placed dependence edges must stay acyclic — otherwise some
+  /// dependence could never be enforced by any future barrier. Evaluates
+  /// the graph as if `virtual_barrier` entries were inserted (empty = none)
+  /// and/or barriers `merge_keep`/`merge_victim` were unified
+  /// (kInvalidBarrier = no merge).
+  bool order_feasible(std::span<const Loc> virtual_barrier,
+                      BarrierId merge_keep = kInvalidBarrier,
+                      BarrierId merge_victim = kInvalidBarrier) const;
+
+  /// Appends a rejoin barrier across every processor that has at least one
+  /// instruction (no-op if fewer than two). Excluded from barrier counts.
+  void add_final_barrier();
+
+  /// Marks an existing barrier as the final rejoin (deserialization
+  /// support): it must be the last entry of every stream it appears in.
+  void set_final_barrier(BarrierId b);
+
+  /// Multi-line ASCII rendering of all streams (diagnostics, examples).
+  std::string to_string() const;
+
+ private:
+  void invalidate() { analysis_.reset(); }
+  void reindex(ProcId p);
+  TimeRange instr_time(NodeId n) const { return dag_->time(n); }
+
+  const InstrDag* dag_;
+  Time barrier_latency_ = 0;
+  std::vector<std::vector<ScheduleEntry>> streams_;
+  std::vector<DynBitset> masks_;  ///< indexed by BarrierId
+  std::vector<bool> alive_;
+  std::optional<BarrierId> final_barrier_;
+  std::vector<Loc> instr_loc_;
+  std::vector<bool> instr_placed_;
+  std::size_t merges_skipped_ = 0;
+  mutable std::optional<BarrierDag> analysis_;
+};
+
+}  // namespace bm

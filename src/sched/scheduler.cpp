@@ -1,0 +1,229 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "sched/insertion.hpp"
+#include "sched/labels.hpp"
+#include "support/assert.hpp"
+
+namespace bm {
+
+double ScheduleStats::barrier_fraction() const {
+  if (implied_syncs == 0) return 0.0;
+  return static_cast<double>(barriers_final) /
+         static_cast<double>(implied_syncs);
+}
+
+double ScheduleStats::serialized_fraction() const {
+  if (implied_syncs == 0) return 0.0;
+  return static_cast<double>(serialized_edges) /
+         static_cast<double>(implied_syncs);
+}
+
+double ScheduleStats::static_fraction() const {
+  if (implied_syncs == 0) return 0.0;
+  return 1.0 - barrier_fraction() - serialized_fraction();
+}
+
+namespace {
+
+/// Instruction-node producers of `node` (entry dummy excluded).
+std::vector<NodeId> instr_preds(const InstrDag& dag, NodeId node) {
+  std::vector<NodeId> out;
+  for (NodeId p : dag.graph().preds(node))
+    if (!dag.is_dummy(p)) out.push_back(p);
+  return out;
+}
+
+/// §4.3 step 1: processors where some producer of `node` is the last
+/// instruction (serialization slot open).
+std::vector<ProcId> serialization_candidates(const Schedule& sched,
+                                             const std::vector<NodeId>& preds) {
+  std::vector<ProcId> out;
+  for (NodeId p : preds) {
+    const ProcId proc = sched.loc(p).proc;
+    const auto last = sched.last_instr(proc);
+    if (!last || *last != p) continue;
+    if (std::find(out.begin(), out.end(), proc) == out.end())
+      out.push_back(proc);
+  }
+  return out;
+}
+
+template <typename Key>
+ProcId pick_best(const std::vector<ProcId>& procs, Rng& rng, Key&& key,
+                 bool want_max) {
+  BM_ASSERT_INTERNAL(!procs.empty(), "no processors to pick from");
+  auto best = key(procs.front());
+  std::vector<ProcId> ties{procs.front()};
+  for (std::size_t k = 1; k < procs.size(); ++k) {
+    const auto v = key(procs[k]);
+    const bool better = want_max ? v > best : v < best;
+    if (better) {
+      best = v;
+      ties = {procs[k]};
+    } else if (v == best) {
+      ties.push_back(procs[k]);
+    }
+  }
+  return ties[rng.index(ties.size())];
+}
+
+class AssignmentEngine {
+ public:
+  AssignmentEngine(const InstrDag& dag, Schedule& sched,
+                   const SchedulerConfig& cfg, Rng& rng,
+                   const std::vector<NodeId>& order)
+      : dag_(dag), sched_(sched), cfg_(cfg), rng_(rng), order_(order) {}
+
+  ProcId choose(std::size_t list_index, NodeId node) {
+    if (cfg_.assignment == AssignmentPolicy::kRoundRobin)
+      return static_cast<ProcId>(list_index % sched_.num_procs());
+
+    const std::vector<NodeId> preds = instr_preds(dag_, node);
+    const std::vector<ProcId> serial =
+        serialization_candidates(sched_, preds);
+    if (serial.size() == 1) return serial.front();
+    if (serial.size() > 1) {
+      // Largest current maximum time, "to possibly avoid inserting a
+      // barrier"; full ties resolved randomly (§4.3 step 1).
+      return pick_best(
+          serial, rng_,
+          [&](ProcId p) { return sched_.proc_finish(p).max; },
+          /*want_max=*/true);
+    }
+    // Step 2: schedule as early as possible; ties random (load balance).
+    std::vector<ProcId> all(sched_.num_procs());
+    for (ProcId p = 0; p < all.size(); ++p) all[p] = p;
+    if (cfg_.assignment == AssignmentPolicy::kLookahead) {
+      const std::vector<ProcId> filtered = filter_lookahead(all, list_index);
+      if (!filtered.empty()) {
+        return pick_best(
+            filtered, rng_,
+            [&](ProcId p) { return sched_.proc_finish(p).min; },
+            /*want_max=*/false);
+      }
+    }
+    return pick_best(
+        all, rng_, [&](ProcId p) { return sched_.proc_finish(p).min; },
+        /*want_max=*/false);
+  }
+
+ private:
+  /// §5.4 lookahead: avoid processors whose open serialization slot (last
+  /// instruction) is a producer of a node within the next `window` list
+  /// entries — placing here would preclude that later serialization.
+  std::vector<ProcId> filter_lookahead(const std::vector<ProcId>& procs,
+                                       std::size_t list_index) const {
+    std::vector<ProcId> out;
+    for (ProcId p : procs)
+      if (!blocks_window_serialization(p, list_index)) out.push_back(p);
+    return out;
+  }
+
+  bool blocks_window_serialization(ProcId p, std::size_t list_index) const {
+    const auto last = sched_.last_instr(p);
+    if (!last) return false;
+    const std::size_t end =
+        std::min(order_.size(), list_index + 1 + cfg_.lookahead_window);
+    for (std::size_t k = list_index + 1; k < end; ++k) {
+      for (NodeId pred : instr_preds(dag_, order_[k]))
+        if (pred == *last) return true;
+    }
+    return false;
+  }
+
+  const InstrDag& dag_;
+  Schedule& sched_;
+  const SchedulerConfig& cfg_;
+  Rng& rng_;
+  const std::vector<NodeId>& order_;
+};
+
+}  // namespace
+
+ScheduleResult schedule_program(const InstrDag& dag,
+                                const SchedulerConfig& config, Rng& rng) {
+  BM_REQUIRE(config.num_procs >= 1, "need at least one processor");
+  ScheduleResult result;
+  result.schedule = std::make_unique<Schedule>(
+      dag, config.num_procs, static_cast<Time>(config.barrier_latency));
+  Schedule& sched = *result.schedule;
+  ScheduleStats& stats = result.stats;
+
+  const bool merge = config.machine == MachineKind::kSBM;
+  const std::vector<NodeId> order = make_list_order(dag, config.ordering);
+  AssignmentEngine engine(dag, sched, config, rng, order);
+
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const NodeId node = order[k];
+    const ProcId proc = engine.choose(k, node);
+    sched.append_instr(proc, node);
+
+    // Check every producer on another processor (§4.4); producers are
+    // always already placed because heights order them first.
+    for (NodeId p : instr_preds(dag, node)) {
+      if (sched.loc(p).proc == proc) continue;
+      const SyncOutcome outcome =
+          ensure_sync(sched, p, node, config.insertion, merge);
+      switch (outcome.kind) {
+        case SyncOutcome::Kind::kPathSatisfied:
+          ++stats.cross_path_satisfied;
+          break;
+        case SyncOutcome::Kind::kTimingSatisfied:
+          ++stats.cross_timing_satisfied;
+          break;
+        case SyncOutcome::Kind::kBarrierInserted:
+          ++stats.barriers_inserted;
+          stats.merges += outcome.merges;
+          break;
+        case SyncOutcome::Kind::kSerialized:
+          BM_ASSERT_INTERNAL(false, "cross-proc pair reported serialized");
+      }
+    }
+  }
+
+  // Soundness sweep: retroactive placement and merging can, in rare corner
+  // cases, disturb an earlier static resolution; re-verify every cross-PE
+  // edge against the final dag and repair until a fixpoint.
+  if (config.repair_sweep) {
+    bool changed = true;
+    std::size_t rounds = 0;
+    while (changed) {
+      changed = false;
+      BM_REQUIRE(++rounds <= dag.sync_edges().size() + 2,
+                 "repair sweep failed to converge");
+      for (const auto& [g, i] : dag.sync_edges()) {
+        if (sched.loc(g).proc == sched.loc(i).proc) continue;
+        if (sync_satisfied(sched, g, i, config.insertion)) continue;
+        const SyncOutcome outcome =
+            ensure_sync(sched, g, i, config.insertion, merge);
+        BM_ASSERT_INTERNAL(
+            outcome.kind == SyncOutcome::Kind::kBarrierInserted,
+            "unsatisfied edge produced no barrier");
+        ++stats.repair_barriers;
+        stats.merges += outcome.merges;
+        changed = true;
+      }
+    }
+  }
+
+  if (config.add_final_barrier) sched.add_final_barrier();
+
+  // §3.1 accounting.
+  stats.implied_syncs = dag.implied_syncs();
+  for (const auto& [g, i] : dag.sync_edges())
+    if (sched.loc(g).proc == sched.loc(i).proc) ++stats.serialized_edges;
+  stats.cross_edges = stats.implied_syncs - stats.serialized_edges;
+  stats.barriers_final = sched.inserted_barrier_count();
+  stats.merges_skipped = sched.merges_skipped();
+  for (ProcId p = 0; p < sched.num_procs(); ++p)
+    if (sched.instr_count(p) > 0) ++stats.procs_used;
+  stats.completion = sched.completion();
+  stats.critical_path = dag.critical_path();
+  return result;
+}
+
+}  // namespace bm

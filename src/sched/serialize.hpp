@@ -1,0 +1,28 @@
+// Plain-text schedule serialization: lets tools dump a schedule, diff it,
+// and reload it against the same program for simulation or inspection.
+//
+// Format (line oriented):
+//   schedule v1
+//   procs <N> instrs <M> barriers <K>
+//   barrier <id> mask <p0,p1,...> [final]
+//   P<p>: n<i> B<b> ...
+// Only alive barriers are listed; the initial barrier (id 0, all
+// processors) is implicit and never appears in streams.
+#pragma once
+
+#include <string>
+
+#include "sched/schedule.hpp"
+
+namespace bm {
+
+/// Serializes the schedule (streams + alive barrier masks).
+std::string schedule_to_text(const Schedule& sched);
+
+/// Parses a schedule against `dag` (which supplies instruction count and
+/// execution times). Throws bm::Error on malformed input, out-of-range ids,
+/// duplicate placements, masks inconsistent with stream occurrences, or an
+/// infeasible barrier order.
+Schedule schedule_from_text(const InstrDag& dag, const std::string& text);
+
+}  // namespace bm

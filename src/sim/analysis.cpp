@@ -1,0 +1,63 @@
+#include "sim/analysis.hpp"
+
+#include "support/assert.hpp"
+
+namespace bm {
+
+double TraceAnalysis::machine_utilization() const {
+  Time denom = 0, busy = 0;
+  for (const ProcUtilization& p : procs) {
+    if (!p.used) continue;
+    denom += completion;
+    busy += p.busy;
+  }
+  return denom == 0 ? 0.0
+                    : static_cast<double>(busy) / static_cast<double>(denom);
+}
+
+double TraceAnalysis::wait_fraction() const {
+  Time denom = 0, wait = 0;
+  for (const ProcUtilization& p : procs) {
+    if (!p.used) continue;
+    denom += p.total();
+    wait += p.barrier_wait;
+  }
+  return denom == 0 ? 0.0
+                    : static_cast<double>(wait) / static_cast<double>(denom);
+}
+
+TraceAnalysis analyze_trace(const Schedule& sched, const ExecTrace& trace) {
+  TraceAnalysis out;
+  out.completion = trace.completion;
+  out.procs.resize(sched.num_procs());
+
+  for (ProcId p = 0; p < sched.num_procs(); ++p) {
+    ProcUtilization& u = out.procs[p];
+    Time cursor = 0;  // the processor's current instant
+    for (const ScheduleEntry& e : sched.stream(p)) {
+      if (e.is_barrier) {
+        const Time fire = trace.barrier_fire.at(e.id);
+        BM_REQUIRE(fire != kNotExecuted, "trace missing a barrier fire");
+        BM_REQUIRE(fire >= cursor, "barrier fired before arrival");
+        u.barrier_wait += fire - cursor;
+        cursor = fire;
+      } else {
+        u.used = true;
+        const Time start = trace.start.at(e.id);
+        const Time finish = trace.finish.at(e.id);
+        BM_REQUIRE(start != kNotExecuted, "trace missing an instruction");
+        BM_REQUIRE(start == cursor, "instruction did not start on arrival");
+        u.busy += finish - start;
+        cursor = finish;
+      }
+    }
+    BM_REQUIRE(cursor <= trace.completion, "processor ran past completion");
+    u.idle = trace.completion - cursor;
+    out.total_busy += u.busy;
+    out.total_barrier_wait += u.barrier_wait;
+    out.total_idle += u.used ? u.idle : 0;
+  }
+  return out;
+}
+
+}  // namespace bm

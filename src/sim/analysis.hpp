@@ -1,0 +1,38 @@
+// Trace analysis: decompose each processor's wall-clock time into useful
+// compute, barrier waiting, and idle — the machine-utilization view behind
+// the paper's completion-time comparisons.
+#pragma once
+
+#include "sched/schedule.hpp"
+#include "sim/trace.hpp"
+
+namespace bm {
+
+struct ProcUtilization {
+  bool used = false;       ///< processor has at least one instruction
+  Time busy = 0;           ///< executing instructions
+  Time barrier_wait = 0;   ///< arrived at a barrier, waiting for the fire
+  Time idle = 0;           ///< after retiring its stream, or never used
+
+  Time total() const { return busy + barrier_wait + idle; }
+};
+
+struct TraceAnalysis {
+  Time completion = 0;
+  std::vector<ProcUtilization> procs;
+
+  Time total_busy = 0;
+  Time total_barrier_wait = 0;
+  Time total_idle = 0;
+
+  /// busy / (procs × completion) over used processors.
+  double machine_utilization() const;
+  /// barrier_wait / (busy + barrier_wait + idle) over used processors.
+  double wait_fraction() const;
+};
+
+/// Decomposes an executed trace. The trace must come from simulating
+/// exactly this schedule.
+TraceAnalysis analyze_trace(const Schedule& sched, const ExecTrace& trace);
+
+}  // namespace bm

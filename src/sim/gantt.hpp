@@ -1,0 +1,23 @@
+// ASCII Gantt rendering of an execution trace: one row per processor, time
+// flowing right, instructions as labeled spans and barrier fires as '|'.
+#pragma once
+
+#include <string>
+
+#include "sched/schedule.hpp"
+#include "sim/trace.hpp"
+
+namespace bm {
+
+struct GanttOptions {
+  std::size_t max_width = 100;  ///< columns available for the time axis
+  bool show_axis = true;
+};
+
+/// Renders the trace of `sched`'s execution. Instructions are drawn as
+/// `[n12======]` spans scaled to their duration; barrier fire instants as
+/// '|'. Rows are processors in id order; idle time is blank.
+std::string render_gantt(const Schedule& sched, const ExecTrace& trace,
+                         const GanttOptions& options = {});
+
+}  // namespace bm

@@ -1,0 +1,16 @@
+#include "sim/sampler.hpp"
+
+namespace bm {
+
+Time sample_time(const TimeRange& r, SamplingMode mode, Rng& rng) {
+  BM_REQUIRE(r.valid(), "invalid time range");
+  switch (mode) {
+    case SamplingMode::kAllMin: return r.min;
+    case SamplingMode::kAllMax: return r.max;
+    case SamplingMode::kUniform: return rng.uniform(r.min, r.max);
+    case SamplingMode::kBimodal: return rng.chance(0.5) ? r.min : r.max;
+  }
+  return r.max;
+}
+
+}  // namespace bm

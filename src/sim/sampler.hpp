@@ -1,0 +1,20 @@
+// Execution-time draws for simulation: each variable-time instruction's
+// duration is sampled from its [min,max] range (§2.1 models cache misses,
+// data-dependent multiply/divide, network contention).
+#pragma once
+
+#include "ir/timing.hpp"
+#include "support/rng.hpp"
+
+namespace bm {
+
+enum class SamplingMode {
+  kUniform,  ///< uniform integer draw in [min,max]
+  kAllMin,   ///< every instruction takes its minimum (best case)
+  kAllMax,   ///< every instruction takes its maximum (worst case / VLIW)
+  kBimodal,  ///< min or max with equal probability (adversarial extremes)
+};
+
+Time sample_time(const TimeRange& r, SamplingMode mode, Rng& rng);
+
+}  // namespace bm

@@ -1,0 +1,185 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace bm {
+
+namespace {
+
+class MachineState {
+ public:
+  MachineState(const Schedule& sched, SamplingMode mode, Rng& rng,
+               ExecTrace& trace)
+      : sched_(sched),
+        trace_(trace),
+        idx_(sched.num_procs(), 0),
+        time_(sched.num_procs(), 0),
+        waiting_(sched.num_procs(), false) {
+    // Pre-sample every instruction's duration in node-id order, so the
+    // realized draw is a property of the run, not of the machine model's
+    // internal event order — SBM and DBM replay identical draws from the
+    // same rng state.
+    const std::size_t n = sched.instr_dag().num_instructions();
+    durations_.resize(n);
+    for (NodeId i = 0; i < n; ++i)
+      durations_[i] = sample_time(sched.instr_dag().time(i), mode, rng);
+  }
+
+  /// Advances processor p until it blocks on a barrier entry or retires its
+  /// stream; instruction start/finish times are recorded as they execute.
+  void run_proc(ProcId p) {
+    if (waiting_[p]) return;
+    const auto& s = sched_.stream(p);
+    while (idx_[p] < s.size()) {
+      const ScheduleEntry& e = s[idx_[p]];
+      if (e.is_barrier) {
+        waiting_[p] = true;
+        return;
+      }
+      const Time dur = durations_[e.id];
+      trace_.start[e.id] = time_[p];
+      time_[p] += dur;
+      trace_.finish[e.id] = time_[p];
+      ++idx_[p];
+    }
+  }
+
+  void run_all() {
+    for (ProcId p = 0; p < sched_.num_procs(); ++p) run_proc(p);
+  }
+
+  bool waiting(ProcId p) const { return waiting_[p]; }
+  Time arrival(ProcId p) const { return time_[p]; }
+  bool done(ProcId p) const {
+    return !waiting_[p] && idx_[p] >= sched_.stream(p).size();
+  }
+  /// The barrier entry p is currently waiting at.
+  BarrierId waiting_at(ProcId p) const {
+    BM_ASSERT_INTERNAL(waiting_[p], "processor is not waiting");
+    return sched_.stream(p)[idx_[p]].id;
+  }
+
+  void release(ProcId p, Time fire) {
+    BM_ASSERT_INTERNAL(waiting_[p], "releasing a running processor");
+    waiting_[p] = false;
+    time_[p] = fire;  // simultaneous resume (§3.2)
+    ++idx_[p];
+  }
+
+  Time completion() const {
+    Time t = 0;
+    for (ProcId p = 0; p < sched_.num_procs(); ++p) {
+      BM_ASSERT_INTERNAL(!waiting_[p], "deadlocked processor at completion");
+      t = std::max(t, time_[p]);
+    }
+    return t;
+  }
+
+ private:
+  const Schedule& sched_;
+  ExecTrace& trace_;
+  std::vector<Time> durations_;
+  std::vector<std::uint32_t> idx_;
+  std::vector<Time> time_;
+  std::vector<bool> waiting_;
+};
+
+void simulate_sbm(const Schedule& sched, MachineState& m, ExecTrace& trace) {
+  // Compile-time queue load order: a linear extension of the barrier dag.
+  std::vector<BarrierId> queue = sched.barrier_dag().linear_extension();
+  Time last_fire = 0;
+  for (BarrierId b : queue) {
+    if (b == Schedule::kInitialBarrier) {
+      trace.barrier_fire[b] = 0;  // all processors start in exact synchrony
+      continue;
+    }
+    m.run_all();
+    // All participants must be waiting at exactly this barrier: the queue
+    // order extends every per-processor stream order, so earlier stream
+    // barriers have already fired.
+    Time fire = last_fire;
+    sched.barrier_mask(b).for_each([&](std::size_t p) {
+      const auto proc = static_cast<ProcId>(p);
+      BM_ASSERT_INTERNAL(m.waiting(proc) && m.waiting_at(proc) == b,
+                         "SBM participant not waiting at queue top");
+      fire = std::max(fire, m.arrival(proc));
+    });
+    fire += sched.barrier_latency();
+    trace.barrier_fire[b] = fire;
+    last_fire = fire;  // a barrier becomes top only after its predecessor fires
+    sched.barrier_mask(b).for_each(
+        [&](std::size_t p) { m.release(static_cast<ProcId>(p), fire); });
+  }
+  m.run_all();
+}
+
+void simulate_dbm(const Schedule& sched, MachineState& m, ExecTrace& trace) {
+  trace.barrier_fire[Schedule::kInitialBarrier] = 0;
+  for (;;) {
+    m.run_all();
+    // Associative match: fire every barrier whose participants all wait at it.
+    bool fired = false;
+    for (BarrierId b = 1; b < sched.barrier_id_bound(); ++b) {
+      if (!sched.barrier_alive(b)) continue;
+      if (trace.barrier_fire[b] != kNotExecuted) continue;
+      bool all_waiting = true;
+      Time fire = 0;
+      sched.barrier_mask(b).for_each([&](std::size_t p) {
+        const auto proc = static_cast<ProcId>(p);
+        if (!m.waiting(proc) || m.waiting_at(proc) != b) {
+          all_waiting = false;
+          return;
+        }
+        fire = std::max(fire, m.arrival(proc));
+      });
+      if (!all_waiting) continue;
+      fire += sched.barrier_latency();
+      trace.barrier_fire[b] = fire;
+      sched.barrier_mask(b).for_each(
+          [&](std::size_t p) { m.release(static_cast<ProcId>(p), fire); });
+      fired = true;
+    }
+    if (!fired) break;
+  }
+}
+
+}  // namespace
+
+ExecTrace simulate(const Schedule& sched, const SimConfig& config, Rng& rng) {
+  ExecTrace trace;
+  const std::size_t n = sched.instr_dag().num_instructions();
+  trace.start.assign(n, kNotExecuted);
+  trace.finish.assign(n, kNotExecuted);
+  trace.barrier_fire.assign(sched.barrier_id_bound(), kNotExecuted);
+
+  MachineState m(sched, config.sampling, rng, trace);
+  if (config.machine == MachineKind::kSBM)
+    simulate_sbm(sched, m, trace);
+  else
+    simulate_dbm(sched, m, trace);
+
+  for (ProcId p = 0; p < sched.num_procs(); ++p)
+    BM_REQUIRE(m.done(p), "simulation deadlock: processor never released");
+  trace.completion = m.completion();
+  return trace;
+}
+
+CompletionSummary summarize_completion(const Schedule& sched,
+                                       MachineKind machine, std::size_t runs,
+                                       Rng& rng) {
+  CompletionSummary out;
+  out.min_draw =
+      simulate(sched, {machine, SamplingMode::kAllMin}, rng).completion;
+  out.max_draw =
+      simulate(sched, {machine, SamplingMode::kAllMax}, rng).completion;
+  double total = 0;
+  for (std::size_t r = 0; r < runs; ++r)
+    total += static_cast<double>(
+        simulate(sched, {machine, SamplingMode::kUniform}, rng).completion);
+  out.mean = runs ? total / static_cast<double>(runs) : 0.0;
+  return out;
+}
+
+}  // namespace bm

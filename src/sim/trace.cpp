@@ -1,0 +1,16 @@
+#include "sim/trace.hpp"
+
+namespace bm {
+
+std::vector<std::pair<NodeId, NodeId>> find_violations(
+    const InstrDag& dag, const ExecTrace& trace) {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  for (const auto& [g, i] : dag.sync_edges()) {
+    if (trace.finish.at(g) == kNotExecuted || trace.start.at(i) == kNotExecuted)
+      continue;
+    if (trace.finish[g] > trace.start[i]) out.emplace_back(g, i);
+  }
+  return out;
+}
+
+}  // namespace bm

@@ -1,0 +1,26 @@
+// Execution traces produced by the barrier-machine simulators.
+#pragma once
+
+#include <vector>
+
+#include "graph/instr_dag.hpp"
+#include "ir/timing.hpp"
+
+namespace bm {
+
+inline constexpr Time kNotExecuted = -1;
+
+struct ExecTrace {
+  std::vector<Time> start;   ///< per instruction node; kNotExecuted if none
+  std::vector<Time> finish;
+  std::vector<Time> barrier_fire;  ///< per barrier id; kNotExecuted if dead
+  Time completion = 0;             ///< all processors retired
+};
+
+/// Producer/consumer pairs whose runtime ordering was violated
+/// (finish(producer) > start(consumer)) — must be empty for any schedule
+/// produced by a correct insertion algorithm, under any draw.
+std::vector<std::pair<NodeId, NodeId>> find_violations(const InstrDag& dag,
+                                                       const ExecTrace& trace);
+
+}  // namespace bm

@@ -1,0 +1,43 @@
+// Error handling primitives for the barrier-mimd library.
+//
+// BM_REQUIRE is used for precondition violations on public API boundaries
+// (throws bm::Error so callers and tests can observe it); BM_ASSERT_INTERNAL
+// is for internal invariants that indicate a library bug.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bm {
+
+/// Exception thrown on violated preconditions and invariants.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const char* kind, const char* expr,
+                               const char* file, int line,
+                               const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace bm
+
+#define BM_REQUIRE(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::bm::detail::raise("precondition", #cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define BM_ASSERT_INTERNAL(cond, msg)                                     \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::bm::detail::raise("invariant", #cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,110 @@
+#include "support/bitset.hpp"
+
+#include <bit>
+#include <sstream>
+
+namespace bm {
+
+DynBitset::DynBitset(std::size_t nbits, bool value)
+    : nbits_(nbits), words_((nbits + 63) / 64, 0) {
+  if (value) set_all();
+}
+
+bool DynBitset::test(std::size_t i) const {
+  BM_REQUIRE(i < nbits_, "bit index out of range");
+  return (words_[i / 64] >> (i % 64)) & 1u;
+}
+
+void DynBitset::set(std::size_t i, bool value) {
+  BM_REQUIRE(i < nbits_, "bit index out of range");
+  const std::uint64_t mask = 1ull << (i % 64);
+  if (value)
+    words_[i / 64] |= mask;
+  else
+    words_[i / 64] &= ~mask;
+}
+
+void DynBitset::clear() {
+  for (auto& w : words_) w = 0;
+}
+
+void DynBitset::set_all() {
+  for (auto& w : words_) w = ~0ull;
+  // Mask off bits beyond the domain so count()/equality stay exact.
+  if (nbits_ % 64 != 0 && !words_.empty())
+    words_.back() &= (1ull << (nbits_ % 64)) - 1;
+}
+
+std::size_t DynBitset::count() const {
+  std::size_t n = 0;
+  for (auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool DynBitset::any() const {
+  for (auto w : words_)
+    if (w) return true;
+  return false;
+}
+
+void DynBitset::check_domain(const DynBitset& other) const {
+  BM_REQUIRE(nbits_ == other.nbits_, "bitset domain mismatch");
+}
+
+bool DynBitset::is_subset_of(const DynBitset& other) const {
+  check_domain(other);
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    if (words_[i] & ~other.words_[i]) return false;
+  return true;
+}
+
+bool DynBitset::intersects(const DynBitset& other) const {
+  check_domain(other);
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    if (words_[i] & other.words_[i]) return true;
+  return false;
+}
+
+DynBitset& DynBitset::operator|=(const DynBitset& other) {
+  check_domain(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+DynBitset& DynBitset::operator&=(const DynBitset& other) {
+  check_domain(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DynBitset& DynBitset::operator-=(const DynBitset& other) {
+  check_domain(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+bool DynBitset::operator==(const DynBitset& other) const {
+  return nbits_ == other.nbits_ && words_ == other.words_;
+}
+
+std::vector<std::size_t> DynBitset::to_indices() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for_each([&](std::size_t i) { out.push_back(i); });
+  return out;
+}
+
+std::string DynBitset::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for_each([&](std::size_t i) {
+    if (!first) os << ',';
+    first = false;
+    os << i;
+  });
+  os << '}';
+  return os.str();
+}
+
+}  // namespace bm

@@ -1,0 +1,73 @@
+// DynBitset — a compact dynamic bitset used for barrier participation masks
+// and reachability rows. Sized at construction; word-parallel set algebra.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace bm {
+
+class DynBitset {
+ public:
+  DynBitset() = default;
+  explicit DynBitset(std::size_t nbits, bool value = false);
+
+  std::size_t size() const { return nbits_; }
+  bool empty_domain() const { return nbits_ == 0; }
+
+  bool test(std::size_t i) const;
+  void set(std::size_t i, bool value = true);
+  void reset(std::size_t i) { set(i, false); }
+  void clear();          ///< reset all bits
+  void set_all();        ///< set all bits
+
+  std::size_t count() const;   ///< population count
+  bool any() const;
+  bool none() const { return !any(); }
+
+  /// True iff every set bit of *this is also set in other. Requires equal
+  /// domains.
+  bool is_subset_of(const DynBitset& other) const;
+  /// True iff the two sets share at least one bit.
+  bool intersects(const DynBitset& other) const;
+
+  DynBitset& operator|=(const DynBitset& other);
+  DynBitset& operator&=(const DynBitset& other);
+  DynBitset& operator-=(const DynBitset& other);  ///< set difference
+
+  friend DynBitset operator|(DynBitset a, const DynBitset& b) { return a |= b; }
+  friend DynBitset operator&(DynBitset a, const DynBitset& b) { return a &= b; }
+
+  bool operator==(const DynBitset& other) const;
+
+  /// Indices of set bits, ascending.
+  std::vector<std::size_t> to_indices() const;
+
+  /// Call fn(i) for each set bit i, ascending.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word) {
+        const int bit = __builtin_ctzll(word);
+        fn(w * 64 + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// "{0,3,7}" style rendering for diagnostics.
+  std::string to_string() const;
+
+ private:
+  void check_domain(const DynBitset& other) const;
+
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace bm

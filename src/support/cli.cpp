@@ -1,0 +1,66 @@
+#include "support/cli.hpp"
+
+#include <cstdlib>
+
+#include "support/assert.hpp"
+
+namespace bm {
+
+CliFlags::CliFlags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare boolean flag
+    }
+  }
+}
+
+bool CliFlags::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string CliFlags::get(const std::string& name,
+                          const std::string& def) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t CliFlags::get_int(const std::string& name,
+                               std::int64_t def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  BM_REQUIRE(end && *end == '\0', "flag --" + name + " is not an integer");
+  return v;
+}
+
+double CliFlags::get_double(const std::string& name, double def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  BM_REQUIRE(end && *end == '\0', "flag --" + name + " is not a number");
+  return v;
+}
+
+bool CliFlags::get_bool(const std::string& name, bool def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw Error("flag --" + name + " is not a boolean: " + v);
+}
+
+}  // namespace bm

@@ -1,0 +1,89 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+namespace bm {
+
+std::uint64_t split_mix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = split_mix64(sm);
+  // Guard against the all-zero state, which xoshiro cannot escape.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform(std::int64_t lo, std::int64_t hi) {
+  BM_REQUIRE(lo <= hi, "uniform() requires lo <= hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full range
+  // Debiased modulo (Lemire-style rejection).
+  const std::uint64_t limit = ~0ull - (~0ull % span + 1) % span;
+  std::uint64_t x = next();
+  while (x > limit) x = next();
+  return lo + static_cast<std::int64_t>(x % span);
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+std::size_t Rng::index(std::size_t n) {
+  BM_REQUIRE(n > 0, "index() requires n > 0");
+  return static_cast<std::size_t>(uniform(0, static_cast<std::int64_t>(n) - 1));
+}
+
+std::size_t Rng::weighted(std::span<const double> weights) {
+  BM_REQUIRE(!weights.empty(), "weighted() requires weights");
+  double total = 0;
+  for (double w : weights) {
+    BM_REQUIRE(w >= 0 && std::isfinite(w), "weights must be finite and >= 0");
+    total += w;
+  }
+  BM_REQUIRE(total > 0, "weighted() requires a positive weight sum");
+  double x = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0) return i;
+  }
+  return weights.size() - 1;  // numerical fallback
+}
+
+Rng Rng::fork() {
+  Rng child(0);
+  for (auto& s : child.s_) s = next();
+  if ((child.s_[0] | child.s_[1] | child.s_[2] | child.s_[3]) == 0)
+    child.s_[0] = 1;
+  return child;
+}
+
+}  // namespace bm

@@ -1,0 +1,59 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library (benchmark synthesis and scheduler
+// tie-breaks) flows through Rng, a xoshiro256** generator seeded via
+// SplitMix64, so every experiment is reproducible from a single 64-bit seed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace bm {
+
+/// SplitMix64 step; used to expand a user seed into xoshiro state.
+std::uint64_t split_mix64(std::uint64_t& state);
+
+/// xoshiro256** PRNG with convenience draws. Copyable; copies diverge
+/// independently, which makes per-benchmark sub-streams cheap.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Raw 64-bit draw.
+  std::uint64_t next();
+
+  /// UniformRandomBitGenerator interface (usable with <random> and
+  /// std::shuffle).
+  std::uint64_t operator()() { return next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ull; }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli draw with probability p of true.
+  bool chance(double p);
+
+  /// Index into [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Weighted index draw: returns i with probability weights[i]/sum.
+  /// Requires a non-empty span with a positive sum.
+  std::size_t weighted(std::span<const double> weights);
+
+  /// Derive an independent child stream (e.g. one per benchmark instance).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace bm

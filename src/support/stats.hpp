@@ -1,0 +1,55 @@
+// Streaming and batch descriptive statistics for experiment aggregation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bm {
+
+/// Welford-style streaming accumulator: mean, variance, min, max.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;   ///< sample variance (n-1); 0 if n < 2
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch percentile (linear interpolation); q in [0,1]. Copies and sorts.
+double percentile(std::vector<double> values, double q);
+
+/// Pearson correlation of two equal-length series; 0 if degenerate.
+double correlation(const std::vector<double>& xs,
+                   const std::vector<double>& ys);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; out-of-range
+/// values clamp into the end buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace bm

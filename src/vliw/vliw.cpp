@@ -1,0 +1,49 @@
+#include "vliw/vliw.hpp"
+
+#include <algorithm>
+
+#include "sched/labels.hpp"
+#include "support/assert.hpp"
+
+namespace bm {
+
+VliwSchedule schedule_vliw(const InstrDag& dag, std::size_t num_procs,
+                           OrderingPolicy ordering) {
+  BM_REQUIRE(num_procs >= 1, "need at least one functional unit");
+  VliwSchedule out;
+  out.slots.assign(dag.num_instructions(), VliwSlot{});
+
+  std::vector<Time> unit_free(num_procs, 0);
+  std::vector<bool> unit_used(num_procs, false);
+
+  for (NodeId node : make_list_order(dag, ordering)) {
+    Time ready = 0;
+    for (NodeId p : dag.graph().preds(node))
+      if (!dag.is_dummy(p)) ready = std::max(ready, out.slots[p].finish);
+
+    // Earliest-available unit at or after `ready`; prefer the unit that
+    // frees first (deterministic: lowest index wins ties).
+    std::size_t best = 0;
+    Time best_start = std::max(ready, unit_free[0]);
+    for (std::size_t u = 1; u < num_procs; ++u) {
+      const Time start = std::max(ready, unit_free[u]);
+      if (start < best_start) {
+        best = u;
+        best_start = start;
+      }
+    }
+    VliwSlot& slot = out.slots[node];
+    slot.node = node;
+    slot.proc = static_cast<std::uint32_t>(best);
+    slot.start = best_start;
+    slot.finish = best_start + dag.time(node).max;
+    unit_free[best] = slot.finish;
+    unit_used[best] = true;
+    out.makespan = std::max(out.makespan, slot.finish);
+  }
+  out.procs_used = static_cast<std::size_t>(
+      std::count(unit_used.begin(), unit_used.end(), true));
+  return out;
+}
+
+}  // namespace bm

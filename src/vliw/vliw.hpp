@@ -1,0 +1,33 @@
+// VLIW baseline (§6): lockstep list scheduling of the same instruction DAG
+// with every instruction pinned to its maximum execution time and no
+// asynchrony. Completion time is deterministic — the normalization basis of
+// Fig. 18.
+#pragma once
+
+#include <vector>
+
+#include "graph/instr_dag.hpp"
+#include "sched/policies.hpp"
+
+namespace bm {
+
+struct VliwSlot {
+  NodeId node = kInvalidNode;
+  Time start = 0;
+  Time finish = 0;
+  std::uint32_t proc = 0;
+};
+
+struct VliwSchedule {
+  std::vector<VliwSlot> slots;      ///< one per instruction, node-indexed
+  Time makespan = 0;                ///< completion time (max times)
+  std::size_t procs_used = 0;
+};
+
+/// Greedy list scheduling (same h_max-then-h_min priorities as the barrier
+/// scheduler): each node starts at the earliest cycle where all producers
+/// have finished and some functional unit is free.
+VliwSchedule schedule_vliw(const InstrDag& dag, std::size_t num_procs,
+                           OrderingPolicy ordering = OrderingPolicy::kMaxThenMin);
+
+}  // namespace bm

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "codegen/synthesize.hpp"
+#include "machine/presets.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/analysis.hpp"
+#include "sim/simulator.hpp"
+
+namespace bm {
+namespace {
+
+Operand C(std::int64_t v) { return Operand::constant(v); }
+
+TEST(TraceAnalysis, DecomposesHandBuiltSchedule) {
+  // P0: Load [4 in all-max]; P1: Add [1]; barrier; P1: Add [1].
+  Program p(1);
+  p.append(Tuple::load(0, 0));
+  p.append(Tuple::binary(1, Opcode::kAdd, C(1), C(1)));
+  p.append(Tuple::binary(2, Opcode::kAdd, C(2), C(2)));
+  const InstrDag dag = InstrDag::build(p, TimingModel::table1());
+  Schedule sched(dag, 2);
+  sched.append_instr(0, 0);
+  sched.append_instr(1, 1);
+  sched.insert_barrier({{0, 1}, {1, 1}});
+  sched.append_instr(1, 2);
+  Rng rng(1);
+  const ExecTrace t =
+      simulate(sched, {MachineKind::kSBM, SamplingMode::kAllMax}, rng);
+  const TraceAnalysis a = analyze_trace(sched, t);
+  EXPECT_EQ(a.completion, 5);
+  // P0: busy 4 (load), waits 0 at the barrier (it is the last to arrive),
+  // idle 1 after the barrier.
+  EXPECT_EQ(a.procs[0].busy, 4);
+  EXPECT_EQ(a.procs[0].barrier_wait, 0);
+  EXPECT_EQ(a.procs[0].idle, 1);
+  // P1: busy 2, waits 3 for the load, no tail idle.
+  EXPECT_EQ(a.procs[1].busy, 2);
+  EXPECT_EQ(a.procs[1].barrier_wait, 3);
+  EXPECT_EQ(a.procs[1].idle, 0);
+  EXPECT_EQ(a.total_busy, 6);
+  EXPECT_EQ(a.total_barrier_wait, 3);
+  EXPECT_DOUBLE_EQ(a.machine_utilization(), 6.0 / 10.0);
+  EXPECT_DOUBLE_EQ(a.wait_fraction(), 3.0 / 10.0);
+}
+
+TEST(TraceAnalysis, AccountsForEveryCycle) {
+  const GeneratorConfig gen{.num_statements = 30, .num_variables = 8,
+                            .num_constants = 4, .const_max = 64};
+  SchedulerConfig cfg;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed * 3 + 7);
+    const SynthesisResult s = synthesize_benchmark(gen, rng);
+    const InstrDag dag = InstrDag::build(s.program, TimingModel::table1());
+    const ScheduleResult r = schedule_program(dag, cfg, rng);
+    const ExecTrace t =
+        simulate(*r.schedule, {cfg.machine, SamplingMode::kUniform}, rng);
+    const TraceAnalysis a = analyze_trace(*r.schedule, t);
+    for (ProcId p = 0; p < r.schedule->num_procs(); ++p) {
+      if (!a.procs[p].used) continue;
+      EXPECT_EQ(a.procs[p].total(), a.completion) << "P" << p;
+    }
+    EXPECT_GE(a.machine_utilization(), 0.0);
+    EXPECT_LE(a.machine_utilization(), 1.0);
+    EXPECT_GE(a.wait_fraction(), 0.0);
+    EXPECT_LE(a.wait_fraction(), 1.0);
+  }
+}
+
+TEST(TraceAnalysis, UnusedProcessorsExcludedFromUtilization) {
+  Program p(1);
+  p.append(Tuple::load(0, 0));
+  const InstrDag dag = InstrDag::build(p, TimingModel::table1());
+  Schedule sched(dag, 8);
+  sched.append_instr(0, 0);
+  Rng rng(1);
+  const ExecTrace t =
+      simulate(sched, {MachineKind::kSBM, SamplingMode::kAllMax}, rng);
+  const TraceAnalysis a = analyze_trace(sched, t);
+  EXPECT_DOUBLE_EQ(a.machine_utilization(), 1.0);  // the one used PE is busy
+  EXPECT_FALSE(a.procs[3].used);
+}
+
+TEST(MachinePresets, AllPresetsAreUsable) {
+  EXPECT_GE(machine_presets().size(), 4u);
+  const GeneratorConfig gen{.num_statements = 20, .num_variables = 6,
+                            .num_constants = 3, .const_max = 32};
+  for (const MachineDescription& m : machine_presets()) {
+    EXPECT_FALSE(m.name.empty());
+    EXPECT_FALSE(m.summary.empty());
+    EXPECT_GE(m.default_procs, 1u);
+    Rng rng(5);
+    const SynthesisResult s = synthesize_benchmark(gen, rng);
+    const InstrDag dag = InstrDag::build(s.program, m.timing);
+    SchedulerConfig cfg;
+    cfg.num_procs = m.default_procs;
+    cfg.barrier_latency = m.barrier_latency;
+    const ScheduleResult r = schedule_program(dag, cfg, rng);
+    const ExecTrace t =
+        simulate(*r.schedule, {cfg.machine, SamplingMode::kUniform}, rng);
+    EXPECT_TRUE(find_violations(dag, t).empty()) << m.name;
+  }
+}
+
+TEST(MachinePresets, LookupByName) {
+  EXPECT_EQ(machine_preset("paper-risc-node").barrier_latency, 0);
+  EXPECT_EQ(machine_preset("network-cluster").barrier_latency, 4);
+  EXPECT_EQ(machine_preset("bus-smp").timing.range(Opcode::kLoad),
+            (TimeRange{1, 12}));
+  EXPECT_TRUE(
+      machine_preset("pipelined-fpu").timing.range(Opcode::kMul).is_fixed());
+  EXPECT_THROW(machine_preset("does-not-exist"), Error);
+}
+
+}  // namespace
+}  // namespace bm

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "barrier/barrier_dag.hpp"
+
+namespace bm {
+namespace {
+
+BarrierChainInput chain(std::vector<BarrierId> barriers,
+                        std::vector<TimeRange> segments) {
+  return BarrierChainInput{std::move(barriers), std::move(segments)};
+}
+
+TEST(BarrierDag, Fig13EdgeAggregation) {
+  // Two processors both run from barrier 0 to barrier 1; code [4,4] on one
+  // and [5,7] on the other. Edge min is 5 (max of the mins — nobody passes
+  // until all arrive), edge max is 7.
+  const std::vector<BarrierChainInput> chains = {
+      chain({0, 1}, {{4, 4}}),
+      chain({0, 1}, {{5, 7}}),
+  };
+  const BarrierDag dag(2, 0, chains);
+  EXPECT_EQ(dag.edge_range(0, 1), (TimeRange{5, 7}));
+  EXPECT_EQ(dag.fire_range(1), (TimeRange{5, 7}));
+}
+
+TEST(BarrierDag, FireRangesAccumulateAlongChains) {
+  const std::vector<BarrierChainInput> chains = {
+      chain({0, 1, 2}, {{1, 4}, {2, 3}}),
+  };
+  const BarrierDag dag(3, 0, chains);
+  EXPECT_EQ(dag.fire_range(0), (TimeRange{0, 0}));
+  EXPECT_EQ(dag.fire_range(1), (TimeRange{1, 4}));
+  EXPECT_EQ(dag.fire_range(2), (TimeRange{3, 7}));
+}
+
+TEST(BarrierDag, FireRangeTakesLongestIncomingPath) {
+  // Diamond: 0→1→3 and 0→2→3 with different weights.
+  const std::vector<BarrierChainInput> chains = {
+      chain({0, 1, 3}, {{1, 1}, {1, 1}}),
+      chain({0, 2, 3}, {{5, 6}, {2, 2}}),
+  };
+  const BarrierDag dag(4, 0, chains);
+  EXPECT_EQ(dag.fire_range(3), (TimeRange{7, 8}));
+}
+
+TEST(BarrierDag, PathExistsAndOrdered) {
+  const std::vector<BarrierChainInput> chains = {
+      chain({0, 1, 3}, {{1, 1}, {1, 1}}),
+      chain({0, 2}, {{1, 1}}),
+  };
+  const BarrierDag dag(4, 0, chains);
+  EXPECT_TRUE(dag.path_exists(0, 3));
+  EXPECT_TRUE(dag.path_exists(1, 3));
+  EXPECT_TRUE(dag.path_exists(1, 1));  // reflexive
+  EXPECT_FALSE(dag.path_exists(3, 1));
+  EXPECT_FALSE(dag.path_exists(1, 2));
+  EXPECT_TRUE(dag.ordered(0, 3));
+  EXPECT_FALSE(dag.ordered(1, 2));
+}
+
+TEST(BarrierDag, CommonDominatorOfDiamond) {
+  const std::vector<BarrierChainInput> chains = {
+      chain({0, 1, 3}, {{1, 1}, {1, 1}}),
+      chain({0, 2, 3}, {{1, 1}, {1, 1}}),
+  };
+  const BarrierDag dag(4, 0, chains);
+  EXPECT_EQ(dag.common_dominator(1, 2), 0u);
+  EXPECT_EQ(dag.common_dominator(1, 3), 0u);
+  EXPECT_EQ(dag.common_dominator(3, 3), 3u);
+  EXPECT_EQ(dag.common_dominator(0, 3), 0u);
+}
+
+TEST(BarrierDag, PsiQueries) {
+  // 0→1 [2,10]; 1→2 [3,5]; 0→2 direct [4,20].
+  const std::vector<BarrierChainInput> chains = {
+      chain({0, 1, 2}, {{2, 10}, {3, 5}}),
+      chain({0, 2}, {{4, 20}}),
+  };
+  const BarrierDag dag(3, 0, chains);
+  EXPECT_EQ(dag.psi_max(0, 2), 20);      // direct edge wins on max
+  EXPECT_EQ(dag.psi_min(0, 2), 5);       // 2+3 via barrier 1 wins on min
+  EXPECT_EQ(dag.psi_max(0, 0), 0);
+  EXPECT_EQ(dag.psi_min(2, 1), kUnreachable);
+}
+
+TEST(BarrierDag, PsiMinStarForcesOverlapEdgesToMax) {
+  // ψ*_min from 0 to 2 with edge (0,1) forced to max: 10+3 = 13 beats the
+  // direct [4,20] edge's min of 4.
+  const std::vector<BarrierChainInput> chains = {
+      chain({0, 1, 2}, {{2, 10}, {3, 5}}),
+      chain({0, 2}, {{4, 20}}),
+  };
+  const BarrierDag dag(3, 0, chains);
+  const std::vector<std::pair<BarrierId, BarrierId>> forced = {{0, 1}};
+  EXPECT_EQ(dag.psi_min_star(0, 2, forced), 13);
+  EXPECT_EQ(dag.psi_min_star(0, 2, {}), 5);  // no forcing = ψ_min
+}
+
+TEST(BarrierDag, MaxPathsEnumeratesDescending) {
+  const std::vector<BarrierChainInput> chains = {
+      chain({0, 1, 3}, {{1, 2}, {1, 3}}),
+      chain({0, 2, 3}, {{1, 9}, {1, 1}}),
+      chain({0, 3}, {{1, 1}}),
+  };
+  const BarrierDag dag(4, 0, chains);
+  auto paths = dag.max_paths(0, 3);
+  std::vector<BarrierId> p;
+  Time len = 0;
+  ASSERT_TRUE(paths.next(p, len));
+  EXPECT_EQ(p, (std::vector<BarrierId>{0, 2, 3}));
+  EXPECT_EQ(len, 10);
+  ASSERT_TRUE(paths.next(p, len));
+  EXPECT_EQ(p, (std::vector<BarrierId>{0, 1, 3}));
+  EXPECT_EQ(len, 5);
+  ASSERT_TRUE(paths.next(p, len));
+  EXPECT_EQ(p, (std::vector<BarrierId>{0, 3}));
+  EXPECT_EQ(len, 1);
+  EXPECT_FALSE(paths.next(p, len));
+}
+
+TEST(BarrierDag, LinearExtensionIsTopological) {
+  const std::vector<BarrierChainInput> chains = {
+      chain({0, 2, 1}, {{1, 1}, {1, 1}}),  // note: id order != topo order
+      chain({0, 3}, {{5, 5}}),
+  };
+  const BarrierDag dag(4, 0, chains);
+  const std::vector<BarrierId> ext = dag.linear_extension();
+  ASSERT_EQ(ext.size(), 4u);
+  EXPECT_EQ(ext.front(), 0u);
+  std::map<BarrierId, std::size_t> pos;
+  for (std::size_t i = 0; i < ext.size(); ++i) pos[ext[i]] = i;
+  EXPECT_LT(pos[2], pos[1]);  // chain order respected
+  // Earliest-min-fire first: barrier 2 (fires [1,1]) before 3 ([5,5]).
+  EXPECT_LT(pos[2], pos[3]);
+}
+
+TEST(BarrierDag, Fig9And10BarrierEmbedding) {
+  // The §3.1 worked example: five processors, barrier 0 across all of them,
+  // then b1 {P0,P1}, b2 {P2,P3,P4}, b3 {P1,P2}, b4 {P0,P1,P2} with the
+  // orderings the text derives: b2 <_b b3 (via P2), b3 <_b b4 (via P1/P2),
+  // hence b2 <_b b4 by transitivity; b1 and b2 are unordered.
+  const TimeRange t{1, 2};
+  const std::vector<BarrierChainInput> chains = {
+      chain({0, 1, 4}, {t, t}),        // P0: b0, b1, b4
+      chain({0, 1, 3, 4}, {t, t, t}),  // P1: b0, b1, b3, b4
+      chain({0, 2, 3, 4}, {t, t, t}),  // P2: b0, b2, b3, b4
+      chain({0, 2}, {t}),              // P3: b0, b2
+      chain({0, 2}, {t}),              // P4: b0, b2
+  };
+  const BarrierDag dag(5, 0, chains);
+  EXPECT_TRUE(dag.path_exists(2, 3));  // b2 <_b b3
+  EXPECT_TRUE(dag.path_exists(3, 4));  // b3 <_b b4
+  EXPECT_TRUE(dag.path_exists(2, 4));  // transitivity
+  EXPECT_FALSE(dag.ordered(1, 2));     // concurrent barriers
+  // b0 is the initial barrier: it dominates everything.
+  for (BarrierId b = 1; b < 5; ++b)
+    EXPECT_EQ(dag.common_dominator(0, b), 0u);
+  EXPECT_EQ(dag.common_dominator(1, 2), 0u);
+  // Irreflexivity of <_b is modeled by path_exists being reflexive but the
+  // ordering edges being acyclic: no proper cycle exists.
+  EXPECT_FALSE(dag.path_exists(4, 2));
+  EXPECT_FALSE(dag.path_exists(3, 2));
+}
+
+TEST(BarrierDag, LatencyShiftsAllTimingQueries) {
+  const std::vector<BarrierChainInput> chains = {
+      chain({0, 1, 2}, {{2, 10}, {3, 5}}),
+      chain({0, 2}, {{4, 20}}),
+  };
+  const BarrierDag plain(3, 0, chains);
+  const BarrierDag lat(3, 0, chains, /*barrier_latency=*/5);
+  EXPECT_EQ(lat.barrier_latency(), 5);
+  EXPECT_EQ(lat.fire_range(1).min, plain.fire_range(1).min + 5);
+  EXPECT_EQ(lat.fire_range(2).max, 10 + 5 + 5 + 5);  // via b1, two hops
+  EXPECT_EQ(lat.psi_max(0, 2), plain.psi_max(0, 2) + 5);  // direct edge
+  EXPECT_EQ(lat.psi_min(0, 2), 2 + 5 + 3 + 5);  // two-hop min path
+}
+
+TEST(BarrierDag, UnknownBarrierRejected) {
+  const std::vector<BarrierChainInput> chains = {chain({0, 1}, {{1, 1}})};
+  const BarrierDag dag(3, 0, chains);
+  EXPECT_FALSE(dag.known(2));
+  EXPECT_TRUE(dag.known(1));
+  EXPECT_THROW(dag.fire_range(2), Error);
+  EXPECT_THROW(dag.path_exists(0, 2), Error);
+}
+
+TEST(BarrierDag, ChainMustStartAtInitial) {
+  const std::vector<BarrierChainInput> chains = {chain({1, 0}, {{1, 1}})};
+  EXPECT_THROW(BarrierDag(2, 0, chains), Error);
+}
+
+TEST(BarrierDag, CyclicOrderingRejected) {
+  const std::vector<BarrierChainInput> chains = {
+      chain({0, 1, 2}, {{1, 1}, {1, 1}}),
+      chain({0, 2, 1}, {{1, 1}, {1, 1}}),
+  };
+  EXPECT_THROW(BarrierDag(3, 0, chains), Error);
+}
+
+TEST(BarrierDag, SegmentCountMismatchRejected) {
+  const std::vector<BarrierChainInput> chains = {chain({0, 1}, {})};
+  EXPECT_THROW(BarrierDag(2, 0, chains), Error);
+}
+
+TEST(BarrierDag, EdgeQueriesValidateExistence) {
+  const std::vector<BarrierChainInput> chains = {
+      chain({0, 1, 2}, {{1, 1}, {1, 1}})};
+  const BarrierDag dag(3, 0, chains);
+  EXPECT_TRUE(dag.has_edge(0, 1));
+  EXPECT_FALSE(dag.has_edge(0, 2));
+  EXPECT_THROW(dag.edge_range(0, 2), Error);
+}
+
+}  // namespace
+}  // namespace bm

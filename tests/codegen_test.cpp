@@ -1,0 +1,219 @@
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "codegen/emitter.hpp"
+#include "codegen/generator.hpp"
+#include "codegen/synthesize.hpp"
+#include "support/assert.hpp"
+#include "test_util.hpp"
+
+namespace bm {
+namespace {
+
+GeneratorConfig small_config() {
+  GeneratorConfig cfg;
+  cfg.num_statements = 30;
+  cfg.num_variables = 6;
+  cfg.num_constants = 3;
+  return cfg;
+}
+
+// ----------------------------------------------------------- Generator -----
+
+TEST(Generator, ConfigValidation) {
+  GeneratorConfig cfg;
+  cfg.num_statements = 0;
+  EXPECT_THROW(StatementGenerator{cfg}, Error);
+  cfg = GeneratorConfig{};
+  cfg.num_variables = 0;
+  EXPECT_THROW(StatementGenerator{cfg}, Error);
+  cfg = GeneratorConfig{};
+  cfg.const_max = 0;
+  EXPECT_THROW(StatementGenerator{cfg}, Error);
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  const StatementGenerator gen(small_config());
+  Rng a(42), b(42);
+  const StatementList s1 = gen.generate(a);
+  const StatementList s2 = gen.generate(b);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].lhs, s2[i].lhs);
+    EXPECT_EQ(s1[i].op, s2[i].op);
+    EXPECT_EQ(s1[i].a, s2[i].a);
+    EXPECT_EQ(s1[i].b, s2[i].b);
+  }
+}
+
+TEST(Generator, RespectsParameterBounds) {
+  const StatementGenerator gen(small_config());
+  Rng rng(7);
+  const StatementList stmts = gen.generate(rng);
+  EXPECT_EQ(stmts.size(), 30u);
+  for (const Assign& s : stmts) {
+    EXPECT_LT(s.lhs, 6u);
+    EXPECT_TRUE(is_binary_op(s.op));
+    for (const StmtOperand& o : {s.a, s.b}) {
+      if (o.is_var()) {
+        EXPECT_LT(o.var, 6u);
+      } else {
+        EXPECT_GE(o.value, 1);
+        EXPECT_LE(o.value, small_config().const_max);
+      }
+    }
+  }
+}
+
+TEST(Generator, OperationMixFollowsTable1) {
+  GeneratorConfig cfg = small_config();
+  cfg.num_statements = 60;
+  const StatementGenerator gen(cfg);
+  Rng rng(123);
+  std::map<Opcode, std::size_t> counts;
+  std::size_t total = 0;
+  for (int b = 0; b < 400; ++b) {
+    for (const Assign& s : gen.generate(rng)) {
+      ++counts[s.op];
+      ++total;
+    }
+  }
+  for (Opcode op : all_opcodes()) {
+    if (!is_binary_op(op)) continue;
+    const double expected = opcode_frequency_percent(op) / 100.0;
+    const double observed =
+        static_cast<double>(counts[op]) / static_cast<double>(total);
+    EXPECT_NEAR(observed, expected, 0.01)
+        << "opcode " << opcode_name(op) << " off Table 1 frequency";
+  }
+}
+
+TEST(Generator, ConstantPoolIsFixedPerBenchmark) {
+  GeneratorConfig cfg = small_config();
+  cfg.num_constants = 1;  // exactly one literal available
+  cfg.num_statements = 40;
+  const StatementGenerator gen(cfg);
+  Rng rng(5);
+  const StatementList stmts = gen.generate(rng);
+  std::int64_t seen = -1;
+  for (const Assign& s : stmts)
+    for (const StmtOperand& o : {s.a, s.b})
+      if (!o.is_var()) {
+        if (seen < 0) seen = o.value;
+        EXPECT_EQ(o.value, seen);
+      }
+  EXPECT_GE(seen, 1);
+}
+
+TEST(Generator, StatementToString) {
+  Assign s;
+  s.lhs = 0;
+  s.op = Opcode::kMul;
+  s.a = StmtOperand::variable(1);
+  s.b = StmtOperand::constant(7);
+  EXPECT_EQ(statement_to_string(s), "a = b * 7;");
+}
+
+// ------------------------------------------------------------- Emitter -----
+
+StatementList two_statements() {
+  // b = a + a;  c = b - a;
+  Assign s1{1, Opcode::kAdd, StmtOperand::variable(0), StmtOperand::variable(0)};
+  Assign s2{2, Opcode::kSub, StmtOperand::variable(1), StmtOperand::variable(0)};
+  return {s1, s2};
+}
+
+TEST(Emitter, LoadOnFirstUseOnly) {
+  const Program p = emit_tuples(two_statements(), 3);
+  // Expected: Load a; Add; Store b; Sub(Add result, Load a); Store c.
+  std::size_t loads = 0;
+  for (const Tuple& t : p.tuples()) loads += t.is_load();
+  EXPECT_EQ(loads, 1u);  // `a` loaded once; b,c never loaded (forwarded)
+  EXPECT_EQ(p.size(), 5u);
+}
+
+TEST(Emitter, ForwardsAssignedValues) {
+  const Program p = emit_tuples(two_statements(), 3);
+  // The Sub must consume the Add's tuple, not a load of b.
+  const Tuple& sub = p[3];
+  ASSERT_EQ(sub.op, Opcode::kSub);
+  EXPECT_TRUE(sub.lhs.is_tuple());
+  EXPECT_EQ(p[sub.lhs.tuple_id()].op, Opcode::kAdd);
+}
+
+TEST(Emitter, StorePerAssignment) {
+  const Program p = emit_tuples(two_statements(), 3);
+  std::size_t stores = 0;
+  for (const Tuple& t : p.tuples()) stores += t.is_store();
+  EXPECT_EQ(stores, 2u);
+}
+
+TEST(Emitter, ConstantsAreImmediates) {
+  Assign s{0, Opcode::kAdd, StmtOperand::constant(3), StmtOperand::constant(4)};
+  const Program p = emit_tuples({s}, 1);
+  ASSERT_EQ(p.size(), 2u);  // Add #3,#4 ; Store a
+  EXPECT_TRUE(p[0].lhs.is_const());
+  EXPECT_TRUE(p[0].rhs.is_const());
+}
+
+TEST(Emitter, UidsAreEmissionOrder) {
+  const Program p = emit_tuples(two_statements(), 3);
+  for (std::size_t i = 0; i < p.size(); ++i)
+    EXPECT_EQ(p[i].uid, i);  // no optimization yet, so dense == uid
+}
+
+TEST(Emitter, RejectsUnknownVariable) {
+  Assign s{5, Opcode::kAdd, StmtOperand::variable(0), StmtOperand::variable(0)};
+  EXPECT_THROW(emit_tuples({s}, 2), Error);
+}
+
+TEST(Emitter, PreservesSourceSemantics) {
+  const StatementGenerator gen(small_config());
+  Rng rng(77);
+  for (int trial = 0; trial < 25; ++trial) {
+    const StatementList stmts = gen.generate(rng);
+    const Program prog = emit_tuples(stmts, small_config().num_variables);
+    std::vector<std::int64_t> memory(small_config().num_variables);
+    for (auto& m : memory) m = rng.uniform(-100, 100);
+    EXPECT_EQ(test::eval_statements(stmts, small_config().num_variables, memory),
+              test::eval_program(prog, memory));
+  }
+}
+
+// ---------------------------------------------------------- Synthesize -----
+
+TEST(Synthesize, ProducesValidOptimizedProgram) {
+  Rng rng(99);
+  const SynthesisResult r = synthesize_benchmark(small_config(), rng);
+  EXPECT_EQ(r.statements.size(), 30u);
+  EXPECT_NO_THROW(r.program.validate());
+  EXPECT_GT(r.program.size(), 0u);
+}
+
+TEST(Synthesize, OptimizationPreservesSemantics) {
+  const GeneratorConfig cfg = small_config();
+  Rng rng(31);
+  for (int trial = 0; trial < 25; ++trial) {
+    const SynthesisResult r = synthesize_benchmark(cfg, rng);
+    std::vector<std::int64_t> memory(cfg.num_variables);
+    for (auto& m : memory) m = rng.uniform(-100, 100);
+    EXPECT_EQ(test::eval_statements(r.statements, cfg.num_variables, memory),
+              test::eval_program(r.program, memory));
+  }
+}
+
+TEST(Synthesize, AtMostOneLoadAndStorePerVariable) {
+  Rng rng(13);
+  const SynthesisResult r = synthesize_benchmark(small_config(), rng);
+  std::map<VarId, int> loads, stores;
+  for (const Tuple& t : r.program.tuples()) {
+    if (t.is_load()) ++loads[t.var];
+    if (t.is_store()) ++stores[t.var];
+  }
+  for (const auto& [var, n] : loads) EXPECT_LE(n, 1) << var_name(var);
+  for (const auto& [var, n] : stores) EXPECT_LE(n, 1) << var_name(var);
+}
+
+}  // namespace
+}  // namespace bm

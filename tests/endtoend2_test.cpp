@@ -1,0 +1,115 @@
+// Shape checks for the extension experiments (conventional-MIMD three-way
+// comparison, barrier latency, control flow) — scaled-down versions of the
+// corresponding bench binaries.
+#include <gtest/gtest.h>
+
+#include "barrier/dot.hpp"
+#include "cfg/cfg_gen.hpp"
+#include "cfg/cfg_sim.hpp"
+#include "harness/experiment.hpp"
+#include "mimd/directed.hpp"
+#include "mimd/reduce.hpp"
+
+namespace bm {
+namespace {
+
+GeneratorConfig gen60() {
+  return GeneratorConfig{.num_statements = 60, .num_variables = 10,
+                         .num_constants = 4, .const_max = 64};
+}
+
+TEST(EndToEnd2, ThreeWaySyncComparisonOrdering) {
+  // §3: directed syncs > Shaffer-reduced syncs > barriers (timing-based).
+  SchedulerConfig cfg;
+  RunningStats full, reduced, barriers;
+  for (std::size_t i = 0; i < 25; ++i) {
+    Rng rng = benchmark_rng(7, i);
+    const SynthesisResult s = synthesize_benchmark(gen60(), rng);
+    const InstrDag dag = InstrDag::build(s.program, TimingModel::table1());
+    const ScheduleResult r = schedule_program(dag, cfg, rng);
+    const SyncReduction red = reduce_directed_syncs(*r.schedule);
+    full.add(static_cast<double>(red.total_cross_edges));
+    reduced.add(static_cast<double>(red.retained));
+    barriers.add(static_cast<double>(r.stats.barriers_final));
+  }
+  EXPECT_GT(full.mean(), reduced.mean());
+  EXPECT_GT(reduced.mean(), barriers.mean());
+}
+
+TEST(EndToEnd2, LatencyRaisesCompletionNotFractions) {
+  SchedulerConfig base;
+  SchedulerConfig slow = base;
+  slow.barrier_latency = 8;
+  RunOptions opt;
+  opt.seeds = 20;
+  const PointAggregate a = run_point(gen60(), base, opt);
+  const PointAggregate b = run_point(gen60(), slow, opt);
+  EXPECT_GT(b.fractions.completion_max.mean(),
+            a.fractions.completion_max.mean() * 1.5);
+  // Fractions move only slightly (latency delays both sides of each check).
+  EXPECT_NEAR(b.fractions.barrier_frac.mean(),
+              a.fractions.barrier_frac.mean(), 0.08);
+  EXPECT_NEAR(b.fractions.serialized_frac.mean(),
+              a.fractions.serialized_frac.mean(), 0.05);
+}
+
+TEST(EndToEnd2, ControlFlowLockstepBoundExceedsActualMean) {
+  CfgGeneratorConfig gen;
+  gen.block = GeneratorConfig{.num_statements = 10, .num_variables = 8,
+                              .num_constants = 4, .const_max = 64};
+  gen.max_trip = 8;
+  SchedulerConfig sc;
+  double bound_total = 0, actual_total = 0;
+  for (std::size_t i = 0; i < 15; ++i) {
+    Rng rng = benchmark_rng(11, i);
+    const CfgProgram cfg = generate_cfg(gen, rng);
+    const CfgScheduleResult s =
+        schedule_cfg(cfg, sc, TimingModel::table1(), rng);
+    bound_total += static_cast<double>(
+        vliw_cfg_worst_case(cfg, sc.num_procs, TimingModel::table1(), 1));
+    std::vector<std::int64_t> memory(cfg.num_vars());
+    for (auto& m : memory) m = rng.uniform(-100, 100);
+    actual_total +=
+        static_cast<double>(run_cfg(s, CfgSimConfig{}, memory, rng).completion);
+  }
+  EXPECT_GT(bound_total, actual_total * 1.2);
+}
+
+TEST(EndToEnd2, VliwSchedulesAreMostlyCriticalPathOptimal) {
+  // §6: "an optimal schedule (completion time equal to the critical path
+  // time) was determined for almost all the synthetic benchmarks".
+  std::size_t optimal = 0, total = 0;
+  for (std::size_t i = 0; i < 40; ++i) {
+    Rng rng = benchmark_rng(13, i);
+    const SynthesisResult s = synthesize_benchmark(gen60(), rng);
+    const InstrDag dag = InstrDag::build(s.program, TimingModel::table1());
+    const VliwSchedule v = schedule_vliw(dag, 16);
+    optimal += (v.makespan == dag.critical_path().max);
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(optimal) / static_cast<double>(total), 0.8);
+}
+
+TEST(EndToEnd2, DotExportsAreWellFormed) {
+  Rng rng(5);
+  const SynthesisResult s = synthesize_benchmark(gen60(), rng);
+  const InstrDag dag = InstrDag::build(s.program, TimingModel::table1());
+  SchedulerConfig cfg;
+  const ScheduleResult r = schedule_program(dag, cfg, rng);
+
+  const std::string instr_dot = instr_dag_to_dot(dag, s.program);
+  EXPECT_NE(instr_dot.find("digraph instr_dag {"), std::string::npos);
+  EXPECT_NE(instr_dot.find("entry ->"), std::string::npos);
+  EXPECT_NE(instr_dot.find("-> exit"), std::string::npos);
+  EXPECT_EQ(instr_dot.back(), '\n');
+
+  const std::string barrier_dot =
+      barrier_dag_to_dot(r.schedule->barrier_dag());
+  EXPECT_NE(barrier_dot.find("digraph barrier_dag {"), std::string::npos);
+  EXPECT_NE(barrier_dot.find("b0 [label=\"B0"), std::string::npos);
+  // One edge label per dag edge, each carrying a time range.
+  EXPECT_NE(barrier_dot.find("fires [0,0]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bm

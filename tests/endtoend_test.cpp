@@ -1,0 +1,195 @@
+// Scaled-down replicas of the paper's experiments (§5, §6): these assert the
+// qualitative *shape* of every reported trend with enough seeds to be
+// stable, while the bench binaries regenerate the full figures.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+
+namespace bm {
+namespace {
+
+RunOptions quick(std::size_t seeds) {
+  RunOptions opt;
+  opt.seeds = seeds;
+  opt.base_seed = 2026;
+  return opt;
+}
+
+GeneratorConfig gen(std::uint32_t stmts, std::uint32_t vars) {
+  return GeneratorConfig{.num_statements = stmts, .num_variables = vars,
+                         .num_constants = 4, .const_max = 64};
+}
+
+TEST(EndToEnd, HeadlineFractionRanges) {
+  // §5: barrier 3–23%, serialized 50–90%, static 8–40% (generous margins
+  // for the reduced seed count), and ≥77% without runtime synchronization.
+  SchedulerConfig cfg;
+  cfg.num_procs = 8;
+  const PointAggregate agg = run_point(gen(40, 10), cfg, quick(30));
+  EXPECT_GE(agg.fractions.barrier_frac.mean(), 0.02);
+  EXPECT_LE(agg.fractions.barrier_frac.mean(), 0.25);
+  EXPECT_GE(agg.fractions.serialized_frac.mean(), 0.45);
+  EXPECT_LE(agg.fractions.serialized_frac.mean(), 0.92);
+  EXPECT_GE(agg.fractions.static_frac.mean(), 0.05);
+  EXPECT_LE(agg.fractions.static_frac.mean(), 0.45);
+  EXPECT_GE(agg.fractions.no_runtime_frac.mean(), 0.75);
+}
+
+TEST(EndToEnd, Fig15BarrierFractionFallsWithBlockSize) {
+  // 8 PEs, 15 variables; the barrier fraction drops sharply from 5 to 20
+  // statements (load-dominated small blocks need barriers right away).
+  SchedulerConfig cfg;
+  cfg.num_procs = 8;
+  const PointAggregate at5 = run_point(gen(5, 15), cfg, quick(40));
+  const PointAggregate at20 = run_point(gen(20, 15), cfg, quick(40));
+  EXPECT_GT(at5.fractions.barrier_frac.mean(),
+            at20.fractions.barrier_frac.mean());
+}
+
+TEST(EndToEnd, Fig15SerializationFallsWithBlockSize) {
+  SchedulerConfig cfg;
+  cfg.num_procs = 8;
+  const PointAggregate small = run_point(gen(10, 15), cfg, quick(40));
+  const PointAggregate large = run_point(gen(60, 15), cfg, quick(40));
+  EXPECT_GT(small.fractions.serialized_frac.mean(),
+            large.fractions.serialized_frac.mean());
+}
+
+TEST(EndToEnd, Fig16SerializationFallsWithVariables) {
+  // 8 PEs, 60 statements: more variables = wider parallelism = fewer
+  // serialization opportunities.
+  SchedulerConfig cfg;
+  cfg.num_procs = 8;
+  const PointAggregate narrow = run_point(gen(60, 3), cfg, quick(30));
+  const PointAggregate wide = run_point(gen(60, 14), cfg, quick(30));
+  EXPECT_GT(narrow.fractions.serialized_frac.mean(),
+            wide.fractions.serialized_frac.mean());
+}
+
+TEST(EndToEnd, Fig17BarrierFractionStabilizesBeyondParallelismWidth) {
+  // 100 statements, 10 variables: the barrier fraction grows from 2 PEs
+  // toward the parallelism width, then flattens.
+  SchedulerConfig cfg;
+  cfg.num_procs = 2;
+  const PointAggregate pe2 = run_point(gen(100, 10), cfg, quick(20));
+  cfg.num_procs = 8;
+  const PointAggregate pe8 = run_point(gen(100, 10), cfg, quick(20));
+  cfg.num_procs = 64;
+  const PointAggregate pe64 = run_point(gen(100, 10), cfg, quick(20));
+  EXPECT_LT(pe2.fractions.barrier_frac.mean(),
+            pe8.fractions.barrier_frac.mean());
+  // Flat region: within a couple of barrier-fraction points.
+  EXPECT_NEAR(pe8.fractions.barrier_frac.mean(),
+              pe64.fractions.barrier_frac.mean(), 0.05);
+}
+
+TEST(EndToEnd, Fig18BarrierMinBeatsVliwAndMaxIsClose) {
+  // §6 (60 statements, 10 variables): barrier-MIMD best case clearly under
+  // the VLIW time; worst case near it.
+  RunOptions opt = quick(25);
+  opt.with_vliw = true;
+  opt.sim_runs = 3;
+  SchedulerConfig cfg;
+  cfg.num_procs = 8;
+  const PointAggregate agg = run_point(gen(60, 10), cfg, opt);
+  EXPECT_LT(agg.norm_min.mean(), 0.92);   // paper: ≈0.75
+  EXPECT_GT(agg.norm_min.mean(), 0.5);
+  EXPECT_GT(agg.norm_max.mean(), 0.9);    // "nearly identical"
+  EXPECT_LT(agg.norm_max.mean(), 1.35);
+  // Mean lies between the extremes.
+  EXPECT_GE(agg.norm_mean.mean(), agg.norm_min.mean());
+  EXPECT_LE(agg.norm_mean.mean(), agg.norm_max.mean());
+}
+
+TEST(EndToEnd, MergingReducesBarriersOnSbm) {
+  // §4.4.3 (10 variables, 80 statements): SBM merging leaves fewer barriers
+  // than the DBM schedule, at equal or higher completion time.
+  RunOptions opt = quick(25);
+  SchedulerConfig sbm;
+  sbm.num_procs = 8;
+  sbm.machine = MachineKind::kSBM;
+  SchedulerConfig dbm = sbm;
+  dbm.machine = MachineKind::kDBM;
+  const PointAggregate s = run_point(gen(80, 10), sbm, opt);
+  const PointAggregate d = run_point(gen(80, 10), dbm, opt);
+  EXPECT_LT(s.fractions.barriers.mean(), d.fractions.barriers.mean());
+  EXPECT_GE(s.fractions.completion_max.mean(),
+            d.fractions.completion_max.mean() * 0.98);
+}
+
+TEST(EndToEnd, RoundRobinAblationMatchesSection54) {
+  // Round-robin: serialization collapses, barrier fraction rises steeply,
+  // execution time worsens.
+  RunOptions opt = quick(20);
+  SchedulerConfig list;
+  list.num_procs = 8;
+  SchedulerConfig rr = list;
+  rr.assignment = AssignmentPolicy::kRoundRobin;
+  const PointAggregate l = run_point(gen(40, 10), list, opt);
+  const PointAggregate r = run_point(gen(40, 10), rr, opt);
+  EXPECT_LT(r.fractions.serialized_frac.mean(),
+            l.fractions.serialized_frac.mean() * 0.5);
+  EXPECT_GT(r.fractions.barrier_frac.mean(),
+            l.fractions.barrier_frac.mean());
+  EXPECT_GE(r.fractions.completion_max.mean(),
+            l.fractions.completion_max.mean());
+}
+
+TEST(EndToEnd, OrderingAblationHasSmallEffect) {
+  // §5.4: swapping the height keys changes completion times only slightly.
+  RunOptions opt = quick(25);
+  SchedulerConfig maxfirst;
+  maxfirst.num_procs = 8;
+  SchedulerConfig minfirst = maxfirst;
+  minfirst.ordering = OrderingPolicy::kMinThenMax;
+  const PointAggregate a = run_point(gen(40, 10), maxfirst, opt);
+  const PointAggregate b = run_point(gen(40, 10), minfirst, opt);
+  EXPECT_NEAR(b.fractions.completion_max.mean(),
+              a.fractions.completion_max.mean(),
+              a.fractions.completion_max.mean() * 0.15);
+}
+
+TEST(EndToEnd, TimingVariationAblationBarrierFractionInsensitive) {
+  // §5.4: enlarged instruction timing variation raises the barrier fraction
+  // only slightly.
+  RunOptions base = quick(20);
+  RunOptions wide = base;
+  wide.timing = TimingModel::table1_with_variation(4.0);
+  SchedulerConfig cfg;
+  cfg.num_procs = 8;
+  const PointAggregate a = run_point(gen(40, 10), cfg, base);
+  const PointAggregate b = run_point(gen(40, 10), cfg, wide);
+  EXPECT_GE(b.fractions.barrier_frac.mean(),
+            a.fractions.barrier_frac.mean() * 0.8);
+  EXPECT_LE(b.fractions.barrier_frac.mean(),
+            a.fractions.barrier_frac.mean() + 0.15);
+}
+
+TEST(EndToEnd, OptimalInsertionNeverMoreBarriers) {
+  // §4.4.2: the optimal check is strictly more permissive, so averaged over
+  // benchmarks it cannot insert more barriers than the conservative one.
+  RunOptions opt = quick(20);
+  SchedulerConfig cons;
+  cons.num_procs = 8;
+  SchedulerConfig optm = cons;
+  optm.insertion = InsertionPolicy::kOptimal;
+  const PointAggregate c = run_point(gen(40, 10), cons, opt);
+  const PointAggregate o = run_point(gen(40, 10), optm, opt);
+  EXPECT_LE(o.fractions.barriers_inserted.mean(),
+            c.fractions.barriers_inserted.mean() + 1e-9);
+}
+
+TEST(EndToEnd, CrossEdgeResolutionMatchesTwentyEightPercentEffect) {
+  // §3: "about 28% of the time" an earlier barrier's timing lets the
+  // compiler avoid inserting a further barrier — measured as
+  // timing-satisfied / (timing-satisfied + inserted).
+  SchedulerConfig cfg;
+  cfg.num_procs = 8;
+  const PointAggregate agg = run_point(gen(60, 10), cfg, quick(30));
+  EXPECT_NEAR(agg.fractions.timing_avoidance_frac.mean(), 0.28, 0.08);
+  EXPECT_GT(agg.fractions.cross_resolved_frac.mean(), 0.10);
+  EXPECT_LT(agg.fractions.cross_resolved_frac.mean(), 0.80);
+}
+
+}  // namespace
+}  // namespace bm

@@ -1,0 +1,266 @@
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/digraph.hpp"
+#include "graph/dominators.hpp"
+#include "graph/paths.hpp"
+#include "support/rng.hpp"
+
+namespace bm {
+namespace {
+
+/// Random DAG: edges only from lower to higher node ids.
+Digraph random_dag(std::size_t n, double edge_prob, Rng& rng) {
+  Digraph g(n);
+  for (NodeId a = 0; a < n; ++a)
+    for (NodeId b = a + 1; b < n; ++b)
+      if (rng.chance(edge_prob)) g.add_edge(a, b);
+  return g;
+}
+
+/// Exhaustive longest distance from src via DFS (exponential; small graphs).
+Time brute_longest_from(const Digraph& g, NodeId src, NodeId dst,
+                        const EdgeWeightFn& w) {
+  if (src == dst) return 0;
+  Time best = kUnreachable;
+  for (NodeId s : g.succs(src)) {
+    const Time rest = brute_longest_from(g, s, dst, w);
+    if (rest != kUnreachable) best = std::max(best, w(src, s) + rest);
+  }
+  return best;
+}
+
+/// All src→dst paths via DFS.
+void brute_paths(const Digraph& g, NodeId at, NodeId dst, Path& cur,
+                 std::vector<Path>& out) {
+  cur.push_back(at);
+  if (at == dst)
+    out.push_back(cur);
+  else
+    for (NodeId s : g.succs(at)) brute_paths(g, s, dst, cur, out);
+  cur.pop_back();
+}
+
+// ------------------------------------------------------------- Digraph -----
+
+TEST(Digraph, AddNodesAndEdges) {
+  Digraph g(2);
+  EXPECT_EQ(g.size(), 2u);
+  const NodeId n = g.add_node();
+  EXPECT_EQ(n, 2u);
+  g.add_edge(0, 2);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(2, 0));
+  EXPECT_EQ(g.succs(0).size(), 1u);
+  EXPECT_EQ(g.preds(2).size(), 1u);
+}
+
+TEST(Digraph, CoalescesParallelEdges) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Digraph, RejectsSelfEdgeAndOutOfRange) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_edge(0, 0), Error);
+  EXPECT_THROW(g.add_edge(0, 5), Error);
+}
+
+TEST(Digraph, TopoOrderRespectsEdges) {
+  Rng rng(8);
+  const Digraph g = random_dag(20, 0.2, rng);
+  const std::vector<NodeId> order = topo_order(g);
+  std::vector<std::size_t> pos(g.size());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (NodeId a = 0; a < g.size(); ++a)
+    for (NodeId b : g.succs(a)) EXPECT_LT(pos[a], pos[b]);
+}
+
+TEST(Digraph, CycleDetection) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(is_dag(g));
+  g.add_edge(2, 0);
+  EXPECT_FALSE(is_dag(g));
+  EXPECT_THROW(topo_order(g), Error);
+}
+
+// ------------------------------------------------------- Longest paths -----
+
+TEST(LongestPath, MatchesBruteForceOnRandomDags) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Digraph g = random_dag(9, 0.35, rng);
+    std::vector<std::vector<Time>> w(g.size(), std::vector<Time>(g.size(), 0));
+    for (NodeId a = 0; a < g.size(); ++a)
+      for (NodeId b : g.succs(a)) w[a][b] = rng.uniform(0, 9);
+    const EdgeWeightFn wf = [&](NodeId a, NodeId b) { return w[a][b]; };
+    const std::vector<Time> from0 = longest_from(g, 0, wf);
+    const std::vector<Time> to_last =
+        longest_to(g, static_cast<NodeId>(g.size() - 1), wf);
+    for (NodeId n = 0; n < g.size(); ++n) {
+      EXPECT_EQ(from0[n], brute_longest_from(g, 0, n, wf));
+      EXPECT_EQ(to_last[n],
+                brute_longest_from(g, n, static_cast<NodeId>(g.size() - 1), wf));
+    }
+  }
+}
+
+TEST(LongestPath, UnreachableIsSentinel) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  const auto d = longest_from(g, 0, [](NodeId, NodeId) { return 1; });
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[2], kUnreachable);
+}
+
+TEST(LongestPath, PicksLongerOfTwoRoutes) {
+  // 0→1→3 (1+1) vs 0→2→3 (5+5).
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 3);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  const EdgeWeightFn w = [](NodeId a, NodeId) { return a == 0 ? 5 : 5; };
+  const EdgeWeightFn w2 = [](NodeId, NodeId b) {
+    return (b == 2 || b == 3) ? 5 : 1;
+  };
+  (void)w;
+  const auto d = longest_from(g, 0, w2);
+  EXPECT_EQ(d[3], 10);
+}
+
+// ------------------------------------------------------ PathEnumerator -----
+
+TEST(PathEnumerator, EnumeratesAllPathsInDescendingOrder) {
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Digraph g = random_dag(8, 0.4, rng);
+    std::vector<std::vector<Time>> w(g.size(), std::vector<Time>(g.size(), 0));
+    for (NodeId a = 0; a < g.size(); ++a)
+      for (NodeId b : g.succs(a)) w[a][b] = rng.uniform(0, 9);
+    const EdgeWeightFn wf = [&](NodeId a, NodeId b) { return w[a][b]; };
+
+    const NodeId from = 0, to = static_cast<NodeId>(g.size() - 1);
+    std::vector<Path> expected;
+    Path scratch;
+    brute_paths(g, from, to, scratch, expected);
+
+    PathEnumerator en(g, from, to, wf);
+    Path p;
+    Time len = 0, prev = std::numeric_limits<Time>::max();
+    std::set<Path> seen;
+    std::size_t count = 0;
+    while (en.next(p, len)) {
+      ++count;
+      EXPECT_LE(len, prev) << "paths must come in non-increasing length";
+      prev = len;
+      // Length reported matches the path's actual weight.
+      Time actual = 0;
+      for (std::size_t i = 0; i + 1 < p.size(); ++i) actual += wf(p[i], p[i + 1]);
+      EXPECT_EQ(actual, len);
+      EXPECT_TRUE(seen.insert(p).second) << "duplicate path";
+    }
+    EXPECT_EQ(count, expected.size());
+  }
+}
+
+TEST(PathEnumerator, TrivialSelfPath) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  PathEnumerator en(g, 0, 0, [](NodeId, NodeId) { return 1; });
+  Path p;
+  Time len;
+  ASSERT_TRUE(en.next(p, len));
+  EXPECT_EQ(p, Path{0});
+  EXPECT_EQ(len, 0);
+  EXPECT_FALSE(en.next(p, len));
+}
+
+TEST(PathEnumerator, NoPathYieldsNothing) {
+  Digraph g(2);
+  PathEnumerator en(g, 0, 1, [](NodeId, NodeId) { return 1; });
+  Path p;
+  Time len;
+  EXPECT_FALSE(en.next(p, len));
+}
+
+// ---------------------------------------------------------- Dominators -----
+
+/// Brute-force dominance: a dom b iff removing a disconnects b from root
+/// (or a == b).
+bool brute_dominates(const Digraph& g, NodeId root, NodeId a, NodeId b) {
+  if (a == b) return true;
+  if (b == root) return false;
+  std::vector<bool> visited(g.size(), false);
+  std::function<void(NodeId)> dfs = [&](NodeId n) {
+    if (visited[n] || n == a) return;
+    visited[n] = true;
+    for (NodeId s : g.succs(n)) dfs(s);
+  };
+  dfs(root);
+  return !visited[b];
+}
+
+TEST(Dominators, MatchesBruteForceOnRandomDags) {
+  Rng rng(31);
+  for (int trial = 0; trial < 15; ++trial) {
+    Digraph g = random_dag(10, 0.3, rng);
+    // Make everything reachable from 0.
+    for (NodeId n = 1; n < g.size(); ++n)
+      if (g.preds(n).empty()) g.add_edge(0, n);
+    const DominatorTree dom(g, 0);
+    for (NodeId a = 0; a < g.size(); ++a)
+      for (NodeId b = 0; b < g.size(); ++b)
+        EXPECT_EQ(dom.dominates(a, b), brute_dominates(g, 0, a, b))
+            << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(Dominators, DiamondHasRootAsCommonDominator) {
+  //   0 → 1 → 3,  0 → 2 → 3
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  const DominatorTree dom(g, 0);
+  EXPECT_EQ(dom.idom(3), 0u);  // neither branch dominates the join
+  EXPECT_EQ(dom.common_dominator(1, 2), 0u);
+  EXPECT_EQ(dom.common_dominator(1, 3), 0u);
+  EXPECT_EQ(dom.common_dominator(3, 3), 3u);
+  EXPECT_EQ(dom.depth(0), 0u);
+  EXPECT_EQ(dom.depth(3), 1u);
+}
+
+TEST(Dominators, ChainDominatesTransitively) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const DominatorTree dom(g, 0);
+  EXPECT_TRUE(dom.dominates(1, 3));
+  EXPECT_TRUE(dom.dominates(0, 3));
+  EXPECT_FALSE(dom.dominates(3, 1));
+  EXPECT_EQ(dom.common_dominator(2, 3), 2u);
+  EXPECT_EQ(dom.depth(3), 3u);
+}
+
+TEST(Dominators, UnreachableNodesReported) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  const DominatorTree dom(g, 0);
+  EXPECT_TRUE(dom.reachable(1));
+  EXPECT_FALSE(dom.reachable(2));
+  EXPECT_THROW(dom.dominates(0, 2), Error);
+  EXPECT_THROW(dom.depth(2), Error);
+}
+
+}  // namespace
+}  // namespace bm

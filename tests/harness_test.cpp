@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+
+namespace bm {
+namespace {
+
+GeneratorConfig gen_config() {
+  return GeneratorConfig{.num_statements = 25, .num_variables = 8,
+                         .num_constants = 4, .const_max = 64};
+}
+
+TEST(Harness, BenchmarkRngStreamsAreIndependent) {
+  Rng a = benchmark_rng(1990, 0);
+  Rng b = benchmark_rng(1990, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Harness, BenchmarkRngReproducible) {
+  Rng a = benchmark_rng(7, 3);
+  Rng b = benchmark_rng(7, 3);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Harness, RunPointIsReproducible) {
+  RunOptions opt;
+  opt.seeds = 8;
+  SchedulerConfig cfg;
+  const PointAggregate a = run_point(gen_config(), cfg, opt);
+  const PointAggregate b = run_point(gen_config(), cfg, opt);
+  EXPECT_DOUBLE_EQ(a.fractions.barrier_frac.mean(),
+                   b.fractions.barrier_frac.mean());
+  EXPECT_DOUBLE_EQ(a.fractions.completion_max.mean(),
+                   b.fractions.completion_max.mean());
+}
+
+TEST(Harness, HookSeesEveryBenchmark) {
+  RunOptions opt;
+  opt.seeds = 5;
+  SchedulerConfig cfg;
+  std::vector<std::size_t> seen;
+  run_point(gen_config(), cfg, opt,
+            [&](const BenchmarkOutcome& o) { seen.push_back(o.seed_index); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Harness, FractionsAreWellFormed) {
+  RunOptions opt;
+  opt.seeds = 10;
+  SchedulerConfig cfg;
+  const PointAggregate agg = run_point(gen_config(), cfg, opt);
+  EXPECT_EQ(agg.fractions.barrier_frac.count(), 10u);
+  EXPECT_GE(agg.fractions.barrier_frac.mean(), 0.0);
+  EXPECT_LE(agg.fractions.barrier_frac.max(), 1.0);
+  EXPECT_GE(agg.fractions.serialized_frac.min(), 0.0);
+  EXPECT_LE(agg.fractions.serialized_frac.max(), 1.0);
+  EXPECT_GT(agg.fractions.implied_syncs.mean(), 0.0);
+  EXPECT_GT(agg.program_size.mean(), 0.0);
+}
+
+TEST(Harness, VliwAndSimulationOutputs) {
+  RunOptions opt;
+  opt.seeds = 5;
+  opt.with_vliw = true;
+  opt.sim_runs = 5;
+  opt.validate_draws = true;
+  SchedulerConfig cfg;
+  const PointAggregate agg = run_point(gen_config(), cfg, opt);
+  EXPECT_EQ(agg.violation_count, 0u);
+  EXPECT_EQ(agg.vliw_makespan.count(), 5u);
+  EXPECT_GT(agg.vliw_makespan.mean(), 0.0);
+  EXPECT_EQ(agg.norm_min.count(), 5u);
+  // All-min completion can't exceed all-max completion, normalized or not.
+  EXPECT_LE(agg.norm_min.mean(), agg.norm_max.mean());
+  // Simulated mean sits inside the envelope.
+  EXPECT_GE(agg.norm_mean.mean(), agg.norm_min.mean() - 1e-9);
+  EXPECT_LE(agg.norm_mean.mean(), agg.norm_max.mean() + 1e-9);
+}
+
+TEST(Harness, CustomTimingModelFlowsThrough) {
+  RunOptions opt;
+  opt.seeds = 5;
+  opt.timing = TimingModel::table1_with_variation(0.0);  // fully fixed times
+  SchedulerConfig cfg;
+  const PointAggregate agg = run_point(gen_config(), cfg, opt);
+  // Deterministic instruction times: completion range collapses.
+  EXPECT_DOUBLE_EQ(agg.fractions.completion_min.mean(),
+                   agg.fractions.completion_max.mean());
+}
+
+TEST(Metrics, AggregateAccumulatesSchedulerStats) {
+  ScheduleStats s;
+  s.implied_syncs = 10;
+  s.serialized_edges = 6;
+  s.cross_edges = 4;
+  s.barriers_final = 1;
+  s.cross_path_satisfied = 2;
+  s.cross_timing_satisfied = 1;
+  s.completion = {10, 20};
+  FractionAggregate agg;
+  agg.add(s);
+  agg.add(s);
+  EXPECT_EQ(agg.barrier_frac.count(), 2u);
+  EXPECT_DOUBLE_EQ(agg.barrier_frac.mean(), 0.1);
+  EXPECT_DOUBLE_EQ(agg.serialized_frac.mean(), 0.6);
+  EXPECT_DOUBLE_EQ(agg.static_frac.mean(), 0.3);
+  EXPECT_DOUBLE_EQ(agg.no_runtime_frac.mean(), 0.9);
+  EXPECT_DOUBLE_EQ(agg.cross_resolved_frac.mean(), 0.75);
+  EXPECT_DOUBLE_EQ(agg.completion_min.mean(), 10.0);
+  EXPECT_DOUBLE_EQ(agg.completion_max.mean(), 20.0);
+}
+
+TEST(Metrics, ZeroImpliedSyncsYieldZeroFractions) {
+  ScheduleStats s;
+  EXPECT_EQ(s.barrier_fraction(), 0.0);
+  EXPECT_EQ(s.serialized_fraction(), 0.0);
+  EXPECT_EQ(s.static_fraction(), 0.0);
+  FractionAggregate agg;
+  agg.add(s);  // cross_edges == 0: cross_resolved skipped
+  EXPECT_EQ(agg.cross_resolved_frac.count(), 0u);
+}
+
+}  // namespace
+}  // namespace bm

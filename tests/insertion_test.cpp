@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include "sched/insertion.hpp"
+#include "sim/simulator.hpp"
+
+namespace bm {
+namespace {
+
+Operand C(std::int64_t v) { return Operand::constant(v); }
+Operand T(TupleId id) { return Operand::tuple(id); }
+
+/// Timing model with handy fixed/controllable ranges per opcode:
+/// And/Or [1,1], Add/Mul [2,2], Sub [4,6], Load [5,7], Store [1,1].
+TimingModel designer_timing() {
+  TimingModel tm;
+  tm.set(Opcode::kLoad, {5, 7});
+  tm.set(Opcode::kStore, {1, 1});
+  tm.set(Opcode::kAdd, {2, 2});
+  tm.set(Opcode::kSub, {4, 6});
+  tm.set(Opcode::kAnd, {1, 1});
+  tm.set(Opcode::kOr, {1, 1});
+  tm.set(Opcode::kMul, {2, 2});
+  tm.set(Opcode::kDiv, {3, 30});
+  tm.set(Opcode::kMod, {3, 3});
+  return tm;
+}
+
+TEST(Insertion, SerializedPairNeedsNothing) {
+  Program p(1);
+  p.append(Tuple::load(0, 0));
+  p.append(Tuple::store(1, 0, T(0)));
+  const InstrDag dag = InstrDag::build(p, TimingModel::table1());
+  Schedule sched(dag, 2);
+  sched.append_instr(0, 0);
+  sched.append_instr(0, 1);
+  EXPECT_TRUE(sync_satisfied(sched, 0, 1, InsertionPolicy::kConservative));
+  const SyncOutcome o =
+      ensure_sync(sched, 0, 1, InsertionPolicy::kConservative, false);
+  EXPECT_EQ(o.kind, SyncOutcome::Kind::kSerialized);
+  EXPECT_EQ(sched.inserted_barrier_count(), 0u);
+}
+
+TEST(Insertion, ExistingBarrierChainSatisfiesByPath) {
+  Program p(2);
+  p.append(Tuple::load(0, 0));                                  // producer
+  p.append(Tuple::binary(1, Opcode::kAdd, T(0), C(1)));         // consumer
+  const InstrDag dag = InstrDag::build(p, TimingModel::table1());
+  Schedule sched(dag, 2);
+  sched.append_instr(0, 0);
+  sched.insert_barrier({{0, 1}, {1, 0}});
+  sched.append_instr(1, 1);
+  const SyncOutcome o =
+      ensure_sync(sched, 0, 1, InsertionPolicy::kConservative, false);
+  EXPECT_EQ(o.kind, SyncOutcome::Kind::kPathSatisfied);
+  EXPECT_EQ(sched.inserted_barrier_count(), 1u);  // only the pre-existing one
+}
+
+TEST(Insertion, InitialBarrierTimingSatisfiesDeterministicCase) {
+  // Producer And [1,1] at P0 start; consumer on P1 after two And's
+  // (δ_min(i⁻)=2 ≥ T_max(g)=1): resolved purely by static timing.
+  Program p(1);
+  p.append(Tuple::binary(0, Opcode::kAnd, C(1), C(1)));  // producer, P0
+  p.append(Tuple::binary(1, Opcode::kAnd, C(2), C(2)));  // filler, P1
+  p.append(Tuple::binary(2, Opcode::kAnd, C(3), C(3)));  // filler, P1
+  p.append(Tuple::binary(3, Opcode::kOr, T(0), C(0)));   // consumer, P1
+  const InstrDag dag = InstrDag::build(p, designer_timing());
+  Schedule sched(dag, 2);
+  sched.append_instr(0, 0);
+  sched.append_instr(1, 1);
+  sched.append_instr(1, 2);
+  sched.append_instr(1, 3);
+  const SyncOutcome o =
+      ensure_sync(sched, 0, 3, InsertionPolicy::kConservative, false);
+  EXPECT_EQ(o.kind, SyncOutcome::Kind::kTimingSatisfied);
+  EXPECT_EQ(sched.inserted_barrier_count(), 0u);
+}
+
+TEST(Insertion, VariableTimeProducerForcesBarrier) {
+  // Load [5,7] producer; consumer immediately on the other processor:
+  // T_min(i⁻)=0 < T_max(g)=7 → barrier required.
+  Program p(1);
+  p.append(Tuple::load(0, 0));
+  p.append(Tuple::binary(1, Opcode::kOr, T(0), C(0)));
+  const InstrDag dag = InstrDag::build(p, designer_timing());
+  Schedule sched(dag, 2);
+  sched.append_instr(0, 0);
+  sched.append_instr(1, 1);
+  EXPECT_FALSE(sync_satisfied(sched, 0, 1, InsertionPolicy::kConservative));
+  EXPECT_FALSE(sync_satisfied(sched, 0, 1, InsertionPolicy::kOptimal));
+  const SyncOutcome o =
+      ensure_sync(sched, 0, 1, InsertionPolicy::kConservative, false);
+  ASSERT_EQ(o.kind, SyncOutcome::Kind::kBarrierInserted);
+  // Placement: right after the producer on P0, right before the consumer
+  // on P1.
+  EXPECT_TRUE(sched.stream(0)[1].is_barrier);
+  EXPECT_TRUE(sched.stream(1)[0].is_barrier);
+  EXPECT_EQ(sched.loc(1).pos, 1u);
+  // And the pair is now path-satisfied.
+  EXPECT_TRUE(sync_satisfied(sched, 0, 1, InsertionPolicy::kConservative));
+}
+
+TEST(Insertion, GPlusPlacementLetsProducerSideRunLonger) {
+  // P0: g=Load[5,7] then three Add's (max windows end at 9, 11, 13).
+  // P1: i⁻=Div[3,30] then the consumer. δ_min(i⁻)=3 < T_max(g)=7 → barrier;
+  // T_max(i⁻)=30 exceeds every P0 window → barrier at P0 segment end.
+  Program p(1);
+  p.append(Tuple::load(0, 0));                           // g [5,7]
+  p.append(Tuple::binary(1, Opcode::kAdd, C(2), C(2)));
+  p.append(Tuple::binary(2, Opcode::kAdd, C(3), C(3)));
+  p.append(Tuple::binary(3, Opcode::kAdd, C(4), C(4)));
+  p.append(Tuple::binary(4, Opcode::kDiv, C(9), C(2)));  // i⁻ [3,30]
+  p.append(Tuple::binary(5, Opcode::kOr, T(0), C(0)));   // consumer of g
+  const InstrDag dag = InstrDag::build(p, designer_timing());
+  Schedule sched(dag, 2);
+  for (NodeId n = 0; n <= 3; ++n) sched.append_instr(0, n);
+  sched.append_instr(1, 4);
+  sched.append_instr(1, 5);
+  const SyncOutcome o =
+      ensure_sync(sched, 0, 5, InsertionPolicy::kConservative, false);
+  ASSERT_EQ(o.kind, SyncOutcome::Kind::kBarrierInserted);
+  EXPECT_TRUE(sched.stream(0)[4].is_barrier);  // after all of P0's code
+  EXPECT_TRUE(sched.stream(1)[1].is_barrier);  // just before the consumer
+}
+
+TEST(Insertion, GPlusStopsAtCoveringWindow) {
+  // P0: g=Sub[4,6] then Add's with max windows ending at 8, 10, 12.
+  // P1: i⁻=Load[5,7]: δ_min=5 < T_max(g)=6 → barrier; T_max(i⁻)=7 falls in
+  // the first Add's window (6..8] → barrier right after that g⁺ (pos 2).
+  Program p(1);
+  p.append(Tuple::binary(0, Opcode::kSub, C(9), C(1)));  // g [4,6]
+  p.append(Tuple::binary(1, Opcode::kAdd, C(2), C(2)));
+  p.append(Tuple::binary(2, Opcode::kAdd, C(3), C(3)));
+  p.append(Tuple::binary(3, Opcode::kAdd, C(4), C(4)));
+  p.append(Tuple::load(4, 0));                           // i⁻ [5,7]
+  p.append(Tuple::binary(5, Opcode::kOr, T(0), C(0)));   // consumer
+  const InstrDag dag = InstrDag::build(p, designer_timing());
+  Schedule sched(dag, 2);
+  for (NodeId n = 0; n <= 3; ++n) sched.append_instr(0, n);
+  sched.append_instr(1, 4);
+  sched.append_instr(1, 5);
+  const SyncOutcome o =
+      ensure_sync(sched, 0, 5, InsertionPolicy::kConservative, false);
+  ASSERT_EQ(o.kind, SyncOutcome::Kind::kBarrierInserted);
+  EXPECT_FALSE(sched.stream(0)[1].is_barrier);
+  EXPECT_TRUE(sched.stream(0)[2].is_barrier);  // after g and one g⁺
+}
+
+/// The Fig. 13 structure: the conservative algorithm inserts a barrier that
+/// the optimal algorithm proves unnecessary, because the consumer's longest
+/// min-path overlaps the producer's longest max-path on edge (u,y).
+struct Fig13 {
+  Fig13() : prog(make_prog()),
+            dag(InstrDag::build(prog, designer_timing())),
+            sched(dag, 3) {
+    sched.append_instr(0, 0);  // P0 u→y code: Load [5,7]
+    sched.append_instr(1, 1);  // P1 u→y code: Sub [4,6]
+    y = sched.insert_barrier({{0, 1}, {1, 1}});
+    sched.append_instr(0, 4);  // g = Mul [2,2] on P0 after y
+    sched.append_instr(1, 2);  // P1 y→z code: Add [2,2]
+    sched.append_instr(2, 3);  // P2 u→z code: And [1,1]
+    z = sched.insert_barrier({{1, 3}, {2, 1}});
+    sched.append_instr(2, 5);  // i⁻ = And [1,1]
+    sched.append_instr(2, 6);  // i = Or consumes g
+  }
+
+  static Program make_prog() {
+    Program p(1);
+    p.append(Tuple::load(0, 0));                            // 0: [5,7]
+    p.append(Tuple::binary(1, Opcode::kSub, C(9), C(1)));   // 1: [4,6]
+    p.append(Tuple::binary(2, Opcode::kAdd, C(1), C(1)));   // 2: [2,2]
+    p.append(Tuple::binary(3, Opcode::kAnd, C(1), C(1)));   // 3: [1,1]
+    p.append(Tuple::binary(4, Opcode::kMul, C(2), C(2)));   // 4: g [2,2]
+    p.append(Tuple::binary(5, Opcode::kAnd, C(1), C(0)));   // 5: i⁻ [1,1]
+    p.append(Tuple::binary(6, Opcode::kOr, T(4), C(0)));    // 6: i
+    return p;
+  }
+
+  Program prog;
+  InstrDag dag;
+  Schedule sched;
+  BarrierId y = kInvalidBarrier, z = kInvalidBarrier;
+};
+
+TEST(Insertion, Fig13ConservativeInsertsUnnecessaryBarrier) {
+  Fig13 f;
+  // Sanity: the barrier dag matches the figure's timing structure.
+  const BarrierDag& bd = f.sched.barrier_dag();
+  EXPECT_EQ(bd.edge_range(Schedule::kInitialBarrier, f.y), (TimeRange{5, 7}));
+  EXPECT_EQ(bd.edge_range(f.y, f.z), (TimeRange{2, 2}));
+  EXPECT_EQ(bd.edge_range(Schedule::kInitialBarrier, f.z), (TimeRange{1, 1}));
+
+  EXPECT_FALSE(
+      sync_satisfied(f.sched, 4, 6, InsertionPolicy::kConservative));
+  EXPECT_TRUE(sync_satisfied(f.sched, 4, 6, InsertionPolicy::kOptimal));
+}
+
+TEST(Insertion, Fig13OptimalDecisionIsSoundUnderSimulation) {
+  Fig13 f;
+  // The optimal algorithm leaves the pair unsynchronized; verify no draw
+  // can violate the dependence (g finishes before i starts).
+  Rng rng(7);
+  for (int run = 0; run < 300; ++run) {
+    const ExecTrace t = simulate(
+        f.sched, {MachineKind::kDBM, SamplingMode::kUniform}, rng);
+    EXPECT_GE(t.start[6], t.finish[4]);
+  }
+  for (SamplingMode mode : {SamplingMode::kAllMin, SamplingMode::kAllMax,
+                            SamplingMode::kBimodal}) {
+    const ExecTrace t = simulate(f.sched, {MachineKind::kDBM, mode}, rng);
+    EXPECT_GE(t.start[6], t.finish[4]);
+  }
+}
+
+TEST(Insertion, OptimalNeverInsertsWhereConservativeDoesNot) {
+  // On simple two-processor cases the two algorithms agree whenever the
+  // conservative one is already satisfied.
+  Program p(1);
+  p.append(Tuple::binary(0, Opcode::kAnd, C(1), C(1)));
+  p.append(Tuple::binary(1, Opcode::kAnd, C(2), C(2)));
+  p.append(Tuple::binary(2, Opcode::kOr, T(0), C(0)));
+  const InstrDag dag = InstrDag::build(p, designer_timing());
+  Schedule sched(dag, 2);
+  sched.append_instr(0, 0);
+  sched.append_instr(1, 1);
+  sched.append_instr(1, 2);
+  ASSERT_TRUE(sync_satisfied(sched, 0, 2, InsertionPolicy::kConservative));
+  EXPECT_TRUE(sync_satisfied(sched, 0, 2, InsertionPolicy::kOptimal));
+}
+
+TEST(Insertion, MergeCombinesOverlappingBarrierOnInsert) {
+  // Four processors; an existing unordered barrier overlapping the new one
+  // gets merged when merge_barriers is enabled (SBM mode).
+  Program p(2);
+  p.append(Tuple::load(0, 0));
+  p.append(Tuple::binary(1, Opcode::kOr, T(0), C(0)));
+  p.append(Tuple::load(2, 1));
+  p.append(Tuple::binary(3, Opcode::kOr, T(2), C(0)));
+  const InstrDag dag = InstrDag::build(p, TimingModel::table1());
+  Schedule sched(dag, 4);
+  sched.append_instr(0, 0);
+  sched.append_instr(1, 1);
+  sched.append_instr(2, 2);
+  sched.append_instr(3, 3);
+  const SyncOutcome o1 =
+      ensure_sync(sched, 0, 1, InsertionPolicy::kConservative, true);
+  ASSERT_EQ(o1.kind, SyncOutcome::Kind::kBarrierInserted);
+  EXPECT_EQ(o1.merges, 0u);
+  const SyncOutcome o2 =
+      ensure_sync(sched, 2, 3, InsertionPolicy::kConservative, true);
+  ASSERT_EQ(o2.kind, SyncOutcome::Kind::kBarrierInserted);
+  EXPECT_EQ(o2.merges, 1u);
+  EXPECT_EQ(sched.inserted_barrier_count(), 1u);
+  EXPECT_EQ(sched.barrier_mask(o2.barrier).count(), 4u);
+}
+
+}  // namespace
+}  // namespace bm

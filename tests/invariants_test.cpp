@@ -1,0 +1,175 @@
+// Deep invariant checks: exact agreement between the static barrier-dag
+// analysis and the simulators under extreme draws, schedule-mutation
+// fuzzing, and whole-space scheduler accounting invariants.
+#include <gtest/gtest.h>
+
+#include "codegen/synthesize.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace bm {
+namespace {
+
+TEST(FireRanges, ExtremeDrawsRealizeExactBounds) {
+  // In the all-min draw every barrier fires exactly at B_min; in the
+  // all-max draw exactly at B_max (the static fire range is achieved, not
+  // just bounded).
+  const GeneratorConfig gen{.num_statements = 40, .num_variables = 10,
+                            .num_constants = 4, .const_max = 64};
+  SchedulerConfig cfg;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed * 3 + 11);
+    const SynthesisResult s = synthesize_benchmark(gen, rng);
+    const InstrDag dag = InstrDag::build(s.program, TimingModel::table1());
+    const ScheduleResult r = schedule_program(dag, cfg, rng);
+    const BarrierDag& bd = r.schedule->barrier_dag();
+    const ExecTrace lo =
+        simulate(*r.schedule, {cfg.machine, SamplingMode::kAllMin}, rng);
+    const ExecTrace hi =
+        simulate(*r.schedule, {cfg.machine, SamplingMode::kAllMax}, rng);
+    for (BarrierId b = 0; b < r.schedule->barrier_id_bound(); ++b) {
+      if (!r.schedule->barrier_alive(b)) continue;
+      EXPECT_EQ(lo.barrier_fire[b], bd.fire_range(b).min) << "barrier " << b;
+      EXPECT_EQ(hi.barrier_fire[b], bd.fire_range(b).max) << "barrier " << b;
+    }
+  }
+}
+
+TEST(FireRanges, PsiMaxAgreesWithPathEnumeration) {
+  const GeneratorConfig gen{.num_statements = 50, .num_variables = 12,
+                            .num_constants = 4, .const_max = 64};
+  SchedulerConfig cfg;
+  Rng rng(99);
+  const SynthesisResult s = synthesize_benchmark(gen, rng);
+  const InstrDag dag = InstrDag::build(s.program, TimingModel::table1());
+  const ScheduleResult r = schedule_program(dag, cfg, rng);
+  const BarrierDag& bd = r.schedule->barrier_dag();
+  for (BarrierId u : bd.barrier_ids()) {
+    for (BarrierId v : bd.barrier_ids()) {
+      if (!bd.path_exists(u, v)) continue;
+      auto paths = bd.max_paths(u, v);
+      std::vector<BarrierId> path;
+      Time len = 0;
+      ASSERT_TRUE(paths.next(path, len));
+      EXPECT_EQ(len, bd.psi_max(u, v)) << "B" << u << "→B" << v;
+      EXPECT_EQ(path.front(), u);
+      EXPECT_EQ(path.back(), v);
+      // ψ_min never exceeds ψ_max, and ψ*_min with no forcing equals ψ_min.
+      EXPECT_LE(bd.psi_min(u, v), bd.psi_max(u, v));
+      EXPECT_EQ(bd.psi_min_star(u, v, {}), bd.psi_min(u, v));
+    }
+  }
+}
+
+TEST(ScheduleFuzz, RandomFeasibleMutationsKeepInvariants) {
+  // Random append/insert sequences (inserting only where order_feasible
+  // approves) must never throw, never lose an instruction, and always
+  // produce an acyclic barrier dag with consistent positions.
+  Rng rng(31337);
+  for (int trial = 0; trial < 20; ++trial) {
+    const GeneratorConfig gen{.num_statements = 20, .num_variables = 6,
+                              .num_constants = 3, .const_max = 32};
+    Rng grng(rng.next());
+    const SynthesisResult s = synthesize_benchmark(gen, grng);
+    const InstrDag dag = InstrDag::build(s.program, TimingModel::table1());
+    const std::size_t procs = 3 + rng.index(4);
+    Schedule sched(dag, procs);
+
+    // Place instructions in dependence order on random processors.
+    for (NodeId n = 0; n < dag.num_instructions(); ++n)
+      sched.append_instr(static_cast<ProcId>(rng.index(procs)), n);
+
+    // Random barrier insertions at random positions, gated on feasibility.
+    std::size_t inserted = 0;
+    for (int k = 0; k < 15; ++k) {
+      const auto p1 = static_cast<ProcId>(rng.index(procs));
+      auto p2 = static_cast<ProcId>(rng.index(procs));
+      if (p1 == p2) p2 = static_cast<ProcId>((p2 + 1) % procs);
+      const std::vector<Schedule::Loc> at = {
+          {p1, static_cast<std::uint32_t>(
+                   rng.index(sched.stream(p1).size() + 1))},
+          {p2, static_cast<std::uint32_t>(
+                   rng.index(sched.stream(p2).size() + 1))}};
+      if (!sched.order_feasible(at)) continue;
+      sched.insert_barrier(at);
+      ++inserted;
+    }
+    // Invariants.
+    EXPECT_NO_THROW(sched.barrier_dag());
+    EXPECT_TRUE(sched.order_feasible({}));
+    std::size_t placed = 0;
+    for (ProcId p = 0; p < procs; ++p) {
+      const auto& stream = sched.stream(p);
+      for (std::uint32_t pos = 0; pos < stream.size(); ++pos) {
+        if (stream[pos].is_barrier) continue;
+        ++placed;
+        EXPECT_EQ(sched.loc(stream[pos].id).proc, p);
+        EXPECT_EQ(sched.loc(stream[pos].id).pos, pos);
+      }
+    }
+    EXPECT_EQ(placed, dag.num_instructions());
+    // Merging after the fact keeps everything consistent too.
+    sched.merge_overlapping_all();
+    EXPECT_TRUE(sched.order_feasible({}));
+    EXPECT_NO_THROW(sched.completion());
+    (void)inserted;
+  }
+}
+
+struct PolicyPoint {
+  MachineKind machine;
+  InsertionPolicy insertion;
+  OrderingPolicy ordering;
+  AssignmentPolicy assignment;
+};
+
+class AllPolicies : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllPolicies, AccountingInvariantsHoldEverywhere) {
+  // Cross product of every policy knob: the §3.1 accounting identities must
+  // hold regardless of configuration.
+  const int index = GetParam();
+  const PolicyPoint pt{
+      (index & 1) ? MachineKind::kDBM : MachineKind::kSBM,
+      (index & 2) ? InsertionPolicy::kOptimal : InsertionPolicy::kConservative,
+      (index & 4) ? OrderingPolicy::kMinThenMax : OrderingPolicy::kMaxThenMin,
+      (index & 8) ? AssignmentPolicy::kRoundRobin
+                  : ((index & 16) ? AssignmentPolicy::kLookahead
+                                  : AssignmentPolicy::kListSerialize)};
+  const GeneratorConfig gen{.num_statements = 30, .num_variables = 8,
+                            .num_constants = 4, .const_max = 64};
+  SchedulerConfig cfg;
+  cfg.machine = pt.machine;
+  cfg.insertion = pt.insertion;
+  cfg.ordering = pt.ordering;
+  cfg.assignment = pt.assignment;
+  cfg.num_procs = 6;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    Rng rng(seed * 7 + static_cast<std::uint64_t>(index) * 131 + 1);
+    const SynthesisResult s = synthesize_benchmark(gen, rng);
+    const InstrDag dag = InstrDag::build(s.program, TimingModel::table1());
+    const ScheduleResult r = schedule_program(dag, cfg, rng);
+    const ScheduleStats& st = r.stats;
+    EXPECT_EQ(st.serialized_edges + st.cross_edges, st.implied_syncs);
+    EXPECT_NEAR(st.barrier_fraction() + st.serialized_fraction() +
+                    st.static_fraction(),
+                st.implied_syncs ? 1.0 : 0.0, 1e-12);
+    EXPECT_LE(st.barriers_final, st.barriers_inserted + st.repair_barriers);
+    EXPECT_LE(st.procs_used, cfg.num_procs);
+    EXPECT_GE(st.completion.min, st.critical_path.min);
+    EXPECT_GE(st.completion.max, st.critical_path.max);
+    if (pt.machine == MachineKind::kDBM) {
+      EXPECT_EQ(st.merges, 0u);
+    }
+    // And the schedule executes soundly.
+    const ExecTrace t =
+        simulate(*r.schedule, {pt.machine, SamplingMode::kBimodal}, rng);
+    EXPECT_TRUE(find_violations(dag, t).empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PolicyCrossProduct, AllPolicies,
+                         ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace bm

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "ir/opcode.hpp"
+#include "ir/program.hpp"
+#include "ir/timing.hpp"
+#include "ir/tuple.hpp"
+#include "support/assert.hpp"
+
+namespace bm {
+namespace {
+
+// ------------------------------------------------------------- Opcode ------
+
+TEST(Opcode, NamesMatchPaper) {
+  EXPECT_EQ(opcode_name(Opcode::kLoad), "Load");
+  EXPECT_EQ(opcode_name(Opcode::kMod), "Mod");
+  EXPECT_EQ(all_opcodes().size(), kNumOpcodes);
+}
+
+TEST(Opcode, BinaryClassification) {
+  EXPECT_FALSE(is_binary_op(Opcode::kLoad));
+  EXPECT_FALSE(is_binary_op(Opcode::kStore));
+  for (Opcode op : {Opcode::kAdd, Opcode::kSub, Opcode::kAnd, Opcode::kOr,
+                    Opcode::kMul, Opcode::kDiv, Opcode::kMod})
+    EXPECT_TRUE(is_binary_op(op));
+}
+
+TEST(Opcode, Table1FrequenciesSumTo100) {
+  double total = 0;
+  for (Opcode op : all_opcodes()) total += opcode_frequency_percent(op);
+  EXPECT_NEAR(total, 100.0, 1e-9);
+  EXPECT_DOUBLE_EQ(opcode_frequency_percent(Opcode::kAdd), 45.8);
+  EXPECT_DOUBLE_EQ(opcode_frequency_percent(Opcode::kMod), 1.2);
+}
+
+TEST(Opcode, FoldBinary) {
+  EXPECT_EQ(fold_binary(Opcode::kAdd, 3, 4), 7);
+  EXPECT_EQ(fold_binary(Opcode::kSub, 3, 4), -1);
+  EXPECT_EQ(fold_binary(Opcode::kAnd, 6, 3), 2);
+  EXPECT_EQ(fold_binary(Opcode::kOr, 6, 3), 7);
+  EXPECT_EQ(fold_binary(Opcode::kMul, 6, 3), 18);
+  EXPECT_EQ(fold_binary(Opcode::kDiv, 7, 2), 3);
+  EXPECT_EQ(fold_binary(Opcode::kMod, 7, 2), 1);
+  EXPECT_EQ(fold_binary(Opcode::kDiv, 7, 0), 0);  // defined-to-zero
+  EXPECT_EQ(fold_binary(Opcode::kMod, 7, 0), 0);
+  EXPECT_THROW(fold_binary(Opcode::kLoad, 1, 2), Error);
+}
+
+TEST(Opcode, Commutativity) {
+  EXPECT_TRUE(is_commutative(Opcode::kAdd));
+  EXPECT_TRUE(is_commutative(Opcode::kMul));
+  EXPECT_TRUE(is_commutative(Opcode::kAnd));
+  EXPECT_TRUE(is_commutative(Opcode::kOr));
+  EXPECT_FALSE(is_commutative(Opcode::kSub));
+  EXPECT_FALSE(is_commutative(Opcode::kDiv));
+  EXPECT_FALSE(is_commutative(Opcode::kMod));
+}
+
+// ----------------------------------------------------------- TimeRange -----
+
+TEST(TimeRange, SequentialComposition) {
+  const TimeRange a{1, 4}, b{16, 24};
+  EXPECT_EQ(a + b, (TimeRange{17, 28}));
+  TimeRange c = a;
+  c += b;
+  EXPECT_EQ(c, (TimeRange{17, 28}));
+}
+
+TEST(TimeRange, JoinMaxIsBarrierRule) {
+  // Fig. 13: two processors between the same barriers with [4,4] and [5,7]
+  // give the edge [5,7] — max of mins AND max of maxes.
+  EXPECT_EQ((TimeRange{4, 4}).join_max({5, 7}), (TimeRange{5, 7}));
+  EXPECT_EQ((TimeRange{1, 10}).join_max({5, 7}), (TimeRange{5, 10}));
+}
+
+TEST(TimeRange, Overlaps) {
+  EXPECT_TRUE((TimeRange{1, 5}).overlaps({5, 9}));
+  EXPECT_FALSE((TimeRange{1, 4}).overlaps({5, 9}));
+  EXPECT_TRUE((TimeRange{0, 100}).overlaps({50, 60}));
+}
+
+TEST(TimeRange, ContainsAndWidth) {
+  const TimeRange r{3, 7};
+  EXPECT_TRUE(r.contains(3));
+  EXPECT_TRUE(r.contains(7));
+  EXPECT_FALSE(r.contains(8));
+  EXPECT_EQ(r.width(), 4);
+  EXPECT_FALSE(r.is_fixed());
+  EXPECT_TRUE(TimeRange::fixed(5).is_fixed());
+  EXPECT_EQ(r.to_string(), "[3,7]");
+}
+
+// ---------------------------------------------------------- TimingModel ----
+
+TEST(TimingModel, Table1MatchesPaper) {
+  const TimingModel tm = TimingModel::table1();
+  EXPECT_EQ(tm.range(Opcode::kLoad), (TimeRange{1, 4}));
+  EXPECT_EQ(tm.range(Opcode::kStore), (TimeRange{1, 1}));
+  EXPECT_EQ(tm.range(Opcode::kAdd), (TimeRange{1, 1}));
+  EXPECT_EQ(tm.range(Opcode::kSub), (TimeRange{1, 1}));
+  EXPECT_EQ(tm.range(Opcode::kAnd), (TimeRange{1, 1}));
+  EXPECT_EQ(tm.range(Opcode::kOr), (TimeRange{1, 1}));
+  EXPECT_EQ(tm.range(Opcode::kMul), (TimeRange{16, 24}));
+  EXPECT_EQ(tm.range(Opcode::kDiv), (TimeRange{24, 32}));
+  EXPECT_EQ(tm.range(Opcode::kMod), (TimeRange{24, 32}));
+  EXPECT_FALSE(tm.is_deterministic());
+}
+
+TEST(TimingModel, VariationScalesWidths) {
+  const TimingModel tm = TimingModel::table1_with_variation(3.0);
+  EXPECT_EQ(tm.range(Opcode::kLoad), (TimeRange{1, 10}));   // width 3 -> 9
+  EXPECT_EQ(tm.range(Opcode::kMul), (TimeRange{16, 40}));   // width 8 -> 24
+  EXPECT_EQ(tm.range(Opcode::kAdd), (TimeRange{1, 1}));     // fixed stays
+  const TimingModel zero = TimingModel::table1_with_variation(0.0);
+  EXPECT_TRUE(zero.is_deterministic());
+  EXPECT_EQ(zero.range(Opcode::kLoad), (TimeRange{1, 1}));
+}
+
+TEST(TimingModel, AllMaxIsVliwAssumption) {
+  const TimingModel tm = TimingModel::table1_all_max();
+  EXPECT_TRUE(tm.is_deterministic());
+  EXPECT_EQ(tm.range(Opcode::kLoad), (TimeRange{4, 4}));
+  EXPECT_EQ(tm.range(Opcode::kDiv), (TimeRange{32, 32}));
+}
+
+TEST(TimingModel, RejectsInvalidRange) {
+  TimingModel tm;
+  EXPECT_THROW(tm.set(Opcode::kAdd, TimeRange{5, 2}), Error);
+  EXPECT_THROW(tm.set(Opcode::kAdd, TimeRange{-1, 2}), Error);
+  EXPECT_THROW(TimingModel::table1_with_variation(-1.0), Error);
+}
+
+// -------------------------------------------------------------- Tuple ------
+
+TEST(Tuple, Factories) {
+  const Tuple l = Tuple::load(5, 2);
+  EXPECT_TRUE(l.is_load());
+  EXPECT_EQ(l.var, 2u);
+  EXPECT_EQ(l.operand_count(), 0);
+
+  const Tuple s = Tuple::store(6, 1, Operand::tuple(0));
+  EXPECT_TRUE(s.is_store());
+  EXPECT_EQ(s.operand_count(), 1);
+  EXPECT_EQ(s.operand(0).tuple_id(), 0u);
+
+  const Tuple b =
+      Tuple::binary(7, Opcode::kAdd, Operand::tuple(0), Operand::constant(3));
+  EXPECT_TRUE(b.is_binary());
+  EXPECT_EQ(b.operand_count(), 2);
+  EXPECT_EQ(b.operand(1).const_value(), 3);
+  EXPECT_THROW(Tuple::binary(8, Opcode::kLoad, {}, {}), Error);
+}
+
+TEST(Tuple, OperandKindChecks) {
+  const Operand c = Operand::constant(9);
+  EXPECT_THROW(c.tuple_id(), Error);
+  const Operand t = Operand::tuple(3);
+  EXPECT_THROW(t.const_value(), Error);
+  const Tuple b = Tuple::binary(0, Opcode::kAdd, c, t);
+  EXPECT_THROW(b.operand(2), Error);
+}
+
+TEST(Tuple, VarNames) {
+  EXPECT_EQ(var_name(0), "a");
+  EXPECT_EQ(var_name(25), "z");
+  EXPECT_EQ(var_name(26), "v26");
+}
+
+TEST(Tuple, ToString) {
+  EXPECT_EQ(tuple_to_string(Tuple::load(0, 3)), "Load d");
+  EXPECT_EQ(tuple_to_string(Tuple::store(1, 6, Operand::tuple(38))),
+            "Store g,38");
+  EXPECT_EQ(tuple_to_string(Tuple::binary(2, Opcode::kAdd, Operand::tuple(12),
+                                          Operand::tuple(30))),
+            "Add 12,30");
+  EXPECT_EQ(tuple_to_string(Tuple::binary(3, Opcode::kSub, Operand::tuple(4),
+                                          Operand::constant(7))),
+            "Sub 4,#7");
+}
+
+// ------------------------------------------------------------- Program -----
+
+TEST(Program, AppendChecksReferences) {
+  Program p(2);
+  const TupleId a = p.append(Tuple::load(0, 0));
+  EXPECT_EQ(a, 0u);
+  // Forward reference rejected.
+  EXPECT_THROW(
+      p.append(Tuple::binary(1, Opcode::kAdd, Operand::tuple(5), Operand::tuple(0))),
+      Error);
+  // Out-of-range variable rejected.
+  EXPECT_THROW(p.append(Tuple::load(2, 2)), Error);
+}
+
+TEST(Program, ValidateCatchesCorruption) {
+  Program p(1);
+  p.append(Tuple::load(0, 0));
+  std::vector<Tuple> bad = p.tuples();
+  bad.push_back(Tuple::store(1, 0, Operand::tuple(7)));
+  p.replace_all(std::move(bad));
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(Program, SerialTimeSumsRanges) {
+  Program p(1);
+  p.append(Tuple::load(0, 0));                                      // [1,4]
+  p.append(Tuple::binary(1, Opcode::kMul, Operand::tuple(0),
+                         Operand::tuple(0)));                       // [16,24]
+  p.append(Tuple::store(2, 0, Operand::tuple(1)));                  // [1,1]
+  EXPECT_EQ(p.serial_time(TimingModel::table1()), (TimeRange{18, 29}));
+}
+
+TEST(Program, ListingShowsUidsWithGaps) {
+  Program p(2);
+  Tuple l = Tuple::load(0, 0);
+  p.append(l);
+  Tuple add = Tuple::binary(7, Opcode::kAdd, Operand::tuple(0),
+                            Operand::constant(1));
+  p.append(add);
+  Tuple st = Tuple::store(9, 1, Operand::tuple(1));
+  p.append(st);
+  const std::string s = p.to_string();
+  EXPECT_NE(s.find("   7  Add 0,#1"), std::string::npos);
+  // Store's operand is rendered by uid (7), not dense index (1).
+  EXPECT_NE(s.find("   9  Store b,7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bm

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "codegen/synthesize.hpp"
+#include "mimd/directed.hpp"
+#include "mimd/reduce.hpp"
+#include "sched/scheduler.hpp"
+
+namespace bm {
+namespace {
+
+Operand C(std::int64_t v) { return Operand::constant(v); }
+Operand T(TupleId id) { return Operand::tuple(id); }
+
+TEST(DirectedSync, SerialStreamRunsBackToBack) {
+  Program p(1);
+  p.append(Tuple::load(0, 0));
+  p.append(Tuple::store(1, 0, T(0)));
+  const InstrDag dag = InstrDag::build(p, TimingModel::table1());
+  Schedule sched(dag, 2);
+  sched.append_instr(0, 0);
+  sched.append_instr(0, 1);
+  Rng rng(1);
+  DirectedSyncConfig cfg;
+  cfg.sampling = SamplingMode::kAllMax;
+  const DirectedSyncResult r = simulate_directed(sched, cfg, rng);
+  EXPECT_EQ(r.runtime_syncs, 0u);  // same processor: program order suffices
+  EXPECT_EQ(r.trace.completion, 5);
+}
+
+TEST(DirectedSync, CrossEdgeCostsPostAndLatency) {
+  Program p(1);
+  p.append(Tuple::binary(0, Opcode::kAdd, C(1), C(1)));  // producer [1,1]
+  p.append(Tuple::binary(1, Opcode::kOr, T(0), C(0)));   // consumer [1,1]
+  const InstrDag dag = InstrDag::build(p, TimingModel::table1());
+  Schedule sched(dag, 2);
+  sched.append_instr(0, 0);
+  sched.append_instr(1, 1);
+  Rng rng(2);
+  DirectedSyncConfig cfg;
+  cfg.post_cost = 2;
+  cfg.latency = {3, 3};
+  cfg.sampling = SamplingMode::kAllMax;
+  const DirectedSyncResult r = simulate_directed(sched, cfg, rng);
+  EXPECT_EQ(r.runtime_syncs, 1u);
+  // Producer: 1 cycle op + 2 post; signal lands at 3+3=6; consumer 6..7.
+  EXPECT_EQ(r.trace.start[1], 6);
+  EXPECT_EQ(r.trace.completion, 7);
+}
+
+TEST(DirectedSync, OnePostPerConsumerProcessor) {
+  Program p(1);
+  p.append(Tuple::binary(0, Opcode::kAdd, C(1), C(1)));
+  p.append(Tuple::binary(1, Opcode::kOr, T(0), C(0)));
+  p.append(Tuple::binary(2, Opcode::kOr, T(0), C(1)));
+  p.append(Tuple::binary(3, Opcode::kOr, T(0), C(2)));
+  const InstrDag dag = InstrDag::build(p, TimingModel::table1());
+  Schedule sched(dag, 3);
+  sched.append_instr(0, 0);
+  sched.append_instr(1, 1);
+  sched.append_instr(1, 2);  // two consumers on P1: one post
+  sched.append_instr(2, 3);  // one consumer on P2: another post
+  Rng rng(3);
+  const DirectedSyncResult r = simulate_directed(sched, DirectedSyncConfig{}, rng);
+  EXPECT_EQ(r.runtime_syncs, 2u);
+}
+
+TEST(DirectedSync, RespectsAllDependences) {
+  const GeneratorConfig gen{.num_statements = 40, .num_variables = 10,
+                            .num_constants = 4, .const_max = 64};
+  SchedulerConfig cfg;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed * 3 + 1);
+    const SynthesisResult s = synthesize_benchmark(gen, rng);
+    const InstrDag dag = InstrDag::build(s.program, TimingModel::table1());
+    const ScheduleResult r = schedule_program(dag, cfg, rng);
+    for (int run = 0; run < 5; ++run) {
+      const DirectedSyncResult d =
+          simulate_directed(*r.schedule, DirectedSyncConfig{}, rng);
+      EXPECT_TRUE(find_violations(dag, d.trace).empty()) << "seed " << seed;
+      EXPECT_EQ(d.runtime_syncs > 0, r.stats.cross_edges > 0);
+    }
+  }
+}
+
+TEST(DirectedSync, HigherLatencySlowsCompletion) {
+  const GeneratorConfig gen{.num_statements = 40, .num_variables = 10,
+                            .num_constants = 4, .const_max = 64};
+  SchedulerConfig cfg;
+  Rng rng(77);
+  const SynthesisResult s = synthesize_benchmark(gen, rng);
+  const InstrDag dag = InstrDag::build(s.program, TimingModel::table1());
+  const ScheduleResult r = schedule_program(dag, cfg, rng);
+  DirectedSyncConfig fast, slow;
+  fast.latency = {1, 1};
+  fast.sampling = SamplingMode::kAllMax;
+  slow.latency = {30, 30};
+  slow.sampling = SamplingMode::kAllMax;
+  Rng r1(1), r2(1);
+  const Time t_fast = simulate_directed(*r.schedule, fast, r1).trace.completion;
+  const Time t_slow = simulate_directed(*r.schedule, slow, r2).trace.completion;
+  EXPECT_LT(t_fast, t_slow);
+}
+
+TEST(SyncReduction, ElidesTransitivelyImpliedEdge) {
+  // t0 on P0, t1 = f(t0) on P1, t2 = g(t0, t1) on P2: the edge t0→t2 is
+  // implied by t0→t1→t2 and must be elided; the other two stay.
+  Program p(1);
+  p.append(Tuple::binary(0, Opcode::kAdd, C(1), C(1)));
+  p.append(Tuple::binary(1, Opcode::kOr, T(0), C(0)));
+  p.append(Tuple::binary(2, Opcode::kAdd, T(0), T(1)));
+  const InstrDag dag = InstrDag::build(p, TimingModel::table1());
+  Schedule sched(dag, 3);
+  sched.append_instr(0, 0);
+  sched.append_instr(1, 1);
+  sched.append_instr(2, 2);
+  const SyncReduction r = reduce_directed_syncs(sched);
+  EXPECT_EQ(r.total_cross_edges, 3u);
+  EXPECT_EQ(r.elided, 1u);
+  EXPECT_EQ(r.retained, 2u);
+  EXPECT_DOUBLE_EQ(r.elision_fraction(), 1.0 / 3.0);
+  for (const auto& [g, i] : r.kept) EXPECT_FALSE(g == 0 && i == 2);
+}
+
+TEST(SyncReduction, ProgramOrderImpliesSameChainConsumers) {
+  // Producer on P0; two consumers in order on P1: the second consumer's
+  // sync is implied by the first's plus P1 program order.
+  Program p(1);
+  p.append(Tuple::binary(0, Opcode::kAdd, C(1), C(1)));
+  p.append(Tuple::binary(1, Opcode::kOr, T(0), C(0)));
+  p.append(Tuple::binary(2, Opcode::kOr, T(0), C(1)));
+  const InstrDag dag = InstrDag::build(p, TimingModel::table1());
+  Schedule sched(dag, 2);
+  sched.append_instr(0, 0);
+  sched.append_instr(1, 1);
+  sched.append_instr(1, 2);
+  const SyncReduction r = reduce_directed_syncs(sched);
+  EXPECT_EQ(r.total_cross_edges, 2u);
+  EXPECT_EQ(r.retained, 1u);
+}
+
+TEST(SyncReduction, ReducedSetStillOrdersEverything) {
+  const GeneratorConfig gen{.num_statements = 40, .num_variables = 10,
+                            .num_constants = 4, .const_max = 64};
+  SchedulerConfig cfg;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed * 5 + 3);
+    const SynthesisResult s = synthesize_benchmark(gen, rng);
+    const InstrDag dag = InstrDag::build(s.program, TimingModel::table1());
+    const ScheduleResult r = schedule_program(dag, cfg, rng);
+    const SyncReduction red = reduce_directed_syncs(*r.schedule);
+    EXPECT_EQ(red.retained + red.elided, red.total_cross_edges);
+    // Executing with only the retained syncs must respect every dependence.
+    for (int run = 0; run < 5; ++run) {
+      const DirectedSyncResult d = simulate_directed(
+          *r.schedule, DirectedSyncConfig{}, rng, red.kept);
+      EXPECT_TRUE(find_violations(dag, d.trace).empty()) << "seed " << seed;
+      EXPECT_EQ(d.runtime_syncs > 0, red.retained > 0);
+    }
+  }
+}
+
+TEST(SyncReduction, NeverElidesOnTwoIsolatedProcessors) {
+  // One producer, one consumer, nothing else: the only sync must stay.
+  Program p(1);
+  p.append(Tuple::binary(0, Opcode::kAdd, C(1), C(1)));
+  p.append(Tuple::binary(1, Opcode::kOr, T(0), C(0)));
+  const InstrDag dag = InstrDag::build(p, TimingModel::table1());
+  Schedule sched(dag, 2);
+  sched.append_instr(0, 0);
+  sched.append_instr(1, 1);
+  const SyncReduction r = reduce_directed_syncs(sched);
+  EXPECT_EQ(r.retained, 1u);
+  EXPECT_EQ(r.elided, 0u);
+}
+
+TEST(DirectedSync, RejectsBadConfig) {
+  Program p(1);
+  p.append(Tuple::load(0, 0));
+  const InstrDag dag = InstrDag::build(p, TimingModel::table1());
+  Schedule sched(dag, 1);
+  sched.append_instr(0, 0);
+  Rng rng(4);
+  DirectedSyncConfig bad;
+  bad.post_cost = -1;
+  EXPECT_THROW(simulate_directed(sched, bad, rng), Error);
+  bad = DirectedSyncConfig{};
+  bad.latency = {5, 2};
+  EXPECT_THROW(simulate_directed(sched, bad, rng), Error);
+}
+
+}  // namespace
+}  // namespace bm

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "codegen/emitter.hpp"
+#include "codegen/generator.hpp"
+#include "opt/passes.hpp"
+#include "test_util.hpp"
+
+namespace bm {
+namespace {
+
+Operand C(std::int64_t v) { return Operand::constant(v); }
+Operand T(TupleId id) { return Operand::tuple(id); }
+
+// -------------------------------------------------------- Constant fold ----
+
+TEST(ConstFold, FoldsAndPropagates) {
+  Program p(1);
+  p.append(Tuple::binary(0, Opcode::kAdd, C(3), C(4)));   // -> 7
+  p.append(Tuple::binary(1, Opcode::kMul, T(0), C(2)));   // -> 14
+  p.append(Tuple::store(2, 0, T(1)));
+  const OptStats s = optimize(p);
+  EXPECT_EQ(s.folded, 2u);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_TRUE(p[0].is_store());
+  EXPECT_EQ(p[0].lhs.const_value(), 14);
+}
+
+TEST(ConstFold, DivModByZeroFoldToZero) {
+  Program p(2);
+  p.append(Tuple::binary(0, Opcode::kDiv, C(5), C(0)));
+  p.append(Tuple::store(1, 0, T(0)));
+  p.append(Tuple::binary(2, Opcode::kMod, C(5), C(0)));
+  p.append(Tuple::store(3, 1, T(2)));
+  optimize(p);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0].lhs.const_value(), 0);
+  EXPECT_EQ(p[1].lhs.const_value(), 0);
+}
+
+// ----------------------------------------------------------- Algebraic -----
+
+struct IdentityCase {
+  Opcode op;
+  Operand lhs, rhs;
+  // Expected replacement: either the load's value (kLoad marker) or a const.
+  bool expect_load;
+  std::int64_t expect_const;
+};
+
+class AlgebraicTest : public ::testing::TestWithParam<IdentityCase> {};
+
+TEST_P(AlgebraicTest, SimplifiesToOperandOrConstant) {
+  const IdentityCase& c = GetParam();
+  Program p(2);
+  p.append(Tuple::load(0, 0));                       // t0 = Load a
+  p.append(Tuple::binary(1, c.op, c.lhs, c.rhs));    // t1 = op
+  p.append(Tuple::store(2, 1, T(1)));                // b = t1
+  optimize(p, {.algebraic = true});
+  // The binary op must be gone; the store receives the simplified value.
+  for (const Tuple& t : p.tuples()) EXPECT_FALSE(t.is_binary());
+  const Tuple& store = p[p.size() - 1];
+  ASSERT_TRUE(store.is_store());
+  if (c.expect_load) {
+    ASSERT_TRUE(store.lhs.is_tuple());
+    EXPECT_TRUE(p[store.lhs.tuple_id()].is_load());
+  } else {
+    ASSERT_TRUE(store.lhs.is_const());
+    EXPECT_EQ(store.lhs.const_value(), c.expect_const);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Identities, AlgebraicTest,
+    ::testing::Values(
+        IdentityCase{Opcode::kAdd, T(0), C(0), true, 0},   // x+0 -> x
+        IdentityCase{Opcode::kAdd, C(0), T(0), true, 0},   // 0+x -> x
+        IdentityCase{Opcode::kSub, T(0), C(0), true, 0},   // x-0 -> x
+        IdentityCase{Opcode::kSub, T(0), T(0), false, 0},  // x-x -> 0
+        IdentityCase{Opcode::kMul, T(0), C(1), true, 0},   // x*1 -> x
+        IdentityCase{Opcode::kMul, C(1), T(0), true, 0},   // 1*x -> x
+        IdentityCase{Opcode::kMul, T(0), C(0), false, 0},  // x*0 -> 0
+        IdentityCase{Opcode::kMul, C(0), T(0), false, 0},  // 0*x -> 0
+        IdentityCase{Opcode::kDiv, T(0), C(1), true, 0},   // x/1 -> x
+        IdentityCase{Opcode::kDiv, C(0), T(0), false, 0},  // 0/x -> 0
+        IdentityCase{Opcode::kMod, T(0), C(1), false, 0},  // x%1 -> 0
+        IdentityCase{Opcode::kMod, C(0), T(0), false, 0},  // 0%x -> 0
+        IdentityCase{Opcode::kAnd, T(0), T(0), true, 0},   // x&x -> x
+        IdentityCase{Opcode::kAnd, T(0), C(0), false, 0},  // x&0 -> 0
+        IdentityCase{Opcode::kAnd, C(0), T(0), false, 0},  // 0&x -> 0
+        IdentityCase{Opcode::kOr, T(0), T(0), true, 0},    // x|x -> x
+        IdentityCase{Opcode::kOr, T(0), C(0), true, 0},    // x|0 -> x
+        IdentityCase{Opcode::kOr, C(0), T(0), true, 0}));  // 0|x -> x
+
+// ----------------------------------------------------------------- CSE -----
+
+TEST(Cse, RemovesDuplicateExpression) {
+  Program p(3);
+  p.append(Tuple::load(0, 0));
+  p.append(Tuple::load(1, 1));
+  p.append(Tuple::binary(2, Opcode::kAdd, T(0), T(1)));
+  p.append(Tuple::binary(3, Opcode::kAdd, T(0), T(1)));  // duplicate
+  p.append(Tuple::store(4, 2, T(3)));
+  const OptStats s = optimize(p);
+  EXPECT_EQ(s.cse, 1u);
+  std::size_t adds = 0;
+  for (const Tuple& t : p.tuples()) adds += (t.op == Opcode::kAdd);
+  EXPECT_EQ(adds, 1u);
+}
+
+TEST(Cse, CanonicalizesCommutativeOperands) {
+  Program p(3);
+  p.append(Tuple::load(0, 0));
+  p.append(Tuple::load(1, 1));
+  p.append(Tuple::binary(2, Opcode::kAdd, T(0), T(1)));
+  p.append(Tuple::binary(3, Opcode::kAdd, T(1), T(0)));  // swapped operands
+  p.append(Tuple::store(4, 2, T(3)));
+  EXPECT_EQ(optimize(p).cse, 1u);
+}
+
+TEST(Cse, DoesNotMergeNonCommutativeSwap) {
+  Program p(3);
+  p.append(Tuple::load(0, 0));
+  p.append(Tuple::load(1, 1));
+  p.append(Tuple::binary(2, Opcode::kSub, T(0), T(1)));
+  p.append(Tuple::binary(3, Opcode::kSub, T(1), T(0)));
+  p.append(Tuple::store(4, 2, T(2)));
+  p.append(Tuple::store(5, 1, T(3)));
+  EXPECT_EQ(optimize(p).cse, 0u);
+}
+
+TEST(Cse, MergesDuplicateLoads) {
+  Program p(2);
+  p.append(Tuple::load(0, 0));
+  p.append(Tuple::load(1, 0));  // same variable, no intervening store
+  p.append(Tuple::binary(2, Opcode::kAdd, T(0), T(1)));
+  p.append(Tuple::store(3, 1, T(2)));
+  optimize(p);
+  std::size_t loads = 0;
+  for (const Tuple& t : p.tuples()) loads += t.is_load();
+  EXPECT_EQ(loads, 1u);
+}
+
+// ----------------------------------------------------------------- DCE -----
+
+TEST(Dce, RemovesSupersededStore) {
+  Program p(1);
+  p.append(Tuple::binary(0, Opcode::kAdd, C(1), C(2)));
+  p.append(Tuple::store(1, 0, T(0)));   // dead: overwritten below
+  p.append(Tuple::binary(2, Opcode::kAdd, C(5), C(6)));
+  p.append(Tuple::store(3, 0, T(2)));
+  optimize(p);
+  std::size_t stores = 0;
+  for (const Tuple& t : p.tuples()) stores += t.is_store();
+  EXPECT_EQ(stores, 1u);
+  EXPECT_EQ(p[p.size() - 1].lhs.const_value(), 11);
+}
+
+TEST(Dce, RemovesUnusedLoadChain) {
+  Program p(3);
+  p.append(Tuple::load(0, 0));
+  p.append(Tuple::binary(1, Opcode::kMul, T(0), T(0)));  // result unused
+  p.append(Tuple::binary(2, Opcode::kAdd, C(1), C(1)));
+  p.append(Tuple::store(3, 1, T(2)));
+  optimize(p);
+  ASSERT_EQ(p.size(), 1u);  // only the store of the folded constant remains
+  EXPECT_TRUE(p[0].is_store());
+}
+
+TEST(Dce, KeepsLastStorePerVariable) {
+  Program p(2);
+  p.append(Tuple::load(0, 0));
+  p.append(Tuple::store(1, 1, T(0)));
+  const std::size_t removed = dead_code_eliminate(p);
+  EXPECT_EQ(removed, 0u);
+  EXPECT_EQ(p.size(), 2u);
+}
+
+// ------------------------------------------------------------ Pipeline -----
+
+TEST(Optimize, IsIdempotent) {
+  const GeneratorConfig cfg{.num_statements = 40, .num_variables = 8,
+                            .num_constants = 4, .const_max = 64};
+  const StatementGenerator gen(cfg);
+  Rng rng(2024);
+  for (int trial = 0; trial < 10; ++trial) {
+    Program p = emit_tuples(gen.generate(rng), cfg.num_variables);
+    optimize(p);
+    const std::size_t size_after_first = p.size();
+    const OptStats second = optimize(p);
+    EXPECT_EQ(second.total_removed(), 0u);
+    EXPECT_EQ(p.size(), size_after_first);
+  }
+}
+
+TEST(Optimize, NeverGrowsProgram) {
+  const GeneratorConfig cfg{.num_statements = 50, .num_variables = 10,
+                            .num_constants = 5, .const_max = 64};
+  const StatementGenerator gen(cfg);
+  Rng rng(55);
+  for (int trial = 0; trial < 10; ++trial) {
+    Program p = emit_tuples(gen.generate(rng), cfg.num_variables);
+    const std::size_t before = p.size();
+    optimize(p);
+    EXPECT_LE(p.size(), before);
+  }
+}
+
+TEST(Optimize, PreservesSemanticsOnRandomBlocks) {
+  const GeneratorConfig cfg{.num_statements = 35, .num_variables = 7,
+                            .num_constants = 4, .const_max = 32};
+  const StatementGenerator gen(cfg);
+  Rng rng(404);
+  for (int trial = 0; trial < 40; ++trial) {
+    const StatementList stmts = gen.generate(rng);
+    Program unoptimized = emit_tuples(stmts, cfg.num_variables);
+    Program optimized = unoptimized;
+    optimize(optimized);
+    std::vector<std::int64_t> memory(cfg.num_variables);
+    for (auto& m : memory) m = rng.uniform(-50, 50);
+    EXPECT_EQ(test::eval_program(unoptimized, memory),
+              test::eval_program(optimized, memory));
+  }
+}
+
+}  // namespace
+}  // namespace bm

@@ -1,0 +1,113 @@
+// Tests for the presentation layer: Gantt rendering, the Fig. 14 scatter
+// renderer, fraction-series tables, and named-variable listings.
+#include <gtest/gtest.h>
+
+#include "harness/report.hpp"
+#include "sim/gantt.hpp"
+#include "sim/simulator.hpp"
+
+namespace bm {
+namespace {
+
+Operand T(TupleId id) { return Operand::tuple(id); }
+
+struct GanttFixture {
+  GanttFixture() {
+    prog.set_num_vars(2);
+    prog.append(Tuple::load(0, 0));
+    prog.append(Tuple::load(1, 1));
+    dag = InstrDag::build(prog, TimingModel::table1());
+    sched = std::make_unique<Schedule>(dag, 3);
+    sched->append_instr(0, 0);
+    sched->append_instr(1, 1);
+    barrier = sched->insert_barrier({{0, 1}, {1, 1}});
+  }
+  Program prog;
+  InstrDag dag;
+  std::unique_ptr<Schedule> sched;
+  BarrierId barrier = kInvalidBarrier;
+};
+
+TEST(Gantt, RendersSpansAndBarriers) {
+  GanttFixture f;
+  Rng rng(1);
+  const ExecTrace t =
+      simulate(*f.sched, {MachineKind::kSBM, SamplingMode::kAllMax}, rng);
+  const std::string out = render_gantt(*f.sched, t, {.max_width = 40});
+  EXPECT_NE(out.find("P0 ["), std::string::npos);
+  EXPECT_NE(out.find("P1 ["), std::string::npos);
+  // Idle processor 2 is omitted.
+  EXPECT_EQ(out.find("P2 ["), std::string::npos);
+  EXPECT_NE(out.find("n0"), std::string::npos);
+  EXPECT_NE(out.find('|'), std::string::npos);
+  EXPECT_NE(out.find("t=4"), std::string::npos);  // completion
+}
+
+TEST(Gantt, RejectsTinyWidth) {
+  GanttFixture f;
+  Rng rng(1);
+  const ExecTrace t =
+      simulate(*f.sched, {MachineKind::kSBM, SamplingMode::kAllMax}, rng);
+  EXPECT_THROW(render_gantt(*f.sched, t, {.max_width = 4}), Error);
+}
+
+TEST(Gantt, HandlesZeroCompletion) {
+  Program p(0);
+  const InstrDag dag = InstrDag::build(p, TimingModel::table1());
+  Schedule sched(dag, 2);
+  Rng rng(1);
+  const ExecTrace t =
+      simulate(sched, {MachineKind::kSBM, SamplingMode::kUniform}, rng);
+  EXPECT_NO_THROW(render_gantt(sched, t));
+}
+
+TEST(Scatter, PlacesPointsAndDiagonal) {
+  const std::vector<std::pair<double, double>> pts = {{0.0, 1.0}, {1.0, 0.0},
+                                                      {0.5, 0.5}};
+  const std::string out = render_scatter(pts, 0.85, 21, 11);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('.'), std::string::npos);
+  EXPECT_NE(out.find("x+y=0.85"), std::string::npos);
+  // Out-of-range points are dropped silently.
+  const std::string out2 = render_scatter({{2.0, 2.0}}, 0.85, 21, 11);
+  EXPECT_EQ(out2.find('*'), std::string::npos);
+}
+
+TEST(Scatter, OverlapMarksDensity) {
+  std::vector<std::pair<double, double>> pts(3, {0.5, 0.5});
+  const std::string out = render_scatter(pts, 2.0, 21, 11);  // diag off-grid
+  EXPECT_NE(out.find('@'), std::string::npos);
+}
+
+TEST(Report, FractionSeriesRendersRows) {
+  ScheduleStats s;
+  s.implied_syncs = 10;
+  s.serialized_edges = 6;
+  s.cross_edges = 4;
+  s.barriers_final = 1;
+  PointAggregate agg;
+  agg.fractions.add(s);
+  ::testing::internal::CaptureStdout();
+  print_fraction_series("x", {{"row1", agg}}, "");
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("row1"), std::string::npos);
+  EXPECT_NE(out.find("10.0%"), std::string::npos);  // barrier fraction
+  EXPECT_NE(out.find("60.0%"), std::string::npos);  // serialized fraction
+}
+
+TEST(Program, NamedVariablesInListing) {
+  Program p(2);
+  p.set_var_name(0, "alpha");
+  p.append(Tuple::load(0, 0));
+  p.append(Tuple::store(1, 1, T(0)));
+  const std::string out = p.to_string();
+  EXPECT_NE(out.find("Load alpha"), std::string::npos);
+  EXPECT_NE(out.find("Store b,0"), std::string::npos);  // default name kept
+  EXPECT_EQ(p.var_display_name(0), "alpha");
+  EXPECT_EQ(p.var_display_name(1), "b");
+  EXPECT_THROW(p.set_var_name(5, "x"), Error);
+  EXPECT_THROW(p.set_var_name(0, ""), Error);
+}
+
+}  // namespace
+}  // namespace bm

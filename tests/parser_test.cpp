@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "codegen/emitter.hpp"
+#include "codegen/parser.hpp"
+#include "opt/passes.hpp"
+#include "support/assert.hpp"
+#include "test_util.hpp"
+
+namespace bm {
+namespace {
+
+TEST(Parser, ParsesSimpleBlock) {
+  const ParsedBlock p = parse_statements("b = a + c; d = b * 17;");
+  ASSERT_EQ(p.statements.size(), 2u);
+  EXPECT_EQ(p.num_vars, 4u);
+  EXPECT_EQ(p.var_names, (std::vector<std::string>{"b", "a", "c", "d"}));
+  EXPECT_EQ(p.statements[0].op, Opcode::kAdd);
+  EXPECT_EQ(p.statements[1].op, Opcode::kMul);
+  EXPECT_TRUE(p.statements[1].b.kind == StmtOperand::Kind::kConst);
+  EXPECT_EQ(p.statements[1].b.value, 17);
+}
+
+TEST(Parser, AllOperators) {
+  const ParsedBlock p = parse_statements(
+      "a = b + c; a = b - c; a = b * c; a = b / c; a = b % c; a = b & c;"
+      "a = b | c;");
+  const std::vector<Opcode> expected = {Opcode::kAdd, Opcode::kSub,
+                                        Opcode::kMul, Opcode::kDiv,
+                                        Opcode::kMod, Opcode::kAnd,
+                                        Opcode::kOr};
+  ASSERT_EQ(p.statements.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(p.statements[i].op, expected[i]);
+}
+
+TEST(Parser, CommentsAndWhitespace) {
+  const ParsedBlock p = parse_statements(
+      "# leading comment\n"
+      "  x = y + 1;   # trailing comment\n"
+      "\n"
+      "  z = x - 2;\n");
+  EXPECT_EQ(p.statements.size(), 2u);
+  EXPECT_EQ(p.var_names[0], "x");
+}
+
+TEST(Parser, NegativeLiterals) {
+  const ParsedBlock p = parse_statements("a = b + -5;");
+  EXPECT_EQ(p.statements[0].b.value, -5);
+}
+
+TEST(Parser, MultiCharacterIdentifiers) {
+  const ParsedBlock p = parse_statements("total = count_1 * price;");
+  EXPECT_EQ(p.var_names,
+            (std::vector<std::string>{"total", "count_1", "price"}));
+}
+
+TEST(Parser, ReportsErrorsWithLineNumbers) {
+  try {
+    parse_statements("a = b + c;\nd = e ^ f;");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsMalformedInput) {
+  EXPECT_THROW(parse_statements(""), Error);
+  EXPECT_THROW(parse_statements("a = b +;"), Error);
+  EXPECT_THROW(parse_statements("a = b + c"), Error);   // missing ';'
+  EXPECT_THROW(parse_statements("1a = b + c;"), Error); // bad identifier
+  EXPECT_THROW(parse_statements("= b + c;"), Error);
+}
+
+TEST(Parser, RoundTripSemanticsThroughPipeline) {
+  const std::string source =
+      "sum = x + y; prod = sum * sum; x = prod % 13; out = x | 1;";
+  const ParsedBlock p = parse_statements(source);
+  Program prog = emit_tuples(p.statements, p.num_vars);
+  Program optimized = prog;
+  optimize(optimized);
+  const std::vector<std::int64_t> memory = {0, 7, 8, 0, 0};  // x=7 hmm: ids
+  EXPECT_EQ(test::eval_program(prog, memory),
+            test::eval_program(optimized, memory));
+}
+
+}  // namespace
+}  // namespace bm

@@ -1,0 +1,155 @@
+// Second property suite: cross-cutting invariants added with the extension
+// modules (parser round-trips, SBM/DBM equivalence after merging, barrier
+// latency, control flow under every machine model).
+#include <gtest/gtest.h>
+
+#include "cfg/cfg_gen.hpp"
+#include "cfg/cfg_sim.hpp"
+#include "codegen/parser.hpp"
+#include "codegen/synthesize.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "support/assert.hpp"
+
+namespace bm {
+namespace {
+
+TEST(ParserRoundTrip, PrintedStatementsReparseIdentically) {
+  // statement_to_string emits exactly the grammar parse_statements accepts;
+  // fuzz the loop over random generated blocks.
+  const GeneratorConfig gen{.num_statements = 40, .num_variables = 12,
+                            .num_constants = 5, .const_max = 99};
+  const StatementGenerator sg(gen);
+  Rng rng(2718);
+  for (int trial = 0; trial < 30; ++trial) {
+    const StatementList original = sg.generate(rng);
+    std::string source;
+    for (const Assign& s : original) source += statement_to_string(s) + "\n";
+    const ParsedBlock parsed = parse_statements(source);
+    ASSERT_EQ(parsed.statements.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+      EXPECT_EQ(parsed.statements[i].op, original[i].op);
+      // Variable ids may be renumbered (first-appearance order); compare
+      // through the name table.
+      const Assign& a = original[i];
+      const Assign& b = parsed.statements[i];
+      EXPECT_EQ(parsed.var_names.at(b.lhs), var_name(a.lhs));
+      auto same_operand = [&](const StmtOperand& x, const StmtOperand& y) {
+        if (x.is_var() != y.is_var()) return false;
+        if (!x.is_var()) return x.value == y.value;
+        return parsed.var_names.at(y.var) == var_name(x.var);
+      };
+      EXPECT_TRUE(same_operand(a.a, b.a)) << "stmt " << i;
+      EXPECT_TRUE(same_operand(a.b, b.b)) << "stmt " << i;
+    }
+  }
+}
+
+TEST(MachineEquivalence, SbmFireTimesMatchDbmAfterGlobalMerging) {
+  // After the global merge fixpoint, every unordered barrier pair has
+  // disjoint fire ranges, so the SBM's FIFO never delays a barrier beyond
+  // the dag semantics — running the *same merged schedule* on both machine
+  // models must produce identical traces for identical draws.
+  const GeneratorConfig gen{.num_statements = 50, .num_variables = 10,
+                            .num_constants = 4, .const_max = 64};
+  SchedulerConfig cfg;
+  cfg.machine = MachineKind::kSBM;  // merging on
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    Rng rng(seed * 911 + 3);
+    const SynthesisResult s = synthesize_benchmark(gen, rng);
+    const InstrDag dag = InstrDag::build(s.program, TimingModel::table1());
+    const ScheduleResult r = schedule_program(dag, cfg, rng);
+    for (int run = 0; run < 5; ++run) {
+      const std::uint64_t draw_seed = rng.next();
+      Rng r1(draw_seed), r2(draw_seed);
+      const ExecTrace a =
+          simulate(*r.schedule, {MachineKind::kSBM, SamplingMode::kUniform}, r1);
+      const ExecTrace b =
+          simulate(*r.schedule, {MachineKind::kDBM, SamplingMode::kUniform}, r2);
+      EXPECT_EQ(a.completion, b.completion) << "seed " << seed;
+      EXPECT_EQ(a.start, b.start);
+      EXPECT_EQ(a.barrier_fire, b.barrier_fire);
+    }
+  }
+}
+
+class LatencySoundness : public ::testing::TestWithParam<long> {};
+
+TEST_P(LatencySoundness, NoViolationsAtAnyLatency) {
+  const GeneratorConfig gen{.num_statements = 40, .num_variables = 10,
+                            .num_constants = 4, .const_max = 64};
+  SchedulerConfig cfg;
+  cfg.barrier_latency = GetParam();
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed * 17 + 2);
+    const SynthesisResult s = synthesize_benchmark(gen, rng);
+    const InstrDag dag = InstrDag::build(s.program, TimingModel::table1());
+    const ScheduleResult r = schedule_program(dag, cfg, rng);
+    for (SamplingMode mode : {SamplingMode::kUniform, SamplingMode::kBimodal,
+                              SamplingMode::kAllMax}) {
+      const ExecTrace t = simulate(*r.schedule, {cfg.machine, mode}, rng);
+      EXPECT_TRUE(find_violations(dag, t).empty());
+      EXPECT_LE(t.completion, r.stats.completion.max);
+      EXPECT_GE(t.completion, r.stats.completion.min);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Latencies, LatencySoundness,
+                         ::testing::Values(0L, 1L, 3L, 10L));
+
+TEST(CfgProperty, SemanticsInvariantUnderMachineAndLatency) {
+  CfgGeneratorConfig gen;
+  gen.block = GeneratorConfig{.num_statements = 8, .num_variables = 6,
+                              .num_constants = 3, .const_max = 32};
+  gen.max_depth = 2;
+  gen.seq_length = 2;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed * 97 + 5);
+    const CfgProgram cfg = generate_cfg(gen, rng);
+    std::vector<std::int64_t> memory(cfg.num_vars());
+    for (auto& m : memory) m = rng.uniform(-40, 40);
+    const CfgExecResult expect = interpret_cfg(cfg, memory);
+    for (MachineKind mk : {MachineKind::kSBM, MachineKind::kDBM}) {
+      for (long latency : {0L, 4L}) {
+        SchedulerConfig sc;
+        sc.machine = mk;
+        sc.barrier_latency = latency;
+        Rng srng(seed);
+        const CfgScheduleResult s =
+            schedule_cfg(cfg, sc, TimingModel::table1(), srng);
+        CfgSimConfig sim;
+        sim.machine = mk;
+        const CfgExecResult got = run_cfg(s, sim, memory, srng);
+        EXPECT_EQ(got.memory, expect.memory)
+            << "seed " << seed << " " << to_string(mk) << " L" << latency;
+        EXPECT_EQ(got.block_counts, expect.block_counts);
+      }
+    }
+  }
+}
+
+TEST(CfgProperty, HigherLatencySlowsControlHeavyPrograms) {
+  CfgGeneratorConfig gen;
+  gen.block = GeneratorConfig{.num_statements = 6, .num_variables = 6,
+                              .num_constants = 3, .const_max = 32};
+  gen.loop_prob = 0.5;
+  Rng rng(42);
+  const CfgProgram cfg = generate_cfg(gen, rng);
+  Time prev = -1;
+  for (long latency : {0L, 4L, 16L}) {
+    SchedulerConfig sc;
+    sc.barrier_latency = latency;
+    Rng srng(1), xrng(2);
+    const CfgScheduleResult s =
+        schedule_cfg(cfg, sc, TimingModel::table1(), srng);
+    CfgSimConfig sim;
+    sim.sampling = SamplingMode::kAllMax;
+    const Time t = run_cfg(s, sim, {}, xrng).completion;
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+}  // namespace
+}  // namespace bm

@@ -1,0 +1,204 @@
+// Cross-module property suite: for random synthetic benchmarks across the
+// whole configuration space, every schedule the system produces must be
+// sound — no producer/consumer pair may ever be observed out of order, under
+// any timing draw, on either machine model, with either insertion algorithm.
+#include <gtest/gtest.h>
+
+#include "codegen/synthesize.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace bm {
+namespace {
+
+struct SweepParam {
+  std::size_t procs;
+  std::uint32_t variables;
+  std::uint32_t statements;
+  MachineKind machine;
+  InsertionPolicy insertion;
+  AssignmentPolicy assignment;
+
+  friend std::ostream& operator<<(std::ostream& os, const SweepParam& p) {
+    return os << p.procs << "pe_" << p.variables << "v_" << p.statements
+              << "s_" << to_string(p.machine) << '_' << to_string(p.insertion)
+              << '_' << to_string(p.assignment);
+  }
+};
+
+class ScheduleSoundness : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ScheduleSoundness, NoDependenceViolationUnderAnyDraw) {
+  const SweepParam param = GetParam();
+  const GeneratorConfig gen{.num_statements = param.statements,
+                            .num_variables = param.variables,
+                            .num_constants = 4,
+                            .const_max = 64};
+  SchedulerConfig cfg;
+  cfg.num_procs = param.procs;
+  cfg.machine = param.machine;
+  cfg.insertion = param.insertion;
+  cfg.assignment = param.assignment;
+
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(0xC0FFEE ^ (seed * 7919));
+    const SynthesisResult s = synthesize_benchmark(gen, rng);
+    const InstrDag dag = InstrDag::build(s.program, TimingModel::table1());
+    const ScheduleResult r = schedule_program(dag, cfg, rng);
+
+    for (SamplingMode mode :
+         {SamplingMode::kAllMin, SamplingMode::kAllMax,
+          SamplingMode::kBimodal, SamplingMode::kUniform,
+          SamplingMode::kUniform, SamplingMode::kUniform,
+          SamplingMode::kUniform, SamplingMode::kUniform}) {
+      const ExecTrace t = simulate(*r.schedule, {param.machine, mode}, rng);
+      const auto violations = find_violations(dag, t);
+      EXPECT_TRUE(violations.empty())
+          << violations.size() << " violations, first: " << violations[0].first
+          << "→" << violations[0].second << " (seed " << seed << ")";
+
+      // The static completion envelope bounds every draw.
+      EXPECT_GE(t.completion, r.stats.completion.min);
+      EXPECT_LE(t.completion, r.stats.completion.max);
+
+      // Every observed barrier fire lies inside its static fire range (for
+      // the SBM this relies on merging having removed overlapping unordered
+      // barriers; for the DBM it follows from the dag semantics).
+      const BarrierDag& bd = r.schedule->barrier_dag();
+      for (BarrierId b = 0; b < r.schedule->barrier_id_bound(); ++b) {
+        if (t.barrier_fire[b] == kNotExecuted) continue;
+        const TimeRange fr = bd.fire_range(b);
+        EXPECT_GE(t.barrier_fire[b], fr.min) << "barrier " << b;
+        EXPECT_LE(t.barrier_fire[b], fr.max) << "barrier " << b;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ScheduleSoundness,
+    ::testing::Values(
+        // Machine-size sweep, default policies.
+        SweepParam{2, 8, 30, MachineKind::kSBM, InsertionPolicy::kConservative,
+                   AssignmentPolicy::kListSerialize},
+        SweepParam{4, 8, 30, MachineKind::kSBM, InsertionPolicy::kConservative,
+                   AssignmentPolicy::kListSerialize},
+        SweepParam{8, 15, 50, MachineKind::kSBM,
+                   InsertionPolicy::kConservative,
+                   AssignmentPolicy::kListSerialize},
+        SweepParam{16, 10, 60, MachineKind::kSBM,
+                   InsertionPolicy::kConservative,
+                   AssignmentPolicy::kListSerialize},
+        // DBM (no merging).
+        SweepParam{4, 8, 30, MachineKind::kDBM, InsertionPolicy::kConservative,
+                   AssignmentPolicy::kListSerialize},
+        SweepParam{8, 15, 50, MachineKind::kDBM,
+                   InsertionPolicy::kConservative,
+                   AssignmentPolicy::kListSerialize},
+        // Optimal insertion on both machines.
+        SweepParam{4, 8, 30, MachineKind::kSBM, InsertionPolicy::kOptimal,
+                   AssignmentPolicy::kListSerialize},
+        SweepParam{8, 10, 40, MachineKind::kDBM, InsertionPolicy::kOptimal,
+                   AssignmentPolicy::kListSerialize},
+        // Ablation assignment policies.
+        SweepParam{8, 10, 40, MachineKind::kSBM,
+                   InsertionPolicy::kConservative,
+                   AssignmentPolicy::kRoundRobin},
+        SweepParam{8, 10, 40, MachineKind::kSBM,
+                   InsertionPolicy::kConservative,
+                   AssignmentPolicy::kLookahead},
+        // Tiny and single-processor corners.
+        SweepParam{1, 5, 20, MachineKind::kSBM, InsertionPolicy::kConservative,
+                   AssignmentPolicy::kListSerialize},
+        SweepParam{8, 2, 10, MachineKind::kSBM, InsertionPolicy::kConservative,
+                   AssignmentPolicy::kListSerialize}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      std::ostringstream os;
+      os << info.param;
+      std::string name = os.str();
+      for (char& ch : name)
+        if (ch == '-') ch = '_';
+      return name;
+    });
+
+class TimingVariationSoundness
+    : public ::testing::TestWithParam<double> {};
+
+TEST_P(TimingVariationSoundness, WiderVariationStaysSound) {
+  const double factor = GetParam();
+  const TimingModel tm = TimingModel::table1_with_variation(factor);
+  const GeneratorConfig gen{.num_statements = 40, .num_variables = 10,
+                            .num_constants = 4, .const_max = 64};
+  SchedulerConfig cfg;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed * 31 + 1);
+    const SynthesisResult s = synthesize_benchmark(gen, rng);
+    const InstrDag dag = InstrDag::build(s.program, tm);
+    const ScheduleResult r = schedule_program(dag, cfg, rng);
+    for (int run = 0; run < 5; ++run) {
+      const ExecTrace t = simulate(
+          *r.schedule, {cfg.machine, SamplingMode::kUniform}, rng);
+      EXPECT_TRUE(find_violations(dag, t).empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VariationFactors, TimingVariationSoundness,
+                         ::testing::Values(0.0, 0.5, 2.0, 5.0, 10.0));
+
+TEST(RepairSweep, RepairRateIsSmall) {
+  // Retroactive barrier placement (and, on the SBM, merging) can invalidate
+  // a static resolution that was checked against an earlier barrier dag —
+  // a corner the paper does not address. The repair sweep fixes those;
+  // empirically it adds ≈0.5 barriers per 50-statement benchmark (≈1% of
+  // implied synchronizations), so the reported fractions are unaffected at
+  // the paper's precision. Guard against regression to a much higher rate.
+  const GeneratorConfig gen{.num_statements = 50, .num_variables = 12,
+                            .num_constants = 4, .const_max = 64};
+  SchedulerConfig cfg;
+  std::size_t repairs = 0, benchmarks = 0;
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    Rng rng(seed * 101 + 17);
+    const SynthesisResult s = synthesize_benchmark(gen, rng);
+    const InstrDag dag = InstrDag::build(s.program, TimingModel::table1());
+    const ScheduleResult r = schedule_program(dag, cfg, rng);
+    repairs += r.stats.repair_barriers;
+    ++benchmarks;
+  }
+  EXPECT_LE(repairs, benchmarks);
+}
+
+TEST(RepairSweep, FixesEverySeedTheBareAlgorithmsMiss) {
+  // Run the identical benchmarks with and without the repair sweep. The
+  // bare paper algorithms may leave rare latent races (retroactive
+  // placement / merging invalidating earlier checks); with the sweep the
+  // same seeds must be violation-free.
+  const GeneratorConfig gen{.num_statements = 40, .num_variables = 10,
+                            .num_constants = 4, .const_max = 64};
+  std::size_t bare_violations = 0;
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    for (bool repair : {false, true}) {
+      Rng rng(seed * 13 + 5);
+      const SynthesisResult s = synthesize_benchmark(gen, rng);
+      const InstrDag dag = InstrDag::build(s.program, TimingModel::table1());
+      SchedulerConfig cfg;
+      cfg.repair_sweep = repair;
+      const ScheduleResult r = schedule_program(dag, cfg, rng);
+      for (int run = 0; run < 10; ++run) {
+        const ExecTrace t = simulate(
+            *r.schedule, {cfg.machine, SamplingMode::kBimodal}, rng);
+        const std::size_t v = find_violations(dag, t).size();
+        if (repair)
+          EXPECT_EQ(v, 0u) << "seed " << seed;
+        else
+          bare_violations += v;
+      }
+    }
+  }
+  // Not asserted (seed-dependent), but recorded: how much the sweep matters.
+  ::testing::Test::RecordProperty("bare_violations",
+                                  static_cast<int>(bare_violations));
+}
+
+}  // namespace
+}  // namespace bm

@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include "sched/schedule.hpp"
+
+namespace bm {
+namespace {
+
+
+/// Program of `n` independent loads of distinct variables (each [1,4]).
+Program loads_program(std::uint32_t n) {
+  Program p(n);
+  for (std::uint32_t i = 0; i < n; ++i) p.append(Tuple::load(i, i));
+  return p;
+}
+
+struct Fixture {
+  explicit Fixture(std::uint32_t loads, std::size_t procs)
+      : prog(loads_program(loads)),
+        dag(InstrDag::build(prog, TimingModel::table1())),
+        sched(dag, procs) {}
+  Program prog;
+  InstrDag dag;
+  Schedule sched;
+};
+
+TEST(Schedule, InitialBarrierSpansAllProcessors) {
+  Fixture f(2, 4);
+  EXPECT_EQ(f.sched.barrier_id_bound(), 1u);
+  EXPECT_TRUE(f.sched.barrier_alive(Schedule::kInitialBarrier));
+  EXPECT_EQ(f.sched.barrier_mask(Schedule::kInitialBarrier).count(), 4u);
+  EXPECT_EQ(f.sched.inserted_barrier_count(), 0u);
+}
+
+TEST(Schedule, AppendAndLocate) {
+  Fixture f(3, 2);
+  f.sched.append_instr(0, 0);
+  f.sched.append_instr(1, 1);
+  f.sched.append_instr(0, 2);
+  EXPECT_TRUE(f.sched.placed(0));
+  EXPECT_TRUE(f.sched.placed(2));
+  EXPECT_EQ(f.sched.loc(2).proc, 0u);
+  EXPECT_EQ(f.sched.loc(2).pos, 1u);
+  EXPECT_EQ(f.sched.last_instr(0), NodeId{2});
+  EXPECT_EQ(f.sched.instr_count(0), 2u);
+  EXPECT_EQ(f.sched.instr_count(1), 1u);
+  EXPECT_THROW(f.sched.append_instr(0, 0), Error);  // double placement
+}
+
+TEST(Schedule, DeltaQueries) {
+  Fixture f(3, 1);
+  f.sched.append_instr(0, 0);
+  f.sched.append_instr(0, 1);
+  f.sched.append_instr(0, 2);
+  EXPECT_EQ(f.sched.delta_before(0, 0), (TimeRange{0, 0}));
+  EXPECT_EQ(f.sched.delta_before(0, 2), (TimeRange{2, 8}));
+  EXPECT_EQ(f.sched.delta_through(0, 2), (TimeRange{3, 12}));
+  EXPECT_EQ(f.sched.delta_before(0, 3), (TimeRange{3, 12}));  // end of stream
+}
+
+TEST(Schedule, BarrierNeighborQueries) {
+  Fixture f(4, 2);
+  f.sched.append_instr(0, 0);
+  f.sched.append_instr(1, 1);
+  const BarrierId b = f.sched.insert_barrier({{0, 1}, {1, 1}});
+  f.sched.append_instr(0, 2);
+
+  EXPECT_EQ(f.sched.last_barrier_before(0, 0), Schedule::kInitialBarrier);
+  EXPECT_EQ(f.sched.last_barrier_before(0, 2), b);
+  EXPECT_EQ(f.sched.next_barrier_after(0, 0), b);
+  EXPECT_EQ(f.sched.next_barrier_after(0, 2), std::nullopt);
+  // δ resets after the barrier.
+  EXPECT_EQ(f.sched.delta_before(0, 2), (TimeRange{0, 0}));
+  EXPECT_EQ(f.sched.delta_through(0, 2), (TimeRange{1, 4}));
+}
+
+TEST(Schedule, InsertBarrierShiftsAndReindexes) {
+  Fixture f(3, 1);
+  f.sched.append_instr(0, 0);
+  f.sched.append_instr(0, 1);
+  f.sched.insert_barrier({{0, 1}});  // between the two
+  EXPECT_EQ(f.sched.loc(0).pos, 0u);
+  EXPECT_EQ(f.sched.loc(1).pos, 2u);
+  EXPECT_TRUE(f.sched.stream(0)[1].is_barrier);
+}
+
+TEST(Schedule, InsertBarrierValidatesInput) {
+  Fixture f(2, 2);
+  EXPECT_THROW(f.sched.insert_barrier({}), Error);
+  EXPECT_THROW(f.sched.insert_barrier({{0, 5}}), Error);
+  EXPECT_THROW(f.sched.insert_barrier({{0, 0}, {0, 0}}), Error);  // dup proc
+  EXPECT_THROW(f.sched.insert_barrier({{7, 0}}), Error);
+}
+
+TEST(Schedule, BarrierDagAggregatesAcrossProcessors) {
+  Fixture f(2, 2);
+  f.sched.append_instr(0, 0);  // [1,4]
+  f.sched.append_instr(1, 1);  // [1,4]
+  const BarrierId b = f.sched.insert_barrier(
+      {{0, 1}, {1, 1}});
+  const BarrierDag& bd = f.sched.barrier_dag();
+  // Both processors traverse initial→b with [1,4]: join_max keeps [1,4].
+  EXPECT_EQ(bd.edge_range(Schedule::kInitialBarrier, b), (TimeRange{1, 4}));
+  EXPECT_EQ(bd.fire_range(b), (TimeRange{1, 4}));
+}
+
+TEST(Schedule, CompletionJoinsProcessorFinishTimes) {
+  Fixture f(4, 2);
+  f.sched.append_instr(0, 0);
+  f.sched.append_instr(0, 1);  // P0: [2,8]
+  f.sched.append_instr(1, 2);  // P1: [1,4]
+  EXPECT_EQ(f.sched.proc_finish(0), (TimeRange{2, 8}));
+  EXPECT_EQ(f.sched.proc_finish(1), (TimeRange{1, 4}));
+  EXPECT_EQ(f.sched.completion(), (TimeRange{2, 8}));
+}
+
+TEST(Schedule, CompletionAccountsForBarrierWaits) {
+  Fixture f(3, 2);
+  f.sched.append_instr(0, 0);
+  f.sched.append_instr(0, 1);  // P0 code [2,8] before barrier
+  f.sched.append_instr(1, 2);  // P1 code [1,4] before barrier
+  f.sched.insert_barrier({{0, 2}, {1, 1}});
+  // Both resume at the barrier fire time [2,8]; nothing after.
+  EXPECT_EQ(f.sched.completion(), (TimeRange{2, 8}));
+  EXPECT_EQ(f.sched.proc_finish(1), (TimeRange{2, 8}));
+}
+
+TEST(Schedule, MergeUnorderedOverlappingBarriers) {
+  Fixture f(4, 4);
+  for (ProcId p = 0; p < 4; ++p) f.sched.append_instr(p, p);
+  const BarrierId a = f.sched.insert_barrier({{0, 1}, {1, 1}});
+  const BarrierId b = f.sched.insert_barrier({{2, 1}, {3, 1}});
+  // Both fire in [1,4] and are unordered → one merge into the lower id.
+  EXPECT_EQ(f.sched.merge_overlapping_all(), 1u);
+  EXPECT_TRUE(f.sched.barrier_alive(a));
+  EXPECT_FALSE(f.sched.barrier_alive(b));
+  EXPECT_EQ(f.sched.barrier_mask(a).count(), 4u);
+  EXPECT_EQ(f.sched.inserted_barrier_count(), 1u);
+  // Stream entries relabeled.
+  EXPECT_TRUE(f.sched.stream(2)[1].is_barrier);
+  EXPECT_EQ(f.sched.stream(2)[1].id, a);
+}
+
+TEST(Schedule, MergeSkipsOrderedBarriers) {
+  Fixture f(4, 2);
+  f.sched.append_instr(0, 0);
+  f.sched.append_instr(1, 1);
+  const BarrierId a = f.sched.insert_barrier({{0, 1}, {1, 1}});
+  f.sched.append_instr(0, 2);
+  const BarrierId b = f.sched.insert_barrier({{0, 3}, {1, 2}});
+  // a <_b b on both processors: ordered, never merged even if ranges touch.
+  EXPECT_EQ(f.sched.merge_overlapping_all(), 0u);
+  EXPECT_TRUE(f.sched.barrier_alive(a));
+  EXPECT_TRUE(f.sched.barrier_alive(b));
+  EXPECT_EQ(f.sched.inserted_barrier_count(), 2u);
+}
+
+TEST(Schedule, MergeSkipsDisjointFireRanges) {
+  Fixture f(7, 4);
+  f.sched.append_instr(0, 0);  // [1,4]
+  const BarrierId a = f.sched.insert_barrier({{0, 1}, {1, 0}});
+  // P2 runs five loads first: fire range [5,20] — disjoint from a's [1,4].
+  for (NodeId n = 1; n <= 5; ++n) f.sched.append_instr(2, n);
+  const BarrierId b = f.sched.insert_barrier({{2, 5}, {3, 0}});
+  const TimeRange fa = f.sched.barrier_dag().fire_range(a);
+  const TimeRange fb = f.sched.barrier_dag().fire_range(b);
+  ASSERT_FALSE(fa.overlaps(fb));
+  EXPECT_EQ(f.sched.merge_overlapping_all(), 0u);
+  EXPECT_TRUE(f.sched.barrier_alive(a));
+  EXPECT_TRUE(f.sched.barrier_alive(b));
+}
+
+TEST(Schedule, FinalBarrierSpansUsedProcessorsOnly) {
+  Fixture f(3, 4);
+  f.sched.append_instr(0, 0);
+  f.sched.append_instr(2, 1);
+  f.sched.add_final_barrier();
+  ASSERT_TRUE(f.sched.final_barrier().has_value());
+  const BarrierId fb = *f.sched.final_barrier();
+  EXPECT_EQ(f.sched.barrier_mask(fb).to_indices(),
+            (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(f.sched.inserted_barrier_count(), 0u);  // final not counted
+  EXPECT_THROW(f.sched.add_final_barrier(), Error);
+}
+
+TEST(Schedule, FinalBarrierSkippedForSingleUsedProcessor) {
+  Fixture f(2, 4);
+  f.sched.append_instr(1, 0);
+  f.sched.add_final_barrier();
+  EXPECT_FALSE(f.sched.final_barrier().has_value());
+}
+
+TEST(Schedule, OrderFeasibleAcceptsConsistentPlacement) {
+  // Program with a dependence 0 → 1.
+  Program p(1);
+  p.append(Tuple::load(0, 0));
+  p.append(Tuple::store(1, 0, Operand::tuple(0)));
+  const InstrDag dag = InstrDag::build(p, TimingModel::table1());
+  Schedule sched(dag, 2);
+  sched.append_instr(0, 0);  // producer on P0
+  sched.append_instr(1, 1);  // consumer on P1
+  // No candidate: current state feasible.
+  EXPECT_TRUE(sched.order_feasible({}));
+  // Barrier after producer, before consumer: fine.
+  const std::vector<Schedule::Loc> good = {{0, 1}, {1, 0}};
+  EXPECT_TRUE(sched.order_feasible(good));
+}
+
+TEST(Schedule, OrderFeasibleRejectsDependenceInversion) {
+  Program p(1);
+  p.append(Tuple::load(0, 0));
+  p.append(Tuple::store(1, 0, Operand::tuple(0)));
+  const InstrDag dag = InstrDag::build(p, TimingModel::table1());
+  Schedule sched(dag, 2);
+  sched.append_instr(0, 0);  // producer on P0
+  sched.append_instr(1, 1);  // consumer on P1
+  // Barrier BEFORE the producer and AFTER the consumer would force the
+  // consumer to finish before the producer starts: infeasible.
+  const std::vector<Schedule::Loc> bad = {{0, 0}, {1, 1}};
+  EXPECT_FALSE(sched.order_feasible(bad));
+}
+
+TEST(Schedule, OrderFeasibleRejectsInvertingMerge) {
+  // Dependences 0→1 (P0→P1) and 2→3 (P1→P0). Barrier x after consumer 1;
+  // barrier y before producer 2... construct: merging a barrier after the
+  // consumer of one edge with a barrier before the producer of the same
+  // edge forces the inversion.
+  Program p(2);
+  p.append(Tuple::load(0, 0));
+  p.append(Tuple::store(1, 0, Operand::tuple(0)));
+  p.append(Tuple::load(2, 1));
+  p.append(Tuple::store(3, 1, Operand::tuple(2)));
+  const InstrDag dag = InstrDag::build(p, TimingModel::table1());
+  Schedule sched(dag, 4);
+  sched.append_instr(0, 0);  // producer edge A on P0
+  sched.append_instr(1, 1);  // consumer edge A on P1
+  // x: after consumer 1 on P1 (paired with idle P2).
+  const BarrierId x = sched.insert_barrier({{1, 1}, {2, 0}});
+  // y: before producer 0 on P0 (paired with idle P3).
+  const BarrierId y = sched.insert_barrier({{0, 0}, {3, 0}});
+  // Merging x and y orders consumer-1's region before producer-0: rejected.
+  EXPECT_FALSE(sched.order_feasible({}, x, y));
+  EXPECT_TRUE(sched.order_feasible({}));
+}
+
+TEST(Schedule, ToStringShowsStreams) {
+  Fixture f(2, 2);
+  f.sched.append_instr(0, 0);
+  f.sched.insert_barrier({{0, 1}, {1, 0}});
+  const std::string s = f.sched.to_string();
+  EXPECT_NE(s.find("P0: n0 |B1|"), std::string::npos);
+  EXPECT_NE(s.find("P1: |B1|"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bm

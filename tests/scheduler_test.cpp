@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include "codegen/synthesize.hpp"
+#include "sched/labels.hpp"
+#include "sched/scheduler.hpp"
+
+namespace bm {
+namespace {
+
+Operand C(std::int64_t v) { return Operand::constant(v); }
+Operand T(TupleId id) { return Operand::tuple(id); }
+
+/// Serial dependence chain: Load, then k dependent Adds, then a Store.
+Program chain_program(int k) {
+  Program p(1);
+  TupleId cur = p.append(Tuple::load(0, 0));
+  for (int i = 0; i < k; ++i)
+    cur = p.append(Tuple::binary(static_cast<std::uint32_t>(i + 1),
+                                 Opcode::kAdd, T(cur), C(1)));
+  p.append(Tuple::store(static_cast<std::uint32_t>(k + 1), 0, T(cur)));
+  return p;
+}
+
+InstrDag table1_dag(const Program& p) {
+  return InstrDag::build(p, TimingModel::table1());
+}
+
+// ------------------------------------------------------------ Ordering -----
+
+TEST(ListOrder, ProducersPrecedeConsumers) {
+  Rng rng(5);
+  const GeneratorConfig gen{.num_statements = 40, .num_variables = 8,
+                            .num_constants = 4, .const_max = 64};
+  for (int trial = 0; trial < 10; ++trial) {
+    const SynthesisResult s = synthesize_benchmark(gen, rng);
+    const InstrDag dag = table1_dag(s.program);
+    for (OrderingPolicy pol :
+         {OrderingPolicy::kMaxThenMin, OrderingPolicy::kMinThenMax}) {
+      const std::vector<NodeId> order = make_list_order(dag, pol);
+      std::vector<std::size_t> pos(order.size());
+      for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+      for (const auto& [g, i] : dag.sync_edges()) EXPECT_LT(pos[g], pos[i]);
+    }
+  }
+}
+
+TEST(ListOrder, SortsByMaxHeightThenMinHeight) {
+  Rng rng(6);
+  const GeneratorConfig gen{.num_statements = 30, .num_variables = 6,
+                            .num_constants = 3, .const_max = 64};
+  const SynthesisResult s = synthesize_benchmark(gen, rng);
+  const InstrDag dag = table1_dag(s.program);
+  const std::vector<NodeId> order =
+      make_list_order(dag, OrderingPolicy::kMaxThenMin);
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    const NodeId a = order[i], b = order[i + 1];
+    EXPECT_GE(std::pair(dag.h_max(a), dag.h_min(a)),
+              std::pair(dag.h_max(b), dag.h_min(b)));
+  }
+}
+
+TEST(ListOrder, MinFirstPolicySwapsKeys) {
+  Rng rng(6);
+  const GeneratorConfig gen{.num_statements = 30, .num_variables = 6,
+                            .num_constants = 3, .const_max = 64};
+  const SynthesisResult s = synthesize_benchmark(gen, rng);
+  const InstrDag dag = table1_dag(s.program);
+  const std::vector<NodeId> order =
+      make_list_order(dag, OrderingPolicy::kMinThenMax);
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    const NodeId a = order[i], b = order[i + 1];
+    EXPECT_GE(std::pair(dag.h_min(a), dag.h_max(a)),
+              std::pair(dag.h_min(b), dag.h_max(b)));
+  }
+}
+
+// ----------------------------------------------------------- Scheduler -----
+
+TEST(Scheduler, ChainSerializesOntoOneProcessor) {
+  const Program p = chain_program(10);
+  const InstrDag dag = table1_dag(p);
+  SchedulerConfig cfg;
+  cfg.num_procs = 8;
+  Rng rng(1);
+  const ScheduleResult r = schedule_program(dag, cfg, rng);
+  EXPECT_EQ(r.stats.procs_used, 1u);
+  EXPECT_EQ(r.stats.barriers_final, 0u);
+  EXPECT_EQ(r.stats.serialized_fraction(), 1.0);
+}
+
+TEST(Scheduler, FractionsPartitionUnity) {
+  Rng seeds(77);
+  const GeneratorConfig gen{.num_statements = 30, .num_variables = 8,
+                            .num_constants = 4, .const_max = 64};
+  for (int trial = 0; trial < 10; ++trial) {
+    Rng rng(seeds.next());
+    const SynthesisResult s = synthesize_benchmark(gen, rng);
+    const InstrDag dag = table1_dag(s.program);
+    SchedulerConfig cfg;
+    const ScheduleResult r = schedule_program(dag, cfg, rng);
+    EXPECT_NEAR(r.stats.barrier_fraction() + r.stats.serialized_fraction() +
+                    r.stats.static_fraction(),
+                1.0, 1e-12);
+    EXPECT_EQ(r.stats.serialized_edges + r.stats.cross_edges,
+              r.stats.implied_syncs);
+    EXPECT_LE(r.stats.barriers_final, r.stats.barriers_inserted +
+                                          r.stats.repair_barriers);
+  }
+}
+
+TEST(Scheduler, CompletionNeverBeatsCriticalPath) {
+  Rng seeds(88);
+  const GeneratorConfig gen{.num_statements = 40, .num_variables = 10,
+                            .num_constants = 4, .const_max = 64};
+  for (int trial = 0; trial < 10; ++trial) {
+    Rng rng(seeds.next());
+    const SynthesisResult s = synthesize_benchmark(gen, rng);
+    const InstrDag dag = table1_dag(s.program);
+    SchedulerConfig cfg;
+    const ScheduleResult r = schedule_program(dag, cfg, rng);
+    EXPECT_GE(r.stats.completion.min, r.stats.critical_path.min);
+    EXPECT_GE(r.stats.completion.max, r.stats.critical_path.max);
+  }
+}
+
+TEST(Scheduler, DeterministicForSameRngSeed) {
+  const GeneratorConfig gen{.num_statements = 30, .num_variables = 8,
+                            .num_constants = 4, .const_max = 64};
+  Rng r1(9), r2(9);
+  const SynthesisResult s1 = synthesize_benchmark(gen, r1);
+  const SynthesisResult s2 = synthesize_benchmark(gen, r2);
+  const InstrDag d1 = table1_dag(s1.program);
+  const InstrDag d2 = table1_dag(s2.program);
+  SchedulerConfig cfg;
+  const ScheduleResult a = schedule_program(d1, cfg, r1);
+  const ScheduleResult b = schedule_program(d2, cfg, r2);
+  EXPECT_EQ(a.schedule->to_string(), b.schedule->to_string());
+  EXPECT_EQ(a.stats.barriers_final, b.stats.barriers_final);
+}
+
+TEST(Scheduler, RoundRobinSpreadsNodes) {
+  const Program p = chain_program(11);  // 13 instructions
+  const InstrDag dag = table1_dag(p);
+  SchedulerConfig cfg;
+  cfg.num_procs = 4;
+  cfg.assignment = AssignmentPolicy::kRoundRobin;
+  Rng rng(3);
+  const ScheduleResult r = schedule_program(dag, cfg, rng);
+  EXPECT_EQ(r.stats.procs_used, 4u);
+  // Chain edges never stay on one PE; only the Load→Store anti edge can
+  // (list positions 0 and 12 both map to processor 0).
+  EXPECT_LE(r.stats.serialized_edges, 1u);
+  // A fully serial chain spread over processors needs heavy barrier use.
+  EXPECT_GT(r.stats.barriers_final, 0u);
+}
+
+TEST(Scheduler, RoundRobinNeverBeatsListHeuristicOnChains) {
+  const Program p = chain_program(14);
+  const InstrDag dag = table1_dag(p);
+  SchedulerConfig list_cfg;
+  list_cfg.num_procs = 4;
+  SchedulerConfig rr_cfg = list_cfg;
+  rr_cfg.assignment = AssignmentPolicy::kRoundRobin;
+  Rng rng(3);
+  const ScheduleResult list = schedule_program(dag, list_cfg, rng);
+  const ScheduleResult rr = schedule_program(dag, rr_cfg, rng);
+  EXPECT_LE(list.stats.completion.max, rr.stats.completion.max);
+}
+
+TEST(Scheduler, TwoVariablesUseFewProcessors) {
+  // §5.3: with 2 variables the algorithm keeps almost everything on two
+  // processors regardless of machine size.
+  const GeneratorConfig gen{.num_statements = 40, .num_variables = 2,
+                            .num_constants = 3, .const_max = 64};
+  Rng seeds(101);
+  for (std::size_t procs : {4u, 16u, 64u}) {
+    Rng rng(seeds.next());
+    const SynthesisResult s = synthesize_benchmark(gen, rng);
+    const InstrDag dag = table1_dag(s.program);
+    SchedulerConfig cfg;
+    cfg.num_procs = procs;
+    const ScheduleResult r = schedule_program(dag, cfg, rng);
+    EXPECT_LE(r.stats.procs_used, 4u);
+  }
+}
+
+TEST(Scheduler, SingleProcessorMeansNoBarriers) {
+  Rng rng(55);
+  const GeneratorConfig gen{.num_statements = 25, .num_variables = 6,
+                            .num_constants = 3, .const_max = 64};
+  const SynthesisResult s = synthesize_benchmark(gen, rng);
+  const InstrDag dag = table1_dag(s.program);
+  SchedulerConfig cfg;
+  cfg.num_procs = 1;
+  const ScheduleResult r = schedule_program(dag, cfg, rng);
+  EXPECT_EQ(r.stats.barriers_final, 0u);
+  EXPECT_EQ(r.stats.serialized_fraction(), 1.0);
+}
+
+TEST(Scheduler, AllInstructionsPlacedExactlyOnce) {
+  Rng rng(66);
+  const GeneratorConfig gen{.num_statements = 35, .num_variables = 8,
+                            .num_constants = 4, .const_max = 64};
+  const SynthesisResult s = synthesize_benchmark(gen, rng);
+  const InstrDag dag = table1_dag(s.program);
+  SchedulerConfig cfg;
+  const ScheduleResult r = schedule_program(dag, cfg, rng);
+  std::size_t placed = 0;
+  for (ProcId p = 0; p < r.schedule->num_procs(); ++p)
+    placed += r.schedule->instr_count(p);
+  EXPECT_EQ(placed, dag.num_instructions());
+  for (NodeId n = 0; n < dag.num_instructions(); ++n)
+    EXPECT_TRUE(r.schedule->placed(n));
+}
+
+TEST(Scheduler, DbmModeNeverMerges) {
+  Rng seeds(12);
+  const GeneratorConfig gen{.num_statements = 40, .num_variables = 10,
+                            .num_constants = 4, .const_max = 64};
+  for (int trial = 0; trial < 5; ++trial) {
+    Rng rng(seeds.next());
+    const SynthesisResult s = synthesize_benchmark(gen, rng);
+    const InstrDag dag = table1_dag(s.program);
+    SchedulerConfig cfg;
+    cfg.machine = MachineKind::kDBM;
+    const ScheduleResult r = schedule_program(dag, cfg, rng);
+    EXPECT_EQ(r.stats.merges, 0u);
+    EXPECT_EQ(r.stats.barriers_final,
+              r.stats.barriers_inserted + r.stats.repair_barriers);
+  }
+}
+
+TEST(Scheduler, LookaheadIncreasesSerialization) {
+  // §5.4: averaged over benchmarks, lookahead should not reduce the
+  // serialized fraction (it exists to protect serialization slots).
+  const GeneratorConfig gen{.num_statements = 40, .num_variables = 10,
+                            .num_constants = 4, .const_max = 64};
+  double base_total = 0, look_total = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng1(seed), rng2(seed);
+    const SynthesisResult s1 = synthesize_benchmark(gen, rng1);
+    const SynthesisResult s2 = synthesize_benchmark(gen, rng2);
+    const InstrDag d1 = table1_dag(s1.program);
+    const InstrDag d2 = table1_dag(s2.program);
+    SchedulerConfig base;
+    base.num_procs = 4;
+    SchedulerConfig look = base;
+    look.assignment = AssignmentPolicy::kLookahead;
+    look.lookahead_window = 4;
+    base_total += schedule_program(d1, base, rng1).stats.serialized_fraction();
+    look_total += schedule_program(d2, look, rng2).stats.serialized_fraction();
+  }
+  EXPECT_GE(look_total, base_total * 0.95);
+}
+
+}  // namespace
+}  // namespace bm

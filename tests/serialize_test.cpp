@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "codegen/synthesize.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/serialize.hpp"
+#include "sim/simulator.hpp"
+
+namespace bm {
+namespace {
+
+struct RoundTrip {
+  RoundTrip() {
+    const GeneratorConfig gen{.num_statements = 30, .num_variables = 8,
+                              .num_constants = 4, .const_max = 64};
+    Rng rng(11);
+    synth = synthesize_benchmark(gen, rng);
+    dag = std::make_unique<InstrDag>(
+        InstrDag::build(synth.program, TimingModel::table1()));
+    SchedulerConfig cfg;
+    result = schedule_program(*dag, cfg, rng);
+  }
+  SynthesisResult synth;
+  std::unique_ptr<InstrDag> dag;
+  ScheduleResult result;
+};
+
+TEST(Serialize, RoundTripPreservesStreams) {
+  RoundTrip rt;
+  const std::string text = schedule_to_text(*rt.result.schedule);
+  const Schedule restored = schedule_from_text(*rt.dag, text);
+  ASSERT_EQ(restored.num_procs(), rt.result.schedule->num_procs());
+  // Stream shapes are identical (barrier ids may be renumbered densely).
+  for (ProcId p = 0; p < restored.num_procs(); ++p) {
+    const auto& a = rt.result.schedule->stream(p);
+    const auto& b = restored.stream(p);
+    ASSERT_EQ(a.size(), b.size()) << "P" << p;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      EXPECT_EQ(a[k].is_barrier, b[k].is_barrier);
+      if (!a[k].is_barrier) {
+        EXPECT_EQ(a[k].id, b[k].id);
+      }
+    }
+  }
+  EXPECT_EQ(restored.inserted_barrier_count(),
+            rt.result.schedule->inserted_barrier_count());
+  EXPECT_EQ(restored.final_barrier().has_value(),
+            rt.result.schedule->final_barrier().has_value());
+}
+
+TEST(Serialize, RoundTripPreservesExecutionSemantics) {
+  RoundTrip rt;
+  const Schedule restored =
+      schedule_from_text(*rt.dag, schedule_to_text(*rt.result.schedule));
+  // Identical completion envelope and identical deterministic executions.
+  EXPECT_EQ(restored.completion(), rt.result.schedule->completion());
+  for (SamplingMode mode : {SamplingMode::kAllMin, SamplingMode::kAllMax}) {
+    Rng r1(5), r2(5);
+    const ExecTrace a = simulate(*rt.result.schedule, {MachineKind::kSBM, mode}, r1);
+    const ExecTrace b = simulate(restored, {MachineKind::kSBM, mode}, r2);
+    EXPECT_EQ(a.completion, b.completion);
+    EXPECT_EQ(a.start, b.start);
+    EXPECT_EQ(a.finish, b.finish);
+  }
+}
+
+TEST(Serialize, PreservesBarrierLatency) {
+  Program p(1);
+  p.append(Tuple::load(0, 0));
+  p.append(Tuple::store(1, 0, Operand::tuple(0)));
+  const InstrDag dag = InstrDag::build(p, TimingModel::table1());
+  Schedule sched(dag, 2, /*barrier_latency=*/7);
+  sched.append_instr(0, 0);
+  sched.append_instr(0, 1);
+  const Schedule restored = schedule_from_text(dag, schedule_to_text(sched));
+  EXPECT_EQ(restored.barrier_latency(), 7);
+}
+
+TEST(Serialize, SecondRoundTripIsIdentity) {
+  RoundTrip rt;
+  const std::string once = schedule_to_text(*rt.result.schedule);
+  const std::string twice =
+      schedule_to_text(schedule_from_text(*rt.dag, once));
+  EXPECT_EQ(schedule_to_text(schedule_from_text(*rt.dag, twice)), twice);
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  RoundTrip rt;
+  EXPECT_THROW(schedule_from_text(*rt.dag, "nonsense"), Error);
+  EXPECT_THROW(schedule_from_text(*rt.dag, "schedule v1\nprocs x"), Error);
+  // Wrong instruction count.
+  EXPECT_THROW(
+      schedule_from_text(*rt.dag,
+                         "schedule v1\nprocs 2 instrs 1 barriers 0\nP0: n0\nP1:\n"),
+      Error);
+}
+
+TEST(Serialize, RejectsInconsistentMask) {
+  Program p(1);
+  p.append(Tuple::load(0, 0));
+  const InstrDag dag = InstrDag::build(p, TimingModel::table1());
+  // Barrier declared across {0,1} but present only in P0's stream.
+  const std::string text =
+      "schedule v1\nprocs 2 instrs 1 barriers 1\nbarrier 1 mask 0,1\n"
+      "P0: n0 B1\nP1:\n";
+  EXPECT_THROW(schedule_from_text(dag, text), Error);
+}
+
+TEST(Serialize, RejectsUndeclaredStreamBarrier) {
+  Program p(1);
+  p.append(Tuple::load(0, 0));
+  const InstrDag dag = InstrDag::build(p, TimingModel::table1());
+  const std::string text =
+      "schedule v1\nprocs 2 instrs 1 barriers 0\nP0: n0 B9\nP1:\n";
+  EXPECT_THROW(schedule_from_text(dag, text), Error);
+}
+
+}  // namespace
+}  // namespace bm

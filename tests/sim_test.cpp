@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "codegen/synthesize.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace bm {
+namespace {
+
+Operand C(std::int64_t v) { return Operand::constant(v); }
+Operand T(TupleId id) { return Operand::tuple(id); }
+
+TimingModel wide_timing() {
+  TimingModel tm = TimingModel::table1();
+  tm.set(Opcode::kLoad, {1, 50});
+  tm.set(Opcode::kAdd, {2, 2});
+  return tm;
+}
+
+TEST(Sampler, ModesRespectRange) {
+  Rng rng(1);
+  const TimeRange r{3, 9};
+  EXPECT_EQ(sample_time(r, SamplingMode::kAllMin, rng), 3);
+  EXPECT_EQ(sample_time(r, SamplingMode::kAllMax, rng), 9);
+  for (int i = 0; i < 200; ++i) {
+    const Time u = sample_time(r, SamplingMode::kUniform, rng);
+    EXPECT_GE(u, 3);
+    EXPECT_LE(u, 9);
+    const Time b = sample_time(r, SamplingMode::kBimodal, rng);
+    EXPECT_TRUE(b == 3 || b == 9);
+  }
+}
+
+TEST(Simulator, RecordsInstructionTimes) {
+  Program p(1);
+  p.append(Tuple::load(0, 0));
+  p.append(Tuple::store(1, 0, T(0)));
+  const InstrDag dag = InstrDag::build(p, TimingModel::table1());
+  Schedule sched(dag, 1);
+  sched.append_instr(0, 0);
+  sched.append_instr(0, 1);
+  Rng rng(2);
+  const ExecTrace t =
+      simulate(sched, {MachineKind::kSBM, SamplingMode::kAllMax}, rng);
+  EXPECT_EQ(t.start[0], 0);
+  EXPECT_EQ(t.finish[0], 4);
+  EXPECT_EQ(t.start[1], 4);
+  EXPECT_EQ(t.finish[1], 5);
+  EXPECT_EQ(t.completion, 5);
+}
+
+TEST(Simulator, BarrierFiresAtLastArrival) {
+  Program p(2);
+  p.append(Tuple::load(0, 0));                          // [1,50] wide
+  p.append(Tuple::binary(1, Opcode::kAdd, C(1), C(1))); // [2,2]
+  const InstrDag dag = InstrDag::build(p, wide_timing());
+  Schedule sched(dag, 2);
+  sched.append_instr(0, 0);
+  sched.append_instr(1, 1);
+  const BarrierId b = sched.insert_barrier({{0, 1}, {1, 1}});
+  Rng rng(3);
+  for (MachineKind mk : {MachineKind::kSBM, MachineKind::kDBM}) {
+    const ExecTrace t = simulate(sched, {mk, SamplingMode::kAllMax}, rng);
+    EXPECT_EQ(t.barrier_fire[b], 50);  // waits for the slow load
+    EXPECT_EQ(t.barrier_fire[Schedule::kInitialBarrier], 0);
+  }
+}
+
+TEST(Simulator, SimultaneousResumeAfterBarrier) {
+  Program p(2);
+  p.append(Tuple::load(0, 0));
+  p.append(Tuple::binary(1, Opcode::kAdd, C(1), C(1)));
+  p.append(Tuple::binary(2, Opcode::kAdd, C(2), C(2)));
+  p.append(Tuple::binary(3, Opcode::kAdd, C(3), C(3)));
+  const InstrDag dag = InstrDag::build(p, wide_timing());
+  Schedule sched(dag, 2);
+  sched.append_instr(0, 0);
+  sched.append_instr(1, 1);
+  sched.insert_barrier({{0, 1}, {1, 1}});
+  sched.append_instr(0, 2);
+  sched.append_instr(1, 3);
+  Rng rng(4);
+  const ExecTrace t =
+      simulate(sched, {MachineKind::kSBM, SamplingMode::kAllMax}, rng);
+  EXPECT_EQ(t.start[2], t.start[3]);  // both resume on the fire instant
+}
+
+TEST(Simulator, SbmQueueDelaysOutOfOrderBarrier) {
+  // Barrier A {P0,P1} statically earlier (min fire 1) but slow at runtime;
+  // barrier B {P2,P3} statically later (min fire 2) but fast. The SBM FIFO
+  // holds B behind A; the DBM fires B immediately.
+  Program p(4);
+  p.append(Tuple::load(0, 0));                           // P0: [1,50]
+  p.append(Tuple::load(1, 1));                           // P1: [1,50]
+  p.append(Tuple::binary(2, Opcode::kAdd, C(1), C(1)));  // P2: [2,2]
+  p.append(Tuple::binary(3, Opcode::kAdd, C(2), C(2)));  // P3: [2,2]
+  const InstrDag dag = InstrDag::build(p, wide_timing());
+  Schedule sched(dag, 4);
+  for (NodeId n = 0; n < 4; ++n)
+    sched.append_instr(static_cast<ProcId>(n), n);
+  const BarrierId a = sched.insert_barrier({{0, 1}, {1, 1}});
+  const BarrierId b = sched.insert_barrier({{2, 1}, {3, 1}});
+  Rng rng(5);
+  const ExecTrace sbm =
+      simulate(sched, {MachineKind::kSBM, SamplingMode::kAllMax}, rng);
+  EXPECT_EQ(sbm.barrier_fire[a], 50);
+  EXPECT_EQ(sbm.barrier_fire[b], 50);  // delayed behind the queue top
+  const ExecTrace dbm =
+      simulate(sched, {MachineKind::kDBM, SamplingMode::kAllMax}, rng);
+  EXPECT_EQ(dbm.barrier_fire[a], 50);
+  EXPECT_EQ(dbm.barrier_fire[b], 2);   // associative match fires it at once
+  EXPECT_LE(dbm.completion, sbm.completion);
+}
+
+TEST(Simulator, ViolationDetectionCatchesBadSchedule) {
+  // Producer Load on P0, consumer immediately on P1 with no barrier: under
+  // the all-max draw the consumer starts before the producer finishes.
+  Program p(1);
+  p.append(Tuple::load(0, 0));
+  p.append(Tuple::binary(1, Opcode::kOr, T(0), C(0)));
+  const InstrDag dag = InstrDag::build(p, TimingModel::table1());
+  Schedule sched(dag, 2);
+  sched.append_instr(0, 0);
+  sched.append_instr(1, 1);
+  Rng rng(6);
+  const ExecTrace t =
+      simulate(sched, {MachineKind::kSBM, SamplingMode::kAllMax}, rng);
+  const auto violations = find_violations(dag, t);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0], (std::pair<NodeId, NodeId>{0, 1}));
+}
+
+TEST(Simulator, StaticCompletionRangeMatchesExtremeDraws) {
+  Rng seeds(7);
+  const GeneratorConfig gen{.num_statements = 30, .num_variables = 8,
+                            .num_constants = 4, .const_max = 64};
+  for (int trial = 0; trial < 10; ++trial) {
+    Rng rng(seeds.next());
+    const SynthesisResult s = synthesize_benchmark(gen, rng);
+    const InstrDag dag = InstrDag::build(s.program, TimingModel::table1());
+    SchedulerConfig cfg;
+    const ScheduleResult r = schedule_program(dag, cfg, rng);
+    const ExecTrace lo =
+        simulate(*r.schedule, {cfg.machine, SamplingMode::kAllMin}, rng);
+    const ExecTrace hi =
+        simulate(*r.schedule, {cfg.machine, SamplingMode::kAllMax}, rng);
+    EXPECT_EQ(lo.completion, r.stats.completion.min);
+    EXPECT_EQ(hi.completion, r.stats.completion.max);
+  }
+}
+
+TEST(Simulator, UniformDrawsStayInsideEnvelope) {
+  Rng seeds(8);
+  const GeneratorConfig gen{.num_statements = 25, .num_variables = 6,
+                            .num_constants = 4, .const_max = 64};
+  Rng rng(seeds.next());
+  const SynthesisResult s = synthesize_benchmark(gen, rng);
+  const InstrDag dag = InstrDag::build(s.program, TimingModel::table1());
+  SchedulerConfig cfg;
+  const ScheduleResult r = schedule_program(dag, cfg, rng);
+  for (int run = 0; run < 50; ++run) {
+    const ExecTrace t =
+        simulate(*r.schedule, {cfg.machine, SamplingMode::kUniform}, rng);
+    EXPECT_GE(t.completion, r.stats.completion.min);
+    EXPECT_LE(t.completion, r.stats.completion.max);
+  }
+}
+
+TEST(Simulator, CompletionSummaryEnvelopesMean) {
+  Rng rng(9);
+  const GeneratorConfig gen{.num_statements = 25, .num_variables = 6,
+                            .num_constants = 4, .const_max = 64};
+  const SynthesisResult s = synthesize_benchmark(gen, rng);
+  const InstrDag dag = InstrDag::build(s.program, TimingModel::table1());
+  SchedulerConfig cfg;
+  const ScheduleResult r = schedule_program(dag, cfg, rng);
+  const CompletionSummary cs =
+      summarize_completion(*r.schedule, cfg.machine, 20, rng);
+  EXPECT_LE(cs.min_draw, cs.max_draw);
+  EXPECT_GE(cs.mean, static_cast<double>(cs.min_draw));
+  EXPECT_LE(cs.mean, static_cast<double>(cs.max_draw));
+}
+
+TEST(Simulator, BarrierLatencyDelaysRelease) {
+  Program p(2);
+  p.append(Tuple::load(0, 0));                          // [1,50] wide
+  p.append(Tuple::binary(1, Opcode::kAdd, C(1), C(1))); // [2,2]
+  const InstrDag dag = InstrDag::build(p, wide_timing());
+  Schedule sched(dag, 2, /*barrier_latency=*/5);
+  sched.append_instr(0, 0);
+  sched.append_instr(1, 1);
+  const BarrierId b = sched.insert_barrier({{0, 1}, {1, 1}});
+  // Static analysis accounts for the latency: the edge joins [1,50] and
+  // [2,2] into [2,50], plus 5 cycles of release latency.
+  EXPECT_EQ(sched.barrier_dag().fire_range(b), (TimeRange{7, 55}));
+  // ...and so do both simulators.
+  Rng rng(3);
+  for (MachineKind mk : {MachineKind::kSBM, MachineKind::kDBM}) {
+    const ExecTrace t = simulate(sched, {mk, SamplingMode::kAllMax}, rng);
+    EXPECT_EQ(t.barrier_fire[b], 55);
+  }
+}
+
+TEST(Simulator, LatencyPreservesEnvelopeAndSoundness) {
+  Rng seeds(21);
+  const GeneratorConfig gen{.num_statements = 30, .num_variables = 8,
+                            .num_constants = 4, .const_max = 64};
+  for (int trial = 0; trial < 5; ++trial) {
+    Rng rng(seeds.next());
+    const SynthesisResult s = synthesize_benchmark(gen, rng);
+    const InstrDag dag = InstrDag::build(s.program, TimingModel::table1());
+    SchedulerConfig cfg;
+    cfg.barrier_latency = 3;
+    const ScheduleResult r = schedule_program(dag, cfg, rng);
+    const ExecTrace lo =
+        simulate(*r.schedule, {cfg.machine, SamplingMode::kAllMin}, rng);
+    const ExecTrace hi =
+        simulate(*r.schedule, {cfg.machine, SamplingMode::kAllMax}, rng);
+    EXPECT_EQ(lo.completion, r.stats.completion.min);
+    EXPECT_EQ(hi.completion, r.stats.completion.max);
+    for (int run = 0; run < 10; ++run) {
+      const ExecTrace t =
+          simulate(*r.schedule, {cfg.machine, SamplingMode::kBimodal}, rng);
+      EXPECT_TRUE(find_violations(dag, t).empty());
+    }
+  }
+}
+
+TEST(Simulator, EmptyScheduleCompletesAtZero) {
+  Program p(0);
+  const InstrDag dag = InstrDag::build(p, TimingModel::table1());
+  Schedule sched(dag, 4);
+  Rng rng(10);
+  const ExecTrace t =
+      simulate(sched, {MachineKind::kSBM, SamplingMode::kUniform}, rng);
+  EXPECT_EQ(t.completion, 0);
+}
+
+}  // namespace
+}  // namespace bm

@@ -1,0 +1,33 @@
+// Shared helpers for the barrier-mimd test suite.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "codegen/statement.hpp"
+#include "ir/interp.hpp"
+#include "ir/program.hpp"
+
+namespace bm::test {
+
+/// Final-memory view of the library interpreter (bm::eval_program).
+inline std::vector<std::int64_t> eval_program(
+    const Program& prog, const std::vector<std::int64_t>& initial_memory) {
+  return bm::eval_program(prog, initial_memory).memory;
+}
+
+/// Reference interpreter for statement lists (source-level semantics).
+inline std::vector<std::int64_t> eval_statements(
+    const StatementList& stmts, std::uint32_t num_vars,
+    const std::vector<std::int64_t>& initial_memory) {
+  std::vector<std::int64_t> memory = initial_memory;
+  memory.resize(num_vars, 0);
+  auto operand_value = [&](const StmtOperand& o) {
+    return o.is_var() ? memory[o.var] : o.value;
+  };
+  for (const Assign& s : stmts)
+    memory[s.lhs] = fold_binary(s.op, operand_value(s.a), operand_value(s.b));
+  return memory;
+}
+
+}  // namespace bm::test

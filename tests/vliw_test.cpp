@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "codegen/synthesize.hpp"
+#include "vliw/vliw.hpp"
+
+namespace bm {
+namespace {
+
+Operand C(std::int64_t v) { return Operand::constant(v); }
+Operand T(TupleId id) { return Operand::tuple(id); }
+
+TEST(Vliw, ChainRunsSerially) {
+  // Load [max 4] + 3 dependent Adds + Store = 4+1+1+1+1 = 8.
+  Program p(1);
+  TupleId cur = p.append(Tuple::load(0, 0));
+  for (int i = 0; i < 3; ++i)
+    cur = p.append(Tuple::binary(static_cast<std::uint32_t>(i + 1),
+                                 Opcode::kAdd, T(cur), C(1)));
+  p.append(Tuple::store(9, 0, T(cur)));
+  const InstrDag dag = InstrDag::build(p, TimingModel::table1());
+  const VliwSchedule v = schedule_vliw(dag, 4);
+  EXPECT_EQ(v.makespan, 8);
+  EXPECT_EQ(v.procs_used, 1u);
+}
+
+TEST(Vliw, IndependentWorkRunsInParallel) {
+  Program p(4);
+  for (std::uint32_t i = 0; i < 4; ++i) p.append(Tuple::load(i, i));
+  const InstrDag dag = InstrDag::build(p, TimingModel::table1());
+  EXPECT_EQ(schedule_vliw(dag, 4).makespan, 4);   // all at once (max time)
+  EXPECT_EQ(schedule_vliw(dag, 1).makespan, 16);  // fully serial
+  EXPECT_EQ(schedule_vliw(dag, 2).makespan, 8);
+}
+
+TEST(Vliw, RespectsDependences) {
+  Rng rng(21);
+  const GeneratorConfig gen{.num_statements = 40, .num_variables = 10,
+                            .num_constants = 4, .const_max = 64};
+  for (int trial = 0; trial < 10; ++trial) {
+    const SynthesisResult s = synthesize_benchmark(gen, rng);
+    const InstrDag dag = InstrDag::build(s.program, TimingModel::table1());
+    const VliwSchedule v = schedule_vliw(dag, 8);
+    for (const auto& [g, i] : dag.sync_edges())
+      EXPECT_GE(v.slots[i].start, v.slots[g].finish);
+    // Slots on one unit never overlap.
+    for (NodeId a = 0; a < v.slots.size(); ++a) {
+      for (NodeId b = a + 1; b < v.slots.size(); ++b) {
+        if (v.slots[a].proc != v.slots[b].proc) continue;
+        EXPECT_TRUE(v.slots[a].finish <= v.slots[b].start ||
+                    v.slots[b].finish <= v.slots[a].start);
+      }
+    }
+  }
+}
+
+TEST(Vliw, MakespanBoundedByCriticalPathAndSerialTime) {
+  Rng rng(33);
+  const GeneratorConfig gen{.num_statements = 30, .num_variables = 8,
+                            .num_constants = 4, .const_max = 64};
+  for (int trial = 0; trial < 10; ++trial) {
+    const SynthesisResult s = synthesize_benchmark(gen, rng);
+    const InstrDag dag = InstrDag::build(s.program, TimingModel::table1());
+    const VliwSchedule v = schedule_vliw(dag, 8);
+    EXPECT_GE(v.makespan, dag.critical_path().max);
+    EXPECT_LE(v.makespan, s.program.serial_time(TimingModel::table1()).max);
+  }
+}
+
+TEST(Vliw, MoreUnitsNeverHurt) {
+  Rng rng(44);
+  const GeneratorConfig gen{.num_statements = 40, .num_variables = 10,
+                            .num_constants = 4, .const_max = 64};
+  for (int trial = 0; trial < 5; ++trial) {
+    const SynthesisResult s = synthesize_benchmark(gen, rng);
+    const InstrDag dag = InstrDag::build(s.program, TimingModel::table1());
+    Time prev = std::numeric_limits<Time>::max();
+    for (std::size_t procs : {1u, 2u, 4u, 8u, 16u}) {
+      const Time m = schedule_vliw(dag, procs).makespan;
+      EXPECT_LE(m, prev);
+      prev = m;
+    }
+  }
+}
+
+TEST(Vliw, DeterministicAcrossCalls) {
+  Rng rng(50);
+  const GeneratorConfig gen{.num_statements = 30, .num_variables = 8,
+                            .num_constants = 4, .const_max = 64};
+  const SynthesisResult s = synthesize_benchmark(gen, rng);
+  const InstrDag dag = InstrDag::build(s.program, TimingModel::table1());
+  EXPECT_EQ(schedule_vliw(dag, 8).makespan, schedule_vliw(dag, 8).makespan);
+}
+
+}  // namespace
+}  // namespace bm
