@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_barrier_latency.dir/bench_barrier_latency.cpp.o"
+  "CMakeFiles/bench_barrier_latency.dir/bench_barrier_latency.cpp.o.d"
+  "bench_barrier_latency"
+  "bench_barrier_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_barrier_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_control_flow.dir/bench_control_flow.cpp.o"
+  "CMakeFiles/bench_control_flow.dir/bench_control_flow.cpp.o.d"
+  "bench_control_flow"
+  "bench_control_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_control_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

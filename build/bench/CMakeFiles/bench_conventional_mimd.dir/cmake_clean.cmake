@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conventional_mimd.dir/bench_conventional_mimd.cpp.o"
+  "CMakeFiles/bench_conventional_mimd.dir/bench_conventional_mimd.cpp.o.d"
+  "bench_conventional_mimd"
+  "bench_conventional_mimd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conventional_mimd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

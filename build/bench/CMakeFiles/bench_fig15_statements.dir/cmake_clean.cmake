@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_statements.dir/bench_fig15_statements.cpp.o"
+  "CMakeFiles/bench_fig15_statements.dir/bench_fig15_statements.cpp.o.d"
+  "bench_fig15_statements"
+  "bench_fig15_statements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_statements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_variables.dir/bench_fig16_variables.cpp.o"
+  "CMakeFiles/bench_fig16_variables.dir/bench_fig16_variables.cpp.o.d"
+  "bench_fig16_variables"
+  "bench_fig16_variables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_variables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_processors.dir/bench_fig17_processors.cpp.o"
+  "CMakeFiles/bench_fig17_processors.dir/bench_fig17_processors.cpp.o.d"
+  "bench_fig17_processors"
+  "bench_fig17_processors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_processors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_insertion_compare.dir/bench_insertion_compare.cpp.o"
+  "CMakeFiles/bench_insertion_compare.dir/bench_insertion_compare.cpp.o.d"
+  "bench_insertion_compare"
+  "bench_insertion_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_insertion_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scheduler_perf.dir/bench_scheduler_perf.cpp.o"
+  "CMakeFiles/bench_scheduler_perf.dir/bench_scheduler_perf.cpp.o.d"
+  "bench_scheduler_perf"
+  "bench_scheduler_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scheduler_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

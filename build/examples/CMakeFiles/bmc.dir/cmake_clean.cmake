@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmc.dir/bmc.cpp.o"
+  "CMakeFiles/bmc.dir/bmc.cpp.o.d"
+  "bmc"
+  "bmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

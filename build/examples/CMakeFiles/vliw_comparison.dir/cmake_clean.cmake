@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vliw_comparison.dir/vliw_comparison.cpp.o"
+  "CMakeFiles/vliw_comparison.dir/vliw_comparison.cpp.o.d"
+  "vliw_comparison"
+  "vliw_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vliw_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("codegen")
+subdirs("opt")
+subdirs("graph")
+subdirs("barrier")
+subdirs("sched")
+subdirs("vliw")
+subdirs("sim")
+subdirs("mimd")
+subdirs("cfg")
+subdirs("machine")
+subdirs("metrics")
+subdirs("harness")

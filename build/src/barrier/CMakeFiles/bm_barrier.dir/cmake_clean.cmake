@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_barrier.dir/barrier_dag.cpp.o"
+  "CMakeFiles/bm_barrier.dir/barrier_dag.cpp.o.d"
+  "CMakeFiles/bm_barrier.dir/dot.cpp.o"
+  "CMakeFiles/bm_barrier.dir/dot.cpp.o.d"
+  "libbm_barrier.a"
+  "libbm_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfg/cfg_gen.cpp" "src/cfg/CMakeFiles/bm_cfg.dir/cfg_gen.cpp.o" "gcc" "src/cfg/CMakeFiles/bm_cfg.dir/cfg_gen.cpp.o.d"
+  "/root/repo/src/cfg/cfg_ir.cpp" "src/cfg/CMakeFiles/bm_cfg.dir/cfg_ir.cpp.o" "gcc" "src/cfg/CMakeFiles/bm_cfg.dir/cfg_ir.cpp.o.d"
+  "/root/repo/src/cfg/cfg_sched.cpp" "src/cfg/CMakeFiles/bm_cfg.dir/cfg_sched.cpp.o" "gcc" "src/cfg/CMakeFiles/bm_cfg.dir/cfg_sched.cpp.o.d"
+  "/root/repo/src/cfg/cfg_sim.cpp" "src/cfg/CMakeFiles/bm_cfg.dir/cfg_sim.cpp.o" "gcc" "src/cfg/CMakeFiles/bm_cfg.dir/cfg_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codegen/CMakeFiles/bm_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/bm_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/bm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vliw/CMakeFiles/bm_vliw.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/barrier/CMakeFiles/bm_barrier.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/bm_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

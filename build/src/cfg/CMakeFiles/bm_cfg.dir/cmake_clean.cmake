@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_cfg.dir/cfg_gen.cpp.o"
+  "CMakeFiles/bm_cfg.dir/cfg_gen.cpp.o.d"
+  "CMakeFiles/bm_cfg.dir/cfg_ir.cpp.o"
+  "CMakeFiles/bm_cfg.dir/cfg_ir.cpp.o.d"
+  "CMakeFiles/bm_cfg.dir/cfg_sched.cpp.o"
+  "CMakeFiles/bm_cfg.dir/cfg_sched.cpp.o.d"
+  "CMakeFiles/bm_cfg.dir/cfg_sim.cpp.o"
+  "CMakeFiles/bm_cfg.dir/cfg_sim.cpp.o.d"
+  "libbm_cfg.a"
+  "libbm_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/emitter.cpp" "src/codegen/CMakeFiles/bm_codegen.dir/emitter.cpp.o" "gcc" "src/codegen/CMakeFiles/bm_codegen.dir/emitter.cpp.o.d"
+  "/root/repo/src/codegen/generator.cpp" "src/codegen/CMakeFiles/bm_codegen.dir/generator.cpp.o" "gcc" "src/codegen/CMakeFiles/bm_codegen.dir/generator.cpp.o.d"
+  "/root/repo/src/codegen/parser.cpp" "src/codegen/CMakeFiles/bm_codegen.dir/parser.cpp.o" "gcc" "src/codegen/CMakeFiles/bm_codegen.dir/parser.cpp.o.d"
+  "/root/repo/src/codegen/statement.cpp" "src/codegen/CMakeFiles/bm_codegen.dir/statement.cpp.o" "gcc" "src/codegen/CMakeFiles/bm_codegen.dir/statement.cpp.o.d"
+  "/root/repo/src/codegen/synthesize.cpp" "src/codegen/CMakeFiles/bm_codegen.dir/synthesize.cpp.o" "gcc" "src/codegen/CMakeFiles/bm_codegen.dir/synthesize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/bm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/bm_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_codegen.dir/emitter.cpp.o"
+  "CMakeFiles/bm_codegen.dir/emitter.cpp.o.d"
+  "CMakeFiles/bm_codegen.dir/generator.cpp.o"
+  "CMakeFiles/bm_codegen.dir/generator.cpp.o.d"
+  "CMakeFiles/bm_codegen.dir/parser.cpp.o"
+  "CMakeFiles/bm_codegen.dir/parser.cpp.o.d"
+  "CMakeFiles/bm_codegen.dir/statement.cpp.o"
+  "CMakeFiles/bm_codegen.dir/statement.cpp.o.d"
+  "CMakeFiles/bm_codegen.dir/synthesize.cpp.o"
+  "CMakeFiles/bm_codegen.dir/synthesize.cpp.o.d"
+  "libbm_codegen.a"
+  "libbm_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_graph.dir/digraph.cpp.o"
+  "CMakeFiles/bm_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/bm_graph.dir/dominators.cpp.o"
+  "CMakeFiles/bm_graph.dir/dominators.cpp.o.d"
+  "CMakeFiles/bm_graph.dir/instr_dag.cpp.o"
+  "CMakeFiles/bm_graph.dir/instr_dag.cpp.o.d"
+  "CMakeFiles/bm_graph.dir/paths.cpp.o"
+  "CMakeFiles/bm_graph.dir/paths.cpp.o.d"
+  "libbm_graph.a"
+  "libbm_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

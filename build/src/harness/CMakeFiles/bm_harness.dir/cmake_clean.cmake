@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_harness.dir/experiment.cpp.o"
+  "CMakeFiles/bm_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/bm_harness.dir/report.cpp.o"
+  "CMakeFiles/bm_harness.dir/report.cpp.o.d"
+  "libbm_harness.a"
+  "libbm_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

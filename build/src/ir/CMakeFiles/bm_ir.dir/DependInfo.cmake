@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/interp.cpp" "src/ir/CMakeFiles/bm_ir.dir/interp.cpp.o" "gcc" "src/ir/CMakeFiles/bm_ir.dir/interp.cpp.o.d"
+  "/root/repo/src/ir/opcode.cpp" "src/ir/CMakeFiles/bm_ir.dir/opcode.cpp.o" "gcc" "src/ir/CMakeFiles/bm_ir.dir/opcode.cpp.o.d"
+  "/root/repo/src/ir/program.cpp" "src/ir/CMakeFiles/bm_ir.dir/program.cpp.o" "gcc" "src/ir/CMakeFiles/bm_ir.dir/program.cpp.o.d"
+  "/root/repo/src/ir/timing.cpp" "src/ir/CMakeFiles/bm_ir.dir/timing.cpp.o" "gcc" "src/ir/CMakeFiles/bm_ir.dir/timing.cpp.o.d"
+  "/root/repo/src/ir/tuple.cpp" "src/ir/CMakeFiles/bm_ir.dir/tuple.cpp.o" "gcc" "src/ir/CMakeFiles/bm_ir.dir/tuple.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/bm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_ir.dir/interp.cpp.o"
+  "CMakeFiles/bm_ir.dir/interp.cpp.o.d"
+  "CMakeFiles/bm_ir.dir/opcode.cpp.o"
+  "CMakeFiles/bm_ir.dir/opcode.cpp.o.d"
+  "CMakeFiles/bm_ir.dir/program.cpp.o"
+  "CMakeFiles/bm_ir.dir/program.cpp.o.d"
+  "CMakeFiles/bm_ir.dir/timing.cpp.o"
+  "CMakeFiles/bm_ir.dir/timing.cpp.o.d"
+  "CMakeFiles/bm_ir.dir/tuple.cpp.o"
+  "CMakeFiles/bm_ir.dir/tuple.cpp.o.d"
+  "libbm_ir.a"
+  "libbm_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_machine.dir/presets.cpp.o"
+  "CMakeFiles/bm_machine.dir/presets.cpp.o.d"
+  "libbm_machine.a"
+  "libbm_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_metrics.dir/aggregate.cpp.o"
+  "CMakeFiles/bm_metrics.dir/aggregate.cpp.o.d"
+  "libbm_metrics.a"
+  "libbm_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_mimd.dir/directed.cpp.o"
+  "CMakeFiles/bm_mimd.dir/directed.cpp.o.d"
+  "CMakeFiles/bm_mimd.dir/reduce.cpp.o"
+  "CMakeFiles/bm_mimd.dir/reduce.cpp.o.d"
+  "libbm_mimd.a"
+  "libbm_mimd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_mimd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

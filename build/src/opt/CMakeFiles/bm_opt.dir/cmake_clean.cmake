@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_opt.dir/passes.cpp.o"
+  "CMakeFiles/bm_opt.dir/passes.cpp.o.d"
+  "libbm_opt.a"
+  "libbm_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

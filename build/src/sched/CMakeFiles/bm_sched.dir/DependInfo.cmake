@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/insertion.cpp" "src/sched/CMakeFiles/bm_sched.dir/insertion.cpp.o" "gcc" "src/sched/CMakeFiles/bm_sched.dir/insertion.cpp.o.d"
+  "/root/repo/src/sched/labels.cpp" "src/sched/CMakeFiles/bm_sched.dir/labels.cpp.o" "gcc" "src/sched/CMakeFiles/bm_sched.dir/labels.cpp.o.d"
+  "/root/repo/src/sched/policies.cpp" "src/sched/CMakeFiles/bm_sched.dir/policies.cpp.o" "gcc" "src/sched/CMakeFiles/bm_sched.dir/policies.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/sched/CMakeFiles/bm_sched.dir/schedule.cpp.o" "gcc" "src/sched/CMakeFiles/bm_sched.dir/schedule.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/bm_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/bm_sched.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sched/serialize.cpp" "src/sched/CMakeFiles/bm_sched.dir/serialize.cpp.o" "gcc" "src/sched/CMakeFiles/bm_sched.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/barrier/CMakeFiles/bm_barrier.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/bm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_sched.dir/insertion.cpp.o"
+  "CMakeFiles/bm_sched.dir/insertion.cpp.o.d"
+  "CMakeFiles/bm_sched.dir/labels.cpp.o"
+  "CMakeFiles/bm_sched.dir/labels.cpp.o.d"
+  "CMakeFiles/bm_sched.dir/policies.cpp.o"
+  "CMakeFiles/bm_sched.dir/policies.cpp.o.d"
+  "CMakeFiles/bm_sched.dir/schedule.cpp.o"
+  "CMakeFiles/bm_sched.dir/schedule.cpp.o.d"
+  "CMakeFiles/bm_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/bm_sched.dir/scheduler.cpp.o.d"
+  "CMakeFiles/bm_sched.dir/serialize.cpp.o"
+  "CMakeFiles/bm_sched.dir/serialize.cpp.o.d"
+  "libbm_sched.a"
+  "libbm_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

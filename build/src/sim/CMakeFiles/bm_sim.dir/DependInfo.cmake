@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/analysis.cpp" "src/sim/CMakeFiles/bm_sim.dir/analysis.cpp.o" "gcc" "src/sim/CMakeFiles/bm_sim.dir/analysis.cpp.o.d"
+  "/root/repo/src/sim/gantt.cpp" "src/sim/CMakeFiles/bm_sim.dir/gantt.cpp.o" "gcc" "src/sim/CMakeFiles/bm_sim.dir/gantt.cpp.o.d"
+  "/root/repo/src/sim/sampler.cpp" "src/sim/CMakeFiles/bm_sim.dir/sampler.cpp.o" "gcc" "src/sim/CMakeFiles/bm_sim.dir/sampler.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/bm_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/bm_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/bm_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/bm_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/bm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/bm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/barrier/CMakeFiles/bm_barrier.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_sim.dir/analysis.cpp.o"
+  "CMakeFiles/bm_sim.dir/analysis.cpp.o.d"
+  "CMakeFiles/bm_sim.dir/gantt.cpp.o"
+  "CMakeFiles/bm_sim.dir/gantt.cpp.o.d"
+  "CMakeFiles/bm_sim.dir/sampler.cpp.o"
+  "CMakeFiles/bm_sim.dir/sampler.cpp.o.d"
+  "CMakeFiles/bm_sim.dir/simulator.cpp.o"
+  "CMakeFiles/bm_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/bm_sim.dir/trace.cpp.o"
+  "CMakeFiles/bm_sim.dir/trace.cpp.o.d"
+  "libbm_sim.a"
+  "libbm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

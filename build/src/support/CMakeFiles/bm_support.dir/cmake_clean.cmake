@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_support.dir/bitset.cpp.o"
+  "CMakeFiles/bm_support.dir/bitset.cpp.o.d"
+  "CMakeFiles/bm_support.dir/cli.cpp.o"
+  "CMakeFiles/bm_support.dir/cli.cpp.o.d"
+  "CMakeFiles/bm_support.dir/rng.cpp.o"
+  "CMakeFiles/bm_support.dir/rng.cpp.o.d"
+  "CMakeFiles/bm_support.dir/stats.cpp.o"
+  "CMakeFiles/bm_support.dir/stats.cpp.o.d"
+  "CMakeFiles/bm_support.dir/table.cpp.o"
+  "CMakeFiles/bm_support.dir/table.cpp.o.d"
+  "libbm_support.a"
+  "libbm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

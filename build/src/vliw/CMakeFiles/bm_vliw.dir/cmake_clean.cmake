@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_vliw.dir/vliw.cpp.o"
+  "CMakeFiles/bm_vliw.dir/vliw.cpp.o.d"
+  "libbm_vliw.a"
+  "libbm_vliw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_vliw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barrier_dag_test.dir/barrier_dag_test.cpp.o"
+  "CMakeFiles/barrier_dag_test.dir/barrier_dag_test.cpp.o.d"
+  "barrier_dag_test"
+  "barrier_dag_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barrier_dag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/endtoend2_test.dir/endtoend2_test.cpp.o"
+  "CMakeFiles/endtoend2_test.dir/endtoend2_test.cpp.o.d"
+  "endtoend2_test"
+  "endtoend2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/endtoend2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insertion_test.dir/insertion_test.cpp.o"
+  "CMakeFiles/insertion_test.dir/insertion_test.cpp.o.d"
+  "insertion_test"
+  "insertion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insertion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instr_dag_test.dir/instr_dag_test.cpp.o"
+  "CMakeFiles/instr_dag_test.dir/instr_dag_test.cpp.o.d"
+  "instr_dag_test"
+  "instr_dag_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instr_dag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimd_test.dir/mimd_test.cpp.o"
+  "CMakeFiles/mimd_test.dir/mimd_test.cpp.o.d"
+  "mimd_test"
+  "mimd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property2_test.dir/property2_test.cpp.o"
+  "CMakeFiles/property2_test.dir/property2_test.cpp.o.d"
+  "property2_test"
+  "property2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

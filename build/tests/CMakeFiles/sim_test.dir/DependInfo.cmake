@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/sim_test.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/bm_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/bm_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/bm_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/bm_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/bm_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/bm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/mimd/CMakeFiles/bm_mimd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vliw/CMakeFiles/bm_vliw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/bm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/barrier/CMakeFiles/bm_barrier.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/bm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
