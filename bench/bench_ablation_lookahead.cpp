@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   RunOptions opt;
   opt.seeds = static_cast<std::size_t>(flags.get_int("seeds", 100));
   opt.base_seed = static_cast<std::uint64_t>(flags.get_int("base-seed", 1990));
+  opt.jobs = flags.get_jobs();
 
   GeneratorConfig gen;
   gen.num_statements = static_cast<std::uint32_t>(flags.get_int("statements", 60));

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   RunOptions opt;
   opt.seeds = static_cast<std::size_t>(flags.get_int("seeds", 60));
   opt.base_seed = static_cast<std::uint64_t>(flags.get_int("base-seed", 1990));
+  opt.jobs = flags.get_jobs();
 
   print_bench_header(
       "control flow — barrier MIMD vs lockstep worst-case bound",

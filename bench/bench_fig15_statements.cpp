@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   RunOptions opt;
   opt.seeds = static_cast<std::size_t>(flags.get_int("seeds", 100));
   opt.base_seed = static_cast<std::uint64_t>(flags.get_int("base-seed", 1990));
+  opt.jobs = flags.get_jobs();
 
   SchedulerConfig cfg;
   cfg.num_procs = static_cast<std::size_t>(flags.get_int("procs", 8));

@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "codegen/synthesize.hpp"
+#include "harness/experiment.hpp"
 #include "sched/scheduler.hpp"
 #include "vliw/vliw.hpp"
 
@@ -92,6 +93,26 @@ void BM_ScheduleManyProcs(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_ScheduleManyProcs)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+// Seed-level fan-out of the experiment harness (arg = worker count). One
+// iteration = a full 16-seed parameter point; compare Jobs/1 vs Jobs/N for
+// the harness scaling curve. Results are bit-identical across worker counts.
+void BM_RunPointJobs(benchmark::State& state) {
+  GeneratorConfig gen;
+  gen.num_statements = 30;
+  gen.num_variables = 10;
+  SchedulerConfig cfg;
+  cfg.num_procs = 8;
+  RunOptions opt;
+  opt.seeds = 16;
+  opt.jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_point(gen, cfg, opt));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * opt.seeds));
+}
+BENCHMARK(BM_RunPointJobs)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 }  // namespace
 

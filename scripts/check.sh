@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Full verification: configure, build, run the test suite, and smoke every
-# bench binary with a reduced seed count.
+# Full verification: configure, build, run the test suite (including the
+# parallel-harness determinism and barrier-cache consistency tests), smoke
+# every bench binary with a reduced seed count, and record the perf
+# microbench trajectory as BENCH_sched.json at the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -8,13 +10,30 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 
+# The two perf-layer test binaries are the contract for this repo's
+# performance work — run them explicitly (fast) so a filtered ctest cache
+# can never silently skip them.
+./build/tests/parallel_harness_test > /dev/null && echo "ok  parallel_harness_test"
+./build/tests/barrier_cache_test > /dev/null && echo "ok  barrier_cache_test"
+
 for b in build/bench/bench_*; do
   name="$(basename "$b")"
   case "$name" in
     bench_scheduler_perf|bench_sim_perf)
-      "$b" > /dev/null && echo "ok  $name" ;;
+      ;;  # handled below with JSON output
+    bench_headline)
+      "$b" --seeds 10 --jobs 2 > /dev/null && echo "ok  $name (--jobs 2)" ;;
     *)
       "$b" --seeds 10 > /dev/null && echo "ok  $name" ;;
   esac
 done
+
+# Perf trajectory: benchmark JSON checked in at the repo root so PRs can be
+# compared. bench_sim_perf runs too (smoke + local inspection) but only the
+# scheduler-side numbers are tracked.
+./build/bench/bench_scheduler_perf --benchmark_format=json \
+    --benchmark_out=BENCH_sched.json --benchmark_out_format=json > /dev/null \
+  && echo "ok  bench_scheduler_perf -> BENCH_sched.json"
+./build/bench/bench_sim_perf --benchmark_format=json > /tmp/bench_sim.json \
+  && echo "ok  bench_sim_perf"
 echo "all checks passed"

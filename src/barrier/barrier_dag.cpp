@@ -45,17 +45,34 @@ BarrierDag::BarrierDag(std::size_t num_barrier_ids, BarrierId initial,
   }
   BM_REQUIRE(is_dag(g_), "barrier ordering contains a cycle");
 
+  // Flat weighted adjacency and the topological order, computed once and
+  // reused by every ψ sweep (hoists the std::map lookup out of the hot path).
+  topo_ = topo_order(g_);
+  adj_.resize(g_.size());
+  for (NodeId n = 0; n < g_.size(); ++n) {
+    adj_[n].reserve(g_.succs(n).size());
+    for (NodeId s : g_.succs(n)) {
+      const TimeRange r = edges_.at(edge_key(n, s));
+      adj_[n].push_back({s, TimeRange{r.min + latency_, r.max + latency_}});
+    }
+  }
+  psi_min_cache_.resize(g_.size());
+  psi_max_cache_.resize(g_.size());
+
+  // Reflexive-transitive closure, in reverse topological order. (Built
+  // before the fire ranges: the ψ sweeps prune on it.)
+  reach_.assign(g_.size(), DynBitset(g_.size()));
+  for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+    const NodeId n = *it;
+    reach_[n].set(n);
+    for (NodeId s : g_.succs(n)) reach_[n] |= reach_[s];
+  }
+
   // Fire ranges: longest paths from the initial barrier under min and max
   // edge times (achieved by the all-min / all-max draws respectively).
   const NodeId root = index_[initial_];
-  auto min_w = [&](NodeId a, NodeId b) {
-    return edges_.at(edge_key(a, b)).min + latency_;
-  };
-  auto max_w = [&](NodeId a, NodeId b) {
-    return edges_.at(edge_key(a, b)).max + latency_;
-  };
-  const std::vector<Time> fmin = longest_from(g_, root, min_w);
-  const std::vector<Time> fmax = longest_from(g_, root, max_w);
+  const std::vector<Time>& fmin = psi_from(root, /*use_max=*/false);
+  const std::vector<Time>& fmax = psi_from(root, /*use_max=*/true);
   fire_.resize(g_.size());
   for (NodeId n = 0; n < g_.size(); ++n) {
     BM_REQUIRE(fmin[n] != kUnreachable,
@@ -63,16 +80,24 @@ BarrierDag::BarrierDag(std::size_t num_barrier_ids, BarrierId initial,
     fire_[n] = TimeRange{fmin[n], fmax[n]};
   }
 
-  // Reflexive-transitive closure, in reverse topological order.
-  reach_.assign(g_.size(), DynBitset(g_.size()));
-  const std::vector<NodeId> order = topo_order(g_);
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const NodeId n = *it;
-    reach_[n].set(n);
-    for (NodeId s : g_.succs(n)) reach_[n] |= reach_[s];
-  }
-
   dom_ = std::make_unique<DominatorTree>(g_, root);
+}
+
+const std::vector<Time>& BarrierDag::psi_from(NodeId src, bool use_max) const {
+  std::vector<Time>& dist =
+      use_max ? psi_max_cache_[src] : psi_min_cache_[src];
+  if (!dist.empty()) return dist;  // memo hit: O(1) amortized queries
+  dist.assign(g_.size(), kUnreachable);
+  dist[src] = 0;
+  const DynBitset& reachable = reach_[src];
+  for (NodeId n : topo_) {
+    if (!reachable.test(n) || dist[n] == kUnreachable) continue;
+    for (const WeightedEdge& e : adj_[n]) {
+      const Time d = dist[n] + (use_max ? e.w.max : e.w.min);
+      if (d > dist[e.to]) dist[e.to] = d;
+    }
+  }
+  return dist;
 }
 
 bool BarrierDag::known(BarrierId b) const {
@@ -107,35 +132,39 @@ BarrierId BarrierDag::common_dominator(BarrierId a, BarrierId b) const {
 }
 
 Time BarrierDag::psi_max(BarrierId u, BarrierId v) const {
-  auto w = [&](NodeId a, NodeId b) {
-    return edges_.at(edge_key(a, b)).max + latency_;
-  };
-  return longest_from(g_, index_of(u), w)[index_of(v)];
+  return psi_from(index_of(u), /*use_max=*/true)[index_of(v)];
 }
 
 Time BarrierDag::psi_min(BarrierId u, BarrierId v) const {
-  auto w = [&](NodeId a, NodeId b) {
-    return edges_.at(edge_key(a, b)).min + latency_;
-  };
-  return longest_from(g_, index_of(u), w)[index_of(v)];
+  return psi_from(index_of(u), /*use_max=*/false)[index_of(v)];
 }
 
 Time BarrierDag::psi_min_star(
     BarrierId u, BarrierId w,
     std::span<const std::pair<BarrierId, BarrierId>> forced_max) const {
+  if (forced_max.empty()) return psi_min(u, w);  // plain ψ_min: memo hit
   std::vector<std::uint64_t> forced;
   forced.reserve(forced_max.size());
   for (const auto& [a, b] : forced_max)
     forced.push_back(edge_key(index_of(a), index_of(b)));
   std::sort(forced.begin(), forced.end());
-  auto weight = [&](NodeId a, NodeId b) {
-    const auto key = edge_key(a, b);
-    const TimeRange r = edges_.at(key);
-    return latency_ + (std::binary_search(forced.begin(), forced.end(), key)
-                           ? r.max
-                           : r.min);
-  };
-  return longest_from(g_, index_of(u), weight)[index_of(w)];
+  // The forced-edge set differs per query, so this sweep is not memoizable;
+  // it still reuses the precomputed topo order, weighted adjacency, and
+  // reachability pruning.
+  const NodeId src = index_of(u);
+  std::vector<Time> dist(g_.size(), kUnreachable);
+  dist[src] = 0;
+  const DynBitset& reachable = reach_[src];
+  for (NodeId n : topo_) {
+    if (!reachable.test(n) || dist[n] == kUnreachable) continue;
+    for (const WeightedEdge& e : adj_[n]) {
+      const bool force =
+          std::binary_search(forced.begin(), forced.end(), edge_key(n, e.to));
+      const Time d = dist[n] + (force ? e.w.max : e.w.min);
+      if (d > dist[e.to]) dist[e.to] = d;
+    }
+  }
+  return dist[index_of(w)];
 }
 
 std::vector<BarrierId> BarrierDag::linear_extension() const {

@@ -78,8 +78,17 @@ class BarrierDag {
 
   /// Longest u→v path length under max edge times; kUnreachable if no path;
   /// 0 when u == v.
+  ///
+  /// ψ queries are memoized per source: the first query from `u` runs one
+  /// O(V+E) sweep and every later query from `u` is an O(1) array lookup.
+  /// The scheduler issues thousands of ψ queries from a handful of sources
+  /// (the common dominators of the pairs under test) between mutations, and
+  /// Schedule rebuilds this object on every barrier insertion/merge, so the
+  /// memo is invalidated exactly when the answers could change. The caches
+  /// are not synchronized: a BarrierDag must be confined to one thread
+  /// (each parallel-harness worker owns its Schedule outright).
   Time psi_max(BarrierId u, BarrierId v) const;
-  /// Longest u→v path length under min edge times.
+  /// Longest u→v path length under min edge times (same memoization).
   Time psi_min(BarrierId u, BarrierId v) const;
 
   /// ψ*_min (§4.4.2): longest u→w path under min edge times, except the
@@ -114,6 +123,12 @@ class BarrierDag {
     return (static_cast<std::uint64_t>(a) << 32) | b;
   }
 
+  /// Memoized longest-path frontier from `src` (min or max edge weights):
+  /// one topological sweep on first use, then O(1) lookups. Sweeps walk the
+  /// precomputed `topo_` order and flat `adj_`, touching only nodes the
+  /// `reach_` closure marks reachable from `src`.
+  const std::vector<Time>& psi_from(NodeId src, bool use_max) const;
+
   BarrierId initial_;
   Time latency_ = 0;
   std::vector<BarrierId> ids_;        ///< dense index -> barrier id
@@ -123,6 +138,18 @@ class BarrierDag {
   std::vector<TimeRange> fire_;
   std::vector<DynBitset> reach_;      ///< reach_[u].test(v): path u→v (refl.)
   std::unique_ptr<DominatorTree> dom_;
+
+  /// Weighted adjacency (succ, latency-charged edge range) per node — the
+  /// std::map edge lookup hoisted out of every sweep.
+  struct WeightedEdge {
+    NodeId to;
+    TimeRange w;  ///< edge range + latency on both bounds
+  };
+  std::vector<std::vector<WeightedEdge>> adj_;
+  std::vector<NodeId> topo_;  ///< topological order, computed once
+
+  mutable std::vector<std::vector<Time>> psi_min_cache_;  ///< per source
+  mutable std::vector<std::vector<Time>> psi_max_cache_;
 };
 
 }  // namespace bm

@@ -1,6 +1,9 @@
 #include "harness/experiment.hpp"
 
+#include <vector>
+
 #include "support/assert.hpp"
+#include "support/thread_pool.hpp"
 
 namespace bm {
 
@@ -11,52 +14,102 @@ Rng benchmark_rng(std::uint64_t base_seed, std::size_t index) {
   return Rng(split_mix64(mix));
 }
 
+namespace {
+
+/// Everything one seeded benchmark contributes to the point aggregate.
+/// Computed independently per seed (the expensive part, safe to run on any
+/// worker thread), then folded into PointAggregate strictly in seed order so
+/// `--jobs N` is bit-identical to the serial run.
+struct SeedResult {
+  BenchmarkOutcome outcome;
+  std::size_t violations = 0;
+};
+
+SeedResult run_seed(const GeneratorConfig& gen, const SchedulerConfig& sched,
+                    const RunOptions& opt, std::size_t i) {
+  Rng rng = benchmark_rng(opt.base_seed, i);
+  const SynthesisResult synth = synthesize_benchmark(gen, rng);
+  const InstrDag dag = InstrDag::build(synth.program, opt.timing);
+
+  SeedResult r;
+  r.outcome.seed_index = i;
+  r.outcome.program_size = synth.program.size();
+
+  ScheduleResult scheduled = schedule_program(dag, sched, rng);
+  r.outcome.stats = scheduled.stats;
+
+  if (opt.with_vliw) {
+    const VliwSchedule vliw = schedule_vliw(dag, sched.num_procs);
+    r.outcome.vliw_makespan = vliw.makespan;
+  }
+
+  if (opt.sim_runs > 0 || opt.validate_draws) {
+    const std::size_t runs = opt.sim_runs > 0 ? opt.sim_runs : 1;
+    if (opt.validate_draws) {
+      for (std::size_t k = 0; k < runs; ++k) {
+        const ExecTrace t = simulate(*scheduled.schedule,
+                                     {sched.machine, SamplingMode::kUniform},
+                                     rng);
+        r.violations += find_violations(dag, t).size();
+      }
+    }
+    r.outcome.barrier_completion = summarize_completion(
+        *scheduled.schedule, sched.machine, opt.sim_runs, rng);
+  }
+  return r;
+}
+
+/// The fold step. Performs the exact `.add()` sequence of the historical
+/// serial loop; both the serial and the parallel path go through here, one
+/// seed at a time, in seed order.
+void accumulate(PointAggregate& agg, const SeedResult& r,
+                const RunOptions& opt) {
+  agg.fractions.add(r.outcome.stats);
+  agg.program_size.add(static_cast<double>(r.outcome.program_size));
+  if (opt.with_vliw)
+    agg.vliw_makespan.add(static_cast<double>(r.outcome.vliw_makespan));
+  if (opt.sim_runs > 0 || opt.validate_draws) {
+    agg.violation_count += r.violations;
+    if (opt.with_vliw && r.outcome.vliw_makespan > 0) {
+      const auto v = static_cast<double>(r.outcome.vliw_makespan);
+      agg.norm_min.add(
+          static_cast<double>(r.outcome.barrier_completion.min_draw) / v);
+      agg.norm_max.add(
+          static_cast<double>(r.outcome.barrier_completion.max_draw) / v);
+      if (opt.sim_runs > 0)
+        agg.norm_mean.add(r.outcome.barrier_completion.mean / v);
+    }
+  }
+}
+
+}  // namespace
+
 PointAggregate run_point(const GeneratorConfig& gen,
                          const SchedulerConfig& sched, const RunOptions& opt,
                          const PerBenchmarkHook& hook) {
   PointAggregate agg;
-  for (std::size_t i = 0; i < opt.seeds; ++i) {
-    Rng rng = benchmark_rng(opt.base_seed, i);
-    const SynthesisResult synth = synthesize_benchmark(gen, rng);
-    const InstrDag dag = InstrDag::build(synth.program, opt.timing);
+  const std::size_t jobs =
+      opt.jobs == 0 ? ThreadPool::default_jobs() : opt.jobs;
 
-    BenchmarkOutcome outcome;
-    outcome.seed_index = i;
-    outcome.program_size = synth.program.size();
-
-    ScheduleResult scheduled = schedule_program(dag, sched, rng);
-    outcome.stats = scheduled.stats;
-    agg.fractions.add(scheduled.stats);
-    agg.program_size.add(static_cast<double>(synth.program.size()));
-
-    if (opt.with_vliw) {
-      const VliwSchedule vliw = schedule_vliw(dag, sched.num_procs);
-      outcome.vliw_makespan = vliw.makespan;
-      agg.vliw_makespan.add(static_cast<double>(vliw.makespan));
+  if (jobs <= 1 || opt.seeds <= 1) {
+    for (std::size_t i = 0; i < opt.seeds; ++i) {
+      const SeedResult r = run_seed(gen, sched, opt, i);
+      accumulate(agg, r, opt);
+      if (hook) hook(r.outcome);
     }
+    return agg;
+  }
 
-    if (opt.sim_runs > 0 || opt.validate_draws) {
-      const std::size_t runs = opt.sim_runs > 0 ? opt.sim_runs : 1;
-      if (opt.validate_draws) {
-        for (std::size_t r = 0; r < runs; ++r) {
-          const ExecTrace t = simulate(*scheduled.schedule,
-                                       {sched.machine, SamplingMode::kUniform},
-                                       rng);
-          agg.violation_count += find_violations(dag, t).size();
-        }
-      }
-      outcome.barrier_completion = summarize_completion(
-          *scheduled.schedule, sched.machine, opt.sim_runs, rng);
-      if (opt.with_vliw && outcome.vliw_makespan > 0) {
-        const auto v = static_cast<double>(outcome.vliw_makespan);
-        agg.norm_min.add(static_cast<double>(outcome.barrier_completion.min_draw) / v);
-        agg.norm_max.add(static_cast<double>(outcome.barrier_completion.max_draw) / v);
-        if (opt.sim_runs > 0)
-          agg.norm_mean.add(outcome.barrier_completion.mean / v);
-      }
-    }
-
-    if (hook) hook(outcome);
+  // Fan the seeds out; each worker owns a disjoint set of indices and every
+  // seed derives its own RNG stream from (base_seed, i), so workers share no
+  // mutable state. Results are folded in seed order afterwards.
+  std::vector<SeedResult> results(opt.seeds);
+  parallel_for_jobs(jobs, opt.seeds, [&](std::size_t i) {
+    results[i] = run_seed(gen, sched, opt, i);
+  });
+  for (const SeedResult& r : results) {
+    accumulate(agg, r, opt);
+    if (hook) hook(r.outcome);
   }
   return agg;
 }

@@ -19,6 +19,10 @@ struct RunOptions {
   std::size_t seeds = 100;          ///< benchmarks per point (paper: 100)
   std::uint64_t base_seed = 1990;   ///< printed by every bench header
   TimingModel timing = TimingModel::table1();
+  /// Worker threads for the seed fan-out (0 = one per hardware thread).
+  /// Results are bit-identical to the serial run for every value: each seed
+  /// computes on its own RNG stream and aggregates merge in seed order.
+  std::size_t jobs = 1;
 
   bool with_vliw = false;           ///< also schedule the VLIW baseline
   std::size_t sim_runs = 0;         ///< uniform-draw simulations per benchmark

@@ -16,6 +16,10 @@ void print_bench_header(const std::string& experiment,
             << "Workload:   " << workload << '\n'
             << "Seeds:      " << opt.seeds << " benchmarks per point, base seed "
             << opt.base_seed << '\n'
+            << "Jobs:       "
+            << (opt.jobs == 0 ? std::string("auto")
+                              : std::to_string(opt.jobs))
+            << " worker(s), bit-identical to serial\n"
             << "================================================================\n";
 }
 

@@ -61,7 +61,10 @@ void Schedule::append_instr(ProcId p, NodeId instr) {
   instr_loc_[instr] = {p, static_cast<std::uint32_t>(streams_[p].size())};
   instr_placed_[instr] = true;
   streams_[p].push_back(ScheduleEntry::instr(instr));
-  invalidate();
+  // No invalidate(): the entry lands after the stream's last barrier, i.e.
+  // in the tail code that barrier_dag() excludes from its chains, so the
+  // cached analysis (and its ψ memo) stays exact. Only barrier insertion
+  // and merging change the dag.
 }
 
 std::optional<NodeId> Schedule::last_instr(ProcId p) const {

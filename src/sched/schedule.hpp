@@ -4,7 +4,8 @@
 // execution order. Barriers are registered with participation masks; the
 // initial barrier (id 0) implicitly precedes every stream (§3.1). All timing
 // analysis — fire ranges, dominators, ψ-paths — is derived lazily through a
-// BarrierDag rebuilt after mutations.
+// BarrierDag rebuilt only when the barrier structure changes (insertion,
+// merging); appending tail instructions keeps the cached dag valid.
 #pragma once
 
 #include <cstdint>

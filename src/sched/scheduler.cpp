@@ -29,19 +29,21 @@ double ScheduleStats::static_fraction() const {
 
 namespace {
 
-/// Instruction-node producers of `node` (entry dummy excluded).
-std::vector<NodeId> instr_preds(const InstrDag& dag, NodeId node) {
-  std::vector<NodeId> out;
+/// Instruction-node producers of `node` (entry dummy excluded), appended
+/// into a caller-owned scratch buffer — the scheduling loop issues this per
+/// producer check, so per-call allocations dominated the hot path.
+void instr_preds(const InstrDag& dag, NodeId node, std::vector<NodeId>& out) {
+  out.clear();
   for (NodeId p : dag.graph().preds(node))
     if (!dag.is_dummy(p)) out.push_back(p);
-  return out;
 }
 
 /// §4.3 step 1: processors where some producer of `node` is the last
-/// instruction (serialization slot open).
-std::vector<ProcId> serialization_candidates(const Schedule& sched,
-                                             const std::vector<NodeId>& preds) {
-  std::vector<ProcId> out;
+/// instruction (serialization slot open). Fills a caller-owned buffer.
+void serialization_candidates(const Schedule& sched,
+                              const std::vector<NodeId>& preds,
+                              std::vector<ProcId>& out) {
+  out.clear();
   for (NodeId p : preds) {
     const ProcId proc = sched.loc(p).proc;
     const auto last = sched.last_instr(proc);
@@ -49,21 +51,22 @@ std::vector<ProcId> serialization_candidates(const Schedule& sched,
     if (std::find(out.begin(), out.end(), proc) == out.end())
       out.push_back(proc);
   }
-  return out;
 }
 
 template <typename Key>
 ProcId pick_best(const std::vector<ProcId>& procs, Rng& rng, Key&& key,
-                 bool want_max) {
+                 bool want_max, std::vector<ProcId>& ties) {
   BM_ASSERT_INTERNAL(!procs.empty(), "no processors to pick from");
   auto best = key(procs.front());
-  std::vector<ProcId> ties{procs.front()};
+  ties.clear();
+  ties.push_back(procs.front());
   for (std::size_t k = 1; k < procs.size(); ++k) {
     const auto v = key(procs[k]);
     const bool better = want_max ? v > best : v < best;
     if (better) {
       best = v;
-      ties = {procs[k]};
+      ties.clear();
+      ties.push_back(procs[k]);
     } else if (v == best) {
       ties.push_back(procs[k]);
     }
@@ -76,60 +79,64 @@ class AssignmentEngine {
   AssignmentEngine(const InstrDag& dag, Schedule& sched,
                    const SchedulerConfig& cfg, Rng& rng,
                    const std::vector<NodeId>& order)
-      : dag_(dag), sched_(sched), cfg_(cfg), rng_(rng), order_(order) {}
+      : dag_(dag), sched_(sched), cfg_(cfg), rng_(rng), order_(order) {
+    all_procs_.resize(sched.num_procs());
+    for (ProcId p = 0; p < all_procs_.size(); ++p) all_procs_[p] = p;
+    serial_.reserve(all_procs_.size());
+    filtered_.reserve(all_procs_.size());
+    ties_.reserve(all_procs_.size());
+  }
 
   ProcId choose(std::size_t list_index, NodeId node) {
     if (cfg_.assignment == AssignmentPolicy::kRoundRobin)
       return static_cast<ProcId>(list_index % sched_.num_procs());
 
-    const std::vector<NodeId> preds = instr_preds(dag_, node);
-    const std::vector<ProcId> serial =
-        serialization_candidates(sched_, preds);
-    if (serial.size() == 1) return serial.front();
-    if (serial.size() > 1) {
+    instr_preds(dag_, node, preds_);
+    serialization_candidates(sched_, preds_, serial_);
+    if (serial_.size() == 1) return serial_.front();
+    if (serial_.size() > 1) {
       // Largest current maximum time, "to possibly avoid inserting a
       // barrier"; full ties resolved randomly (§4.3 step 1).
       return pick_best(
-          serial, rng_,
+          serial_, rng_,
           [&](ProcId p) { return sched_.proc_finish(p).max; },
-          /*want_max=*/true);
+          /*want_max=*/true, ties_);
     }
     // Step 2: schedule as early as possible; ties random (load balance).
-    std::vector<ProcId> all(sched_.num_procs());
-    for (ProcId p = 0; p < all.size(); ++p) all[p] = p;
     if (cfg_.assignment == AssignmentPolicy::kLookahead) {
-      const std::vector<ProcId> filtered = filter_lookahead(all, list_index);
-      if (!filtered.empty()) {
+      filter_lookahead(all_procs_, list_index, filtered_);
+      if (!filtered_.empty()) {
         return pick_best(
-            filtered, rng_,
+            filtered_, rng_,
             [&](ProcId p) { return sched_.proc_finish(p).min; },
-            /*want_max=*/false);
+            /*want_max=*/false, ties_);
       }
     }
     return pick_best(
-        all, rng_, [&](ProcId p) { return sched_.proc_finish(p).min; },
-        /*want_max=*/false);
+        all_procs_, rng_,
+        [&](ProcId p) { return sched_.proc_finish(p).min; },
+        /*want_max=*/false, ties_);
   }
 
  private:
   /// §5.4 lookahead: avoid processors whose open serialization slot (last
   /// instruction) is a producer of a node within the next `window` list
   /// entries — placing here would preclude that later serialization.
-  std::vector<ProcId> filter_lookahead(const std::vector<ProcId>& procs,
-                                       std::size_t list_index) const {
-    std::vector<ProcId> out;
+  void filter_lookahead(const std::vector<ProcId>& procs,
+                        std::size_t list_index, std::vector<ProcId>& out) {
+    out.clear();
     for (ProcId p : procs)
       if (!blocks_window_serialization(p, list_index)) out.push_back(p);
-    return out;
   }
 
-  bool blocks_window_serialization(ProcId p, std::size_t list_index) const {
+  bool blocks_window_serialization(ProcId p, std::size_t list_index) {
     const auto last = sched_.last_instr(p);
     if (!last) return false;
     const std::size_t end =
         std::min(order_.size(), list_index + 1 + cfg_.lookahead_window);
     for (std::size_t k = list_index + 1; k < end; ++k) {
-      for (NodeId pred : instr_preds(dag_, order_[k]))
+      instr_preds(dag_, order_[k], window_preds_);
+      for (NodeId pred : window_preds_)
         if (pred == *last) return true;
     }
     return false;
@@ -140,6 +147,12 @@ class AssignmentEngine {
   const SchedulerConfig& cfg_;
   Rng& rng_;
   const std::vector<NodeId>& order_;
+
+  // Scratch buffers reused across choose() calls (identical contents and
+  // rng draw sequence to the allocate-per-call version).
+  std::vector<ProcId> all_procs_;   ///< 0..num_procs-1, fixed
+  std::vector<NodeId> preds_, window_preds_;
+  std::vector<ProcId> serial_, filtered_, ties_;
 };
 
 }  // namespace
@@ -157,6 +170,7 @@ ScheduleResult schedule_program(const InstrDag& dag,
   const std::vector<NodeId> order = make_list_order(dag, config.ordering);
   AssignmentEngine engine(dag, sched, config, rng, order);
 
+  std::vector<NodeId> preds;  // scratch, reused across the loop
   for (std::size_t k = 0; k < order.size(); ++k) {
     const NodeId node = order[k];
     const ProcId proc = engine.choose(k, node);
@@ -164,7 +178,8 @@ ScheduleResult schedule_program(const InstrDag& dag,
 
     // Check every producer on another processor (§4.4); producers are
     // always already placed because heights order them first.
-    for (NodeId p : instr_preds(dag, node)) {
+    instr_preds(dag, node, preds);
+    for (NodeId p : preds) {
       if (sched.loc(p).proc == proc) continue;
       const SyncOutcome outcome =
           ensure_sync(sched, p, node, config.insertion, merge);

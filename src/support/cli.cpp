@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "support/assert.hpp"
+#include "support/thread_pool.hpp"
 
 namespace bm {
 
@@ -61,6 +62,14 @@ bool CliFlags::get_bool(const std::string& name, bool def) const {
   if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
   if (v == "false" || v == "0" || v == "no" || v == "off") return false;
   throw Error("flag --" + name + " is not a boolean: " + v);
+}
+
+std::size_t CliFlags::get_jobs(std::size_t def) const {
+  if (!has("jobs")) return def;
+  if (get("jobs", "") == "auto") return ThreadPool::default_jobs();
+  const std::int64_t v = get_int("jobs", 1);
+  BM_REQUIRE(v >= 0, "flag --jobs must be >= 0");
+  return v == 0 ? ThreadPool::default_jobs() : static_cast<std::size_t>(v);
 }
 
 }  // namespace bm

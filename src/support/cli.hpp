@@ -20,6 +20,10 @@ class CliFlags {
   double get_double(const std::string& name, double def) const;
   bool get_bool(const std::string& name, bool def) const;
 
+  /// Worker count from the conventional `--jobs N` flag: missing = `def`
+  /// (serial by default), `0` or `auto` = one worker per hardware thread.
+  std::size_t get_jobs(std::size_t def = 1) const;
+
   /// Non-flag positional arguments, in order.
   const std::vector<std::string>& positional() const { return positional_; }
 

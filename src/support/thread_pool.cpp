@@ -1,0 +1,104 @@
+#include "support/thread_pool.hpp"
+
+#include <atomic>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace bm {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  BM_REQUIRE(task != nullptr, "cannot submit an empty task");
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    BM_REQUIRE(!stopping_, "pool is shutting down");
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions are the task's responsibility (parallel_for wraps)
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  auto first_error = std::make_shared<std::atomic<bool>>(false);
+  auto error = std::make_shared<std::exception_ptr>();
+  auto error_mu = std::make_shared<std::mutex>();
+
+  // One claiming task per worker; each drains indices until exhausted.
+  const std::size_t tasks = std::min(size(), n);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    submit([next, first_error, error, error_mu, n, &fn] {
+      for (;;) {
+        const std::size_t i = next->fetch_add(1);
+        if (i >= n) return;
+        if (first_error->load()) return;  // abandon remaining indices
+        try {
+          fn(i);
+        } catch (...) {
+          std::unique_lock<std::mutex> lock(*error_mu);
+          if (!first_error->exchange(true)) *error = std::current_exception();
+        }
+      }
+    });
+  }
+  wait_idle();
+  if (first_error->load()) std::rethrow_exception(*error);
+}
+
+std::size_t ThreadPool::default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void parallel_for_jobs(std::size_t jobs, std::size_t n,
+                       const std::function<void(std::size_t)>& fn) {
+  if (jobs <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(std::min(jobs, n));
+  pool.parallel_for(n, fn);
+}
+
+}  // namespace bm

@@ -1,0 +1,68 @@
+// A small fixed-size worker pool for coarse-grain parallel evaluation (the
+// experiment harness fans independent seeded benchmarks across workers).
+// Tasks are plain std::function<void()>; the pool makes no fairness or
+// ordering promises, so callers that need deterministic output must collect
+// per-task results and merge them in a deterministic order themselves.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bm {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1). The pool is fixed-size: no
+  /// growth, no work stealing — predictable for benchmarking.
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains the queue (pending tasks still run), then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks may be submitted from worker threads.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished running.
+  void wait_idle();
+
+  /// Runs fn(0), ..., fn(n-1) across the workers and blocks until all are
+  /// done. Indices are claimed from a shared atomic counter, so completion
+  /// order is nondeterministic but every index runs exactly once. If any
+  /// invocation throws, the first exception (by completion time) is
+  /// rethrown on the caller after all indices finish or are abandoned.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Worker count to use for "--jobs 0 / auto": the hardware concurrency,
+  /// or 1 when the runtime cannot report it.
+  static std::size_t default_jobs();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  ///< queued + currently running tasks
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Convenience: run fn over [0, n) with `jobs` workers. jobs <= 1 (or n <= 1)
+/// executes inline on the caller with zero threading overhead — the common
+/// serial path stays allocation- and lock-free.
+void parallel_for_jobs(std::size_t jobs, std::size_t n,
+                       const std::function<void(std::size_t)>& fn);
+
+}  // namespace bm

@@ -1,0 +1,115 @@
+// Consistency of the memoized BarrierDag ψ-query caches: warm (cached)
+// answers must equal both cold answers and an independent reference
+// longest-path computed from the dag's public edge accessors — including
+// across randomized barrier insert/merge sequences on a live Schedule,
+// which is exactly when the cache is invalidated and rebuilt.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "barrier/barrier_dag.hpp"
+#include "sched/schedule.hpp"
+#include "support/rng.hpp"
+
+namespace bm {
+namespace {
+
+/// Reference ψ: longest u→v path recomputed from scratch with a DP over
+/// linear_extension() (a topological order) and the public edge accessors.
+/// Deliberately shares no code with BarrierDag::psi_from.
+Time ref_psi(const BarrierDag& bd, BarrierId u, BarrierId v, bool use_max) {
+  const std::vector<BarrierId> order = bd.linear_extension();
+  std::map<BarrierId, Time> dist;
+  for (BarrierId b : order) dist[b] = (b == u ? 0 : kUnreachable);
+  for (BarrierId a : order) {
+    if (dist[a] == kUnreachable) continue;
+    for (BarrierId b : order) {
+      if (a == b || !bd.has_edge(a, b)) continue;
+      const TimeRange r = bd.edge_range(a, b);
+      const Time w = (use_max ? r.max : r.min) + bd.barrier_latency();
+      dist[b] = std::max(dist[b], dist[a] + w);
+    }
+  }
+  return dist[v];
+}
+
+void check_all_pairs(const BarrierDag& bd) {
+  const std::vector<BarrierId>& ids = bd.barrier_ids();
+  for (BarrierId u : ids) {
+    for (BarrierId v : ids) {
+      const Time cold_max = bd.psi_max(u, v);
+      const Time cold_min = bd.psi_min(u, v);
+      EXPECT_EQ(cold_max, ref_psi(bd, u, v, true)) << u << "->" << v;
+      EXPECT_EQ(cold_min, ref_psi(bd, u, v, false)) << u << "->" << v;
+      // Second round hits the memo; must not drift.
+      EXPECT_EQ(bd.psi_max(u, v), cold_max);
+      EXPECT_EQ(bd.psi_min(u, v), cold_min);
+      // ψ*_min with no forced edges is plain ψ_min through the same cache.
+      EXPECT_EQ(bd.psi_min_star(u, v, {}), cold_min);
+    }
+  }
+  // Fire ranges were computed through the same sweeps at construction.
+  for (BarrierId b : ids) {
+    EXPECT_EQ(bd.fire_range(b).min, ref_psi(bd, bd.initial(), b, false));
+    EXPECT_EQ(bd.fire_range(b).max, ref_psi(bd, bd.initial(), b, true));
+  }
+}
+
+TEST(BarrierCache, RandomChainDagsMatchReference) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Random layered chains over a shared barrier pool: chains visit ids in
+    // increasing order, so the union is always acyclic.
+    const std::size_t num_barriers = 2 + rng.index(8);
+    const std::size_t num_chains = 1 + rng.index(5);
+    std::vector<BarrierChainInput> chains(num_chains);
+    for (BarrierChainInput& chain : chains) {
+      chain.barriers.push_back(0);
+      for (BarrierId b = 1; b < num_barriers; ++b) {
+        if (!rng.chance(0.6)) continue;
+        const Time lo = rng.uniform(0, 12);
+        chain.barriers.push_back(b);
+        chain.segments.push_back({lo, lo + rng.uniform(0, 9)});
+      }
+    }
+    const Time latency = rng.chance(0.5) ? rng.uniform(1, 5) : 0;
+    const BarrierDag bd(num_barriers, 0, chains, latency);
+    check_all_pairs(bd);
+  }
+}
+
+TEST(BarrierCache, ConsistentAcrossRandomInsertMergeSequences) {
+  Rng rng(41);
+  for (int trial = 0; trial < 6; ++trial) {
+    // Independent loads: no dependence edges, so any barrier placement that
+    // keeps the joint order acyclic is legal.
+    const std::uint32_t n = 24;
+    Program prog(n);
+    for (std::uint32_t i = 0; i < n; ++i) prog.append(Tuple::load(i, i));
+    const InstrDag dag = InstrDag::build(prog, TimingModel::table1());
+    const std::size_t procs = 3 + rng.index(3);
+    Schedule sched(dag, procs);
+    for (std::uint32_t i = 0; i < n; ++i)
+      sched.append_instr(static_cast<ProcId>(i % procs), i);
+
+    for (int step = 0; step < 12; ++step) {
+      // Random multi-processor barrier at random feasible positions.
+      std::vector<Schedule::Loc> locs;
+      for (ProcId p = 0; p < procs; ++p) {
+        if (!rng.chance(0.7)) continue;
+        const auto size =
+            static_cast<std::uint32_t>(sched.stream(p).size());
+        locs.push_back({p, static_cast<std::uint32_t>(rng.index(size + 1))});
+      }
+      if (locs.size() < 2 || !sched.order_feasible(locs)) continue;
+      sched.insert_barrier(locs);
+      if (rng.chance(0.4)) sched.merge_overlapping_all();
+      check_all_pairs(sched.barrier_dag());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bm
