@@ -81,6 +81,12 @@ int main(int argc, char** argv) {
     }
     rows.push_back({std::to_string(v), run_point(gen, cfg, opt)});
   }
-  print_fraction_series(axis, rows, flags.get("csv", ""));
+  // --out-dir enables CSV output (sweep_explorer.csv in that directory).
+  if (flags.has("out-dir")) {
+    ArtifactWriter artifacts(flags.get("out-dir", "out"), "sweep_explorer");
+    print_fraction_series(axis, rows, &artifacts);
+  } else {
+    print_fraction_series(axis, rows, nullptr);
+  }
   return 0;
 }

@@ -1,10 +1,20 @@
 #!/usr/bin/env bash
 # Full verification: configure, build, run the test suite (including the
 # parallel-harness determinism and barrier-cache consistency tests), smoke
-# every bench binary with a reduced seed count, and record the perf
-# microbench trajectory as BENCH_sched.json at the repo root.
+# every registered experiment through bmrun with a reduced seed count, and
+# record the perf microbench trajectory as BENCH_sched.json at the repo
+# root. `--asan` additionally builds and tests under AddressSanitizer in a
+# separate build tree (build-asan/).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+asan=0
+for arg in "$@"; do
+  case "$arg" in
+    --asan) asan=1 ;;
+    *) echo "usage: $0 [--asan]" >&2; exit 2 ;;
+  esac
+done
 
 cmake -B build -G Ninja
 cmake --build build
@@ -16,16 +26,12 @@ ctest --test-dir build --output-on-failure
 ./build/tests/parallel_harness_test > /dev/null && echo "ok  parallel_harness_test"
 ./build/tests/barrier_cache_test > /dev/null && echo "ok  barrier_cache_test"
 
-for b in build/bench/bench_*; do
-  name="$(basename "$b")"
-  case "$name" in
-    bench_scheduler_perf|bench_sim_perf)
-      ;;  # handled below with JSON output
-    bench_headline)
-      "$b" --seeds 10 --jobs 2 > /dev/null && echo "ok  $name (--jobs 2)" ;;
-    *)
-      "$b" --seeds 10 > /dev/null && echo "ok  $name" ;;
-  esac
+# Smoke every registered experiment. The list is asked from the registry
+# itself (not hard-coded), so a new experiments/*.cpp file is covered here
+# automatically. Artifacts land in out/ (gitignored).
+for exp in $(./build/bmrun list --names); do
+  ./build/bmrun run "$exp" --seeds 10 --jobs 2 --out-dir out > /dev/null \
+    && echo "ok  $exp"
 done
 
 # Perf trajectory: benchmark JSON checked in at the repo root so PRs can be
@@ -36,4 +42,15 @@ done
   && echo "ok  bench_scheduler_perf -> BENCH_sched.json"
 ./build/bench/bench_sim_perf --benchmark_format=json > /tmp/bench_sim.json \
   && echo "ok  bench_sim_perf"
+
+if [[ "$asan" -eq 1 ]]; then
+  echo "--- AddressSanitizer pass (build-asan/) ---"
+  cmake -B build-asan -G Ninja -DBM_SANITIZE=address
+  cmake --build build-asan
+  ctest --test-dir build-asan --output-on-failure
+  ./build-asan/bmrun run --all --seeds 3 --jobs 2 --out-dir out-asan > /dev/null \
+    && echo "ok  bmrun run --all (asan)"
+  rm -rf out-asan
+fi
+
 echo "all checks passed"

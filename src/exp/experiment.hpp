@@ -1,0 +1,105 @@
+// Declarative experiment descriptors: each paper figure / table / ablation
+// is one `Experiment` value (name, paper reference, flag schema, sweeps as
+// data, expected-shape note) plus a run body. The `bmrun` CLI and the
+// registry test both drive experiments exclusively through this interface,
+// so `bmrun describe`, the docs, and the run behavior share one source of
+// truth and cannot drift apart.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/artifacts.hpp"
+#include "harness/experiment.hpp"
+#include "support/cli.hpp"
+
+namespace bm {
+
+/// One sweep axis expressed as data instead of a hand-rolled loop; `bmrun
+/// describe` prints it and the run body iterates it.
+struct Sweep {
+  std::string axis;
+  std::vector<double> values;
+
+  /// Renders values[i] without a trailing ".000000" when integral.
+  std::string label(std::size_t i) const;
+};
+
+class ExpContext;
+
+struct Experiment {
+  std::string name;       ///< registry key, e.g. "fig15"
+  std::string title;      ///< banner line, e.g. "Figure 15 — ..."
+  std::string paper_ref;  ///< e.g. "Fig. 15 (§5.1)"
+  std::string workload;   ///< one-line workload description
+  std::string expected;   ///< expected-shape note (printed after the run)
+  std::vector<FlagSpec> flags;  ///< full schema incl. the common flags
+  std::vector<Sweep> sweeps;    ///< sweep axes, as data
+  std::string csv_stem;   ///< primary CSV stem ("" = experiment name)
+  std::function<void(ExpContext&)> run;
+
+  const FlagSpec& flag(const std::string& name) const;
+  const Sweep& sweep(const std::string& axis) const;
+};
+
+/// Flag-schema builders. Every experiment declares the common flags
+/// (seeds, base-seed, jobs, out-dir) plus its own; `CliFlags::validate`
+/// then rejects anything undeclared.
+FlagSpec int_flag(const std::string& name, std::int64_t def,
+                  const std::string& help);
+FlagSpec double_flag(const std::string& name, double def,
+                     const std::string& help);
+FlagSpec bool_flag(const std::string& name, bool def, const std::string& help);
+FlagSpec string_flag(const std::string& name, const std::string& def,
+                     const std::string& help);
+std::vector<FlagSpec> common_flags(std::size_t default_seeds);
+
+/// The single flag→config binding layer shared by every experiment: typed
+/// accessors fall back to the *declared* default (reading an undeclared
+/// flag is a hard error — schema and body cannot drift), and the config
+/// builders map the conventional flag names onto the library structs.
+class ExpContext {
+ public:
+  ExpContext(const Experiment& exp, const CliFlags& flags,
+             ArtifactWriter& artifacts, std::ostream& os);
+
+  const Experiment& exp() const { return exp_; }
+  const CliFlags& flags() const { return flags_; }
+  ArtifactWriter& artifacts() { return artifacts_; }
+  std::ostream& out() { return os_; }
+
+  std::int64_t get_int(const std::string& name) const;
+  std::size_t get_size(const std::string& name) const;
+  std::uint32_t get_u32(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+  std::string get(const std::string& name) const;
+
+  /// seeds / base-seed / jobs (+ sim-runs when declared) → RunOptions.
+  RunOptions run_options() const;
+  /// statements / variables (when declared) → GeneratorConfig.
+  GeneratorConfig generator_config() const;
+  /// procs (when declared) → SchedulerConfig.
+  SchedulerConfig scheduler_config() const;
+
+  const Sweep& sweep(const std::string& axis) const { return exp_.sweep(axis); }
+
+ private:
+  const FlagSpec& spec(const std::string& name) const;
+  bool declared(const std::string& name) const;
+
+  const Experiment& exp_;
+  const CliFlags& flags_;
+  ArtifactWriter& artifacts_;
+  std::ostream& os_;
+};
+
+/// Runs `exp` end to end: banner, body, expected-shape note, JSON result
+/// file. `flags` must already be schema-validated. Shared by bmrun and the
+/// registry test so both exercise the same code path.
+void run_experiment(const Experiment& exp, const CliFlags& flags,
+                    const std::string& out_dir, std::ostream& os);
+
+}  // namespace bm

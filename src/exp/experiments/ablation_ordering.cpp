@@ -1,0 +1,70 @@
+// §5.4b ablation — node-ordering priority swap (h_min-first vs h_max-first).
+#include "exp/registry.hpp"
+#include "harness/report.hpp"
+
+namespace bm {
+namespace {
+
+Experiment make_ablation_ordering() {
+  Experiment e;
+  e.name = "ablation_ordering";
+  e.title = "§5.4b — node ordering priority ablation";
+  e.paper_ref = "§5.4";
+  e.workload = "60 statements, 10 variables, 8 PEs; h_max-first vs h_min-first";
+  e.expected =
+      "Paper: min-first trades a slightly better best case for a slightly "
+      "worse worst case; both changes are quite small.";
+  e.flags = common_flags(100);
+  e.flags.push_back(int_flag("procs", 8, "number of PEs"));
+  e.flags.push_back(int_flag("statements", 60, "statements per block"));
+  e.flags.push_back(int_flag("variables", 10, "variables per block"));
+  e.run = [](ExpContext& ctx) {
+    const RunOptions opt = ctx.run_options();
+    const GeneratorConfig gen = ctx.generator_config();
+    SchedulerConfig cfg = ctx.scheduler_config();
+
+    TextTable table({"ordering", "barrier", "serialized", "static",
+                     "compl min", "compl max"});
+    const std::string path = ctx.artifacts().csv_path();
+    CsvWriter csv(path);
+    csv.write_row({"ordering", "barrier_frac", "serialized_frac",
+                   "static_frac", "completion_min", "completion_max"});
+    double min_time[2] = {0, 0}, max_time[2] = {0, 0};
+    int idx = 0;
+    for (OrderingPolicy policy :
+         {OrderingPolicy::kMaxThenMin, OrderingPolicy::kMinThenMax}) {
+      cfg.ordering = policy;
+      const PointAggregate agg = run_point(gen, cfg, opt);
+      const FractionAggregate& f = agg.fractions;
+      table.add_row({std::string(to_string(policy)),
+                     TextTable::pct(f.barrier_frac.mean()),
+                     TextTable::pct(f.serialized_frac.mean()),
+                     TextTable::pct(f.static_frac.mean()),
+                     TextTable::num(f.completion_min.mean(), 2),
+                     TextTable::num(f.completion_max.mean(), 2)});
+      csv.write_row({std::string(to_string(policy)),
+                     std::to_string(f.barrier_frac.mean()),
+                     std::to_string(f.serialized_frac.mean()),
+                     std::to_string(f.static_frac.mean()),
+                     std::to_string(f.completion_min.mean()),
+                     std::to_string(f.completion_max.mean())});
+      min_time[idx] = f.completion_min.mean();
+      max_time[idx] = f.completion_max.mean();
+      ++idx;
+    }
+    table.render(ctx.out());
+    ctx.out() << "(series written to " << path << ")\n"
+              << "\nΔ completion min (min-first − max-first): "
+              << TextTable::num(min_time[1] - min_time[0], 3)
+              << "; Δ completion max: "
+              << TextTable::num(max_time[1] - max_time[0], 3) << '\n';
+    ctx.artifacts().metric("delta_completion_min", min_time[1] - min_time[0]);
+    ctx.artifacts().metric("delta_completion_max", max_time[1] - max_time[0]);
+  };
+  return e;
+}
+
+BM_REGISTER_EXPERIMENT(make_ablation_ordering)
+
+}  // namespace
+}  // namespace bm

@@ -1,0 +1,43 @@
+// §5.4d ablation — instruction timing variation (range width × k).
+#include "exp/registry.hpp"
+#include "harness/report.hpp"
+
+namespace bm {
+namespace {
+
+Experiment make_ablation_timing() {
+  Experiment e;
+  e.name = "ablation_timing";
+  e.title = "§5.4d — instruction timing variation ablation";
+  e.paper_ref = "§5.4";
+  e.workload = "60 statements, 10 variables, 8 PEs; range width × k";
+  e.expected =
+      "Paper: the barrier fraction increases only slightly even for large "
+      "timing variations.";
+  e.flags = common_flags(100);
+  e.flags.push_back(int_flag("procs", 8, "number of PEs"));
+  e.flags.push_back(int_flag("statements", 60, "statements per block"));
+  e.flags.push_back(int_flag("variables", 10, "variables per block"));
+  e.sweeps = {{"width-factor", {0.0, 0.5, 1.0, 2.0, 4.0, 8.0}}};
+  e.csv_stem = "ablation_timing_variation";
+  e.run = [](ExpContext& ctx) {
+    const RunOptions opt = ctx.run_options();
+    const GeneratorConfig gen = ctx.generator_config();
+    const SchedulerConfig cfg = ctx.scheduler_config();
+    std::vector<SeriesRow> rows;
+    for (double factor : ctx.sweep("width-factor").values) {
+      RunOptions o = opt;
+      o.timing = TimingModel::table1_with_variation(factor);
+      rows.push_back(
+          {"width x " + TextTable::num(factor, 1), run_point(gen, cfg, o)});
+    }
+    print_fraction_series("variation", rows, &ctx.artifacts(),
+                          ctx.exp().csv_stem);
+  };
+  return e;
+}
+
+BM_REGISTER_EXPERIMENT(make_ablation_timing)
+
+}  // namespace
+}  // namespace bm

@@ -1,0 +1,64 @@
+// Figure 14: scatter plot of serialized fraction vs statically scheduled
+// fraction for the >2000 benchmarks containing 65–132 implied syncs.
+#include "exp/registry.hpp"
+#include "harness/report.hpp"
+
+namespace bm {
+namespace {
+
+Experiment make_fig14() {
+  Experiment e;
+  e.name = "fig14";
+  e.title = "Figure 14 — serialized vs static fraction scatter";
+  e.paper_ref = "Fig. 14 (§5)";
+  e.workload =
+      "70 statements, 15 variables, 8 PEs; keep blocks with 65–132 syncs";
+  e.expected = "Paper: center of mass near the 85% line.";
+  e.flags = common_flags(2600);
+  e.flags.push_back(int_flag("procs", 8, "number of PEs"));
+  e.flags.push_back(int_flag("statements", 70, "statements per block"));
+  e.flags.push_back(int_flag("variables", 15, "variables per block"));
+  e.csv_stem = "fig14_scatter";
+  e.run = [](ExpContext& ctx) {
+    const RunOptions opt = ctx.run_options();
+    const GeneratorConfig gen = ctx.generator_config();
+    const SchedulerConfig cfg = ctx.scheduler_config();
+
+    std::vector<std::pair<double, double>> points;  // (static, serialized)
+    RunningStats combined, syncs;
+    run_point(gen, cfg, opt, [&](const BenchmarkOutcome& o) {
+      if (o.stats.implied_syncs < 65 || o.stats.implied_syncs > 132) return;
+      points.emplace_back(o.stats.static_fraction(),
+                          o.stats.serialized_fraction());
+      combined.add(o.stats.no_runtime_sync_fraction());
+      syncs.add(static_cast<double>(o.stats.implied_syncs));
+    });
+
+    ctx.out() << render_scatter(points, /*diagonal_level=*/0.85);
+    ctx.out() << "\nBenchmarks in the 65–132 sync band: " << points.size()
+              << " (mean syncs " << TextTable::num(syncs.mean(), 1) << ")\n";
+    ctx.out() << "serialized+static (center of mass): mean "
+              << TextTable::pct(combined.mean()) << ", stddev "
+              << TextTable::pct(combined.stddev()) << ", range ["
+              << TextTable::pct(combined.min()) << ", "
+              << TextTable::pct(combined.max()) << "]\n";
+
+    const std::string path = ctx.artifacts().csv_path(ctx.exp().csv_stem);
+    CsvWriter csv(path);
+    csv.write_row({"static_fraction", "serialized_fraction"});
+    for (const auto& [x, y] : points)
+      csv.write_row({std::to_string(x), std::to_string(y)});
+    ctx.out() << "(points written to " << path << ")\n";
+
+    ctx.artifacts().metric("band_benchmarks",
+                           static_cast<double>(points.size()));
+    ctx.artifacts().metric("mean_syncs", syncs.mean());
+    ctx.artifacts().metric("no_runtime_sync_mean", combined.mean());
+  };
+  return e;
+}
+
+BM_REGISTER_EXPERIMENT(make_fig14)
+
+}  // namespace
+}  // namespace bm

@@ -1,0 +1,42 @@
+// Figure 15: synchronization fractions vs number of statements.
+#include "exp/registry.hpp"
+#include "harness/report.hpp"
+
+namespace bm {
+namespace {
+
+Experiment make_fig15() {
+  Experiment e;
+  e.name = "fig15";
+  e.title = "Figure 15 — sync fractions vs number of statements";
+  e.paper_ref = "Fig. 15 (§5.1)";
+  e.workload = "8 PEs, 15 variables, statements 5..60";
+  e.expected =
+      "Paper shape: barrier fraction decreases with block size (steeply "
+      "from 5 to 20), serialization declines slowly.";
+  e.flags = common_flags(100);
+  e.flags.push_back(int_flag("procs", 8, "number of PEs"));
+  e.flags.push_back(int_flag("variables", 15, "variables per block"));
+  e.sweeps = {{"statements", {5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 55, 60}}};
+  e.csv_stem = "fig15_statements";
+  e.run = [](ExpContext& ctx) {
+    const RunOptions opt = ctx.run_options();
+    SchedulerConfig cfg = ctx.scheduler_config();
+    GeneratorConfig gen;
+    gen.num_variables = ctx.get_u32("variables");
+    const Sweep& sweep = ctx.sweep("statements");
+    std::vector<SeriesRow> rows;
+    for (std::size_t i = 0; i < sweep.values.size(); ++i) {
+      gen.num_statements = static_cast<std::uint32_t>(sweep.values[i]);
+      rows.push_back({sweep.label(i), run_point(gen, cfg, opt)});
+    }
+    print_fraction_series("#statements", rows, &ctx.artifacts(),
+                          ctx.exp().csv_stem);
+  };
+  return e;
+}
+
+BM_REGISTER_EXPERIMENT(make_fig15)
+
+}  // namespace
+}  // namespace bm

@@ -1,0 +1,42 @@
+// Figure 16: synchronization fractions vs number of variables.
+#include "exp/registry.hpp"
+#include "harness/report.hpp"
+
+namespace bm {
+namespace {
+
+Experiment make_fig16() {
+  Experiment e;
+  e.name = "fig16";
+  e.title = "Figure 16 — sync fractions vs number of variables";
+  e.paper_ref = "Fig. 16 (§5.2)";
+  e.workload = "8 PEs, 60 statements, variables 2..15";
+  e.expected =
+      "Paper shape: barrier fraction rises then levels off once parallelism "
+      "width exceeds the 8 PEs; serialization falls.";
+  e.flags = common_flags(100);
+  e.flags.push_back(int_flag("procs", 8, "number of PEs"));
+  e.flags.push_back(int_flag("statements", 60, "statements per block"));
+  e.sweeps = {
+      {"variables", {2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}}};
+  e.csv_stem = "fig16_variables";
+  e.run = [](ExpContext& ctx) {
+    const RunOptions opt = ctx.run_options();
+    SchedulerConfig cfg = ctx.scheduler_config();
+    GeneratorConfig gen = ctx.generator_config();
+    const Sweep& sweep = ctx.sweep("variables");
+    std::vector<SeriesRow> rows;
+    for (std::size_t i = 0; i < sweep.values.size(); ++i) {
+      gen.num_variables = static_cast<std::uint32_t>(sweep.values[i]);
+      rows.push_back({sweep.label(i), run_point(gen, cfg, opt)});
+    }
+    print_fraction_series("#variables", rows, &ctx.artifacts(),
+                          ctx.exp().csv_stem);
+  };
+  return e;
+}
+
+BM_REGISTER_EXPERIMENT(make_fig16)
+
+}  // namespace
+}  // namespace bm

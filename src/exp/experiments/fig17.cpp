@@ -1,0 +1,40 @@
+// Figure 17: synchronization fractions vs number of processors.
+#include "exp/registry.hpp"
+#include "harness/report.hpp"
+
+namespace bm {
+namespace {
+
+Experiment make_fig17() {
+  Experiment e;
+  e.name = "fig17";
+  e.title = "Figure 17 — sync fractions vs number of processors";
+  e.paper_ref = "Fig. 17 (§5.3)";
+  e.workload = "100 statements, 10 variables, PEs 2..128";
+  e.expected =
+      "Paper shape: barrier fraction increases up to the parallelism width, "
+      "then is flat; serialization ~constant.";
+  e.flags = common_flags(100);
+  e.flags.push_back(int_flag("statements", 100, "statements per block"));
+  e.flags.push_back(int_flag("variables", 10, "variables per block"));
+  e.sweeps = {{"procs", {2, 4, 8, 16, 32, 64, 128}}};
+  e.csv_stem = "fig17_processors";
+  e.run = [](ExpContext& ctx) {
+    const RunOptions opt = ctx.run_options();
+    const GeneratorConfig gen = ctx.generator_config();
+    const Sweep& sweep = ctx.sweep("procs");
+    SchedulerConfig cfg;
+    std::vector<SeriesRow> rows;
+    for (std::size_t i = 0; i < sweep.values.size(); ++i) {
+      cfg.num_procs = static_cast<std::size_t>(sweep.values[i]);
+      rows.push_back({sweep.label(i), run_point(gen, cfg, opt)});
+    }
+    print_fraction_series("#PEs", rows, &ctx.artifacts(), ctx.exp().csv_stem);
+  };
+  return e;
+}
+
+BM_REGISTER_EXPERIMENT(make_fig17)
+
+}  // namespace
+}  // namespace bm

@@ -1,0 +1,90 @@
+// Table 1: instruction frequencies and execution-time ranges, measured on
+// a large corpus of synthetic blocks against the published
+// Alexander–Wortman frequencies.
+#include <map>
+
+#include "codegen/synthesize.hpp"
+#include "exp/registry.hpp"
+#include "harness/report.hpp"
+
+namespace bm {
+namespace {
+
+Experiment make_table1() {
+  Experiment e;
+  e.name = "table1";
+  e.title = "Table 1 — instruction mix and execution-time ranges";
+  e.paper_ref = "Table 1 (§2.1)";
+  e.workload = "40 statements, 10 variables, large corpus";
+  e.expected =
+      "Check: source frequencies must match Table 1 within sampling noise; "
+      "Load/Store rates are emergent.";
+  e.flags = common_flags(2000);
+  e.flags.push_back(int_flag("statements", 40, "statements per block"));
+  e.flags.push_back(int_flag("variables", 10, "variables per block"));
+  e.csv_stem = "table1_instruction_mix";
+  e.run = [](ExpContext& ctx) {
+    const RunOptions opt = ctx.run_options();
+    const GeneratorConfig gen = ctx.generator_config();
+
+    std::map<Opcode, std::size_t> source_ops;   // statement operations
+    std::map<Opcode, std::size_t> emitted_ops;  // optimized tuple opcodes
+    std::size_t source_total = 0, emitted_total = 0;
+    for (std::size_t i = 0; i < opt.seeds; ++i) {
+      Rng rng = benchmark_rng(opt.base_seed, i);
+      const SynthesisResult r = synthesize_benchmark(gen, rng);
+      for (const Assign& s : r.statements) {
+        ++source_ops[s.op];
+        ++source_total;
+      }
+      for (const Tuple& t : r.program.tuples()) {
+        ++emitted_ops[t.op];
+        ++emitted_total;
+      }
+    }
+
+    const TimingModel tm = TimingModel::table1();
+    TextTable table({"Instruction", "Table-1 freq", "source freq",
+                     "optimized-tuple freq", "Min. Time", "Max. Time"});
+    const std::string path = ctx.artifacts().csv_path(ctx.exp().csv_stem);
+    CsvWriter csv(path);
+    csv.write_row({"instruction", "table1_freq_pct", "source_freq_pct",
+                   "tuple_freq_pct", "min_time", "max_time"});
+    for (Opcode op : all_opcodes()) {
+      const double expected = opcode_frequency_percent(op);
+      const double source = 100.0 * static_cast<double>(source_ops[op]) /
+                            static_cast<double>(source_total);
+      const double emitted = 100.0 * static_cast<double>(emitted_ops[op]) /
+                             static_cast<double>(emitted_total);
+      table.add_row(
+          {std::string(opcode_name(op)),
+           is_binary_op(op) ? TextTable::num(expected, 1) + "%" : "—",
+           is_binary_op(op) ? TextTable::num(source, 1) + "%" : "—",
+           TextTable::num(emitted, 1) + "%", std::to_string(tm.range(op).min),
+           std::to_string(tm.range(op).max)});
+      csv.write_row({std::string(opcode_name(op)),
+                     is_binary_op(op) ? std::to_string(expected) : "",
+                     is_binary_op(op) ? std::to_string(source) : "",
+                     std::to_string(emitted), std::to_string(tm.range(op).min),
+                     std::to_string(tm.range(op).max)});
+      if (is_binary_op(op))
+        ctx.artifacts().metric("source_freq_pct." +
+                                   std::string(opcode_name(op)),
+                               source);
+    }
+    table.render(ctx.out());
+    ctx.out() << "(mix written to " << path << ")\n"
+              << "\nSource operations drawn: " << source_total
+              << "; optimized tuples: " << emitted_total << ".\n";
+    ctx.artifacts().metric("source_operations",
+                           static_cast<double>(source_total));
+    ctx.artifacts().metric("optimized_tuples",
+                           static_cast<double>(emitted_total));
+  };
+  return e;
+}
+
+BM_REGISTER_EXPERIMENT(make_table1)
+
+}  // namespace
+}  // namespace bm

@@ -1,0 +1,87 @@
+// Machine-utilization decomposition across machine presets and sizes
+// (extension; runtime view of §5's fractions).
+#include "exp/registry.hpp"
+#include "harness/report.hpp"
+#include "machine/presets.hpp"
+#include "sim/analysis.hpp"
+
+namespace bm {
+namespace {
+
+Experiment make_utilization() {
+  Experiment e;
+  e.name = "utilization";
+  e.title = "machine utilization — compute vs barrier wait vs idle";
+  e.paper_ref = "extension (runtime view of §5's fractions)";
+  e.workload = "60 statements, 10 variables; presets × machine sizes";
+  e.expected =
+      "Expected shape: utilization falls as PEs grow past the parallelism "
+      "width (more idle processors); barrier-wait share rises with wider "
+      "timing variation and barrier latency.";
+  e.flags = common_flags(60);
+  e.flags.push_back(int_flag("statements", 60, "statements per block"));
+  e.flags.push_back(int_flag("variables", 10, "variables per block"));
+  e.sweeps = {{"procs", {2, 4, 8, 16}}};
+  e.run = [](ExpContext& ctx) {
+    const RunOptions opt = ctx.run_options();
+    const GeneratorConfig gen = ctx.generator_config();
+    const Sweep& sweep = ctx.sweep("procs");
+
+    TextTable table({"machine", "#PEs", "utilization", "busy", "barrier wait",
+                     "idle", "mean compl"});
+    const std::string path = ctx.artifacts().csv_path(ctx.exp().csv_stem);
+    CsvWriter csv(path);
+    csv.write_row({"machine", "procs", "utilization", "busy_frac",
+                   "wait_frac", "idle_frac", "mean_completion"});
+    for (const MachineDescription& m : machine_presets()) {
+      for (std::size_t pi = 0; pi < sweep.values.size(); ++pi) {
+        const std::size_t procs = static_cast<std::size_t>(sweep.values[pi]);
+        RunningStats util, busy, wait, idle, completion_stats;
+        for (std::size_t i = 0; i < opt.seeds; ++i) {
+          Rng rng = benchmark_rng(opt.base_seed, i);
+          const SynthesisResult s = synthesize_benchmark(gen, rng);
+          const InstrDag dag = InstrDag::build(s.program, m.timing);
+          SchedulerConfig cfg;
+          cfg.num_procs = procs;
+          cfg.barrier_latency = m.barrier_latency;
+          const ScheduleResult r = schedule_program(dag, cfg, rng);
+          for (int run = 0; run < 3; ++run) {
+            const ExecTrace t = simulate(
+                *r.schedule, {cfg.machine, SamplingMode::kUniform}, rng);
+            const TraceAnalysis a = analyze_trace(*r.schedule, t);
+            util.add(a.machine_utilization());
+            const double total = static_cast<double>(
+                a.total_busy + a.total_barrier_wait + a.total_idle);
+            if (total > 0) {
+              busy.add(static_cast<double>(a.total_busy) / total);
+              wait.add(static_cast<double>(a.total_barrier_wait) / total);
+              idle.add(static_cast<double>(a.total_idle) / total);
+            }
+            completion_stats.add(static_cast<double>(t.completion));
+          }
+        }
+        table.add_row({m.name, sweep.label(pi), TextTable::pct(util.mean()),
+                       TextTable::pct(busy.mean()),
+                       TextTable::pct(wait.mean()),
+                       TextTable::pct(idle.mean()),
+                       TextTable::num(completion_stats.mean(), 1)});
+        csv.write_row({m.name, sweep.label(pi), std::to_string(util.mean()),
+                       std::to_string(busy.mean()),
+                       std::to_string(wait.mean()),
+                       std::to_string(idle.mean()),
+                       std::to_string(completion_stats.mean())});
+        ctx.artifacts().metric(m.name + ".procs=" + sweep.label(pi) +
+                                   ".utilization",
+                               util.mean());
+      }
+    }
+    table.render(ctx.out());
+    ctx.out() << "(series written to " << path << ")\n";
+  };
+  return e;
+}
+
+BM_REGISTER_EXPERIMENT(make_utilization)
+
+}  // namespace
+}  // namespace bm

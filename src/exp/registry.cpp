@@ -1,0 +1,48 @@
+#include "exp/registry.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace bm {
+
+ExperimentRegistry& ExperimentRegistry::instance() {
+  static ExperimentRegistry registry;
+  return registry;
+}
+
+void ExperimentRegistry::add(Experiment exp) {
+  BM_REQUIRE(!exp.name.empty(), "experiment name must not be empty");
+  BM_REQUIRE(find(exp.name) == nullptr,
+             "duplicate experiment registration: " + exp.name);
+  exps_.push_back(std::move(exp));
+}
+
+const Experiment* ExperimentRegistry::find(const std::string& name) const {
+  for (const Experiment& e : exps_)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+std::vector<const Experiment*> ExperimentRegistry::all() const {
+  std::vector<const Experiment*> out;
+  out.reserve(exps_.size());
+  for (const Experiment& e : exps_) out.push_back(&e);
+  std::sort(out.begin(), out.end(),
+            [](const Experiment* a, const Experiment* b) {
+              return a->name < b->name;
+            });
+  return out;
+}
+
+std::vector<std::string> ExperimentRegistry::names() const {
+  std::vector<std::string> out;
+  for (const Experiment* e : all()) out.push_back(e->name);
+  return out;
+}
+
+ExperimentRegistrar::ExperimentRegistrar(Experiment (*make)()) {
+  ExperimentRegistry::instance().add(make());
+}
+
+}  // namespace bm

@@ -1,0 +1,43 @@
+// Self-registering experiment registry: each experiments/*.cpp file
+// registers its descriptor at static-initialization time, so adding a new
+// experiment is one new file plus one CMake line — no driver edits, no new
+// main(). Link bm_exp (an OBJECT library, so no registration is stripped)
+// to get the full set.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+
+namespace bm {
+
+class ExperimentRegistry {
+ public:
+  static ExperimentRegistry& instance();
+
+  /// Registers an experiment; throws bm::Error on a duplicate name.
+  void add(Experiment exp);
+
+  /// nullptr when `name` is unknown.
+  const Experiment* find(const std::string& name) const;
+
+  /// All experiments, sorted by name (stable across link order).
+  std::vector<const Experiment*> all() const;
+
+  std::vector<std::string> names() const;
+
+ private:
+  ExperimentRegistry() = default;
+  std::vector<Experiment> exps_;
+};
+
+struct ExperimentRegistrar {
+  explicit ExperimentRegistrar(Experiment (*make)());
+};
+
+/// Registers the Experiment returned by factory function `fn` (file scope).
+#define BM_REGISTER_EXPERIMENT(fn) \
+  static const ::bm::ExperimentRegistrar bm_registrar_##fn{fn};
+
+}  // namespace bm

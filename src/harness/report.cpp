@@ -25,7 +25,8 @@ void print_bench_header(const std::string& experiment,
 
 void print_fraction_series(const std::string& x_label,
                            const std::vector<SeriesRow>& rows,
-                           const std::string& csv_path) {
+                           ArtifactWriter* artifacts,
+                           const std::string& stem) {
   TextTable table({x_label, "barrier", "serialized", "static", "no-runtime",
                    "barriers/blk", "syncs/blk", "PEs used", "compl [min,max]"});
   for (const SeriesRow& row : rows) {
@@ -42,7 +43,8 @@ void print_fraction_series(const std::string& x_label,
   }
   table.render(std::cout);
 
-  if (csv_path.empty()) return;
+  if (artifacts == nullptr) return;
+  const std::string csv_path = artifacts->csv_path(stem);
   CsvWriter csv(csv_path);
   csv.write_row({x_label, "barrier_frac", "serialized_frac", "static_frac",
                  "no_runtime_frac", "barriers", "implied_syncs", "procs_used",
@@ -58,6 +60,14 @@ void print_fraction_series(const std::string& x_label,
                    std::to_string(f.procs_used.mean()),
                    std::to_string(f.completion_min.mean()),
                    std::to_string(f.completion_max.mean())});
+  }
+  for (const SeriesRow& row : rows) {
+    const FractionAggregate& f = row.agg.fractions;
+    const std::string key = x_label + "=" + row.x;
+    artifacts->metric(key + ".barrier_frac", f.barrier_frac.mean());
+    artifacts->metric(key + ".serialized_frac", f.serialized_frac.mean());
+    artifacts->metric(key + ".static_frac", f.static_frac.mean());
+    artifacts->metric(key + ".no_runtime_frac", f.no_runtime_frac.mean());
   }
   std::cout << "(series written to " << csv_path << ")\n";
 }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/artifacts.hpp"
 #include "harness/experiment.hpp"
 #include "support/table.hpp"
 
@@ -22,11 +23,14 @@ struct SeriesRow {
   PointAggregate agg;
 };
 
-/// Renders the standard fraction columns (mean over seeds) for a sweep, and
-/// optionally writes `csv_path` (skipped when empty).
+/// Renders the standard fraction columns (mean over seeds) for a sweep.
+/// When `artifacts` is non-null, also writes `<stem>.csv` into the artifact
+/// directory and records the per-row fractions as JSON metrics; pass null
+/// to print only (e.g. interactive exploration).
 void print_fraction_series(const std::string& x_label,
                            const std::vector<SeriesRow>& rows,
-                           const std::string& csv_path);
+                           ArtifactWriter* artifacts,
+                           const std::string& stem = "");
 
 /// ASCII scatter plot: y = serialized fraction, x = static fraction, both in
 /// [0,1]; `diagonal` draws the x+y = level reference line.

@@ -6,6 +6,51 @@
 #include "support/thread_pool.hpp"
 
 namespace bm {
+namespace {
+
+// A token is a usable flag value unless it is itself a flag. "--x" is a
+// flag; "-3" or "-0.5" is a negative number and therefore a value. This is
+// the fix for the latent bug where a negative value after a flag could be
+// mistaken for the start of the next flag, turning the previous flag into a
+// bare bool.
+bool looks_like_flag(const std::string& tok) {
+  if (tok.rfind("--", 0) == 0) return true;
+  if (tok.size() < 2 || tok[0] != '-') return false;
+  char* end = nullptr;
+  std::strtod(tok.c_str(), &end);
+  return end == nullptr || *end != '\0';  // "-v" is a flag, "-3" is not
+}
+
+bool parses_as_int(const std::string& v) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  (void)std::strtoll(v.c_str(), &end, 10);
+  return end && *end == '\0';
+}
+
+bool parses_as_double(const std::string& v) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  (void)std::strtod(v.c_str(), &end);
+  return end && *end == '\0';
+}
+
+bool parses_as_bool(const std::string& v) {
+  return v == "true" || v == "1" || v == "yes" || v == "on" || v == "false" ||
+         v == "0" || v == "no" || v == "off";
+}
+
+}  // namespace
+
+std::string_view to_string(FlagType t) {
+  switch (t) {
+    case FlagType::kInt: return "int";
+    case FlagType::kDouble: return "float";
+    case FlagType::kBool: return "bool";
+    case FlagType::kString: return "string";
+  }
+  return "?";
+}
 
 CliFlags::CliFlags(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
@@ -18,10 +63,56 @@ CliFlags::CliFlags(int argc, const char* const* argv) {
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
       values_[arg.substr(0, eq)] = arg.substr(eq + 1);
-    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+    } else if (i + 1 < argc && !looks_like_flag(argv[i + 1])) {
       values_[arg] = argv[++i];
     } else {
       values_[arg] = "true";  // bare boolean flag
+    }
+  }
+}
+
+CliFlags::CliFlags(const std::vector<std::string>& args) {
+  std::vector<const char*> argv;
+  argv.push_back("prog");
+  for (const std::string& a : args) argv.push_back(a.c_str());
+  *this = CliFlags(static_cast<int>(argv.size()), argv.data());
+}
+
+void CliFlags::validate(const std::vector<FlagSpec>& schema,
+                        const std::vector<FlagSpec>& extra) const {
+  auto find_spec = [&](const std::string& name) -> const FlagSpec* {
+    for (const FlagSpec& s : schema)
+      if (s.name == name) return &s;
+    for (const FlagSpec& s : extra)
+      if (s.name == name) return &s;
+    return nullptr;
+  };
+  for (const auto& [name, value] : values_) {
+    const FlagSpec* spec = find_spec(name);
+    if (spec == nullptr) {
+      std::string known;
+      for (const FlagSpec& s : schema)
+        known += (known.empty() ? "--" : ", --") + s.name;
+      throw Error("unknown flag --" + name + " (accepted: " + known + ")");
+    }
+    switch (spec->type) {
+      case FlagType::kInt:
+        if (!parses_as_int(value))
+          throw Error("flag --" + name + " expects an integer, got '" +
+                      value + "'");
+        break;
+      case FlagType::kDouble:
+        if (!parses_as_double(value))
+          throw Error("flag --" + name + " expects a number, got '" + value +
+                      "'");
+        break;
+      case FlagType::kBool:
+        if (!parses_as_bool(value))
+          throw Error("flag --" + name + " expects a boolean, got '" + value +
+                      "'");
+        break;
+      case FlagType::kString:
+        break;
     }
   }
 }

@@ -1,18 +1,47 @@
-// Tiny command-line flag parser for the bench and example binaries.
-// Supports --name=value, --name value, and boolean --name forms.
+// Tiny command-line flag parser for the bench/tool binaries.
+// Supports --name=value, --name value, and boolean --name forms, and can
+// validate the parsed flags against a declared schema so that a misspelled
+// flag (e.g. --sseeds) is an error instead of a silently ignored default.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace bm {
 
+/// Value type of a declared flag; used for schema validation and help text.
+enum class FlagType { kInt, kDouble, kBool, kString };
+
+std::string_view to_string(FlagType t);
+
+/// One declared flag: the single source of truth for its name, type,
+/// default (rendered as text, shown by `bmrun describe`), and help line.
+struct FlagSpec {
+  std::string name;
+  FlagType type = FlagType::kInt;
+  std::string def;
+  std::string help;
+};
+
 class CliFlags {
  public:
   /// Parses argv; throws bm::Error on malformed input (e.g. value missing).
+  /// A token after `--name` is taken as its value unless it itself looks
+  /// like a flag; a negative number (`--delta -3`) is a value, not a flag.
   CliFlags(int argc, const char* const* argv);
+
+  /// Convenience for tests: parses as if argv were {prog, args...}.
+  explicit CliFlags(const std::vector<std::string>& args);
+
+  /// Schema validation: every parsed flag must be declared in `schema`
+  /// (plus `extra`, for driver-level flags like --all), and its value must
+  /// parse as the declared type. Throws bm::Error naming the bad flag and
+  /// listing the accepted ones.
+  void validate(const std::vector<FlagSpec>& schema,
+                const std::vector<FlagSpec>& extra = {}) const;
 
   bool has(const std::string& name) const;
   std::string get(const std::string& name, const std::string& def) const;

@@ -1,0 +1,160 @@
+// bmrun — the single driver for every paper-reproduction experiment.
+//
+//   bmrun list [--names]        table (or bare names) of all experiments
+//   bmrun describe <exp>...     descriptor: flags, sweeps, expected shape
+//   bmrun run <exp>... [--all]  run experiments; artifacts land in --out-dir
+//
+// Flags after `run` are schema-validated against each selected experiment:
+// a misspelled flag is an error, never a silently ignored default.
+#include <iostream>
+
+#include "exp/registry.hpp"
+#include "support/assert.hpp"
+#include "support/table.hpp"
+
+namespace bm {
+namespace {
+
+int usage(std::ostream& os, int code) {
+  os << "usage: bmrun <command> [args]\n"
+        "\n"
+        "commands:\n"
+        "  list [--names]          list all registered experiments\n"
+        "  describe <exp>...       show an experiment's descriptor\n"
+        "  run <exp>... [--all]    run experiments (every flag is validated\n"
+        "                          against the experiment's declared schema)\n"
+        "\n"
+        "common run flags: --seeds N --base-seed N --jobs N|auto "
+        "--out-dir DIR\n"
+        "Artifacts: <out-dir>/<stem>.csv series + <out-dir>/<exp>.json "
+        "result per experiment (default out/).\n";
+  return code;
+}
+
+int cmd_list(const CliFlags& flags) {
+  const ExperimentRegistry& reg = ExperimentRegistry::instance();
+  flags.validate({}, {bool_flag("names", false, "print bare names only")});
+  if (flags.get_bool("names", false)) {
+    for (const Experiment* e : reg.all()) std::cout << e->name << '\n';
+    return 0;
+  }
+  TextTable table({"experiment", "reproduces", "title"});
+  for (const Experiment* e : reg.all())
+    table.add_row({e->name, e->paper_ref, e->title});
+  table.render(std::cout);
+  std::cout << '\n'
+            << reg.all().size()
+            << " experiments; `bmrun describe <exp>` for flags and sweeps, "
+               "`bmrun run --all` to run everything.\n";
+  return 0;
+}
+
+void describe(const Experiment& e) {
+  std::cout << e.name << " — " << e.title << '\n'
+            << "  reproduces: " << e.paper_ref << '\n'
+            << "  workload:   " << e.workload << '\n';
+  if (!e.expected.empty()) std::cout << "  expected:   " << e.expected << '\n';
+  std::cout << "  flags:\n";
+  for (const FlagSpec& f : e.flags)
+    std::cout << "    --" << f.name << " <" << to_string(f.type)
+              << "> (default " << (f.def.empty() ? "\"\"" : f.def) << ")  "
+              << f.help << '\n';
+  for (const Sweep& s : e.sweeps) {
+    std::cout << "  sweep " << s.axis << ":";
+    for (std::size_t i = 0; i < s.values.size(); ++i)
+      std::cout << ' ' << s.label(i);
+    std::cout << '\n';
+  }
+  std::cout << "  artifacts:  "
+            << (e.csv_stem.empty() ? e.name : e.csv_stem) << ".csv, "
+            << e.name << ".json\n";
+}
+
+int cmd_describe(const CliFlags& flags) {
+  const ExperimentRegistry& reg = ExperimentRegistry::instance();
+  const auto& names = flags.positional();
+  if (names.empty()) {
+    std::cerr << "bmrun describe: name at least one experiment "
+                 "(see `bmrun list`)\n";
+    return 2;
+  }
+  bool first = true;
+  for (const std::string& name : names) {
+    const Experiment* e = reg.find(name);
+    if (e == nullptr) {
+      std::cerr << "bmrun: unknown experiment '" << name
+                << "' (see `bmrun list`)\n";
+      return 2;
+    }
+    if (!first) std::cout << '\n';
+    first = false;
+    describe(*e);
+  }
+  return 0;
+}
+
+int cmd_run(const CliFlags& flags) {
+  const ExperimentRegistry& reg = ExperimentRegistry::instance();
+  std::vector<const Experiment*> selected;
+  if (flags.get_bool("all", false)) {
+    BM_REQUIRE(flags.positional().empty(),
+               "bmrun run: give experiment names or --all, not both");
+    selected = reg.all();
+  } else {
+    for (const std::string& name : flags.positional()) {
+      const Experiment* e = reg.find(name);
+      if (e == nullptr) {
+        std::cerr << "bmrun: unknown experiment '" << name
+                  << "' (see `bmrun list`)\n";
+        return 2;
+      }
+      selected.push_back(e);
+    }
+  }
+  if (selected.empty()) {
+    std::cerr << "bmrun run: name at least one experiment or pass --all\n";
+    return 2;
+  }
+  const std::vector<FlagSpec> driver_flags = {
+      bool_flag("all", false, "run every registered experiment")};
+  // Validate against every selected experiment before running any, so a
+  // flag that one experiment does not declare aborts the whole invocation
+  // instead of half-completing.
+  for (const Experiment* e : selected) {
+    try {
+      flags.validate(e->flags, driver_flags);
+    } catch (const Error& err) {
+      std::cerr << "bmrun run " << e->name << ": " << err.what() << '\n';
+      return 2;
+    }
+  }
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    const Experiment& e = *selected[i];
+    const std::string out_dir = flags.get("out-dir", "out");
+    if (i) std::cout << '\n';
+    run_experiment(e, flags, out_dir, std::cout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bm
+
+int main(int argc, char** argv) {
+  using namespace bm;
+  if (argc < 2) return usage(std::cerr, 2);
+  const std::string cmd = argv[1];
+  try {
+    const CliFlags flags(argc - 1, argv + 1);
+    if (cmd == "list") return cmd_list(flags);
+    if (cmd == "describe") return cmd_describe(flags);
+    if (cmd == "run") return cmd_run(flags);
+    if (cmd == "help" || cmd == "--help" || cmd == "-h")
+      return usage(std::cout, 0);
+    std::cerr << "bmrun: unknown command '" << cmd << "'\n";
+    return usage(std::cerr, 2);
+  } catch (const std::exception& e) {
+    std::cerr << "bmrun: " << e.what() << '\n';
+    return 1;
+  }
+}

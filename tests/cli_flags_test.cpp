@@ -1,0 +1,95 @@
+// CliFlags schema validation and parse edge cases: unknown flags must be
+// rejected (a misspelled --sseeds silently running the default is a
+// reproducibility footgun), and a negative value after a flag (--delta -3)
+// must parse as that flag's value, not as a bare bool.
+#include <gtest/gtest.h>
+
+#include "support/assert.hpp"
+#include "support/cli.hpp"
+
+namespace bm {
+namespace {
+
+const std::vector<FlagSpec> kSchema = {
+    {"seeds", FlagType::kInt, "100", "benchmarks per point"},
+    {"delta", FlagType::kInt, "0", "signed offset"},
+    {"ratio", FlagType::kDouble, "0.5", "a fraction"},
+    {"validate", FlagType::kBool, "false", "check draws"},
+    {"jobs", FlagType::kString, "1", "worker count or auto"},
+};
+
+TEST(CliFlags, UnknownFlagRejected) {
+  const CliFlags flags({"--sseeds", "10"});
+  // Without validation the typo would silently fall back to the default.
+  EXPECT_EQ(flags.get_int("seeds", 100), 100);
+  try {
+    flags.validate(kSchema);
+    FAIL() << "expected bm::Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("sseeds"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("--seeds"), std::string::npos)
+        << "error should list the accepted flags: " << msg;
+  }
+}
+
+TEST(CliFlags, KnownFlagsValidate) {
+  const CliFlags flags(
+      {"--seeds", "10", "--ratio=0.25", "--validate", "--jobs", "auto"});
+  EXPECT_NO_THROW(flags.validate(kSchema));
+  EXPECT_EQ(flags.get_int("seeds", 0), 10);
+  EXPECT_DOUBLE_EQ(flags.get_double("ratio", 0), 0.25);
+  EXPECT_TRUE(flags.get_bool("validate", false));
+}
+
+TEST(CliFlags, ExtraSchemaAccepted) {
+  const CliFlags flags({"--all"});
+  EXPECT_THROW(flags.validate(kSchema), Error);
+  EXPECT_NO_THROW(
+      flags.validate(kSchema, {{"all", FlagType::kBool, "false", ""}}));
+}
+
+TEST(CliFlags, NegativeValueIsAValueNotABareBool) {
+  const CliFlags flags({"--delta", "-3", "--seeds", "7"});
+  EXPECT_EQ(flags.get_int("delta", 0), -3);
+  EXPECT_EQ(flags.get_int("seeds", 0), 7);
+  EXPECT_NO_THROW(flags.validate(kSchema));
+
+  const CliFlags eq({"--delta=-3"});
+  EXPECT_EQ(eq.get_int("delta", 0), -3);
+
+  const CliFlags neg_double({"--ratio", "-0.75"});
+  EXPECT_DOUBLE_EQ(neg_double.get_double("ratio", 0), -0.75);
+  EXPECT_NO_THROW(neg_double.validate(kSchema));
+}
+
+TEST(CliFlags, FlagFollowedByFlagIsBareBool) {
+  const CliFlags flags({"--validate", "--seeds", "4"});
+  EXPECT_TRUE(flags.get_bool("validate", false));
+  EXPECT_EQ(flags.get_int("seeds", 0), 4);
+}
+
+TEST(CliFlags, NonNumericDashTokenIsNotConsumedAsValue) {
+  // "-v" is flag-like, so --validate stays a bare bool and "-v" falls
+  // through (single-dash tokens are not long flags).
+  const CliFlags flags({"--validate", "-v"});
+  EXPECT_TRUE(flags.get_bool("validate", false));
+}
+
+TEST(CliFlags, TypeMismatchesRejected) {
+  EXPECT_THROW(CliFlags({"--seeds", "ten"}).validate(kSchema), Error);
+  EXPECT_THROW(CliFlags({"--ratio", "fast"}).validate(kSchema), Error);
+  EXPECT_THROW(CliFlags({"--validate", "maybe"}).validate(kSchema), Error);
+  EXPECT_NO_THROW(CliFlags({"--validate", "yes"}).validate(kSchema));
+}
+
+TEST(CliFlags, PositionalsPreserved) {
+  const CliFlags flags({"run", "fig15", "--seeds", "2"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "run");
+  EXPECT_EQ(flags.positional()[1], "fig15");
+  EXPECT_NO_THROW(flags.validate(kSchema));
+}
+
+}  // namespace
+}  // namespace bm

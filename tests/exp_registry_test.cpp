@@ -1,0 +1,258 @@
+// End-to-end coverage for the experiment registry: every registered
+// experiment must complete at --seeds 2 --jobs 2, write CSV + JSON
+// artifacts that parse, and produce byte-identical artifacts for
+// --jobs 1 vs --jobs 2 (seed fan-out must not leak into results).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/registry.hpp"
+#include "support/assert.hpp"
+
+namespace bm {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Minimal JSON validity checker (values, objects, arrays, strings with
+// escapes, numbers incl. exponents, literals). Parse-only: the artifact
+// contract is "machine-readable", not any particular schema.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+
+  bool literal(const std::string& lit) {
+    if (s_.compare(pos_, lit.size(), lit) != 0) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// Runs `exp` into `dir` with the table output swallowed (the registry
+// sweep prints ~17 experiments' worth of tables otherwise).
+void run_quiet(const Experiment& exp, const std::string& jobs,
+               const fs::path& dir) {
+  const CliFlags flags(
+      {"--seeds", "2", "--jobs", jobs, "--out-dir", dir.string()});
+  flags.validate(exp.flags);
+  std::ostringstream sink;
+  // The table renderers write to std::cout; swallow that as well.
+  std::streambuf* saved = std::cout.rdbuf(sink.rdbuf());
+  try {
+    run_experiment(exp, flags, dir.string(), sink);
+  } catch (...) {
+    std::cout.rdbuf(saved);
+    throw;
+  }
+  std::cout.rdbuf(saved);
+  EXPECT_FALSE(sink.str().empty()) << exp.name << ": no banner output";
+}
+
+fs::path temp_root() {
+  const fs::path root =
+      fs::temp_directory_path() / "bm_exp_registry_test";
+  fs::remove_all(root);
+  fs::create_directories(root);
+  return root;
+}
+
+TEST(ExperimentRegistry, HasAllExperiments) {
+  const auto all = ExperimentRegistry::instance().all();
+  EXPECT_GE(all.size(), 17u);
+  std::set<std::string> names;
+  for (const Experiment* e : all) {
+    EXPECT_TRUE(names.insert(e->name).second) << "duplicate " << e->name;
+    EXPECT_FALSE(e->title.empty()) << e->name;
+    EXPECT_FALSE(e->paper_ref.empty()) << e->name;
+    EXPECT_FALSE(e->expected.empty()) << e->name;
+    EXPECT_TRUE(static_cast<bool>(e->run)) << e->name;
+    // Every experiment carries the common flags so bmrun's shared
+    // binding layer (seeds/jobs/out-dir) works uniformly.
+    for (const char* f : {"seeds", "base-seed", "jobs", "out-dir"})
+      EXPECT_NO_THROW(e->flag(f)) << e->name << " missing --" << f;
+  }
+  EXPECT_TRUE(names.count("fig14"));
+  EXPECT_TRUE(names.count("table1"));
+  EXPECT_TRUE(names.count("headline"));
+}
+
+TEST(ExperimentRegistry, FindAndSortedNames) {
+  auto& reg = ExperimentRegistry::instance();
+  EXPECT_NE(reg.find("fig15"), nullptr);
+  EXPECT_EQ(reg.find("fig99"), nullptr);
+  const auto names = reg.names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(ExperimentRegistry, DuplicateNameRejected) {
+  Experiment dup;
+  dup.name = "fig14";
+  EXPECT_THROW(ExperimentRegistry::instance().add(dup), Error);
+}
+
+// The heavyweight sweep: run everything, check artifacts, compare jobs.
+TEST(ExperimentRegistry, EveryExperimentRunsAndArtifactsAreDeterministic) {
+  const fs::path root = temp_root();
+  for (const Experiment* exp : ExperimentRegistry::instance().all()) {
+    SCOPED_TRACE(exp->name);
+    const fs::path dir_a = root / exp->name / "jobs2";
+    const fs::path dir_b = root / exp->name / "jobs1";
+    ASSERT_NO_THROW(run_quiet(*exp, "2", dir_a));
+
+    // (b) CSV + JSON artifacts exist and parse.
+    const std::string stem =
+        exp->csv_stem.empty() ? exp->name : exp->csv_stem;
+    EXPECT_TRUE(fs::exists(dir_a / (stem + ".csv")))
+        << "missing " << stem << ".csv";
+    const fs::path json = dir_a / (exp->name + ".json");
+    ASSERT_TRUE(fs::exists(json));
+    const std::string json_text = slurp(json);
+    EXPECT_TRUE(JsonChecker(json_text).valid())
+        << exp->name << ".json is not valid JSON:\n" << json_text;
+    EXPECT_NE(json_text.find("\"experiment\": \"" + exp->name + "\""),
+              std::string::npos);
+
+    // Every CSV in the dir: header plus at least one data row, with a
+    // consistent column count.
+    for (const auto& entry : fs::directory_iterator(dir_a)) {
+      if (entry.path().extension() != ".csv") continue;
+      std::ifstream in(entry.path());
+      std::string line;
+      std::size_t cols = 0, rows = 0;
+      while (std::getline(in, line)) {
+        const std::size_t n =
+            static_cast<std::size_t>(
+                std::count(line.begin(), line.end(), ',')) + 1;
+        if (rows == 0)
+          cols = n;
+        else
+          EXPECT_EQ(n, cols) << entry.path() << " row " << rows;
+        ++rows;
+      }
+      EXPECT_GE(rows, 2u) << entry.path() << ": header only";
+    }
+
+    // (c) --jobs 1 must reproduce --jobs 2 byte for byte.
+    ASSERT_NO_THROW(run_quiet(*exp, "1", dir_b));
+    std::map<std::string, fs::path> files_a, files_b;
+    for (const auto& e : fs::directory_iterator(dir_a))
+      files_a[e.path().filename().string()] = e.path();
+    for (const auto& e : fs::directory_iterator(dir_b))
+      files_b[e.path().filename().string()] = e.path();
+    ASSERT_EQ(files_a.size(), files_b.size());
+    for (const auto& [name, path_a] : files_a) {
+      ASSERT_TRUE(files_b.count(name)) << name << " only under jobs2";
+      EXPECT_EQ(slurp(path_a), slurp(files_b[name]))
+          << name << " differs between --jobs 1 and --jobs 2";
+    }
+  }
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace bm

@@ -88,7 +88,7 @@ TEST(Report, FractionSeriesRendersRows) {
   PointAggregate agg;
   agg.fractions.add(s);
   ::testing::internal::CaptureStdout();
-  print_fraction_series("x", {{"row1", agg}}, "");
+  print_fraction_series("x", {{"row1", agg}}, nullptr);
   const std::string out = ::testing::internal::GetCapturedStdout();
   EXPECT_NE(out.find("row1"), std::string::npos);
   EXPECT_NE(out.find("10.0%"), std::string::npos);  // barrier fraction
