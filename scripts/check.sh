@@ -4,15 +4,18 @@
 # every registered experiment through bmrun with a reduced seed count, and
 # record the perf microbench trajectory as BENCH_sched.json at the repo
 # root. `--asan` additionally builds and tests under AddressSanitizer in a
-# separate build tree (build-asan/).
+# separate build tree (build-asan/); `--trace-smoke` additionally produces
+# a --trace run and validates the JSON with trace_check.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 asan=0
+trace_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --asan) asan=1 ;;
-    *) echo "usage: $0 [--asan]" >&2; exit 2 ;;
+    --trace-smoke) trace_smoke=1 ;;
+    *) echo "usage: $0 [--asan] [--trace-smoke]" >&2; exit 2 ;;
   esac
 done
 
@@ -42,6 +45,14 @@ done
   && echo "ok  bench_scheduler_perf -> BENCH_sched.json"
 ./build/bench/bench_sim_perf --benchmark_format=json > /tmp/bench_sim.json \
   && echo "ok  bench_sim_perf"
+
+if [[ "$trace_smoke" -eq 1 ]]; then
+  # A traced run must emit Perfetto-loadable JSON: structurally valid, with
+  # at least one timed event. trace_check is the in-repo validator.
+  ./build/bmrun run headline --seeds 3 --jobs 2 --trace out/trace-smoke.json \
+      --out-dir out > /dev/null
+  ./build/trace_check out/trace-smoke.json && echo "ok  trace-smoke"
+fi
 
 if [[ "$asan" -eq 1 ]]; then
   echo "--- AddressSanitizer pass (build-asan/) ---"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 
 namespace bm {
@@ -83,10 +84,22 @@ BarrierDag::BarrierDag(std::size_t num_barrier_ids, BarrierId initial,
   dom_ = std::make_unique<DominatorTree>(g_, root);
 }
 
+BarrierDag::~BarrierDag() {
+  if (!tally_.live) return;  // moved-from shell: tallies were transferred
+  BM_OBS_COUNT("barrier.dag_builds");
+  if (tally_.hits > 0) BM_OBS_COUNT_N("barrier.psi_cache_hits", tally_.hits);
+  if (tally_.misses > 0)
+    BM_OBS_COUNT_N("barrier.psi_cache_misses", tally_.misses);
+}
+
 const std::vector<Time>& BarrierDag::psi_from(NodeId src, bool use_max) const {
   std::vector<Time>& dist =
       use_max ? psi_max_cache_[src] : psi_min_cache_[src];
-  if (!dist.empty()) return dist;  // memo hit: O(1) amortized queries
+  if (!dist.empty()) {
+    ++tally_.hits;  // memo hit: O(1) amortized queries
+    return dist;
+  }
+  ++tally_.misses;
   dist.assign(g_.size(), kUnreachable);
   dist[src] = 0;
   const DynBitset& reachable = reach_[src];

@@ -50,6 +50,14 @@ class BarrierDag {
              std::span<const BarrierChainInput> chains,
              Time barrier_latency = 0);
 
+  /// The destructor folds the ψ-cache hit/miss tallies into the global
+  /// metric registry (`barrier.psi_cache_{hits,misses}`). Moves stay
+  /// defaulted: PsiTally transfers its counts and zeroes the source, so a
+  /// moved-from dag folds nothing and the tallies are counted exactly once.
+  ~BarrierDag();
+  BarrierDag(BarrierDag&&) = default;
+  BarrierDag& operator=(BarrierDag&&) = default;
+
   Time barrier_latency() const { return latency_; }
 
   BarrierId initial() const { return initial_; }
@@ -117,6 +125,12 @@ class BarrierDag {
   };
   MaxPathRange max_paths(BarrierId u, BarrierId v) const;
 
+  /// ψ memo effectiveness for this dag instance (a "miss" is one O(V+E)
+  /// sweep; a "hit" is an O(1) lookup). Single-thread confined like the
+  /// caches themselves, so plain counters suffice.
+  std::uint64_t psi_cache_hits() const { return tally_.hits; }
+  std::uint64_t psi_cache_misses() const { return tally_.misses; }
+
  private:
   NodeId index_of(BarrierId b) const;  // throws if unknown
   static std::uint64_t edge_key(NodeId a, NodeId b) {
@@ -150,6 +164,30 @@ class BarrierDag {
 
   mutable std::vector<std::vector<Time>> psi_min_cache_;  ///< per source
   mutable std::vector<std::vector<Time>> psi_max_cache_;
+
+  /// ψ-cache hit/miss tallies plus a liveness marker for dtor folding.
+  /// Moving transfers the counts and disarms the source, so defaulted
+  /// BarrierDag moves never double-fold (and a moved-from dag does not
+  /// count as a dag build).
+  struct PsiTally {
+    std::uint64_t hits = 0, misses = 0;
+    bool live = true;
+    PsiTally() = default;
+    PsiTally(PsiTally&& o) noexcept
+        : hits(o.hits), misses(o.misses), live(o.live) {
+      o.hits = o.misses = 0;
+      o.live = false;
+    }
+    PsiTally& operator=(PsiTally&& o) noexcept {
+      hits = o.hits;
+      misses = o.misses;
+      live = o.live;
+      o.hits = o.misses = 0;
+      o.live = false;
+      return *this;
+    }
+  };
+  mutable PsiTally tally_;
 };
 
 }  // namespace bm

@@ -1,15 +1,25 @@
 #include "codegen/synthesize.hpp"
 
 #include "codegen/emitter.hpp"
+#include "obs/obs.hpp"
 
 namespace bm {
 
 SynthesisResult synthesize_benchmark(const GeneratorConfig& config, Rng& rng) {
   SynthesisResult result;
-  StatementGenerator gen(config);
-  result.statements = gen.generate(rng);
-  result.program = emit_tuples(result.statements, config.num_variables);
-  result.opt_stats = optimize(result.program);
+  {
+    BM_OBS_SPAN(span, "codegen.generate", "codegen");
+    StatementGenerator gen(config);
+    result.statements = gen.generate(rng);
+    result.program = emit_tuples(result.statements, config.num_variables);
+  }
+  {
+    BM_OBS_SPAN(span, "opt.passes", "opt");
+    result.opt_stats = optimize(result.program);
+  }
+  BM_OBS_COUNT("codegen.benchmarks");
+  BM_OBS_COUNT_N("codegen.tuples_after_opt", result.program.size());
+  BM_OBS_COUNT_N("opt.tuples_removed", result.opt_stats.total_removed());
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "harness/report.hpp"
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 
 namespace bm {
@@ -135,7 +136,19 @@ void run_experiment(const Experiment& exp, const CliFlags& flags,
   ExpContext ctx(exp, flags, artifacts, os);
   const RunOptions opt = ctx.run_options();
   print_bench_header(exp.title, exp.paper_ref, exp.workload, opt);
-  exp.run(ctx);
+  // Attribute registry deltas to this run: everything the body's pipeline
+  // counts (insertion decisions, ψ-cache traffic, simulator stalls) lands
+  // in the manifest's metrics block under an "obs." prefix. Counters hold
+  // only deterministic quantities, so the manifest stays byte-identical
+  // across --jobs values (wall time goes to the trace, never in here).
+  const obs::Snapshot before = obs::snapshot();
+  {
+    BM_OBS_SPAN(exp_span, "exp:" + exp.name, "exp");
+    exp.run(ctx);
+  }
+  const obs::Snapshot used = obs::delta(before, obs::snapshot());
+  for (const obs::Snapshot::Entry& e : used.entries)
+    artifacts.metric("obs." + e.key, e.value);
   if (!exp.expected.empty()) os << '\n' << exp.expected << '\n';
   // The JSON result deliberately omits the worker count: a rerun with a
   // different --jobs must be byte-identical.

@@ -41,6 +41,38 @@ std::vector<std::string> ExperimentRegistry::names() const {
   return out;
 }
 
+namespace {
+
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  // Classic two-row Levenshtein DP.
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace
+
+std::string ExperimentRegistry::closest_name(const std::string& name) const {
+  std::string best;
+  std::size_t best_dist = 0;
+  for (const std::string& candidate : names()) {
+    const std::size_t d = edit_distance(name, candidate);
+    if (best.empty() || d < best_dist) {
+      best = candidate;
+      best_dist = d;
+    }
+  }
+  return best;
+}
+
 ExperimentRegistrar::ExperimentRegistrar(Experiment (*make)()) {
   ExperimentRegistry::instance().add(make());
 }

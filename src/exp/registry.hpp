@@ -27,6 +27,11 @@ class ExperimentRegistry {
 
   std::vector<std::string> names() const;
 
+  /// Registered name closest to `name` by Levenshtein distance (ties break
+  /// lexicographically); empty when the registry is empty. Used by bmrun's
+  /// "did you mean" diagnostics for unknown experiment names.
+  std::string closest_name(const std::string& name) const;
+
  private:
   ExperimentRegistry() = default;
   std::vector<Experiment> exps_;

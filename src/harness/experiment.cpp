@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 #include "support/thread_pool.hpp"
 
@@ -27,9 +28,14 @@ struct SeedResult {
 
 SeedResult run_seed(const GeneratorConfig& gen, const SchedulerConfig& sched,
                     const RunOptions& opt, std::size_t i) {
+  BM_OBS_SPAN_ARG(seed_span, "harness.seed", "harness", "seed",
+                  static_cast<double>(i));
   Rng rng = benchmark_rng(opt.base_seed, i);
   const SynthesisResult synth = synthesize_benchmark(gen, rng);
-  const InstrDag dag = InstrDag::build(synth.program, opt.timing);
+  const InstrDag dag = [&] {
+    BM_OBS_SPAN(span, "dag.build", "graph");
+    return InstrDag::build(synth.program, opt.timing);
+  }();
 
   SeedResult r;
   r.outcome.seed_index = i;
@@ -39,11 +45,13 @@ SeedResult run_seed(const GeneratorConfig& gen, const SchedulerConfig& sched,
   r.outcome.stats = scheduled.stats;
 
   if (opt.with_vliw) {
+    BM_OBS_SPAN(span, "vliw.schedule", "vliw");
     const VliwSchedule vliw = schedule_vliw(dag, sched.num_procs);
     r.outcome.vliw_makespan = vliw.makespan;
   }
 
   if (opt.sim_runs > 0 || opt.validate_draws) {
+    BM_OBS_SPAN(span, "sim.summarize", "sim");
     const std::size_t runs = opt.sim_runs > 0 ? opt.sim_runs : 1;
     if (opt.validate_draws) {
       for (std::size_t k = 0; k < runs; ++k) {

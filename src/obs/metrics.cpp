@@ -1,0 +1,195 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <mutex>
+
+#include "support/assert.hpp"
+
+namespace bm::obs {
+namespace {
+
+/// Name → dense-id table per metric kind. Ids are append-only, so handles
+/// never dangle and shards can be fixed-size flat arrays.
+struct NameTable {
+  std::mutex mu;
+  std::vector<std::string> counters, gauges, histograms;
+};
+
+NameTable& names() {
+  static NameTable t;
+  return t;
+}
+
+std::uint32_t intern(std::vector<std::string>& v, std::string_view name,
+                     std::size_t cap, const char* kind) {
+  BM_REQUIRE(!name.empty(), "metric name must not be empty");
+  for (std::size_t i = 0; i < v.size(); ++i)
+    if (v[i] == name) return static_cast<std::uint32_t>(i);
+  BM_REQUIRE(v.size() < cap,
+             std::string("too many registered ") + kind + " metrics");
+  v.emplace_back(name);
+  return static_cast<std::uint32_t>(v.size() - 1);
+}
+
+/// One thread's private cells. Owner-thread writes are relaxed atomic adds;
+/// the snapshotting thread reads the same atomics, so aggregation needs no
+/// stop-the-world. On thread exit the shard folds itself into the retired
+/// totals and unregisters.
+struct Shard {
+  std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+  std::array<std::atomic<std::uint64_t>, kMaxHistograms> hist_count{};
+  std::array<std::atomic<std::uint64_t>, kMaxHistograms> hist_sum{};
+
+  Shard();
+  ~Shard();
+};
+
+struct Global {
+  std::mutex mu;
+  std::vector<Shard*> shards;
+  std::array<std::uint64_t, kMaxCounters> retired_counters{};
+  std::array<std::uint64_t, kMaxHistograms> retired_hist_count{};
+  std::array<std::uint64_t, kMaxHistograms> retired_hist_sum{};
+  std::array<std::atomic<std::int64_t>, kMaxGauges> gauges{};
+};
+
+Global& global() {
+  static Global g;
+  return g;
+}
+
+Shard::Shard() {
+  Global& g = global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.shards.push_back(this);
+}
+
+Shard::~Shard() {
+  Global& g = global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  for (std::size_t i = 0; i < kMaxCounters; ++i)
+    g.retired_counters[i] += counters[i].load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kMaxHistograms; ++i) {
+    g.retired_hist_count[i] += hist_count[i].load(std::memory_order_relaxed);
+    g.retired_hist_sum[i] += hist_sum[i].load(std::memory_order_relaxed);
+  }
+  g.shards.erase(std::find(g.shards.begin(), g.shards.end(), this));
+}
+
+Shard& local_shard() {
+  // Function-local so the Global registry is constructed first and
+  // destroyed last (shards deregister themselves on thread exit).
+  thread_local Shard shard;
+  return shard;
+}
+
+}  // namespace
+
+void Counter::add(std::uint64_t n) const {
+  local_shard().counters[id_].fetch_add(n, std::memory_order_relaxed);
+}
+
+void Gauge::set(std::int64_t v) const {
+  global().gauges[id_].store(v, std::memory_order_relaxed);
+}
+
+void Histogram::observe(std::uint64_t v) const {
+  Shard& s = local_shard();
+  s.hist_count[id_].fetch_add(1, std::memory_order_relaxed);
+  s.hist_sum[id_].fetch_add(v, std::memory_order_relaxed);
+}
+
+Counter counter(std::string_view name) {
+  NameTable& t = names();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return Counter(intern(t.counters, name, kMaxCounters, "counter"));
+}
+
+Gauge gauge(std::string_view name) {
+  NameTable& t = names();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return Gauge(intern(t.gauges, name, kMaxGauges, "gauge"));
+}
+
+Histogram histogram(std::string_view name) {
+  NameTable& t = names();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return Histogram(intern(t.histograms, name, kMaxHistograms, "histogram"));
+}
+
+double Snapshot::get(std::string_view key, double def) const {
+  for (const Entry& e : entries)
+    if (e.key == key) return e.value;
+  return def;
+}
+
+Snapshot snapshot() {
+  // Copy the name table first (its own lock), then aggregate under the
+  // shard-list lock; relaxed loads race benignly with in-flight adds.
+  std::vector<std::string> cnames, gnames, hnames;
+  {
+    NameTable& t = names();
+    std::lock_guard<std::mutex> lock(t.mu);
+    cnames = t.counters;
+    gnames = t.gauges;
+    hnames = t.histograms;
+  }
+
+  std::vector<std::uint64_t> csum(cnames.size(), 0);
+  std::vector<std::uint64_t> hcount(hnames.size(), 0), hsum(hnames.size(), 0);
+  std::vector<std::int64_t> gval(gnames.size(), 0);
+  {
+    Global& g = global();
+    std::lock_guard<std::mutex> lock(g.mu);
+    for (std::size_t i = 0; i < cnames.size(); ++i)
+      csum[i] = g.retired_counters[i];
+    for (std::size_t i = 0; i < hnames.size(); ++i) {
+      hcount[i] = g.retired_hist_count[i];
+      hsum[i] = g.retired_hist_sum[i];
+    }
+    for (const Shard* s : g.shards) {
+      for (std::size_t i = 0; i < cnames.size(); ++i)
+        csum[i] += s->counters[i].load(std::memory_order_relaxed);
+      for (std::size_t i = 0; i < hnames.size(); ++i) {
+        hcount[i] += s->hist_count[i].load(std::memory_order_relaxed);
+        hsum[i] += s->hist_sum[i].load(std::memory_order_relaxed);
+      }
+    }
+    for (std::size_t i = 0; i < gnames.size(); ++i)
+      gval[i] = g.gauges[i].load(std::memory_order_relaxed);
+  }
+
+  Snapshot out;
+  for (std::size_t i = 0; i < cnames.size(); ++i)
+    out.entries.push_back({cnames[i], static_cast<double>(csum[i]), true});
+  for (std::size_t i = 0; i < gnames.size(); ++i)
+    out.entries.push_back({gnames[i], static_cast<double>(gval[i]), false});
+  for (std::size_t i = 0; i < hnames.size(); ++i) {
+    out.entries.push_back(
+        {hnames[i] + ".count", static_cast<double>(hcount[i]), true});
+    out.entries.push_back(
+        {hnames[i] + ".sum", static_cast<double>(hsum[i]), true});
+  }
+  std::sort(out.entries.begin(), out.entries.end(),
+            [](const Snapshot::Entry& a, const Snapshot::Entry& b) {
+              return a.key < b.key;
+            });
+  return out;
+}
+
+Snapshot delta(const Snapshot& before, const Snapshot& after) {
+  Snapshot out;
+  for (const Snapshot::Entry& e : after.entries) {
+    Snapshot::Entry d = e;
+    if (e.monotonic) {
+      d.value = e.value - before.get(e.key, 0);
+      if (d.value == 0) continue;  // untouched by this run
+    }
+    out.entries.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace bm::obs

@@ -1,0 +1,96 @@
+// Low-overhead metric registries: named Counters, Gauges, and Histograms
+// with thread-local sharding. Increments touch only the calling thread's
+// shard (one relaxed atomic add — safe under the harness thread pool with
+// no cross-thread contention); `snapshot()` aggregates every live shard
+// plus the totals retired by exited worker threads.
+//
+// Only *deterministic* quantities may be recorded here (decision counts,
+// stall cycles, cache hits) — never wall-clock durations. Experiment
+// manifests embed snapshot deltas and must stay byte-identical across
+// `--jobs` values; wall time belongs in the trace layer (obs/trace.hpp).
+//
+// Instrument call sites through the BM_OBS_* macros in obs/obs.hpp so a
+// `BM_OBS=OFF` build compiles the instrumentation out entirely.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bm::obs {
+
+/// Fixed capacity per metric kind; registration beyond it throws. Shards
+/// are flat arrays sized by these, so handles stay valid forever and an
+/// increment is a single indexed atomic add.
+inline constexpr std::size_t kMaxCounters = 192;
+inline constexpr std::size_t kMaxGauges = 64;
+inline constexpr std::size_t kMaxHistograms = 64;
+
+/// Monotonic event count. Handles are value types (an index); obtain once
+/// (static local at the call site) and `add()` forever after.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) const;
+
+ private:
+  friend Counter counter(std::string_view);
+  explicit Counter(std::uint32_t id) : id_(id) {}
+  std::uint32_t id_;
+};
+
+/// Last-write-wins instantaneous value (global, not sharded — gauges are
+/// set from sequential driver code, e.g. a configured processor count).
+class Gauge {
+ public:
+  void set(std::int64_t v) const;
+
+ private:
+  friend Gauge gauge(std::string_view);
+  explicit Gauge(std::uint32_t id) : id_(id) {}
+  std::uint32_t id_;
+};
+
+/// Distribution of a deterministic integer quantity (e.g. per-barrier stall
+/// cycles). Sharded like counters; the snapshot exports the monotonic
+/// `.count` / `.sum` pair so deltas stay meaningful.
+class Histogram {
+ public:
+  void observe(std::uint64_t v) const;
+
+ private:
+  friend Histogram histogram(std::string_view);
+  explicit Histogram(std::uint32_t id) : id_(id) {}
+  std::uint32_t id_;
+};
+
+/// Finds or registers the named metric. Registration takes a lock; cache
+/// the handle (the BM_OBS_* macros use a function-local static).
+Counter counter(std::string_view name);
+Gauge gauge(std::string_view name);
+Histogram histogram(std::string_view name);
+
+/// Point-in-time aggregate of every registered metric, keys sorted.
+/// Histograms expand to `<name>.count` and `<name>.sum`.
+struct Snapshot {
+  struct Entry {
+    std::string key;
+    double value = 0;
+    bool monotonic = true;  ///< counters/histogram totals; false for gauges
+  };
+  std::vector<Entry> entries;
+
+  double get(std::string_view key, double def = 0) const;
+};
+
+/// Aggregates all shards. Call from a driver thread while no instrumented
+/// worker is mid-flight (the harness joins its pool before returning).
+Snapshot snapshot();
+
+/// Per-run attribution: monotonic entries subtract (`after - before`),
+/// gauges keep their `after` value. Entries that did not change (delta 0
+/// and absent from `before`) are dropped so manifests list only metrics
+/// the run actually touched.
+Snapshot delta(const Snapshot& before, const Snapshot& after);
+
+}  // namespace bm::obs

@@ -1,0 +1,76 @@
+// Instrumentation entry points. All library call sites go through these
+// macros so a `cmake -DBM_OBS=OFF` build compiles the observability layer
+// out entirely (the macros expand to nothing); the default `BM_OBS=ON`
+// build costs one relaxed atomic load per disabled trace site and one
+// thread-local atomic add per counter bump.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#ifndef BM_OBS_ENABLED
+#define BM_OBS_ENABLED 1
+#endif
+
+#if BM_OBS_ENABLED
+
+/// Bumps the named counter by `n`. The handle is registered once per call
+/// site (function-local static), so steady state is a single sharded add.
+#define BM_OBS_COUNT_N(name, n)                              \
+  do {                                                       \
+    static const ::bm::obs::Counter bm_obs_counter_ =        \
+        ::bm::obs::counter(name);                            \
+    bm_obs_counter_.add(static_cast<std::uint64_t>(n));      \
+  } while (0)
+
+#define BM_OBS_COUNT(name) BM_OBS_COUNT_N(name, 1)
+
+/// Records one observation into the named histogram.
+#define BM_OBS_OBSERVE(name, v)                              \
+  do {                                                       \
+    static const ::bm::obs::Histogram bm_obs_hist_ =         \
+        ::bm::obs::histogram(name);                          \
+    bm_obs_hist_.observe(static_cast<std::uint64_t>(v));     \
+  } while (0)
+
+/// Sets the named gauge to `v`.
+#define BM_OBS_GAUGE_SET(name, v)                            \
+  do {                                                       \
+    static const ::bm::obs::Gauge bm_obs_gauge_ =            \
+        ::bm::obs::gauge(name);                              \
+    bm_obs_gauge_.set(static_cast<std::int64_t>(v));         \
+  } while (0)
+
+/// RAII wall-clock span named `name` (category `cat`), lasting until the
+/// end of the enclosing scope. `var` names the local timer object.
+#define BM_OBS_SPAN(var, name, cat) ::bm::obs::PhaseTimer var(name, cat)
+#define BM_OBS_SPAN_ARG(var, name, cat, key, val) \
+  ::bm::obs::PhaseTimer var(name, cat, key, val)
+
+/// For guarding hand-written event emission (e.g. simulator lane events):
+/// constant-false under BM_OBS=OFF so the whole block is dead code.
+#define BM_OBS_TRACING() (::bm::obs::tracing_enabled())
+
+#else  // BM_OBS_ENABLED
+
+#define BM_OBS_COUNT_N(name, n) \
+  do {                          \
+  } while (0)
+#define BM_OBS_COUNT(name) \
+  do {                     \
+  } while (0)
+#define BM_OBS_OBSERVE(name, v) \
+  do {                          \
+  } while (0)
+#define BM_OBS_GAUGE_SET(name, v) \
+  do {                            \
+  } while (0)
+#define BM_OBS_SPAN(var, name, cat) \
+  do {                              \
+  } while (0)
+#define BM_OBS_SPAN_ARG(var, name, cat, key, val) \
+  do {                                            \
+  } while (0)
+#define BM_OBS_TRACING() (false)
+
+#endif  // BM_OBS_ENABLED

@@ -1,0 +1,277 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <ostream>
+
+namespace bm::obs {
+namespace {
+
+struct Event {
+  std::string name;
+  const char* cat;
+  char ph;         ///< 'X' (complete) or 'i' (instant)
+  double ts;       ///< us (wall) or cycles (sim)
+  double dur;      ///< 'X' only
+  std::uint32_t pid;
+  std::uint32_t tid;
+  const char* arg_key;  ///< nullptr = no args object
+  double arg_val;
+};
+
+/// Per-thread event buffer. The owning thread appends; trace_start /
+/// trace_write_json harvest under the same mutex. Buffers outlive their
+/// thread by folding into the retired list on destruction.
+struct EventBuffer {
+  std::mutex mu;
+  std::vector<Event> events;
+  std::uint32_t lane;
+
+  EventBuffer();
+  ~EventBuffer();
+};
+
+struct TraceGlobal {
+  std::atomic<bool> enabled{false};
+  std::chrono::steady_clock::time_point base;
+  std::mutex mu;  ///< guards buffers / retired / next_lane
+  std::vector<EventBuffer*> buffers;
+  std::vector<Event> retired;
+  std::uint32_t next_lane = 0;
+};
+
+TraceGlobal& tg() {
+  static TraceGlobal g;
+  return g;
+}
+
+EventBuffer::EventBuffer() {
+  TraceGlobal& g = tg();
+  std::lock_guard<std::mutex> lock(g.mu);
+  lane = g.next_lane++;
+  g.buffers.push_back(this);
+}
+
+EventBuffer::~EventBuffer() {
+  TraceGlobal& g = tg();
+  std::lock_guard<std::mutex> lock(g.mu);
+  {
+    std::lock_guard<std::mutex> own(mu);
+    g.retired.insert(g.retired.end(), std::make_move_iterator(events.begin()),
+                     std::make_move_iterator(events.end()));
+  }
+  g.buffers.erase(std::find(g.buffers.begin(), g.buffers.end(), this));
+}
+
+EventBuffer& local_buffer() {
+  thread_local EventBuffer buf;
+  return buf;
+}
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - tg().base)
+          .count());
+}
+
+void push(Event e) {
+  EventBuffer& buf = local_buffer();
+  if (e.pid == kWallPid) e.tid = buf.lane;
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(std::move(e));
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_event(std::ostream& os, const Event& e) {
+  char num[64];
+  os << "{\"name\":\"" << escape(e.name) << "\",\"cat\":\"" << e.cat
+     << "\",\"ph\":\"" << e.ph << "\"";
+  std::snprintf(num, sizeof num, "%.3f", e.ts);
+  os << ",\"ts\":" << num;
+  if (e.ph == 'X') {
+    std::snprintf(num, sizeof num, "%.3f", e.dur);
+    os << ",\"dur\":" << num;
+  }
+  if (e.ph == 'i') os << ",\"s\":\"t\"";
+  os << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid;
+  if (e.arg_key != nullptr) {
+    std::snprintf(num, sizeof num, "%.17g", e.arg_val);
+    os << ",\"args\":{\"" << e.arg_key << "\":" << num << "}";
+  }
+  os << "}";
+}
+
+void write_meta(std::ostream& os, const char* what, std::uint32_t pid,
+                std::uint32_t tid, bool thread_level,
+                const std::string& value) {
+  os << "{\"name\":\"" << what << "\",\"ph\":\"M\",\"pid\":" << pid;
+  if (thread_level) os << ",\"tid\":" << tid;
+  os << ",\"args\":{\"name\":\"" << escape(value) << "\"}}";
+}
+
+/// Collects every buffered event (live buffers + retired) into one vector.
+std::vector<Event> harvest() {
+  TraceGlobal& g = tg();
+  std::lock_guard<std::mutex> lock(g.mu);
+  std::vector<Event> all = g.retired;
+  for (EventBuffer* b : g.buffers) {
+    std::lock_guard<std::mutex> own(b->mu);
+    all.insert(all.end(), b->events.begin(), b->events.end());
+  }
+  return all;
+}
+
+}  // namespace
+
+bool tracing_enabled() {
+  return tg().enabled.load(std::memory_order_relaxed);
+}
+
+void trace_start() {
+  TraceGlobal& g = tg();
+  {
+    std::lock_guard<std::mutex> lock(g.mu);
+    g.retired.clear();
+    for (EventBuffer* b : g.buffers) {
+      std::lock_guard<std::mutex> own(b->mu);
+      b->events.clear();
+    }
+    g.base = std::chrono::steady_clock::now();
+  }
+  g.enabled.store(true, std::memory_order_relaxed);
+}
+
+void trace_stop() { tg().enabled.store(false, std::memory_order_relaxed); }
+
+PhaseTimer::PhaseTimer(std::string name, const char* cat)
+    : name_(std::move(name)), cat_(cat) {
+  if (!tracing_enabled()) return;
+  active_ = true;
+  start_us_ = now_us();
+}
+
+PhaseTimer::PhaseTimer(std::string name, const char* cat, const char* arg_key,
+                       double arg_val)
+    : PhaseTimer(std::move(name), cat) {
+  arg_key_ = arg_key;
+  arg_val_ = arg_val;
+}
+
+PhaseTimer::~PhaseTimer() {
+  if (!active_) return;
+  const std::uint64_t end = now_us();
+  push({std::move(name_), cat_, 'X', static_cast<double>(start_us_),
+        static_cast<double>(end - start_us_), kWallPid, 0, arg_key_,
+        arg_val_});
+}
+
+void instant(std::string name, const char* cat, const char* arg_key,
+             double arg_val) {
+  if (!tracing_enabled()) return;
+  push({std::move(name), cat, 'i', static_cast<double>(now_us()), 0, kWallPid,
+        0, arg_key, arg_val});
+}
+
+void sim_span(std::string name, const char* cat, std::uint32_t lane,
+              double ts_cycles, double dur_cycles, const char* arg_key,
+              double arg_val) {
+  if (!tracing_enabled()) return;
+  push({std::move(name), cat, 'X', ts_cycles, dur_cycles, kSimPid, lane,
+        arg_key, arg_val});
+}
+
+void sim_instant(std::string name, const char* cat, std::uint32_t lane,
+                 double ts_cycles, const char* arg_key, double arg_val) {
+  if (!tracing_enabled()) return;
+  push({std::move(name), cat, 'i', ts_cycles, 0, kSimPid, lane, arg_key,
+        arg_val});
+}
+
+std::size_t trace_write_json(std::ostream& os) {
+  std::vector<Event> all = harvest();
+  std::stable_sort(all.begin(), all.end(), [](const Event& a, const Event& b) {
+    if (a.pid != b.pid) return a.pid < b.pid;
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return a.ts < b.ts;
+  });
+
+  // Lanes actually used, for thread-name metadata.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> lanes;  // (pid, tid)
+  for (const Event& e : all) {
+    const auto key = std::make_pair(e.pid, e.tid);
+    if (std::find(lanes.begin(), lanes.end(), key) == lanes.end())
+      lanes.push_back(key);
+  }
+
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  sep();
+  write_meta(os, "process_name", kWallPid, 0, false, "wall clock");
+  sep();
+  write_meta(os, "process_name", kSimPid, 0, false, "simulated machine");
+  for (const auto& [pid, tid] : lanes) {
+    sep();
+    write_meta(os, "thread_name", pid, tid, true,
+               pid == kWallPid ? "thread " + std::to_string(tid)
+                               : "PE " + std::to_string(tid));
+  }
+  for (const Event& e : all) {
+    sep();
+    write_event(os, e);
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+  return all.size();
+}
+
+std::vector<PhaseSummaryRow> phase_summary() {
+  std::vector<PhaseSummaryRow> rows;
+  for (const Event& e : harvest()) {
+    if (e.ph != 'X' || e.pid != kWallPid) continue;
+    auto it = std::find_if(rows.begin(), rows.end(), [&](const auto& r) {
+      return r.name == e.name;
+    });
+    if (it == rows.end()) {
+      rows.push_back({e.name, 0, 0, 0});
+      it = rows.end() - 1;
+    }
+    ++it->count;
+    it->total_us += e.dur;
+    it->max_us = std::max(it->max_us, e.dur);
+  }
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.total_us > b.total_us;
+  });
+  return rows;
+}
+
+}  // namespace bm::obs

@@ -1,0 +1,91 @@
+// Event tracing in Chrome trace-event format (the JSON `traceEvents`
+// array), viewable in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing. Two timelines share one file:
+//
+//   pid 1 "wall clock"       — RAII PhaseTimer spans from the real threads
+//                              (codegen, opt, dag build, labeling, list
+//                              scheduling, repair, simulation); tid = a
+//                              small per-thread lane id.
+//   pid 2 "simulated machine"— events stamped in *simulated* cycles: one
+//                              lane per processor, carrying per-barrier
+//                              stall spans and fire instants from the
+//                              SBM/DBM simulators.
+//
+// Collection is off by default: every emit site first does one relaxed
+// atomic load (`tracing_enabled()`), so an untraced run pays a branch.
+// Events append to per-thread buffers under a per-buffer mutex that is
+// only ever contended by `trace_write_json`, which must run (like
+// `trace_start`) on a driver thread while no instrumented work is in
+// flight — bmrun traces whole experiment invocations, whose worker pools
+// are joined before the write.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bm::obs {
+
+inline constexpr std::uint32_t kWallPid = 1;  ///< real-time spans
+inline constexpr std::uint32_t kSimPid = 2;   ///< simulated-cycle events
+
+bool tracing_enabled();
+
+/// Clears all buffers and starts collecting; timestamps are microseconds
+/// relative to this call.
+void trace_start();
+
+/// Stops collecting (buffers keep their events until the next start).
+void trace_stop();
+
+/// Writes the collected events as `{"traceEvents": [...]}` plus process /
+/// thread naming metadata; returns the number of data events written.
+std::size_t trace_write_json(std::ostream& os);
+
+/// RAII complete-event ('X') span on the calling thread's wall-clock lane.
+/// `cat` must be a string literal (stored by pointer).
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(std::string name, const char* cat = "phase");
+  PhaseTimer(std::string name, const char* cat, const char* arg_key,
+             double arg_val);
+  ~PhaseTimer();
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  std::string name_;
+  const char* cat_;
+  const char* arg_key_ = nullptr;
+  double arg_val_ = 0;
+  std::uint64_t start_us_ = 0;
+  bool active_ = false;
+};
+
+/// Instant event ('i', thread scope) on the calling thread's lane.
+void instant(std::string name, const char* cat, const char* arg_key = nullptr,
+             double arg_val = 0);
+
+/// Span on a simulated-machine processor lane, stamped in simulated cycles
+/// (1 cycle rendered as 1 us). Used for per-barrier stall windows.
+void sim_span(std::string name, const char* cat, std::uint32_t lane,
+              double ts_cycles, double dur_cycles,
+              const char* arg_key = nullptr, double arg_val = 0);
+
+/// Instant event on a simulated-machine processor lane (e.g. barrier fire).
+void sim_instant(std::string name, const char* cat, std::uint32_t lane,
+                 double ts_cycles, const char* arg_key = nullptr,
+                 double arg_val = 0);
+
+/// Wall-clock spans aggregated by name (for `bmrun --profile`), sorted by
+/// descending total time.
+struct PhaseSummaryRow {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_us = 0;
+  double max_us = 0;
+};
+std::vector<PhaseSummaryRow> phase_summary();
+
+}  // namespace bm::obs

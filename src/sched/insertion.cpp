@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 
 namespace bm {
@@ -112,6 +113,7 @@ std::uint32_t producer_side_position(const Schedule& sched,
     t_max_end += sched.instr_dag().time(stream[pos].id).max;
     ++pos;  // barrier goes after this g⁺
   }
+  if (pos > ctx.producer_pos + 1) BM_OBS_COUNT("sched.gplus_placements");
   return pos;
 }
 
@@ -189,6 +191,13 @@ SyncOutcome ensure_sync(Schedule& sched, NodeId g, NodeId i,
 
   insert_barrier_guarded(sched, ctx);
   outcome.kind = SyncOutcome::Kind::kBarrierInserted;
+  // Attribute every insertion to the timing analysis that failed to prove
+  // the ordering; conservative (§4.4.1) can only over-insert relative to
+  // the per-path §4.4.2 analysis on identical schedule states.
+  if (policy == InsertionPolicy::kConservative)
+    BM_OBS_COUNT("sched.insert.conservative");
+  else
+    BM_OBS_COUNT("sched.insert.optimal");
   if (merge_barriers) outcome.merges = sched.merge_overlapping_all();
   // Merging may have replaced the barrier we just inserted; report the
   // surviving barrier now guarding the consumer.

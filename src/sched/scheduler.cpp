@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sched/insertion.hpp"
 #include "sched/labels.hpp"
 #include "support/assert.hpp"
@@ -93,19 +94,26 @@ class AssignmentEngine {
 
     instr_preds(dag_, node, preds_);
     serialization_candidates(sched_, preds_, serial_);
-    if (serial_.size() == 1) return serial_.front();
+    if (serial_.size() == 1) {
+      BM_OBS_COUNT("sched.choice.serialize");
+      return serial_.front();
+    }
     if (serial_.size() > 1) {
       // Largest current maximum time, "to possibly avoid inserting a
       // barrier"; full ties resolved randomly (§4.3 step 1).
+      BM_OBS_COUNT("sched.choice.serialize");
       return pick_best(
           serial_, rng_,
           [&](ProcId p) { return sched_.proc_finish(p).max; },
           /*want_max=*/true, ties_);
     }
     // Step 2: schedule as early as possible; ties random (load balance).
+    BM_OBS_COUNT("sched.choice.earliest");
     if (cfg_.assignment == AssignmentPolicy::kLookahead) {
       filter_lookahead(all_procs_, list_index, filtered_);
       if (!filtered_.empty()) {
+        if (filtered_.size() < all_procs_.size())
+          BM_OBS_COUNT("sched.choice.lookahead_filtered");
         return pick_best(
             filtered_, rng_,
             [&](ProcId p) { return sched_.proc_finish(p).min; },
@@ -160,6 +168,10 @@ class AssignmentEngine {
 ScheduleResult schedule_program(const InstrDag& dag,
                                 const SchedulerConfig& config, Rng& rng) {
   BM_REQUIRE(config.num_procs >= 1, "need at least one processor");
+  // Gauge, not counter: the target machine width of the most recent
+  // schedule (last write wins; deterministic because sweeps set the same
+  // value from every worker of a point and points run in order).
+  BM_OBS_GAUGE_SET("sched.procs", config.num_procs);
   ScheduleResult result;
   result.schedule = std::make_unique<Schedule>(
       dag, config.num_procs, static_cast<Time>(config.barrier_latency));
@@ -167,9 +179,15 @@ ScheduleResult schedule_program(const InstrDag& dag,
   ScheduleStats& stats = result.stats;
 
   const bool merge = config.machine == MachineKind::kSBM;
-  const std::vector<NodeId> order = make_list_order(dag, config.ordering);
+  std::vector<NodeId> order;
+  {
+    BM_OBS_SPAN(span, "sched.label_order", "sched");
+    order = make_list_order(dag, config.ordering);
+  }
   AssignmentEngine engine(dag, sched, config, rng, order);
 
+  BM_OBS_SPAN_ARG(sched_span, "sched.list_schedule", "sched", "nodes",
+                  static_cast<double>(order.size()));
   std::vector<NodeId> preds;  // scratch, reused across the loop
   for (std::size_t k = 0; k < order.size(); ++k) {
     const NodeId node = order[k];
@@ -204,6 +222,7 @@ ScheduleResult schedule_program(const InstrDag& dag,
   // cases, disturb an earlier static resolution; re-verify every cross-PE
   // edge against the final dag and repair until a fixpoint.
   if (config.repair_sweep) {
+    BM_OBS_SPAN(repair_span, "sched.repair_sweep", "sched");
     bool changed = true;
     std::size_t rounds = 0;
     while (changed) {
@@ -238,6 +257,21 @@ ScheduleResult schedule_program(const InstrDag& dag,
     if (sched.instr_count(p) > 0) ++stats.procs_used;
   stats.completion = sched.completion();
   stats.critical_path = dag.critical_path();
+
+  // Bulk-fold the per-schedule accounting into the global registry once per
+  // benchmark (cheaper than counting inside the hot loop, and the totals
+  // are identical).
+  BM_OBS_COUNT("sched.schedules");
+  BM_OBS_COUNT_N("sched.implied_syncs", stats.implied_syncs);
+  BM_OBS_COUNT_N("sched.serialized_edges", stats.serialized_edges);
+  BM_OBS_COUNT_N("sched.barriers_inserted",
+                 stats.barriers_inserted + stats.repair_barriers);
+  BM_OBS_COUNT_N("sched.barriers_final", stats.barriers_final);
+  BM_OBS_COUNT_N("sched.barriers_merged", stats.merges);
+  BM_OBS_COUNT_N("sched.merges_skipped", stats.merges_skipped);
+  BM_OBS_COUNT_N("sched.repair_barriers", stats.repair_barriers);
+  BM_OBS_COUNT_N("sched.path_satisfied", stats.cross_path_satisfied);
+  BM_OBS_COUNT_N("sched.timing_satisfied", stats.cross_timing_satisfied);
   return result;
 }
 

@@ -2,11 +2,38 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 
 namespace bm {
 
 namespace {
+
+/// Per-barrier accounting shared by both machine models: stall cycles (sum
+/// over participants of fire-time minus arrival-time) into the registry,
+/// plus — when tracing — a stall span per participant lane and a fire
+/// instant on each lane of the simulated-machine track.
+void record_barrier_fire(const Schedule& sched, BarrierId b, Time fire,
+                         const std::vector<Time>& arrivals) {
+  BM_OBS_COUNT("sim.barriers_fired");
+  Time stall_total = 0;
+  for (const Time a : arrivals) stall_total += fire - a;
+  BM_OBS_COUNT_N("sim.stall_cycles", stall_total);
+  BM_OBS_OBSERVE("sim.barrier_stall", stall_total);
+  if (BM_OBS_TRACING()) {
+    std::size_t k = 0;
+    sched.barrier_mask(b).for_each([&](std::size_t p) {
+      const Time a = arrivals[k++];
+      if (fire > a)
+        obs::sim_span("stall", "sim", static_cast<std::uint32_t>(p),
+                      static_cast<double>(a), static_cast<double>(fire - a),
+                      "barrier", static_cast<double>(b));
+      obs::sim_instant("fire b" + std::to_string(b), "sim",
+                       static_cast<std::uint32_t>(p),
+                       static_cast<double>(fire));
+    });
+  }
+}
 
 class MachineState {
  public:
@@ -90,6 +117,7 @@ void simulate_sbm(const Schedule& sched, MachineState& m, ExecTrace& trace) {
   // Compile-time queue load order: a linear extension of the barrier dag.
   std::vector<BarrierId> queue = sched.barrier_dag().linear_extension();
   Time last_fire = 0;
+  std::vector<Time> arrivals;  // in mask order, reused per barrier
   for (BarrierId b : queue) {
     if (b == Schedule::kInitialBarrier) {
       trace.barrier_fire[b] = 0;  // all processors start in exact synchrony
@@ -99,16 +127,24 @@ void simulate_sbm(const Schedule& sched, MachineState& m, ExecTrace& trace) {
     // All participants must be waiting at exactly this barrier: the queue
     // order extends every per-processor stream order, so earlier stream
     // barriers have already fired.
-    Time fire = last_fire;
+    Time last_arrival = 0;
+    arrivals.clear();
     sched.barrier_mask(b).for_each([&](std::size_t p) {
       const auto proc = static_cast<ProcId>(p);
       BM_ASSERT_INTERNAL(m.waiting(proc) && m.waiting_at(proc) == b,
                          "SBM participant not waiting at queue top");
-      fire = std::max(fire, m.arrival(proc));
+      arrivals.push_back(m.arrival(proc));
+      last_arrival = std::max(last_arrival, m.arrival(proc));
     });
-    fire += sched.barrier_latency();
+    // FIFO semantics: the mask cannot fire before its queue predecessor —
+    // any extra wait beyond the arrivals is pure SBM ordering delay.
+    if (last_fire > last_arrival)
+      BM_OBS_COUNT_N("sim.sbm_fifo_delay_cycles", last_fire - last_arrival);
+    const Time fire =
+        std::max(last_fire, last_arrival) + sched.barrier_latency();
     trace.barrier_fire[b] = fire;
     last_fire = fire;  // a barrier becomes top only after its predecessor fires
+    record_barrier_fire(sched, b, fire, arrivals);
     sched.barrier_mask(b).for_each(
         [&](std::size_t p) { m.release(static_cast<ProcId>(p), fire); });
   }
@@ -121,22 +157,26 @@ void simulate_dbm(const Schedule& sched, MachineState& m, ExecTrace& trace) {
     m.run_all();
     // Associative match: fire every barrier whose participants all wait at it.
     bool fired = false;
+    std::vector<Time> arrivals;  // in mask order, reused per barrier
     for (BarrierId b = 1; b < sched.barrier_id_bound(); ++b) {
       if (!sched.barrier_alive(b)) continue;
       if (trace.barrier_fire[b] != kNotExecuted) continue;
       bool all_waiting = true;
       Time fire = 0;
+      arrivals.clear();
       sched.barrier_mask(b).for_each([&](std::size_t p) {
         const auto proc = static_cast<ProcId>(p);
         if (!m.waiting(proc) || m.waiting_at(proc) != b) {
           all_waiting = false;
           return;
         }
+        arrivals.push_back(m.arrival(proc));
         fire = std::max(fire, m.arrival(proc));
       });
       if (!all_waiting) continue;
       fire += sched.barrier_latency();
       trace.barrier_fire[b] = fire;
+      record_barrier_fire(sched, b, fire, arrivals);
       sched.barrier_mask(b).for_each(
           [&](std::size_t p) { m.release(static_cast<ProcId>(p), fire); });
       fired = true;
@@ -148,6 +188,11 @@ void simulate_dbm(const Schedule& sched, MachineState& m, ExecTrace& trace) {
 }  // namespace
 
 ExecTrace simulate(const Schedule& sched, const SimConfig& config, Rng& rng) {
+  BM_OBS_COUNT("sim.runs");
+  BM_OBS_SPAN(span,
+              config.machine == MachineKind::kSBM ? "sim.run_sbm"
+                                                  : "sim.run_dbm",
+              "sim");
   ExecTrace trace;
   const std::size_t n = sched.instr_dag().num_instructions();
   trace.start.assign(n, kNotExecuted);

@@ -81,8 +81,10 @@ void CsvWriter::write_row(const std::vector<std::string>& cells) {
   for (const auto& cell : cells) {
     if (!first) impl_->out << ',';
     first = false;
+    // RFC 4180: quote fields containing the separator, a quote, or either
+    // line-break character (a bare CR also splits rows in most readers).
     const bool needs_quote =
-        cell.find_first_of(",\"\n") != std::string::npos;
+        cell.find_first_of(",\"\n\r") != std::string::npos;
     if (!needs_quote) {
       impl_->out << cell;
     } else {

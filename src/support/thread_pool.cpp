@@ -37,6 +37,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_.wait(lock, [this] { return in_flight_ == 0; });
+  if (pending_error_) {
+    std::exception_ptr err = std::exchange(pending_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -49,9 +54,18 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();  // exceptions are the task's responsibility (parallel_for wraps)
+    // A throwing task must not take the worker down (std::terminate) or
+    // leak its in_flight_ tick (wait_idle would deadlock). Capture the
+    // first exception; wait_idle rethrows it on the caller.
+    std::exception_ptr err;
+    try {
+      task();
+    } catch (...) {
+      err = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
+      if (err && !pending_error_) pending_error_ = err;
       if (--in_flight_ == 0) idle_.notify_all();
     }
   }

@@ -30,10 +30,15 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueues a task. Tasks may be submitted from worker threads.
+  /// Enqueues a task. Tasks may be submitted from worker threads. A task
+  /// that throws never terminates the worker: the first uncaught exception
+  /// (by completion time) is captured and rethrown by the next wait_idle().
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished running.
+  /// Blocks until every submitted task has finished running, then rethrows
+  /// the first exception any task leaked since the last wait_idle (clearing
+  /// it, so the pool stays usable afterwards). Exceptions still pending at
+  /// destruction are dropped.
   void wait_idle();
 
   /// Runs fn(0), ..., fn(n-1) across the workers and blocks until all are
@@ -55,6 +60,7 @@ class ThreadPool {
   std::condition_variable idle_;
   std::deque<std::function<void()>> queue_;
   std::size_t in_flight_ = 0;  ///< queued + currently running tasks
+  std::exception_ptr pending_error_;  ///< first task-leaked exception
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

@@ -6,9 +6,13 @@
 //
 // Flags after `run` are schema-validated against each selected experiment:
 // a misspelled flag is an error, never a silently ignored default.
+#include <fstream>
 #include <iostream>
 
 #include "exp/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "support/assert.hpp"
 #include "support/table.hpp"
 
@@ -26,9 +30,20 @@ int usage(std::ostream& os, int code) {
         "\n"
         "common run flags: --seeds N --base-seed N --jobs N|auto "
         "--out-dir DIR\n"
+        "observability:    --trace FILE (Chrome trace-event JSON, open in\n"
+        "                  Perfetto)  --profile (phase/counter summary on\n"
+        "                  stdout after the run)\n"
         "Artifacts: <out-dir>/<stem>.csv series + <out-dir>/<exp>.json "
         "result per experiment (default out/).\n";
   return code;
+}
+
+int unknown_experiment(const std::string& name) {
+  std::cerr << "bmrun: unknown experiment '" << name << "'";
+  const std::string hint = ExperimentRegistry::instance().closest_name(name);
+  if (!hint.empty()) std::cerr << " — did you mean '" << hint << "'?";
+  std::cerr << " (see `bmrun list`)\n";
+  return 2;
 }
 
 int cmd_list(const CliFlags& flags) {
@@ -81,11 +96,7 @@ int cmd_describe(const CliFlags& flags) {
   bool first = true;
   for (const std::string& name : names) {
     const Experiment* e = reg.find(name);
-    if (e == nullptr) {
-      std::cerr << "bmrun: unknown experiment '" << name
-                << "' (see `bmrun list`)\n";
-      return 2;
-    }
+    if (e == nullptr) return unknown_experiment(name);
     if (!first) std::cout << '\n';
     first = false;
     describe(*e);
@@ -103,11 +114,7 @@ int cmd_run(const CliFlags& flags) {
   } else {
     for (const std::string& name : flags.positional()) {
       const Experiment* e = reg.find(name);
-      if (e == nullptr) {
-        std::cerr << "bmrun: unknown experiment '" << name
-                  << "' (see `bmrun list`)\n";
-        return 2;
-      }
+      if (e == nullptr) return unknown_experiment(name);
       selected.push_back(e);
     }
   }
@@ -116,7 +123,11 @@ int cmd_run(const CliFlags& flags) {
     return 2;
   }
   const std::vector<FlagSpec> driver_flags = {
-      bool_flag("all", false, "run every registered experiment")};
+      bool_flag("all", false, "run every registered experiment"),
+      string_flag("trace", "",
+                  "write a Chrome trace-event JSON covering the whole run"),
+      bool_flag("profile", false,
+                "print a phase-timing + counter summary after the run")};
   // Validate against every selected experiment before running any, so a
   // flag that one experiment does not declare aborts the whole invocation
   // instead of half-completing.
@@ -128,11 +139,48 @@ int cmd_run(const CliFlags& flags) {
       return 2;
     }
   }
+  const std::string trace_path = flags.get("trace", "");
+  const bool profile = flags.get_bool("profile", false);
+#if !BM_OBS_ENABLED
+  if (!trace_path.empty() || profile)
+    std::cerr << "bmrun: warning: built with BM_OBS=OFF — --trace/--profile "
+                 "output will be empty\n";
+#endif
+  // --profile needs span collection too: PhaseTimer only records while
+  // tracing is enabled.
+  if (!trace_path.empty() || profile) obs::trace_start();
+  const obs::Snapshot before = profile ? obs::snapshot() : obs::Snapshot{};
+
   for (std::size_t i = 0; i < selected.size(); ++i) {
     const Experiment& e = *selected[i];
     const std::string out_dir = flags.get("out-dir", "out");
     if (i) std::cout << '\n';
     run_experiment(e, flags, out_dir, std::cout);
+  }
+
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path, std::ios::binary);
+    BM_REQUIRE(out.good(), "cannot open trace file " + trace_path);
+    const std::size_t events = obs::trace_write_json(out);
+    BM_REQUIRE(out.good(), "failed writing trace file " + trace_path);
+    std::cout << "(trace: " << events << " events written to " << trace_path
+              << "; open in https://ui.perfetto.dev)\n";
+  }
+  if (!trace_path.empty() || profile) obs::trace_stop();
+  if (profile) {
+    std::cout << "\n-- profile: phases --\n";
+    TextTable phases({"phase", "count", "total ms", "max ms"});
+    for (const obs::PhaseSummaryRow& r : obs::phase_summary())
+      phases.add_row({r.name, std::to_string(r.count),
+                      TextTable::num(r.total_us / 1000.0, 2),
+                      TextTable::num(r.max_us / 1000.0, 2)});
+    phases.render(std::cout);
+    std::cout << "\n-- profile: counters --\n";
+    TextTable counters({"counter", "value"});
+    const obs::Snapshot used = obs::delta(before, obs::snapshot());
+    for (const obs::Snapshot::Entry& e : used.entries)
+      counters.add_row({e.key, TextTable::num(e.value, 0)});
+    counters.render(std::cout);
   }
   return 0;
 }

@@ -1,0 +1,264 @@
+// trace_check — validates a Chrome trace-event JSON file produced by
+// `bmrun run ... --trace FILE`.
+//
+//   trace_check FILE
+//
+// Exit 0 when FILE parses as JSON, has a top-level object with a
+// `traceEvents` array, and that array contains at least one data event
+// carrying "name", "ph", and "ts". Exit 1 (with a diagnostic on stderr)
+// otherwise. Deliberately dependency-free: a ~100-line recursive-descent
+// parser is all the structure we need to assert.
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+/// Minimal JSON value: only the shapes trace_check inspects are retained
+/// (objects and arrays); scalars record their kind for presence checks.
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Value(Kind k = Kind::kNull) : kind(k) {}  // NOLINT: implicit by design
+  Kind kind;
+  std::string str;                        // kString / kNumber (verbatim)
+  std::vector<Value> items;               // kArray
+  std::map<std::string, Value> members;   // kObject
+
+  bool has(const std::string& key) const {
+    return kind == Kind::kObject && members.count(key) > 0;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse() {
+    Value v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing data after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    std::ostringstream os;
+    os << why << " at byte " << pos_;
+    throw std::runtime_error(os.str());
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  Value value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': literal("true"); return {Value::Kind::kBool};
+      case 'f': literal("false"); return {Value::Kind::kBool};
+      case 'n': literal("null"); return {Value::Kind::kNull};
+      default: return number();
+    }
+  }
+
+  void literal(const std::string& word) {
+    if (text_.compare(pos_, word.size(), word) != 0)
+      fail("invalid literal");
+    pos_ += word.size();
+  }
+
+  Value object() {
+    expect('{');
+    Value v{Value::Kind::kObject};
+    skip_ws();
+    if (peek() == '}') { ++pos_; return v; }
+    while (true) {
+      skip_ws();
+      Value key = string_value();
+      skip_ws();
+      expect(':');
+      v.members[key.str] = value();
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value array() {
+    expect('[');
+    Value v{Value::Kind::kArray};
+    skip_ws();
+    if (peek() == ']') { ++pos_; return v; }
+    while (true) {
+      v.items.push_back(value());
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect(']');
+      return v;
+    }
+  }
+
+  Value string_value() {
+    expect('"');
+    Value v{Value::Kind::kString};
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': v.str += '"'; break;
+          case '\\': v.str += '\\'; break;
+          case '/': v.str += '/'; break;
+          case 'b': v.str += '\b'; break;
+          case 'f': v.str += '\f'; break;
+          case 'n': v.str += '\n'; break;
+          case 'r': v.str += '\r'; break;
+          case 't': v.str += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            for (int i = 0; i < 4; ++i)
+              if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + i])))
+                fail("invalid \\u escape");
+            // Non-ASCII escapes are legal but never need exact decoding
+            // here; substitute '?' so the validator stays tiny.
+            v.str += '?';
+            pos_ += 4;
+            break;
+          }
+          default: fail("invalid escape character");
+        }
+      } else {
+        v.str += c;
+      }
+    }
+  }
+
+  Value number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    auto digits = [&] {
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        fail("invalid number");
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+    };
+    digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') { ++pos_; digits(); }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      digits();
+    }
+    Value v{Value::Kind::kNumber};
+    v.str = text_.substr(start, pos_ - start);
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+int check(const Value& root) {
+  if (root.kind != Value::Kind::kObject) {
+    std::cerr << "trace_check: top level is not a JSON object\n";
+    return 1;
+  }
+  if (!root.has("traceEvents")) {
+    std::cerr << "trace_check: no \"traceEvents\" member\n";
+    return 1;
+  }
+  const Value& events = root.members.at("traceEvents");
+  if (events.kind != Value::Kind::kArray) {
+    std::cerr << "trace_check: \"traceEvents\" is not an array\n";
+    return 1;
+  }
+  std::size_t data_events = 0;
+  for (std::size_t i = 0; i < events.items.size(); ++i) {
+    const Value& e = events.items[i];
+    if (e.kind != Value::Kind::kObject) {
+      std::cerr << "trace_check: traceEvents[" << i << "] is not an object\n";
+      return 1;
+    }
+    if (!e.has("name") || !e.has("ph") || !e.has("pid")) {
+      std::cerr << "trace_check: traceEvents[" << i
+                << "] lacks name/ph/pid\n";
+      return 1;
+    }
+    const Value& ph = e.members.at("ph");
+    if (ph.kind != Value::Kind::kString || ph.str.size() != 1) {
+      std::cerr << "trace_check: traceEvents[" << i
+                << "] has a malformed \"ph\"\n";
+      return 1;
+    }
+    if (ph.str == "M") continue;  // metadata events carry no timestamp
+    if (!e.has("ts")) {
+      std::cerr << "trace_check: traceEvents[" << i << "] (ph=" << ph.str
+                << ") lacks \"ts\"\n";
+      return 1;
+    }
+    if (ph.str == "X" && !e.has("dur")) {
+      std::cerr << "trace_check: traceEvents[" << i
+                << "] is a complete event without \"dur\"\n";
+      return 1;
+    }
+    ++data_events;
+  }
+  if (data_events == 0) {
+    std::cerr << "trace_check: no data events (only metadata or empty)\n";
+    return 1;
+  }
+  std::cout << "trace_check: OK (" << data_events << " data events, "
+            << events.items.size() - data_events << " metadata)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: trace_check <trace.json>\n";
+    return 2;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in.good()) {
+    std::cerr << "trace_check: cannot open " << argv[1] << '\n';
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  try {
+    Parser parser(text);
+    return check(parser.parse());
+  } catch (const std::exception& e) {
+    std::cerr << "trace_check: " << argv[1] << ": " << e.what() << '\n';
+    return 1;
+  }
+}

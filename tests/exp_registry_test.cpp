@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cstddef>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -17,6 +18,7 @@
 #include <vector>
 
 #include "exp/registry.hpp"
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 
 namespace bm {
@@ -153,6 +155,17 @@ void run_quiet(const Experiment& exp, const std::string& jobs,
   EXPECT_FALSE(sink.str().empty()) << exp.name << ": no banner output";
 }
 
+// Pulls the numeric value of `"key": <number>` out of a manifest, or `def`
+// when the key is absent. Good enough for the flat metrics block the
+// ArtifactWriter emits (keys are unique across the file).
+double manifest_metric(const std::string& json, const std::string& key,
+                       double def) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return def;
+  return std::strtod(json.c_str() + at + needle.size(), nullptr);
+}
+
 fs::path temp_root() {
   const fs::path root =
       fs::temp_directory_path() / "bm_exp_registry_test";
@@ -189,6 +202,17 @@ TEST(ExperimentRegistry, FindAndSortedNames) {
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
 }
 
+TEST(ExperimentRegistry, ClosestNameSuggestsNearMisses) {
+  auto& reg = ExperimentRegistry::instance();
+  EXPECT_EQ(reg.closest_name("headlin"), "headline");
+  EXPECT_EQ(reg.closest_name("tabel1"), "table1");
+  EXPECT_EQ(reg.closest_name("insertion-compare"), "insertion_compare");
+  // Distance ties resolve to the lexicographically smallest candidate.
+  EXPECT_EQ(reg.closest_name("fig19"), "fig14");
+  // Exact names are their own best match.
+  EXPECT_EQ(reg.closest_name("fig15"), "fig15");
+}
+
 TEST(ExperimentRegistry, DuplicateNameRejected) {
   Experiment dup;
   dup.name = "fig14";
@@ -216,6 +240,48 @@ TEST(ExperimentRegistry, EveryExperimentRunsAndArtifactsAreDeterministic) {
         << exp->name << ".json is not valid JSON:\n" << json_text;
     EXPECT_NE(json_text.find("\"experiment\": \"" + exp->name + "\""),
               std::string::npos);
+
+#if BM_OBS_ENABLED
+    // (b') The metrics block carries the run's observability counters.
+    EXPECT_NE(json_text.find("\"obs."), std::string::npos)
+        << exp->name << ": manifest has no obs.* metrics";
+    // Counter identity: every inserted barrier was placed by exactly one
+    // insertion policy (repair barriers are counted as conservative-path
+    // inserts by the repair sweep's policy tag).
+    const double schedules =
+        manifest_metric(json_text, "obs.sched.schedules", 0);
+    if (schedules > 0) {
+      const double conservative =
+          manifest_metric(json_text, "obs.sched.insert.conservative", 0);
+      const double optimal =
+          manifest_metric(json_text, "obs.sched.insert.optimal", 0);
+      const double inserted =
+          manifest_metric(json_text, "obs.sched.barriers_inserted", 0);
+      EXPECT_EQ(conservative + optimal, inserted)
+          << exp->name << ": insertion-policy counters do not add up";
+    }
+    if (exp->name == "insertion_compare") {
+      // §4.4: the conservative algorithm may only over-synchronize, so on
+      // the same (seeded, deterministic) workload it inserts at least as
+      // many barriers as the optimal algorithm.
+      const double conservative =
+          manifest_metric(json_text, "obs.sched.insert.conservative", -1);
+      const double optimal =
+          manifest_metric(json_text, "obs.sched.insert.optimal", -1);
+      EXPECT_GT(conservative, 0);
+      EXPECT_GT(optimal, 0);
+      EXPECT_GE(conservative, optimal);
+    }
+    if (exp->name == "fig18") {
+      // The simulator ran and attributed stall time to fired barriers.
+      EXPECT_GT(manifest_metric(json_text, "obs.sim.runs", 0), 0);
+      EXPECT_GT(manifest_metric(json_text, "obs.sim.barriers_fired", 0), 0);
+      EXPECT_EQ(
+          manifest_metric(json_text, "obs.sim.barrier_stall.sum", -1),
+          manifest_metric(json_text, "obs.sim.stall_cycles", -2))
+          << "histogram sum and stall-cycle counter disagree";
+    }
+#endif
 
     // Every CSV in the dir: header plus at least one data row, with a
     // consistent column count.

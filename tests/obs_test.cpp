@@ -1,0 +1,164 @@
+// The observability core: sharded counter aggregation across pool threads
+// (including shards retired by exited threads), snapshot/delta semantics,
+// histograms, gauges, and the Chrome-trace JSON writer. Metric state is
+// process-global, so every test uses its own metric names and asserts on
+// before/after deltas, never absolute values.
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "support/thread_pool.hpp"
+
+namespace bm {
+namespace {
+
+double counter_delta(const obs::Snapshot& before, const obs::Snapshot& after,
+                     std::string_view key) {
+  return after.get(key, 0) - before.get(key, 0);
+}
+
+TEST(Metrics, CounterAggregatesAcrossPoolThreads) {
+  const obs::Counter c = obs::counter("test.shard_sum");
+  const obs::Snapshot before = obs::snapshot();
+
+  ThreadPool pool(4);
+  pool.parallel_for(1000, [&c](std::size_t i) { c.add(i % 3 + 1); });
+  // sum over i in [0,1000) of (i % 3 + 1): 334*1 + 333*2 + 333*3 = 1999.
+  const obs::Snapshot after = obs::snapshot();
+  EXPECT_EQ(counter_delta(before, after, "test.shard_sum"), 1999.0);
+}
+
+TEST(Metrics, RetiredThreadShardsFoldIntoSnapshot) {
+  const obs::Counter c = obs::counter("test.retired");
+  const obs::Snapshot before = obs::snapshot();
+  {
+    ThreadPool pool(3);
+    pool.parallel_for(30, [&c](std::size_t) { c.add(2); });
+  }  // workers join here; their shards retire into the global totals
+  const obs::Snapshot after = obs::snapshot();
+  EXPECT_EQ(counter_delta(before, after, "test.retired"), 60.0);
+}
+
+TEST(Metrics, CounterByNameSharesOneSlot) {
+  const obs::Counter a = obs::counter("test.same_name");
+  const obs::Counter b = obs::counter("test.same_name");
+  const obs::Snapshot before = obs::snapshot();
+  a.add(1);
+  b.add(2);
+  EXPECT_EQ(counter_delta(before, obs::snapshot(), "test.same_name"), 3.0);
+}
+
+TEST(Metrics, HistogramExportsCountAndSum) {
+  const obs::Histogram h = obs::histogram("test.hist");
+  const obs::Snapshot before = obs::snapshot();
+  h.observe(5);
+  h.observe(7);
+  h.observe(0);
+  const obs::Snapshot after = obs::snapshot();
+  EXPECT_EQ(counter_delta(before, after, "test.hist.count"), 3.0);
+  EXPECT_EQ(counter_delta(before, after, "test.hist.sum"), 12.0);
+}
+
+TEST(Metrics, DeltaDropsUntouchedAndKeepsGaugeValue) {
+  const obs::Counter touched = obs::counter("test.delta_touched");
+  obs::counter("test.delta_untouched");  // registered but never bumped
+  const obs::Gauge g = obs::gauge("test.delta_gauge");
+  g.set(17);
+
+  const obs::Snapshot before = obs::snapshot();
+  touched.add(4);
+  g.set(42);
+  const obs::Snapshot d = obs::delta(before, obs::snapshot());
+
+  EXPECT_EQ(d.get("test.delta_touched", -1), 4.0);
+  // Monotonic metrics that saw no traffic during the window disappear.
+  EXPECT_EQ(d.get("test.delta_untouched", -1), -1.0);
+  // Gauges report their current value, not a difference.
+  EXPECT_EQ(d.get("test.delta_gauge", -1), 42.0);
+}
+
+TEST(Metrics, SnapshotKeysAreSorted) {
+  obs::counter("test.zz_order");
+  obs::counter("test.aa_order");
+  const obs::Snapshot s = obs::snapshot();
+  for (std::size_t i = 1; i < s.entries.size(); ++i)
+    EXPECT_LT(s.entries[i - 1].key, s.entries[i].key);
+}
+
+TEST(Trace, SpansProduceValidTraceEventsJson) {
+  obs::trace_start();
+  {
+    obs::PhaseTimer outer("unit.outer", "test");
+    obs::PhaseTimer inner("unit.inner", "test", "weight", 3);
+  }
+  obs::instant("unit.mark", "test");
+  obs::sim_span("stall", "sim", 2, 100.0, 25.0, "barrier", 7);
+  obs::sim_instant("fire", "sim", 2, 125.0);
+  obs::trace_stop();
+
+  std::ostringstream os;
+  const std::size_t events = obs::trace_write_json(os);
+  EXPECT_GE(events, 5u);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"unit.outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"unit.inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"weight\":3}"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  // Both timelines are named for the viewer.
+  EXPECT_NE(json.find("\"wall clock\""), std::string::npos);
+  EXPECT_NE(json.find("\"simulated machine\""), std::string::npos);
+  // The sim events landed on PE lane 2 of the simulated-machine pid.
+  EXPECT_NE(json.find("\"pid\":2,\"tid\":2"), std::string::npos);
+}
+
+TEST(Trace, DisabledByDefaultAndClearedOnStart) {
+  EXPECT_FALSE(obs::tracing_enabled());
+  { obs::PhaseTimer t("unit.should_not_record", "test"); }
+
+  obs::trace_start();  // clears anything buffered above
+  obs::trace_stop();
+  std::ostringstream os;
+  obs::trace_write_json(os);
+  EXPECT_EQ(os.str().find("unit.should_not_record"), std::string::npos);
+}
+
+TEST(Trace, PhaseSummaryAggregatesByName) {
+  obs::trace_start();
+  { obs::PhaseTimer t("unit.phase_a", "test"); }
+  { obs::PhaseTimer t("unit.phase_a", "test"); }
+  { obs::PhaseTimer t("unit.phase_b", "test"); }
+  obs::trace_stop();
+
+  bool saw_a = false;
+  for (const obs::PhaseSummaryRow& r : obs::phase_summary()) {
+    if (r.name == "unit.phase_a") {
+      saw_a = true;
+      EXPECT_EQ(r.count, 2u);
+      EXPECT_GE(r.total_us, r.max_us);
+    }
+  }
+  EXPECT_TRUE(saw_a);
+}
+
+#if BM_OBS_ENABLED
+TEST(ObsMacros, CountAndObserveReachTheRegistry) {
+  const obs::Snapshot before = obs::snapshot();
+  BM_OBS_COUNT("test.macro_count");
+  BM_OBS_COUNT_N("test.macro_count", 4);
+  BM_OBS_OBSERVE("test.macro_hist", 9);
+  BM_OBS_GAUGE_SET("test.macro_gauge", -5);
+  const obs::Snapshot after = obs::snapshot();
+  EXPECT_EQ(counter_delta(before, after, "test.macro_count"), 5.0);
+  EXPECT_EQ(counter_delta(before, after, "test.macro_hist.sum"), 9.0);
+  EXPECT_EQ(after.get("test.macro_gauge", 0), -5.0);
+}
+#endif
+
+}  // namespace
+}  // namespace bm

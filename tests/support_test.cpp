@@ -302,6 +302,22 @@ TEST(CsvWriter, QuotesSpecialFields) {
   std::remove(path.c_str());
 }
 
+TEST(CsvWriter, QuotesEmbeddedLineBreaks) {
+  // RFC 4180: LF *and* bare CR inside a field must be quoted, or the field
+  // splits into two records in downstream readers.
+  const std::string path = ::testing::TempDir() + "bm_csv_crlf_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.write_row({"plain", "line\nfeed", "carriage\rreturn", "both\r\nends"});
+  }
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(),
+            "plain,\"line\nfeed\",\"carriage\rreturn\",\"both\r\nends\"\n");
+  std::remove(path.c_str());
+}
+
 // --------------------------------------------------------------- CLI -------
 
 TEST(CliFlags, ParsesAllForms) {

@@ -1,0 +1,92 @@
+// ThreadPool exception semantics: a throwing task must neither terminate
+// the process (escaping exception on a worker thread) nor deadlock
+// wait_idle (leaked in_flight_ tick). The first leaked exception surfaces
+// on the caller at the next wait_idle, and the pool stays usable.
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "support/thread_pool.hpp"
+
+namespace bm {
+namespace {
+
+TEST(ThreadPool, SubmitExceptionPropagatesToWaitIdle) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task boom"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle should rethrow the task's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task boom");
+  }
+}
+
+TEST(ThreadPool, PoolStaysUsableAfterTaskThrows) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("first"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+
+  // The error is cleared once delivered; later batches run normally.
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) pool.submit([&ran] { ++ran; });
+  EXPECT_NO_THROW(pool.wait_idle());
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, FirstOfManyExceptionsWins) {
+  ThreadPool pool(4);
+  // All tasks throw; exactly one exception reaches the caller and the rest
+  // are dropped — wait_idle must still return (no deadlock, no terminate).
+  for (int i = 0; i < 16; ++i)
+    pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_NO_THROW(pool.wait_idle());  // delivered once, then cleared
+}
+
+TEST(ThreadPool, ThrowingTaskDoesNotBlockSiblings) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 32; ++i) pool.submit([&ran] { ++ran; });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstError) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [](std::size_t i) {
+                          if (i == 7) throw std::runtime_error("index 7");
+                        }),
+      std::runtime_error);
+  // parallel_for's own error path consumed the exception; the pool is idle
+  // and clean for the next batch.
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(10, [&sum](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 45u);
+}
+
+TEST(ThreadPool, ParallelForJobsSerialPathPropagates) {
+  // jobs <= 1 runs inline on the caller; the exception must surface there
+  // too, with no pool involved.
+  EXPECT_THROW(parallel_for_jobs(1, 5,
+                                 [](std::size_t i) {
+                                   if (i == 3) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForJobsPooledPathPropagates) {
+  EXPECT_THROW(parallel_for_jobs(4, 64,
+                                 [](std::size_t i) {
+                                   if (i == 40) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bm
