@@ -3,19 +3,27 @@
 # parallel-harness determinism and barrier-cache consistency tests), smoke
 # every registered experiment through bmrun with a reduced seed count, and
 # record the perf microbench trajectory as BENCH_sched.json at the repo
-# root. `--asan` additionally builds and tests under AddressSanitizer in a
-# separate build tree (build-asan/); `--trace-smoke` additionally produces
-# a --trace run and validates the JSON with trace_check.
+# root. `--asan` / `--ubsan` additionally build and test under Address- /
+# UndefinedBehaviorSanitizer in separate build trees (build-asan/,
+# build-ubsan/); `--trace-smoke` additionally produces a --trace run and
+# validates the JSON with trace_check; `--verify-smoke` exercises the
+# static schedule verifier (golden schedule, mutation rejection, selftest,
+# bmrun --verify).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 asan=0
+ubsan=0
 trace_smoke=0
+verify_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --asan) asan=1 ;;
+    --ubsan) ubsan=1 ;;
     --trace-smoke) trace_smoke=1 ;;
-    *) echo "usage: $0 [--asan] [--trace-smoke]" >&2; exit 2 ;;
+    --verify-smoke) verify_smoke=1 ;;
+    *) echo "usage: $0 [--asan] [--ubsan] [--trace-smoke] [--verify-smoke]" >&2
+       exit 2 ;;
   esac
 done
 
@@ -46,6 +54,30 @@ done
 ./build/bench/bench_sim_perf --benchmark_format=json > /tmp/bench_sim.json \
   && echo "ok  bench_sim_perf"
 
+if [[ "$verify_smoke" -eq 1 ]]; then
+  mkdir -p out
+  # The committed golden schedule must verify clean; a mutated copy (one
+  # barrier dropped) must be rejected with a BV101 race carrying a witness;
+  # and a reduced mutation campaign must flag every scored mutant. Together
+  # these pin the verifier's exit codes, JSON shape, and sensitivity.
+  ./build/bmverify check examples/golden/golden_block.bm \
+      examples/golden/golden_schedule.txt > /dev/null \
+    && echo "ok  bmverify check (golden clean)"
+  # B4 is a load-bearing barrier of the golden schedule (dropping it opens
+  # a provable race window); `random` could land on a benign victim.
+  ./build/bmverify gen --seed 1990 --statements 28 --variables 8 --procs 4 \
+      --mutate-drop 4 --json > out/verify-mutant.json 2> /dev/null \
+    && { echo "mutated golden schedule verified clean" >&2; exit 1; } \
+    || true
+  grep -q '"BV101"' out/verify-mutant.json
+  grep -q '"witness"' out/verify-mutant.json
+  echo "ok  bmverify gen --mutate-drop (race + witness reported)"
+  ./build/bmverify selftest --mutations 60 > /dev/null \
+    && echo "ok  bmverify selftest (60 mutations)"
+  ./build/bmrun run headline --seeds 3 --jobs 2 --verify --out-dir out \
+      > /dev/null && echo "ok  bmrun --verify"
+fi
+
 if [[ "$trace_smoke" -eq 1 ]]; then
   # A traced run must emit Perfetto-loadable JSON: structurally valid, with
   # at least one timed event. trace_check is the in-repo validator.
@@ -62,6 +94,18 @@ if [[ "$asan" -eq 1 ]]; then
   ./build-asan/bmrun run --all --seeds 3 --jobs 2 --out-dir out-asan > /dev/null \
     && echo "ok  bmrun run --all (asan)"
   rm -rf out-asan
+fi
+
+if [[ "$ubsan" -eq 1 ]]; then
+  echo "--- UndefinedBehaviorSanitizer pass (build-ubsan/) ---"
+  cmake -B build-ubsan -G Ninja -DBM_SANITIZE=undefined
+  cmake --build build-ubsan
+  ctest --test-dir build-ubsan --output-on-failure
+  ./build-ubsan/bmrun run --all --seeds 3 --jobs 2 --verify \
+      --out-dir out-ubsan > /dev/null && echo "ok  bmrun run --all (ubsan)"
+  ./build-ubsan/bmverify selftest --mutations 40 > /dev/null \
+    && echo "ok  bmverify selftest (ubsan)"
+  rm -rf out-ubsan
 fi
 
 echo "all checks passed"

@@ -123,7 +123,7 @@ NodeId BarrierDag::index_of(BarrierId b) const {
 }
 
 bool BarrierDag::has_edge(BarrierId u, BarrierId v) const {
-  return edges_.count(edge_key(index_of(u), index_of(v))) > 0;
+  return edges_.contains(edge_key(index_of(u), index_of(v)));
 }
 
 TimeRange BarrierDag::edge_range(BarrierId u, BarrierId v) const {

@@ -30,26 +30,6 @@ const Sweep& Experiment::sweep(const std::string& axis) const {
   throw Error("experiment " + name + " has no sweep axis '" + axis + "'");
 }
 
-FlagSpec int_flag(const std::string& name, std::int64_t def,
-                  const std::string& help) {
-  return {name, FlagType::kInt, std::to_string(def), help};
-}
-
-FlagSpec double_flag(const std::string& name, double def,
-                     const std::string& help) {
-  return {name, FlagType::kDouble, TextTable::num(def, 3), help};
-}
-
-FlagSpec bool_flag(const std::string& name, bool def,
-                   const std::string& help) {
-  return {name, FlagType::kBool, def ? "true" : "false", help};
-}
-
-FlagSpec string_flag(const std::string& name, const std::string& def,
-                     const std::string& help) {
-  return {name, FlagType::kString, def, help};
-}
-
 std::vector<FlagSpec> common_flags(std::size_t default_seeds) {
   return {
       int_flag("seeds", static_cast<std::int64_t>(default_seeds),
@@ -113,6 +93,9 @@ RunOptions ExpContext::run_options() const {
   opt.base_seed = static_cast<std::uint64_t>(get_int("base-seed"));
   opt.jobs = flags_.get_jobs(1);
   if (declared("sim-runs")) opt.sim_runs = get_size("sim-runs");
+  // --verify is a driver flag (validated by bmrun, not per-experiment
+  // schemas), so it is read directly rather than through the declared specs.
+  opt.verify = flags_.get_bool("verify", false);
   return opt;
 }
 

@@ -44,16 +44,9 @@ struct Experiment {
   const Sweep& sweep(const std::string& axis) const;
 };
 
-/// Flag-schema builders. Every experiment declares the common flags
-/// (seeds, base-seed, jobs, out-dir) plus its own; `CliFlags::validate`
-/// then rejects anything undeclared.
-FlagSpec int_flag(const std::string& name, std::int64_t def,
-                  const std::string& help);
-FlagSpec double_flag(const std::string& name, double def,
-                     const std::string& help);
-FlagSpec bool_flag(const std::string& name, bool def, const std::string& help);
-FlagSpec string_flag(const std::string& name, const std::string& def,
-                     const std::string& help);
+/// The common flag block (seeds, base-seed, jobs, out-dir) every experiment
+/// declares alongside its own flags. The per-flag builders (int_flag, ...)
+/// live in support/cli.hpp next to FlagSpec itself.
 std::vector<FlagSpec> common_flags(std::size_t default_seeds);
 
 /// The single flag→config binding layer shared by every experiment: typed

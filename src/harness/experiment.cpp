@@ -5,6 +5,7 @@
 #include "obs/obs.hpp"
 #include "support/assert.hpp"
 #include "support/thread_pool.hpp"
+#include "verify/verify.hpp"
 
 namespace bm {
 
@@ -24,6 +25,8 @@ namespace {
 struct SeedResult {
   BenchmarkOutcome outcome;
   std::size_t violations = 0;
+  std::size_t verify_errors = 0;
+  std::string verify_first;  ///< first verifier diagnostic (error context)
 };
 
 SeedResult run_seed(const GeneratorConfig& gen, const SchedulerConfig& sched,
@@ -50,6 +53,25 @@ SeedResult run_seed(const GeneratorConfig& gen, const SchedulerConfig& sched,
     r.outcome.vliw_makespan = vliw.makespan;
   }
 
+  if (opt.verify) {
+    BM_OBS_SPAN(span, "verify.schedule", "verify");
+    // Redundancy linting is advisory and O(B·(V+E)); the harness check is
+    // about soundness, so skip it to stay within the throughput budget.
+    VerifyOptions vopt;
+    vopt.lint_redundant = false;
+    const VerifyReport report =
+        verify_schedule(dag, *scheduled.schedule, vopt);
+    r.verify_errors = report.error_count();
+    if (!report.clean()) {
+      for (const VerifyDiagnostic& d : report.diagnostics()) {
+        if (d.severity != VerifySeverity::kError) continue;
+        r.verify_first = "[seed " + std::to_string(i) + "] " + d.code + ": " +
+                         d.message;
+        break;
+      }
+    }
+  }
+
   if (opt.sim_runs > 0 || opt.validate_draws) {
     BM_OBS_SPAN(span, "sim.summarize", "sim");
     const std::size_t runs = opt.sim_runs > 0 ? opt.sim_runs : 1;
@@ -72,6 +94,10 @@ SeedResult run_seed(const GeneratorConfig& gen, const SchedulerConfig& sched,
 /// seed at a time, in seed order.
 void accumulate(PointAggregate& agg, const SeedResult& r,
                 const RunOptions& opt) {
+  if (opt.verify) {
+    ++agg.verified_schedules;
+    agg.verify_errors += r.verify_errors;
+  }
   agg.fractions.add(r.outcome.stats);
   agg.program_size.add(static_cast<double>(r.outcome.program_size));
   if (opt.with_vliw)
@@ -99,12 +125,30 @@ PointAggregate run_point(const GeneratorConfig& gen,
   const std::size_t jobs =
       opt.jobs == 0 ? ThreadPool::default_jobs() : opt.jobs;
 
+  std::string first_verify_error;
+  auto note_verify = [&](const SeedResult& r) {
+    if (first_verify_error.empty() && !r.verify_first.empty())
+      first_verify_error = r.verify_first;
+  };
+  // A verifier error is a scheduler soundness bug, never a data point:
+  // surface it as a hard failure once every seed has been folded (so the
+  // error message can report the full count, not just the first seed).
+  auto check_verify = [&]() {
+    if (!opt.verify || agg.verify_errors == 0) return;
+    throw Error("schedule verification failed: " +
+                std::to_string(agg.verify_errors) + " error(s) across " +
+                std::to_string(agg.verified_schedules) +
+                " schedule(s); first: " + first_verify_error);
+  };
+
   if (jobs <= 1 || opt.seeds <= 1) {
     for (std::size_t i = 0; i < opt.seeds; ++i) {
       const SeedResult r = run_seed(gen, sched, opt, i);
       accumulate(agg, r, opt);
+      note_verify(r);
       if (hook) hook(r.outcome);
     }
+    check_verify();
     return agg;
   }
 
@@ -117,8 +161,10 @@ PointAggregate run_point(const GeneratorConfig& gen,
   });
   for (const SeedResult& r : results) {
     accumulate(agg, r, opt);
+    note_verify(r);
     if (hook) hook(r.outcome);
   }
+  check_verify();
   return agg;
 }
 

@@ -27,6 +27,11 @@ struct RunOptions {
   bool with_vliw = false;           ///< also schedule the VLIW baseline
   std::size_t sim_runs = 0;         ///< uniform-draw simulations per benchmark
   bool validate_draws = false;      ///< assert no dependence violations
+
+  /// Run the static verifier (src/verify) on every schedule. Any verifier
+  /// *error* is a scheduler soundness bug: run_point throws bm::Error after
+  /// folding, carrying the first diagnostic.
+  bool verify = false;
 };
 
 /// Everything measured for one benchmark instance.
@@ -46,6 +51,8 @@ struct PointAggregate {
   /// the all-min draw, all-max draw, and simulated mean.
   RunningStats norm_min, norm_max, norm_mean;
   std::size_t violation_count = 0;  ///< across all validated draws (expect 0)
+  std::size_t verified_schedules = 0;  ///< schedules verified (opt.verify)
+  std::size_t verify_errors = 0;       ///< verifier errors across the point
 };
 
 using PerBenchmarkHook = std::function<void(const BenchmarkOutcome&)>;

@@ -1,5 +1,7 @@
 #include "ir/opcode.hpp"
 
+#include <limits>
+
 #include "support/assert.hpp"
 
 namespace bm {
@@ -39,14 +41,25 @@ double opcode_frequency_percent(Opcode op) {
 }
 
 std::int64_t fold_binary(Opcode op, std::int64_t lhs, std::int64_t rhs) {
+  // Synthesized blocks fold arbitrary constants, so Add/Sub/Mul must wrap
+  // (two's complement) rather than hit signed-overflow UB; C++20 guarantees
+  // the unsigned round-trip is exactly that wrap. Div/Mod additionally
+  // guard INT64_MIN / -1, whose quotient is unrepresentable.
+  const auto ul = static_cast<std::uint64_t>(lhs);
+  const auto ur = static_cast<std::uint64_t>(rhs);
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
   switch (op) {
-    case Opcode::kAdd: return lhs + rhs;
-    case Opcode::kSub: return lhs - rhs;
+    case Opcode::kAdd: return static_cast<std::int64_t>(ul + ur);
+    case Opcode::kSub: return static_cast<std::int64_t>(ul - ur);
     case Opcode::kAnd: return lhs & rhs;
     case Opcode::kOr: return lhs | rhs;
-    case Opcode::kMul: return lhs * rhs;
-    case Opcode::kDiv: return rhs == 0 ? 0 : lhs / rhs;
-    case Opcode::kMod: return rhs == 0 ? 0 : lhs % rhs;
+    case Opcode::kMul: return static_cast<std::int64_t>(ul * ur);
+    case Opcode::kDiv:
+      if (rhs == 0) return 0;
+      return lhs == kMin && rhs == -1 ? kMin : lhs / rhs;
+    case Opcode::kMod:
+      if (rhs == 0) return 0;
+      return lhs == kMin && rhs == -1 ? 0 : lhs % rhs;
     case Opcode::kLoad:
     case Opcode::kStore: break;
   }

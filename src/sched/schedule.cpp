@@ -289,6 +289,25 @@ std::size_t Schedule::merge_overlapping_all() {
   }
 }
 
+void Schedule::remove_barrier(BarrierId b) {
+  BM_REQUIRE(b != kInitialBarrier, "cannot remove the initial barrier");
+  BM_REQUIRE(b < masks_.size() && alive_[b], "barrier not alive");
+  if (final_barrier_ && *final_barrier_ == b) final_barrier_.reset();
+  alive_[b] = false;
+  masks_[b].clear();
+  for (ProcId p = 0; p < num_procs(); ++p) {
+    auto& s = streams_[p];
+    const std::size_t before = s.size();
+    s.erase(std::remove_if(s.begin(), s.end(),
+                           [&](const ScheduleEntry& e) {
+                             return e.is_barrier && e.id == b;
+                           }),
+            s.end());
+    if (s.size() != before) reindex(p);
+  }
+  invalidate();
+}
+
 void Schedule::add_final_barrier() {
   BM_REQUIRE(!final_barrier_, "final barrier already added");
   std::vector<Loc> at;

@@ -130,6 +130,14 @@ class Schedule {
                       BarrierId merge_keep = kInvalidBarrier,
                       BarrierId merge_victim = kInvalidBarrier) const;
 
+  /// Deletes an alive barrier outright: kills its mask, erases its stream
+  /// entries, and forgets it as the final rejoin if it was one. The initial
+  /// barrier cannot be removed. Primarily a mutation hook for the verifier's
+  /// self-test (src/verify/selftest) — deleting an arbitrary barrier from a
+  /// verified schedule generally *breaks* its safety argument, which is
+  /// exactly what the detector must notice.
+  void remove_barrier(BarrierId b);
+
   /// Appends a rejoin barrier across every processor that has at least one
   /// instruction (no-op if fewer than two). Excluded from barrier counts.
   void add_final_barrier();

@@ -130,7 +130,7 @@ Schedule schedule_from_text(const InstrDag& dag, const std::string& text) {
   // Every stream barrier reference must have a declaration.
   for (ProcId p = 0; p < procs; ++p)
     for (const ParsedEntry& e : parsed_streams[p])
-      BM_REQUIRE(!e.is_barrier || parsed_barriers.count(e.id),
+      BM_REQUIRE(!e.is_barrier || parsed_barriers.contains(e.id),
                  "stream references undeclared barrier");
 
   // Rebuild: instructions first (streams keep their relative order), then
@@ -155,7 +155,7 @@ Schedule schedule_from_text(const InstrDag& dag, const std::string& text) {
         }
         // Count entries already materialized: instructions and barriers
         // with a smaller parsed id (inserted earlier).
-        if (!e.is_barrier || remap.count(e.id)) ++pos;
+        if (!e.is_barrier || remap.contains(e.id)) ++pos;
       }
       const bool in_mask =
           std::find(pb.mask.begin(), pb.mask.end(), p) != pb.mask.end();

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "support/assert.hpp"
+#include "support/table.hpp"
 #include "support/thread_pool.hpp"
 
 namespace bm {
@@ -41,6 +42,26 @@ bool parses_as_bool(const std::string& v) {
 }
 
 }  // namespace
+
+FlagSpec int_flag(const std::string& name, std::int64_t def,
+                  const std::string& help) {
+  return {name, FlagType::kInt, std::to_string(def), help};
+}
+
+FlagSpec double_flag(const std::string& name, double def,
+                     const std::string& help) {
+  return {name, FlagType::kDouble, TextTable::num(def, 3), help};
+}
+
+FlagSpec bool_flag(const std::string& name, bool def,
+                   const std::string& help) {
+  return {name, FlagType::kBool, def ? "true" : "false", help};
+}
+
+FlagSpec string_flag(const std::string& name, const std::string& def,
+                     const std::string& help) {
+  return {name, FlagType::kString, def, help};
+}
 
 std::string_view to_string(FlagType t) {
   switch (t) {
@@ -118,7 +139,7 @@ void CliFlags::validate(const std::vector<FlagSpec>& schema,
 }
 
 bool CliFlags::has(const std::string& name) const {
-  return values_.count(name) > 0;
+  return values_.contains(name);
 }
 
 std::string CliFlags::get(const std::string& name,

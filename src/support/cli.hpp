@@ -26,6 +26,15 @@ struct FlagSpec {
   std::string help;
 };
 
+/// Flag-schema builders; `CliFlags::validate` rejects anything undeclared.
+FlagSpec int_flag(const std::string& name, std::int64_t def,
+                  const std::string& help);
+FlagSpec double_flag(const std::string& name, double def,
+                     const std::string& help);
+FlagSpec bool_flag(const std::string& name, bool def, const std::string& help);
+FlagSpec string_flag(const std::string& name, const std::string& def,
+                     const std::string& help);
+
 class CliFlags {
  public:
   /// Parses argv; throws bm::Error on malformed input (e.g. value missing).

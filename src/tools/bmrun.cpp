@@ -33,6 +33,9 @@ int usage(std::ostream& os, int code) {
         "observability:    --trace FILE (Chrome trace-event JSON, open in\n"
         "                  Perfetto)  --profile (phase/counter summary on\n"
         "                  stdout after the run)\n"
+        "verification:     --verify (static race detector + lints on every\n"
+        "                  schedule; errors abort with exit 1; see bmverify\n"
+        "                  for the standalone tool)\n"
         "Artifacts: <out-dir>/<stem>.csv series + <out-dir>/<exp>.json "
         "result per experiment (default out/).\n";
   return code;
@@ -127,7 +130,10 @@ int cmd_run(const CliFlags& flags) {
       string_flag("trace", "",
                   "write a Chrome trace-event JSON covering the whole run"),
       bool_flag("profile", false,
-                "print a phase-timing + counter summary after the run")};
+                "print a phase-timing + counter summary after the run"),
+      bool_flag("verify", false,
+                "run the static schedule verifier on every schedule; any "
+                "race or lint error aborts the run with exit 1")};
   // Validate against every selected experiment before running any, so a
   // flag that one experiment does not declare aborts the whole invocation
   // instead of half-completing.

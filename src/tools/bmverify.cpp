@@ -1,0 +1,261 @@
+// bmverify — standalone static schedule verifier.
+//
+//   bmverify gen [flags]                  synthesize, schedule, verify; can
+//                                         dump the source block + schedule
+//                                         and inject a mutation first
+//   bmverify check <block.bm> <sched.txt> verify a schedule file against a
+//                                         source block (both as written by
+//                                         `gen --dump-*`)
+//   bmverify selftest [flags]             mutation campaign: delete/shift
+//                                         barriers from verified schedules
+//                                         and measure detector sensitivity
+//
+// Exit codes: 0 = clean (or selftest passed its bar), 1 = verifier errors
+// (or selftest below the bar), 2 = usage / input errors.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "codegen/emitter.hpp"
+#include "codegen/generator.hpp"
+#include "codegen/parser.hpp"
+#include "graph/instr_dag.hpp"
+#include "ir/timing.hpp"
+#include "opt/passes.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/serialize.hpp"
+#include "support/cli.hpp"
+#include "verify/selftest.hpp"
+#include "verify/verify.hpp"
+
+namespace bm {
+namespace {
+
+int usage(std::ostream& os, int code) {
+  os << "usage: bmverify <command> [args]\n"
+        "\n"
+        "commands:\n"
+        "  gen       synthesize a block, schedule it, verify the schedule\n"
+        "            --seed N --statements N --variables N --procs N\n"
+        "            --policy conservative|optimal --machine sbm|dbm\n"
+        "            --latency N --mutate-drop ID|random --json\n"
+        "            --dump-source FILE --dump-schedule FILE\n"
+        "  check     verify a schedule file against a source block\n"
+        "            bmverify check <block.bm> <schedule.txt> [--json]\n"
+        "  selftest  mutation campaign over random seeds\n"
+        "            --mutations N --seed N --procs N --min-flagged F "
+        "--json\n"
+        "\n"
+        "exit codes: 0 clean, 1 verifier errors / selftest failure, 2 usage\n";
+  return code;
+}
+
+/// Renumbers variables by first appearance in (lhs, a, b) statement order —
+/// exactly the interning order of parse_statements — so a dumped block
+/// re-parses to the identical tuple program and instruction ids.
+StatementList canonicalize_vars(const StatementList& in,
+                                std::uint32_t& num_vars) {
+  std::map<VarId, VarId> remap;
+  auto intern = [&](VarId v) {
+    const auto [it, fresh] =
+        remap.try_emplace(v, static_cast<VarId>(remap.size()));
+    (void)fresh;
+    return it->second;
+  };
+  StatementList out;
+  out.reserve(in.size());
+  for (const Assign& s : in) {
+    Assign t = s;
+    t.lhs = intern(s.lhs);
+    if (t.a.is_var()) t.a.var = intern(s.a.var);
+    if (t.b.is_var()) t.b.var = intern(s.b.var);
+    out.push_back(t);
+  }
+  num_vars = static_cast<std::uint32_t>(remap.size());
+  return out;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream os(path, std::ios::binary);
+  BM_REQUIRE(os.good(), "cannot open " + path + " for writing");
+  os << content;
+  BM_REQUIRE(os.good(), "failed writing " + path);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  BM_REQUIRE(is.good(), "cannot open " + path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+int report_and_exit_code(const VerifyReport& report, bool json) {
+  if (json)
+    std::cout << report.to_json();
+  else
+    std::cout << report.to_text();
+  return report.clean() ? 0 : 1;
+}
+
+std::vector<BarrierId> droppable_barriers(const Schedule& sched) {
+  std::vector<BarrierId> out;
+  for (BarrierId b = 1; b < sched.barrier_id_bound(); ++b) {
+    if (!sched.barrier_alive(b)) continue;
+    if (sched.final_barrier() && *sched.final_barrier() == b) continue;
+    out.push_back(b);
+  }
+  return out;
+}
+
+int cmd_gen(const CliFlags& flags) {
+  flags.validate(
+      {},
+      {int_flag("seed", 1990, "RNG seed"),
+       int_flag("statements", 24, "statements in the synthesized block"),
+       int_flag("variables", 8, "variable pool size"),
+       int_flag("procs", 4, "processors to schedule onto"),
+       string_flag("policy", "conservative",
+                   "barrier insertion: conservative|optimal"),
+       string_flag("machine", "sbm", "target machine: sbm|dbm"),
+       int_flag("latency", 0, "hardware barrier latency (cycles)"),
+       string_flag("mutate-drop", "",
+                   "delete barrier ID (or 'random') before verifying"),
+       bool_flag("json", false, "machine-readable report"),
+       string_flag("dump-source", "", "write the source block to FILE"),
+       string_flag("dump-schedule", "", "write the schedule text to FILE")});
+
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1990));
+  Rng rng(seed);
+  GeneratorConfig gen;
+  gen.num_statements =
+      static_cast<std::uint32_t>(flags.get_int("statements", 24));
+  gen.num_variables =
+      static_cast<std::uint32_t>(flags.get_int("variables", 8));
+  std::uint32_t num_vars = 0;
+  const StatementList stmts =
+      canonicalize_vars(StatementGenerator(gen).generate(rng), num_vars);
+
+  if (const std::string path = flags.get("dump-source", ""); !path.empty()) {
+    std::ostringstream os;
+    os << "# bmverify gen --seed " << seed << " --statements "
+       << gen.num_statements << " --variables " << gen.num_variables << "\n";
+    for (const Assign& s : stmts) os << statement_to_string(s) << '\n';
+    write_file(path, os.str());
+  }
+
+  Program prog = emit_tuples(stmts, num_vars);
+  optimize(prog);
+  const InstrDag dag = InstrDag::build(prog, TimingModel::table1());
+
+  SchedulerConfig cfg;
+  cfg.num_procs = static_cast<std::size_t>(flags.get_int("procs", 4));
+  const std::string policy = flags.get("policy", "conservative");
+  BM_REQUIRE(policy == "conservative" || policy == "optimal",
+             "--policy must be conservative or optimal");
+  cfg.insertion = policy == "optimal" ? InsertionPolicy::kOptimal
+                                      : InsertionPolicy::kConservative;
+  const std::string machine = flags.get("machine", "sbm");
+  BM_REQUIRE(machine == "sbm" || machine == "dbm",
+             "--machine must be sbm or dbm");
+  cfg.machine = machine == "dbm" ? MachineKind::kDBM : MachineKind::kSBM;
+  cfg.barrier_latency = flags.get_int("latency", 0);
+
+  ScheduleResult sr = schedule_program(dag, cfg, rng);
+  Schedule& sched = *sr.schedule;
+
+  if (const std::string drop = flags.get("mutate-drop", ""); !drop.empty()) {
+    const std::vector<BarrierId> candidates = droppable_barriers(sched);
+    if (candidates.empty()) {
+      std::cerr << "bmverify gen: schedule has no droppable barrier\n";
+      return 2;
+    }
+    BarrierId victim;
+    if (drop == "random") {
+      victim = candidates[rng.index(candidates.size())];
+    } else {
+      victim = static_cast<BarrierId>(std::stoul(drop));
+      BM_REQUIRE(std::find(candidates.begin(), candidates.end(), victim) !=
+                     candidates.end(),
+                 "--mutate-drop: barrier " + drop +
+                     " is not a droppable barrier of this schedule");
+    }
+    sched.remove_barrier(victim);
+    std::cerr << "bmverify gen: dropped barrier B" << victim << '\n';
+  }
+
+  if (const std::string path = flags.get("dump-schedule", ""); !path.empty())
+    write_file(path, schedule_to_text(sched));
+
+  return report_and_exit_code(verify_schedule(dag, sched),
+                              flags.get_bool("json", false));
+}
+
+int cmd_check(const CliFlags& flags) {
+  flags.validate({}, {bool_flag("json", false, "machine-readable report")});
+  if (flags.positional().size() != 2) {
+    std::cerr << "bmverify check: need <block.bm> <schedule.txt>\n";
+    return 2;
+  }
+  const ParsedBlock block = parse_statements(read_file(flags.positional()[0]));
+  Program prog = emit_tuples(block.statements, block.num_vars);
+  optimize(prog);
+  const InstrDag dag = InstrDag::build(prog, TimingModel::table1());
+  const Schedule sched =
+      schedule_from_text(dag, read_file(flags.positional()[1]));
+  return report_and_exit_code(verify_schedule(dag, sched),
+                              flags.get_bool("json", false));
+}
+
+int cmd_selftest(const CliFlags& flags) {
+  flags.validate(
+      {}, {int_flag("mutations", 200, "mutations to inject"),
+           int_flag("seed", 0xB1D5, "base seed of the campaign"),
+           int_flag("procs", 8, "processors per schedule"),
+           double_flag("min-flagged", 0.95,
+                       "minimum flagged fraction to pass (0..1)"),
+           bool_flag("json", false, "machine-readable report")});
+  MutationConfig cfg;
+  cfg.mutations = static_cast<std::size_t>(flags.get_int("mutations", 200));
+  cfg.base_seed = static_cast<std::uint64_t>(flags.get_int("seed", 0xB1D5));
+  cfg.num_procs = static_cast<std::size_t>(flags.get_int("procs", 8));
+  const double min_flagged = flags.get_double("min-flagged", 0.95);
+
+  const MutationReport report = run_mutation_selftest(cfg);
+  if (flags.get_bool("json", false))
+    std::cout << report.to_json();
+  else
+    std::cout << report.to_text();
+
+  const bool pass = report.flagged_fraction() >= min_flagged &&
+                    report.missed == 0 && report.baseline_dirty == 0;
+  if (!pass)
+    std::cerr << "bmverify selftest: FAILED (flagged fraction "
+              << report.flagged_fraction() << " < " << min_flagged
+              << ", or missed/baseline-dirty nonzero)\n";
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bm
+
+int main(int argc, char** argv) {
+  using namespace bm;
+  if (argc < 2) return usage(std::cerr, 2);
+  const std::string cmd = argv[1];
+  try {
+    const CliFlags flags(argc - 1, argv + 1);
+    if (cmd == "gen") return cmd_gen(flags);
+    if (cmd == "check") return cmd_check(flags);
+    if (cmd == "selftest") return cmd_selftest(flags);
+    if (cmd == "help" || cmd == "--help" || cmd == "-h")
+      return usage(std::cout, 0);
+    std::cerr << "bmverify: unknown command '" << cmd << "'\n";
+    return usage(std::cerr, 2);
+  } catch (const std::exception& e) {
+    std::cerr << "bmverify: " << e.what() << '\n';
+    return 2;
+  }
+}

@@ -30,7 +30,7 @@ struct Value {
   std::map<std::string, Value> members;   // kObject
 
   bool has(const std::string& key) const {
-    return kind == Kind::kObject && members.count(key) > 0;
+    return kind == Kind::kObject && members.contains(key);
   }
 };
 

@@ -1,0 +1,122 @@
+// Diagnostic model of the static schedule verifier: typed findings with
+// stable codes (catalogued in docs/VERIFIER.md), severities, and — for
+// races — a concrete witness (the dependence edge, the PEs involved, and
+// the overlapping absolute time intervals that allow the inversion).
+//
+// The report renders as human-readable text and as machine-readable JSON;
+// both orderings are deterministic (diagnostics appear in discovery order,
+// which is fixed by the schedule contents).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "barrier/barrier_dag.hpp"
+#include "graph/digraph.hpp"
+#include "ir/timing.hpp"
+#include "sched/schedule.hpp"
+
+namespace bm {
+
+enum class VerifySeverity { kWarning, kError };
+
+std::string_view to_string(VerifySeverity s);
+
+/// Stable diagnostic codes. BV1xx = dependence races, BV2xx = barrier-dag
+/// structure, BV3xx = cached-analysis consistency.
+namespace verify_code {
+inline constexpr const char* kRace = "BV101";           ///< unprovable edge
+inline constexpr const char* kSamePeOrder = "BV102";    ///< consumer first
+inline constexpr const char* kUnplaced = "BV103";       ///< instr not placed
+inline constexpr const char* kCycle = "BV201";          ///< barrier cycle
+inline constexpr const char* kOrphanBarrier = "BV202";  ///< in no stream
+inline constexpr const char* kMaskMismatch = "BV203";   ///< mask vs streams
+inline constexpr const char* kDuplicateEntry = "BV204";   ///< twice in stream
+inline constexpr const char* kRedundantBarrier = "BV205"; ///< transitively so
+inline constexpr const char* kFinalNotLast = "BV206";   ///< rejoin misplaced
+inline constexpr const char* kCachedFire = "BV301";     ///< fire-range drift
+inline constexpr const char* kCachedReach = "BV302";    ///< <_b drift
+inline constexpr const char* kCachedDom = "BV303";      ///< dominator drift
+}  // namespace verify_code
+
+/// Concrete race witness: the interleaving in which, under per-segment
+/// execution-time draws consistent with the opcode [min,max] model, the
+/// consumer's region reaches instruction `consumer` before the producer's
+/// region has retired instruction `producer`. All times are absolute
+/// (cycles after the initial barrier fires).
+struct RaceWitness {
+  NodeId producer = kInvalidNode;
+  NodeId consumer = kInvalidNode;
+  ProcId producer_proc = 0;
+  ProcId consumer_proc = 0;
+  std::uint32_t producer_pos = 0;  ///< stream position of the producer
+  std::uint32_t consumer_pos = 0;
+  BarrierId producer_guard = kInvalidBarrier;  ///< LastBar(producer)
+  BarrierId consumer_guard = kInvalidBarrier;  ///< LastBar(consumer)
+  TimeRange producer_finish{0, 0};  ///< possible finish times of producer
+  TimeRange consumer_start{0, 0};   ///< possible start times of consumer
+  /// The inversion window [consumer_start.min, producer_finish.max]: any
+  /// instant in it admits a draw where the consumer has started while the
+  /// producer is still in flight.
+  TimeRange overlap{0, 0};
+
+  std::string to_string() const;
+  std::string to_json() const;
+};
+
+struct VerifyDiagnostic {
+  std::string code;
+  VerifySeverity severity = VerifySeverity::kError;
+  std::string message;
+  std::optional<RaceWitness> witness;
+  /// The barrier a BV2xx structural finding is about, when there is exactly
+  /// one (lets tools act on the finding without parsing the message).
+  std::optional<BarrierId> barrier;
+};
+
+/// Per-verification accounting. Every dependence edge lands in exactly one
+/// of the proved_* buckets or in races.
+struct VerifyStats {
+  std::size_t edges_checked = 0;
+  std::size_t proved_serialized = 0;  ///< same-PE program order
+  std::size_t proved_path = 0;        ///< NextBar →* LastBar chain
+  std::size_t proved_timing = 0;      ///< single longest-path window
+  std::size_t proved_timing_refined = 0;  ///< §4.4.2 per-path analysis
+  std::size_t races = 0;
+  std::size_t barriers_checked = 0;
+  std::size_t redundant_barriers = 0;
+  std::size_t cache_mismatches = 0;
+};
+
+class VerifyReport {
+ public:
+  void add(VerifyDiagnostic d);
+  void add(const char* code, VerifySeverity sev, std::string message);
+  /// Structural finding about one specific barrier.
+  void add(const char* code, VerifySeverity sev, std::string message,
+           BarrierId barrier);
+
+  const std::vector<VerifyDiagnostic>& diagnostics() const { return diags_; }
+  VerifyStats& stats() { return stats_; }
+  const VerifyStats& stats() const { return stats_; }
+
+  std::size_t error_count() const { return errors_; }
+  std::size_t warning_count() const { return warnings_; }
+  /// No errors (warnings allowed): the schedule is proven race-free.
+  bool clean() const { return errors_ == 0; }
+
+  /// "<code> <severity>: <message>" lines plus a one-line summary.
+  std::string to_text() const;
+  /// Stable machine-readable form; schema documented in docs/VERIFIER.md.
+  std::string to_json() const;
+
+ private:
+  std::vector<VerifyDiagnostic> diags_;
+  VerifyStats stats_;
+  std::size_t errors_ = 0;
+  std::size_t warnings_ = 0;
+};
+
+}  // namespace bm

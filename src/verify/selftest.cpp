@@ -1,0 +1,189 @@
+#include "verify/selftest.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "codegen/synthesize.hpp"
+#include "graph/instr_dag.hpp"
+#include "obs/obs.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/serialize.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+
+namespace bm {
+
+namespace {
+
+/// Barriers eligible for mutation: alive, not the initial, not the final
+/// rejoin (deleting the rejoin never races — it only un-joins completion),
+/// and not transitively redundant (deleting a redundant barrier is the one
+/// mutation that is *supposed* to be accepted, so it would only dilute the
+/// sensitivity measurement; the baseline lint identifies them as BV205).
+std::vector<BarrierId> mutation_candidates(const Schedule& sched,
+                                           const VerifyReport& baseline) {
+  std::vector<bool> redundant(sched.barrier_id_bound(), false);
+  for (const VerifyDiagnostic& d : baseline.diagnostics())
+    if (d.code == verify_code::kRedundantBarrier && d.barrier)
+      redundant[*d.barrier] = true;
+  std::vector<BarrierId> out;
+  for (BarrierId b = 1; b < sched.barrier_id_bound(); ++b) {
+    if (!sched.barrier_alive(b) || redundant[b]) continue;
+    if (sched.final_barrier() && *sched.final_barrier() == b) continue;
+    out.push_back(b);
+  }
+  return out;
+}
+
+/// Shift mutation: move barrier `b` one slot earlier on one participating
+/// processor whose preceding entry is an instruction (that instruction
+/// escapes past the barrier). Returns false when no stream allows it.
+bool shift_barrier_earlier(Schedule& sched, BarrierId b, Rng& rng) {
+  std::vector<Schedule::Loc> locs;
+  std::vector<std::size_t> shiftable;  // indices into locs
+  for (ProcId p = 0; p < sched.num_procs(); ++p) {
+    const auto& s = sched.stream(p);
+    for (std::uint32_t pos = 0; pos < s.size(); ++pos) {
+      if (!s[pos].is_barrier || s[pos].id != b) continue;
+      locs.push_back({p, pos});
+      if (pos > 0 && !s[pos - 1].is_barrier)
+        shiftable.push_back(locs.size() - 1);
+    }
+  }
+  if (locs.empty() || shiftable.empty()) return false;
+  locs[shiftable[rng.index(shiftable.size())]].pos -= 1;
+  // Re-inserting under a fresh id keeps the mask bookkeeping exact; the
+  // verifier's fresh analysis is id-agnostic.
+  sched.remove_barrier(b);
+  sched.insert_barrier(locs);
+  return true;
+}
+
+/// True when any of the cross-check draws exhibits a dependence violation.
+bool simulation_races(const InstrDag& dag, const Schedule& sched,
+                      MachineKind machine, std::size_t draws, Rng& rng) {
+  const SamplingMode modes[] = {SamplingMode::kAllMin, SamplingMode::kAllMax};
+  for (SamplingMode m : modes) {
+    const ExecTrace t = simulate(sched, {machine, m}, rng);
+    if (!find_violations(dag, t).empty()) return true;
+  }
+  for (std::size_t k = 0; k < draws; ++k) {
+    const ExecTrace t =
+        simulate(sched, {machine, SamplingMode::kUniform}, rng);
+    if (!find_violations(dag, t).empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+MutationReport run_mutation_selftest(const MutationConfig& config) {
+  BM_OBS_SPAN(span, "verify.selftest", "verify");
+  MutationReport report;
+  // Baselines keep the redundancy lint ON (it feeds victim selection);
+  // post-mutation re-verification drops it — only soundness matters there.
+  VerifyOptions baseline_opt;
+  baseline_opt.check_cached_analysis = false;
+  VerifyOptions vopt;
+  vopt.lint_redundant = false;
+  vopt.check_cached_analysis = false;
+
+  // Hard bound so a pathological config (every schedule barrier-free)
+  // terminates; in practice nearly every iteration yields a mutation.
+  const std::size_t max_iters = config.mutations * 10 + 10;
+  std::uint64_t seq = config.base_seed;
+  for (std::size_t iter = 0;
+       iter < max_iters && report.attempted < config.mutations; ++iter) {
+    Rng rng(split_mix64(seq));
+    const SynthesisResult synth = synthesize_benchmark(config.gen, rng);
+    const InstrDag dag = InstrDag::build(synth.program, TimingModel::table1());
+
+    SchedulerConfig sc;
+    sc.num_procs = config.num_procs;
+    sc.insertion = (iter % 2 == 0) ? InsertionPolicy::kConservative
+                                   : InsertionPolicy::kOptimal;
+    sc.machine = ((iter / 2) % 2 == 0) ? MachineKind::kSBM : MachineKind::kDBM;
+    ScheduleResult sr = schedule_program(dag, sc, rng);
+    // Canonicalize through one text round-trip: reloading compacts barrier
+    // ids, and mutant copies below are made the same way, so victim ids
+    // picked here stay valid in every copy (reload is idempotent on ids).
+    const Schedule sched =
+        schedule_from_text(dag, schedule_to_text(*sr.schedule));
+
+    const VerifyReport baseline = verify_schedule(dag, sched, baseline_opt);
+    if (!baseline.clean()) {
+      ++report.baseline_dirty;
+      continue;
+    }
+    std::vector<BarrierId> candidates = mutation_candidates(sched, baseline);
+    if (candidates.empty()) {
+      ++report.skipped;
+      continue;
+    }
+    for (std::size_t k = candidates.size(); k > 1; --k)
+      std::swap(candidates[k - 1], candidates[rng.index(k)]);
+
+    // Try victims until one yields a non-equivalent mutant. A mutant the
+    // verifier accepts AND simulation cannot distinguish from the original
+    // is an equivalent mutant (the deleted barrier was pure overhead): it
+    // is recorded as benign but excluded from the sensitivity score, per
+    // standard mutation-testing practice.
+    const std::string baseline_text = schedule_to_text(sched);
+    const bool want_shift = config.shift_period != 0 &&
+                            (report.attempted + 1) % config.shift_period == 0;
+    for (const BarrierId victim : candidates) {
+      Schedule mutant = schedule_from_text(dag, baseline_text);
+      bool shifted = false;
+      if (want_shift && shift_barrier_earlier(mutant, victim, rng))
+        shifted = true;
+      else
+        mutant.remove_barrier(victim);
+
+      if (!verify_schedule(dag, mutant, vopt).clean()) {
+        ++report.attempted;
+        ++report.flagged;
+        ++(shifted ? report.shifted : report.deleted);
+        break;
+      }
+      if (simulation_races(dag, mutant, sc.machine, config.sim_cross_checks,
+                           rng)) {
+        ++report.attempted;
+        ++report.missed;  // accepted a mutant that demonstrably races
+        ++(shifted ? report.shifted : report.deleted);
+        break;
+      }
+      ++report.benign;  // equivalent mutant; accepting it is correct
+    }
+  }
+
+  BM_OBS_COUNT_N("verify.selftest.mutations", report.attempted);
+  BM_OBS_COUNT_N("verify.selftest.flagged", report.flagged);
+  BM_OBS_COUNT_N("verify.selftest.missed", report.missed);
+  BM_OBS_COUNT_N("verify.selftest.benign", report.benign);
+  return report;
+}
+
+std::string MutationReport::to_text() const {
+  std::ostringstream os;
+  os << "mutation self-test: " << attempted << " mutation(s) (" << deleted
+     << " deleted, " << shifted << " shifted): " << flagged << " flagged, "
+     << benign << " benign, " << missed << " missed; flagged fraction "
+     << flagged_fraction() << ", sensitivity " << sensitivity()
+     << ", baseline dirty " << baseline_dirty << ", skipped " << skipped
+     << "\n";
+  return os.str();
+}
+
+std::string MutationReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"attempted\": " << attempted << ", \"deleted\": " << deleted
+     << ", \"shifted\": " << shifted << ", \"flagged\": " << flagged
+     << ", \"benign\": " << benign << ", \"missed\": " << missed
+     << ", \"baseline_dirty\": " << baseline_dirty
+     << ", \"skipped\": " << skipped << ", \"flagged_fraction\": "
+     << flagged_fraction() << ", \"sensitivity\": " << sensitivity()
+     << "}\n";
+  return os.str();
+}
+
+}  // namespace bm

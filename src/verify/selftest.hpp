@@ -1,0 +1,73 @@
+// Mutation self-test of the race detector (the third analysis family):
+// synthesize → schedule → verify clean, then injure the schedule by deleting
+// or shifting a random barrier and check the detector flags the injected
+// race. This measures *sensitivity* — a detector that proves everything
+// "safe" passes every soundness test and is still useless.
+//
+// A mutant the detector accepts is cross-checked by simulation: if any
+// execution draw exhibits a dependence violation the detector missed a real
+// race (`missed`, a soundness bug); if no draw does, the mutant is
+// *equivalent* — the barrier was pure overhead — and accepting it is correct
+// (`benign`). Equivalent mutants are excluded from the score (the campaign
+// retries another victim on the same schedule), per standard mutation-testing
+// practice; they are still reported so a detector that only ever sees
+// equivalent mutants cannot silently pass.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "codegen/generator.hpp"
+#include "verify/verify.hpp"
+
+namespace bm {
+
+struct MutationConfig {
+  /// Number of schedule mutations to perform (the acceptance bar is ≥95%
+  /// of these flagged).
+  std::size_t mutations = 200;
+  std::uint64_t base_seed = 0xB1D5;
+  GeneratorConfig gen;
+  std::size_t num_procs = 8;
+  /// Shift (reorder) instead of delete every `shift_period`-th mutation.
+  std::size_t shift_period = 4;
+  /// Uniform-draw simulations used to classify an unflagged mutant.
+  std::size_t sim_cross_checks = 24;
+};
+
+struct MutationReport {
+  std::size_t attempted = 0;  ///< scored (non-equivalent) mutations
+  std::size_t deleted = 0;    ///< barrier-deletion mutations
+  std::size_t shifted = 0;    ///< barrier-shift (reorder) mutations
+  std::size_t flagged = 0;    ///< detector reported an error on the mutant
+  std::size_t benign = 0;     ///< accepted, and no draw violates: redundant
+  std::size_t missed = 0;     ///< accepted, but simulation found a violation
+  /// Unmutated schedules the verifier rejected (must be 0: every scheduler
+  /// output verifies clean before mutation).
+  std::size_t baseline_dirty = 0;
+  /// Schedules skipped because they had no removable barrier.
+  std::size_t skipped = 0;
+
+  /// Fraction of performed mutations the detector flagged.
+  double flagged_fraction() const {
+    return attempted == 0 ? 0.0
+                          : static_cast<double>(flagged) /
+                                static_cast<double>(attempted);
+  }
+  /// Detector sensitivity among mutants that actually race: benign mutants
+  /// (provably redundant barriers) are excluded from the denominator.
+  double sensitivity() const {
+    const std::size_t racy = flagged + missed;
+    return racy == 0 ? 1.0
+                     : static_cast<double>(flagged) /
+                           static_cast<double>(racy);
+  }
+
+  std::string to_text() const;
+  std::string to_json() const;
+};
+
+/// Runs the whole campaign; deterministic in `config`.
+MutationReport run_mutation_selftest(const MutationConfig& config);
+
+}  // namespace bm

@@ -1,0 +1,48 @@
+// Static schedule verifier: independently re-derives the safety argument of
+// a barrier-MIMD schedule from first principles and reports anything it
+// cannot prove.
+//
+// The verifier deliberately does NOT reuse the scheduler's cached analysis
+// (Schedule::barrier_dag()): it rebuilds the barrier graph directly from the
+// raw per-processor streams, recomputes fire ranges / reachability /
+// dominators / ψ-paths with its own sweeps, and only *compares* against the
+// cached BarrierDag as one of its lint families. A bug in labeling, g⁺
+// placement, or ψ aggregation therefore cannot vouch for itself.
+//
+// Three analysis families (docs/VERIFIER.md has the diagnostic catalog):
+//  1. Dependence coverage: every InstrDag sync edge must be proved by
+//     same-PE program order, a separating barrier chain (<_b reachability),
+//     or — re-deriving §4.4.1/§4.4.2 from scratch — a [min,max] timing
+//     window. Unprovable edges are races (BV101) with a concrete witness.
+//  2. Barrier-graph structure: cycle-freeness, orphan barriers, mask/stream
+//     consistency, final-rejoin placement, transitively-redundant barriers.
+//  3. Cached-analysis consistency: fire ranges, reachability, and common
+//     dominators of the lazily cached BarrierDag vs the fresh recomputation.
+#pragma once
+
+#include "graph/instr_dag.hpp"
+#include "sched/schedule.hpp"
+#include "verify/diagnostics.hpp"
+
+namespace bm {
+
+struct VerifyOptions {
+  /// Family 2: stream/mask structural lints (cheap; rarely worth skipping).
+  bool lint_structure = true;
+  /// BV205 transitive-redundancy scan — O(B·(V+E)); off in hot harness runs.
+  bool lint_redundant = true;
+  /// Family 3: compare Schedule::barrier_dag() against the fresh analysis.
+  bool check_cached_analysis = true;
+  /// Bound on the §4.4.2 per-path re-proof; mirrors the inserter's own cap.
+  /// Exceeding it makes the edge *unproven* (reported as a race), never
+  /// silently accepted.
+  std::size_t max_enumerated_paths = 4096;
+};
+
+/// Runs all enabled analyses and returns the full report. Never throws on a
+/// bad schedule — badness is what the report is for; throws bm::Error only
+/// on API misuse (schedule not built over `dag`).
+VerifyReport verify_schedule(const InstrDag& dag, const Schedule& sched,
+                             const VerifyOptions& options = {});
+
+}  // namespace bm

@@ -219,6 +219,49 @@ TEST(ExperimentRegistry, DuplicateNameRejected) {
   EXPECT_THROW(ExperimentRegistry::instance().add(dup), Error);
 }
 
+// Every registered experiment must survive `--verify`: the static race
+// detector re-derives the safety of every schedule the run produces, and a
+// single verifier error aborts run_point with a hard failure. This is the
+// registry-wide soundness net for the scheduler (both insertion policies
+// are exercised — insertion_compare and the ablations run each policy, and
+// the harness verifies every schedule they produce).
+TEST(ExperimentRegistry, EveryExperimentPassesVerification) {
+  const fs::path root = temp_root();
+  for (const Experiment* exp : ExperimentRegistry::instance().all()) {
+    SCOPED_TRACE(exp->name);
+    const fs::path dir = root / exp->name / "verify";
+    const CliFlags flags({"--seeds", "2", "--verify", "true", "--out-dir",
+                          dir.string()});
+    ASSERT_NO_THROW(
+        flags.validate(exp->flags, {bool_flag("verify", false, "")}));
+    std::ostringstream sink;
+    std::streambuf* saved = std::cout.rdbuf(sink.rdbuf());
+    try {
+      run_experiment(*exp, flags, dir.string(), sink);
+    } catch (...) {
+      std::cout.rdbuf(saved);
+      FAIL() << exp->name << ": --verify run threw (schedule failed "
+             << "verification)";
+    }
+    std::cout.rdbuf(saved);
+#if BM_OBS_ENABLED
+    const std::string json = slurp(dir / (exp->name + ".json"));
+    const double verified = manifest_metric(json, "obs.verify.schedules", 0);
+    if (verified > 0) {
+      // Zero-valued counters are dropped from the manifest delta, so an
+      // absent key means zero races/errors — which is exactly the pass.
+      EXPECT_EQ(manifest_metric(json, "obs.verify.races", 0), 0)
+          << exp->name;
+      EXPECT_EQ(manifest_metric(json, "obs.verify.errors", 0), 0)
+          << exp->name;
+      EXPECT_GT(manifest_metric(json, "obs.verify.edges_checked", 0), 0)
+          << exp->name;
+    }
+#endif
+  }
+  fs::remove_all(root);
+}
+
 // The heavyweight sweep: run everything, check artifacts, compare jobs.
 TEST(ExperimentRegistry, EveryExperimentRunsAndArtifactsAreDeterministic) {
   const fs::path root = temp_root();
