@@ -1,0 +1,19 @@
+// Shared benchmark main: stamps the project's CMAKE_BUILD_TYPE into the
+// JSON context as `bm_build_type`. scripts/bench_gate.py keys its
+// Release-only policy on this field (context.library_build_type describes
+// the benchmark *library*, which distro packages often build as debug even
+// when the project is optimized — it is not a trustworthy signal).
+#include <benchmark/benchmark.h>
+
+#ifndef BM_BUILD_TYPE
+#define BM_BUILD_TYPE "unknown"
+#endif
+
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("bm_build_type", BM_BUILD_TYPE);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -115,5 +115,4 @@ void BM_RunPointJobs(benchmark::State& state) {
 BENCHMARK(BM_RunPointJobs)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 }  // namespace
-
-BENCHMARK_MAIN();
+// main() is bench/bench_main.cpp (stamps bm_build_type for the bench gate).

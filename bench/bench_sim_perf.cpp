@@ -71,5 +71,4 @@ void BM_ValidateTrace(benchmark::State& state) {
 BENCHMARK(BM_ValidateTrace);
 
 }  // namespace
-
-BENCHMARK_MAIN();
+// main() is bench/bench_main.cpp (stamps bm_build_type for the bench gate).

@@ -2,13 +2,23 @@
 # Full verification: configure, build, run the test suite (including the
 # parallel-harness determinism and barrier-cache consistency tests), smoke
 # every registered experiment through bmrun with a reduced seed count, and
-# record the perf microbench trajectory as BENCH_sched.json at the repo
-# root. `--asan` / `--ubsan` additionally build and test under Address- /
-# UndefinedBehaviorSanitizer in separate build trees (build-asan/,
-# build-ubsan/); `--trace-smoke` additionally produces a --trace run and
-# validates the JSON with trace_check; `--verify-smoke` exercises the
-# static schedule verifier (golden schedule, mutation rejection, selftest,
-# bmrun --verify).
+# smoke the perf microbenchmarks. `--asan` / `--ubsan` additionally build
+# and test under Address- / UndefinedBehaviorSanitizer in separate build
+# trees (build-asan/, build-ubsan/); `--trace-smoke` additionally produces
+# a --trace run and validates the JSON with trace_check; `--verify-smoke`
+# exercises the static schedule verifier (golden schedule, mutation
+# rejection, selftest, bmrun --verify).
+#
+# Benchmark regression gate (separate Release tree, build-bench/):
+#   --bench-gate   build build-bench/ (forced Release), run the gated
+#                  benchmarks with repetitions, and compare against the
+#                  committed BENCH_sched.json / BENCH_sim.json baselines
+#                  via scripts/bench_gate.py (fails on >10% + noise
+#                  regression of any gated benchmark). Also runs the
+#                  gate's selftest (a synthetic 25% slowdown must trip).
+#   --bench-regen  rebuild build-bench/ and REGENERATE the committed
+#                  baselines from it. Use on a quiet machine; commit the
+#                  resulting BENCH_*.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,16 +26,51 @@ asan=0
 ubsan=0
 trace_smoke=0
 verify_smoke=0
+bench_gate=0
+bench_regen=0
 for arg in "$@"; do
   case "$arg" in
     --asan) asan=1 ;;
     --ubsan) ubsan=1 ;;
     --trace-smoke) trace_smoke=1 ;;
     --verify-smoke) verify_smoke=1 ;;
-    *) echo "usage: $0 [--asan] [--ubsan] [--trace-smoke] [--verify-smoke]" >&2
+    --bench-gate) bench_gate=1 ;;
+    --bench-regen) bench_regen=1 ;;
+    *) echo "usage: $0 [--asan] [--ubsan] [--trace-smoke] [--verify-smoke]" \
+            "[--bench-gate] [--bench-regen]" >&2
        exit 2 ;;
   esac
 done
+
+# Benchmark timing only means anything from the dedicated Release tree;
+# these modes skip the regular build/test pass entirely.
+if [[ "$bench_gate" -eq 1 || "$bench_regen" -eq 1 ]]; then
+  cmake -B build-bench -G Ninja -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-bench --target bench_scheduler_perf bench_sim_perf
+  if [[ "$bench_regen" -eq 1 ]]; then
+    python3 scripts/bench_gate.py run \
+        build-bench/bench/bench_scheduler_perf BENCH_sched.json
+    python3 scripts/bench_gate.py run \
+        build-bench/bench/bench_sim_perf BENCH_sim.json
+    echo "baselines regenerated; review and commit BENCH_*.json"
+  else
+    python3 scripts/bench_gate.py validate BENCH_sched.json
+    python3 scripts/bench_gate.py validate BENCH_sim.json
+    python3 scripts/bench_gate.py selftest BENCH_sched.json
+    python3 scripts/bench_gate.py selftest BENCH_sim.json
+    mkdir -p out
+    python3 scripts/bench_gate.py run \
+        build-bench/bench/bench_scheduler_perf out/bench_sched_current.json
+    python3 scripts/bench_gate.py run \
+        build-bench/bench/bench_sim_perf out/bench_sim_current.json
+    python3 scripts/bench_gate.py check out/bench_sched_current.json \
+        --baseline BENCH_sched.json
+    python3 scripts/bench_gate.py check out/bench_sim_current.json \
+        --baseline BENCH_sim.json
+    echo "bench gate passed"
+  fi
+  exit 0
+fi
 
 cmake -B build -G Ninja
 cmake --build build
@@ -45,14 +90,14 @@ for exp in $(./build/bmrun list --names); do
     && echo "ok  $exp"
 done
 
-# Perf trajectory: benchmark JSON checked in at the repo root so PRs can be
-# compared. bench_sim_perf runs too (smoke + local inspection) but only the
-# scheduler-side numbers are tracked.
+# Smoke the microbench binaries (one rep, throwaway output). The committed
+# BENCH_*.json baselines are NOT written here: they only come from the
+# forced-Release build-bench/ tree via `--bench-regen`, and bench_gate.py
+# refuses JSON whose context is not stamped Release.
 ./build/bench/bench_scheduler_perf --benchmark_format=json \
-    --benchmark_out=BENCH_sched.json --benchmark_out_format=json > /dev/null \
-  && echo "ok  bench_scheduler_perf -> BENCH_sched.json"
-./build/bench/bench_sim_perf --benchmark_format=json > /tmp/bench_sim.json \
-  && echo "ok  bench_sim_perf"
+    > /tmp/bench_sched_smoke.json && echo "ok  bench_scheduler_perf (smoke)"
+./build/bench/bench_sim_perf --benchmark_format=json \
+    > /tmp/bench_sim_smoke.json && echo "ok  bench_sim_perf (smoke)"
 
 if [[ "$verify_smoke" -eq 1 ]]; then
   mkdir -p out

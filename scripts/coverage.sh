@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Line-coverage gate for the scheduler core. Builds build-cov/ with
+# --coverage instrumentation, runs the test suite, and enforces a soft
+# floor over src/sched/ + src/graph/ (the columnar hot path: the layers
+# most likely to grow untested fast paths). The floor is deliberately
+# conservative — it catches "forgot to test the new subsystem", not
+# line-level nitpicks.
+#
+# Uses gcovr when installed (CI); otherwise falls back to aggregating
+# plain `gcov -n` summaries, so the gate runs in minimal containers too.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FLOOR="${BM_COV_FLOOR:-70}"
+
+cmake -B build-cov -G Ninja -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="--coverage" -DCMAKE_EXE_LINKER_FLAGS="--coverage"
+cmake --build build-cov
+ctest --test-dir build-cov --output-on-failure -j 4 > /dev/null
+echo "ok  test suite under coverage instrumentation"
+
+if command -v gcovr > /dev/null; then
+  gcovr -r . build-cov \
+    --filter 'src/sched/' --filter 'src/graph/' \
+    --print-summary --fail-under-line "$FLOOR"
+else
+  python3 - "$FLOOR" <<'EOF'
+import re, subprocess, sys, tempfile
+from pathlib import Path
+
+floor = float(sys.argv[1])
+gcda = [p for p in Path("build-cov").rglob("*.gcda")
+        if re.search(r"src/(sched|graph)/", str(p))]
+if not gcda:
+    sys.exit("coverage: no .gcda files for src/sched or src/graph")
+covered = total = 0.0
+per_file = {}
+with tempfile.TemporaryDirectory() as td:
+    for g in gcda:
+        out = subprocess.run(["gcov", "-n", str(g.resolve())], cwd=td,
+                             capture_output=True, text=True).stdout
+        for m in re.finditer(
+            r"File '([^']*src/(?:sched|graph)/[^']*)'\n"
+            r"Lines executed:([\d.]+)% of (\d+)", out):
+            f, pct, n = m.group(1), float(m.group(2)), int(m.group(3))
+            # A file appears once per test binary linking it; keep the max.
+            prev = per_file.get(f)
+            if prev is None or pct * n > prev[0] * prev[1]:
+                per_file[f] = (pct, n)
+for f in sorted(per_file):
+    pct, n = per_file[f]
+    covered += pct / 100.0 * n
+    total += n
+    print(f"{f:60} {pct:6.1f}% of {n}")
+overall = 100.0 * covered / total
+print(f"{'TOTAL (src/sched + src/graph)':60} {overall:6.1f}% of {int(total)}")
+if overall < floor:
+    sys.exit(f"coverage: {overall:.1f}% is below the {floor:.0f}% floor")
+print(f"ok  coverage {overall:.1f}% >= floor {floor:.0f}%")
+EOF
+fi

@@ -4,6 +4,7 @@
 
 #include "obs/obs.hpp"
 #include "support/assert.hpp"
+#include "support/scratch.hpp"
 
 namespace bm {
 
@@ -19,7 +20,7 @@ BarrierDag::BarrierDag(std::size_t num_barrier_ids, BarrierId initial,
   auto intern = [&](BarrierId b) -> NodeId {
     BM_REQUIRE(b < index_.size(), "barrier id out of range");
     if (index_[b] == kInvalidNode) {
-      index_[b] = g_.add_node();
+      index_[b] = static_cast<NodeId>(ids_.size());
       ids_.push_back(b);
     }
     return index_[b];
@@ -35,53 +36,100 @@ BarrierDag::BarrierDag(std::size_t num_barrier_ids, BarrierId initial,
       const NodeId u = intern(chain.barriers[i]);
       const NodeId v = intern(chain.barriers[i + 1]);
       BM_REQUIRE(u != v, "consecutive chain barriers must differ");
-      g_.add_edge(u, v);
-      const auto key = edge_key(u, v);
-      const auto it = edges_.find(key);
-      if (it == edges_.end())
-        edges_.emplace(key, chain.segments[i]);
-      else
-        it->second = it->second.join_max(chain.segments[i]);  // Fig. 13 rule
+      edges_.emplace_back(edge_key(u, v), chain.segments[i]);
     }
   }
-  BM_REQUIRE(is_dag(g_), "barrier ordering contains a cycle");
+  const std::size_t n_nodes = ids_.size();
 
-  // Flat weighted adjacency and the topological order, computed once and
-  // reused by every ψ sweep (hoists the std::map lookup out of the hot path).
-  topo_ = topo_order(g_);
-  adj_.resize(g_.size());
-  for (NodeId n = 0; n < g_.size(); ++n) {
-    adj_[n].reserve(g_.succs(n).size());
-    for (NodeId s : g_.succs(n)) {
-      const TimeRange r = edges_.at(edge_key(n, s));
-      adj_[n].push_back({s, TimeRange{r.min + latency_, r.max + latency_}});
+  // Aggregate parallel chain traversals of one edge with the Fig. 13 rule
+  // (join_max), collapsing the raw list into a sorted unique-key table.
+  std::sort(edges_.begin(), edges_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (out > 0 && edges_[out - 1].first == edges_[i].first)
+      edges_[out - 1].second = edges_[out - 1].second.join_max(edges_[i].second);
+    else
+      edges_[out++] = edges_[i];
+  }
+  edges_.resize(out);
+
+  // Flat weighted adjacency straight from the sorted unique edge table (its
+  // key order groups edges by source node), reused with `topo_` by every ψ
+  // sweep. No per-node Digraph is materialized here — see lazy_digraph().
+  adj_off_.assign(n_nodes + 1, 0);
+  indeg_.assign(n_nodes, 0);
+  for (const auto& [key, w] : edges_) {
+    ++adj_off_[(key >> 32) + 1];
+    ++indeg_[static_cast<NodeId>(key)];
+  }
+  for (std::size_t v = 1; v <= n_nodes; ++v) adj_off_[v] += adj_off_[v - 1];
+  adj_dat_.resize(edges_.size());
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const auto& [key, w] = edges_[i];
+    adj_dat_[i] = {static_cast<NodeId>(key),
+                   TimeRange{w.min + latency_, w.max + latency_}};
+  }
+
+  // Kahn order over the CSR; completing it doubles as the acyclicity check,
+  // saving a separate is_dag sweep in this rebuilt-per-mutation constructor.
+  topo_.clear();
+  topo_.reserve(n_nodes);
+  {
+    ScratchVec<std::uint32_t> indeg_scratch;
+    auto& indeg = *indeg_scratch;
+    indeg.assign(indeg_.begin(), indeg_.end());
+    for (NodeId n = 0; n < n_nodes; ++n)
+      if (indeg[n] == 0) topo_.push_back(n);
+    for (std::size_t k = 0; k < topo_.size(); ++k) {
+      const NodeId n = topo_[k];
+      for (std::uint32_t e = adj_off_[n]; e < adj_off_[n + 1]; ++e)
+        if (--indeg[adj_dat_[e].to] == 0) topo_.push_back(adj_dat_[e].to);
     }
   }
-  psi_min_cache_.resize(g_.size());
-  psi_max_cache_.resize(g_.size());
+  BM_REQUIRE(topo_.size() == n_nodes, "graph has a cycle");
 
-  // Reflexive-transitive closure, in reverse topological order. (Built
-  // before the fire ranges: the ψ sweeps prune on it.)
-  reach_.assign(g_.size(), DynBitset(g_.size()));
+  psi_min_cache_.resize(n_nodes * n_nodes);
+  psi_max_cache_.resize(n_nodes * n_nodes);
+  psi_min_filled_.assign(n_nodes, 0);
+  psi_max_filled_.assign(n_nodes, 0);
+
+  // Reflexive-transitive closure as flat bit rows, in reverse topological
+  // order. (Built before the fire ranges: the ψ sweeps prune on it.)
+  reach_stride_ = (n_nodes + 63) / 64;
+  reach_.assign(n_nodes * reach_stride_, 0);
   for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
     const NodeId n = *it;
-    reach_[n].set(n);
-    for (NodeId s : g_.succs(n)) reach_[n] |= reach_[s];
+    std::uint64_t* row = reach_.data() + n * reach_stride_;
+    row[n >> 6] |= std::uint64_t{1} << (n & 63);
+    for (std::uint32_t e = adj_off_[n]; e < adj_off_[n + 1]; ++e) {
+      const std::uint64_t* src = reach_.data() + adj_dat_[e].to * reach_stride_;
+      for (std::size_t w = 0; w < reach_stride_; ++w) row[w] |= src[w];
+    }
   }
 
   // Fire ranges: longest paths from the initial barrier under min and max
   // edge times (achieved by the all-min / all-max draws respectively).
   const NodeId root = index_[initial_];
-  const std::vector<Time>& fmin = psi_from(root, /*use_max=*/false);
-  const std::vector<Time>& fmax = psi_from(root, /*use_max=*/true);
-  fire_.resize(g_.size());
-  for (NodeId n = 0; n < g_.size(); ++n) {
+  const Time* fmin = psi_row(root, /*use_max=*/false);
+  const Time* fmax = psi_row(root, /*use_max=*/true);
+  fire_.resize(n_nodes);
+  for (NodeId n = 0; n < n_nodes; ++n) {
     BM_REQUIRE(fmin[n] != kUnreachable,
                "barrier not reachable from the initial barrier");
     fire_[n] = TimeRange{fmin[n], fmax[n]};
   }
+}
 
-  dom_ = std::make_unique<DominatorTree>(g_, root);
+const Digraph& BarrierDag::lazy_digraph() const {
+  if (!lazy_g_) {
+    auto g = std::make_unique<Digraph>();
+    for (std::size_t n = 0; n < size(); ++n) g->add_node();
+    for (const auto& [key, w] : edges_)
+      g->add_edge(static_cast<NodeId>(key >> 32), static_cast<NodeId>(key));
+    lazy_g_ = std::move(g);
+  }
+  return *lazy_g_;
 }
 
 BarrierDag::~BarrierDag() {
@@ -92,22 +140,33 @@ BarrierDag::~BarrierDag() {
     BM_OBS_COUNT_N("barrier.psi_cache_misses", tally_.misses);
 }
 
-const std::vector<Time>& BarrierDag::psi_from(NodeId src, bool use_max) const {
-  std::vector<Time>& dist =
-      use_max ? psi_max_cache_[src] : psi_min_cache_[src];
-  if (!dist.empty()) {
+const TimeRange* BarrierDag::find_edge(NodeId a, NodeId b) const {
+  const std::uint64_t key = edge_key(a, b);
+  const auto it = std::lower_bound(
+      edges_.begin(), edges_.end(), key,
+      [](const auto& e, std::uint64_t k) { return e.first < k; });
+  if (it == edges_.end() || it->first != key) return nullptr;
+  return &it->second;
+}
+
+const Time* BarrierDag::psi_row(NodeId src, bool use_max) const {
+  std::uint8_t& filled = use_max ? psi_max_filled_[src] : psi_min_filled_[src];
+  Time* dist = (use_max ? psi_max_cache_.data() : psi_min_cache_.data()) +
+               src * size();
+  if (filled) {
     ++tally_.hits;  // memo hit: O(1) amortized queries
     return dist;
   }
   ++tally_.misses;
-  dist.assign(g_.size(), kUnreachable);
+  filled = 1;
+  std::fill(dist, dist + size(), kUnreachable);
   dist[src] = 0;
-  const DynBitset& reachable = reach_[src];
   for (NodeId n : topo_) {
-    if (!reachable.test(n) || dist[n] == kUnreachable) continue;
-    for (const WeightedEdge& e : adj_[n]) {
-      const Time d = dist[n] + (use_max ? e.w.max : e.w.min);
-      if (d > dist[e.to]) dist[e.to] = d;
+    if (!reach_test(src, n) || dist[n] == kUnreachable) continue;
+    for (std::uint32_t e = adj_off_[n]; e < adj_off_[n + 1]; ++e) {
+      const WeightedEdge& we = adj_dat_[e];
+      const Time d = dist[n] + (use_max ? we.w.max : we.w.min);
+      if (d > dist[we.to]) dist[we.to] = d;
     }
   }
   return dist;
@@ -123,13 +182,13 @@ NodeId BarrierDag::index_of(BarrierId b) const {
 }
 
 bool BarrierDag::has_edge(BarrierId u, BarrierId v) const {
-  return edges_.contains(edge_key(index_of(u), index_of(v)));
+  return find_edge(index_of(u), index_of(v)) != nullptr;
 }
 
 TimeRange BarrierDag::edge_range(BarrierId u, BarrierId v) const {
-  const auto it = edges_.find(edge_key(index_of(u), index_of(v)));
-  BM_REQUIRE(it != edges_.end(), "no such barrier edge");
-  return it->second;
+  const TimeRange* r = find_edge(index_of(u), index_of(v));
+  BM_REQUIRE(r != nullptr, "no such barrier edge");
+  return *r;
 }
 
 TimeRange BarrierDag::fire_range(BarrierId b) const {
@@ -137,81 +196,99 @@ TimeRange BarrierDag::fire_range(BarrierId b) const {
 }
 
 bool BarrierDag::path_exists(BarrierId u, BarrierId v) const {
-  return reach_[index_of(u)].test(index_of(v));
+  return reach_test(index_of(u), index_of(v));
 }
 
 BarrierId BarrierDag::common_dominator(BarrierId a, BarrierId b) const {
+  // Built on first use: rebuilds triggered by merge sweeps often never ask
+  // for a dominator before the next mutation invalidates the dag.
+  if (!dom_)
+    dom_ = std::make_unique<DominatorTree>(lazy_digraph(), index_[initial_]);
   return ids_[dom_->common_dominator(index_of(a), index_of(b))];
 }
 
 Time BarrierDag::psi_max(BarrierId u, BarrierId v) const {
-  return psi_from(index_of(u), /*use_max=*/true)[index_of(v)];
+  return psi_row(index_of(u), /*use_max=*/true)[index_of(v)];
 }
 
 Time BarrierDag::psi_min(BarrierId u, BarrierId v) const {
-  return psi_from(index_of(u), /*use_max=*/false)[index_of(v)];
+  return psi_row(index_of(u), /*use_max=*/false)[index_of(v)];
 }
 
 Time BarrierDag::psi_min_star(
     BarrierId u, BarrierId w,
     std::span<const std::pair<BarrierId, BarrierId>> forced_max) const {
   if (forced_max.empty()) return psi_min(u, w);  // plain ψ_min: memo hit
-  std::vector<std::uint64_t> forced;
+  ScratchVec<std::uint64_t> forced_s;
+  auto& forced = *forced_s;
+  forced.clear();
   forced.reserve(forced_max.size());
   for (const auto& [a, b] : forced_max)
     forced.push_back(edge_key(index_of(a), index_of(b)));
   std::sort(forced.begin(), forced.end());
   // The forced-edge set differs per query, so this sweep is not memoizable;
-  // it still reuses the precomputed topo order, weighted adjacency, and
+  // it still reuses the precomputed topo order, CSR adjacency, and
   // reachability pruning.
   const NodeId src = index_of(u);
-  std::vector<Time> dist(g_.size(), kUnreachable);
+  ScratchVec<Time> dist_s;
+  auto& dist = *dist_s;
+  dist.assign(size(), kUnreachable);
   dist[src] = 0;
-  const DynBitset& reachable = reach_[src];
   for (NodeId n : topo_) {
-    if (!reachable.test(n) || dist[n] == kUnreachable) continue;
-    for (const WeightedEdge& e : adj_[n]) {
+    if (!reach_test(src, n) || dist[n] == kUnreachable) continue;
+    for (std::uint32_t e = adj_off_[n]; e < adj_off_[n + 1]; ++e) {
+      const WeightedEdge& we = adj_dat_[e];
       const bool force =
-          std::binary_search(forced.begin(), forced.end(), edge_key(n, e.to));
-      const Time d = dist[n] + (force ? e.w.max : e.w.min);
-      if (d > dist[e.to]) dist[e.to] = d;
+          std::binary_search(forced.begin(), forced.end(), edge_key(n, we.to));
+      const Time d = dist[n] + (force ? we.w.max : we.w.min);
+      if (d > dist[we.to]) dist[we.to] = d;
     }
   }
   return dist[index_of(w)];
 }
 
 std::vector<BarrierId> BarrierDag::linear_extension() const {
-  std::vector<std::size_t> indegree(g_.size());
-  for (NodeId n = 0; n < g_.size(); ++n) indegree[n] = g_.preds(n).size();
+  std::vector<BarrierId> out;
+  linear_extension_into(out);
+  return out;
+}
+
+void BarrierDag::linear_extension_into(std::vector<BarrierId>& out) const {
+  ScratchVec<std::uint32_t> indegree_s;
+  ScratchVec<NodeId> ready_s;
+  auto& indegree = *indegree_s;
+  auto& ready = *ready_s;
+  indegree.assign(indeg_.begin(), indeg_.end());
 
   auto better = [&](NodeId a, NodeId b) {  // true if a should fire before b
     const auto ka = std::pair<Time, BarrierId>{fire_[a].min, ids_[a]};
     const auto kb = std::pair<Time, BarrierId>{fire_[b].min, ids_[b]};
     return ka < kb;
   };
-  std::vector<NodeId> ready;
-  for (NodeId n = 0; n < g_.size(); ++n)
+  ready.clear();
+  for (NodeId n = 0; n < size(); ++n)
     if (indegree[n] == 0) ready.push_back(n);
 
-  std::vector<BarrierId> out;
-  out.reserve(g_.size());
+  out.clear();
+  out.reserve(size());
   while (!ready.empty()) {
     const auto it = std::min_element(ready.begin(), ready.end(), better);
     const NodeId n = *it;
     ready.erase(it);
     out.push_back(ids_[n]);
-    for (NodeId s : g_.succs(n))
-      if (--indegree[s] == 0) ready.push_back(s);
+    for (std::uint32_t e = adj_off_[n]; e < adj_off_[n + 1]; ++e)
+      if (--indegree[adj_dat_[e].to] == 0) ready.push_back(adj_dat_[e].to);
   }
-  BM_ASSERT_INTERNAL(out.size() == g_.size(), "linear extension incomplete");
-  return out;
+  BM_ASSERT_INTERNAL(out.size() == size(), "linear extension incomplete");
 }
 
 BarrierDag::MaxPathRange::MaxPathRange(const BarrierDag& dag, NodeId from,
                                        NodeId to)
     : dag_(dag),
-      inner_(dag.g_, from, to, [&dag](NodeId a, NodeId b) {
-        return dag.edges_.at(edge_key(a, b)).max + dag.latency_;
+      inner_(dag.lazy_digraph(), from, to, [&dag](NodeId a, NodeId b) {
+        const TimeRange* r = dag.find_edge(a, b);
+        BM_ASSERT_INTERNAL(r != nullptr, "missing edge in path enumeration");
+        return r->max + dag.latency_;
       }) {}
 
 bool BarrierDag::MaxPathRange::next(std::vector<BarrierId>& path,

@@ -12,7 +12,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <optional>
 #include <span>
@@ -110,6 +109,8 @@ class BarrierDag {
   /// by id). This is the order the SBM hardware queue is loaded in — a
   /// linear extension can delay but never deadlock the mask FIFO.
   std::vector<BarrierId> linear_extension() const;
+  /// Same, filling a caller-owned buffer (the SBM simulator's pooled queue).
+  void linear_extension_into(std::vector<BarrierId>& out) const;
 
   /// Enumerates u→v paths in non-increasing max-time length. Wraps
   /// PathEnumerator, translating to public barrier ids.
@@ -136,34 +137,57 @@ class BarrierDag {
   static std::uint64_t edge_key(NodeId a, NodeId b) {
     return (static_cast<std::uint64_t>(a) << 32) | b;
   }
+  /// Binary search in the sorted flat edge table; nullptr if absent.
+  const TimeRange* find_edge(NodeId a, NodeId b) const;
 
   /// Memoized longest-path frontier from `src` (min or max edge weights):
-  /// one topological sweep on first use, then O(1) lookups. Sweeps walk the
-  /// precomputed `topo_` order and flat `adj_`, touching only nodes the
-  /// `reach_` closure marks reachable from `src`.
-  const std::vector<Time>& psi_from(NodeId src, bool use_max) const;
+  /// one topological sweep on first use filling the flat ψ cache row, then
+  /// O(1) lookups. Sweeps walk the precomputed `topo_` order and the CSR
+  /// adjacency, touching only nodes the closure marks reachable from `src`.
+  const Time* psi_row(NodeId src, bool use_max) const;
+
+  bool reach_test(NodeId u, NodeId v) const {
+    return (reach_[u * reach_stride_ + (v >> 6)] >> (v & 63)) & 1u;
+  }
+
+  std::size_t size() const { return ids_.size(); }
+  /// Node-keyed Digraph view, built on demand: only the dominator tree and
+  /// path enumeration need it. Everything else (ψ sweeps, closure, Kahn)
+  /// runs on the flat CSR, so the rebuilt-per-mutation constructor never
+  /// pays for per-node adjacency vectors.
+  const Digraph& lazy_digraph() const;
 
   BarrierId initial_;
   Time latency_ = 0;
   std::vector<BarrierId> ids_;        ///< dense index -> barrier id
   std::vector<NodeId> index_;         ///< barrier id -> dense index
-  Digraph g_;
-  std::map<std::uint64_t, TimeRange> edges_;
+  mutable std::unique_ptr<Digraph> lazy_g_;
+  /// Aggregated edge ranges keyed by (from,to), sorted — a flat stand-in
+  /// for the former std::map (one allocation, binary-search lookups).
+  std::vector<std::pair<std::uint64_t, TimeRange>> edges_;
+  std::vector<std::uint32_t> indeg_;  ///< per node, from the unique edges
   std::vector<TimeRange> fire_;
-  std::vector<DynBitset> reach_;      ///< reach_[u].test(v): path u→v (refl.)
-  std::unique_ptr<DominatorTree> dom_;
+  /// Reflexive-transitive closure as contiguous bit rows of `reach_stride_`
+  /// words each: bit v of row u set iff a path u→v exists.
+  std::size_t reach_stride_ = 0;
+  std::vector<std::uint64_t> reach_;
+  /// Lazily built on the first common_dominator query (many rebuilds never
+  /// issue one before the next mutation discards the dag).
+  mutable std::unique_ptr<DominatorTree> dom_;
 
-  /// Weighted adjacency (succ, latency-charged edge range) per node — the
-  /// std::map edge lookup hoisted out of every sweep.
+  /// Weighted adjacency (succ, latency-charged edge range), CSR layout —
+  /// the edge-table lookup hoisted out of every sweep.
   struct WeightedEdge {
     NodeId to;
     TimeRange w;  ///< edge range + latency on both bounds
   };
-  std::vector<std::vector<WeightedEdge>> adj_;
+  std::vector<std::uint32_t> adj_off_;  ///< size() + 1 offsets
+  std::vector<WeightedEdge> adj_dat_;
   std::vector<NodeId> topo_;  ///< topological order, computed once
 
-  mutable std::vector<std::vector<Time>> psi_min_cache_;  ///< per source
-  mutable std::vector<std::vector<Time>> psi_max_cache_;
+  /// Flat B×B ψ memo (row per source) with per-row filled flags.
+  mutable std::vector<Time> psi_min_cache_, psi_max_cache_;
+  mutable std::vector<std::uint8_t> psi_min_filled_, psi_max_filled_;
 
   /// ψ-cache hit/miss tallies plus a liveness marker for dtor folding.
   /// Moving transfers the counts and disarms the source, so defaulted

@@ -124,14 +124,18 @@ void run_experiment(const Experiment& exp, const CliFlags& flags,
   // in the manifest's metrics block under an "obs." prefix. Counters hold
   // only deterministic quantities, so the manifest stays byte-identical
   // across --jobs values (wall time goes to the trace, never in here).
+  // "mem."-prefixed counters (scratch-pool misses/grows) are excluded: pools
+  // are thread-local, so their totals depend on the worker count.
   const obs::Snapshot before = obs::snapshot();
   {
     BM_OBS_SPAN(exp_span, "exp:" + exp.name, "exp");
     exp.run(ctx);
   }
   const obs::Snapshot used = obs::delta(before, obs::snapshot());
-  for (const obs::Snapshot::Entry& e : used.entries)
+  for (const obs::Snapshot::Entry& e : used.entries) {
+    if (e.key.rfind("mem.", 0) == 0) continue;
     artifacts.metric("obs." + e.key, e.value);
+  }
   if (!exp.expected.empty()) os << '\n' << exp.expected << '\n';
   // The JSON result deliberately omits the worker count: a rerun with a
   // different --jobs must be byte-identical.

@@ -73,7 +73,46 @@ InstrDag InstrDag::build(const Program& prog, const TimingModel& tm) {
     dag.asap_[i] = TimeRange{fmin[i], fmax[i]};
   }
   dag.critical_ = dag.asap_[dag.exit_];
+  dag.build_columns();
   return dag;
+}
+
+void InstrDag::build_columns() {
+  const std::size_t total = g_.size();
+  pred_off_.assign(total + 1, 0);
+  succ_off_.assign(total + 1, 0);
+  indeg_.assign(total, 0);
+  for (NodeId n = 0; n < total; ++n) {
+    pred_off_[n + 1] =
+        pred_off_[n] + static_cast<std::uint32_t>(g_.preds(n).size());
+    succ_off_[n + 1] =
+        succ_off_[n] + static_cast<std::uint32_t>(g_.succs(n).size());
+    indeg_[n] = static_cast<std::uint32_t>(g_.preds(n).size());
+  }
+  pred_dat_.resize(pred_off_[total]);
+  succ_dat_.resize(succ_off_[total]);
+  for (NodeId n = 0; n < total; ++n) {
+    std::uint32_t kp = pred_off_[n];
+    for (NodeId p : g_.preds(n)) pred_dat_[kp++] = p;
+    std::uint32_t ks = succ_off_[n];
+    for (NodeId s : g_.succs(n)) succ_dat_[ks++] = s;
+  }
+  // Instruction-producer CSR: per instruction node, its predecessors with
+  // the entry dummy filtered out (dummies only ever precede instructions
+  // via the entry node).
+  iprd_off_.assign(num_instr_ + 1, 0);
+  for (NodeId n = 0; n < num_instr_; ++n) {
+    std::uint32_t cnt = 0;
+    for (NodeId p : g_.preds(n))
+      if (!is_dummy(p)) ++cnt;
+    iprd_off_[n + 1] = iprd_off_[n] + cnt;
+  }
+  iprd_dat_.resize(iprd_off_[num_instr_]);
+  for (NodeId n = 0; n < num_instr_; ++n) {
+    std::uint32_t k = iprd_off_[n];
+    for (NodeId p : g_.preds(n))
+      if (!is_dummy(p)) iprd_dat_[k++] = p;
+  }
 }
 
 std::vector<TimeRange> InstrDag::asap_instruction_columns() const {

@@ -9,8 +9,15 @@
 //  - anti: Load v → next Store v,
 //  - output: Store v → next Store v.
 // On generator output (post-optimization) only dataflow and anti edges occur.
+//
+// Data layout: alongside the mutable Digraph used during construction, the
+// dag carries a columnar core built once per block — contiguous h_min /
+// h_max / indegree columns and CSR predecessor/successor arrays (plus a
+// dummy-filtered instruction-producer CSR) — so the scheduler's inner loop
+// reads spans out of flat arrays instead of chasing per-node vectors.
 #pragma once
 
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -35,6 +42,21 @@ class InstrDag {
 
   const TimeRange& time(NodeId n) const { return time_.at(n); }
 
+  /// CSR adjacency views (same per-node edge order as graph()).
+  std::span<const NodeId> preds(NodeId n) const {
+    return {pred_dat_.data() + pred_off_[n], pred_off_[n + 1] - pred_off_[n]};
+  }
+  std::span<const NodeId> succs(NodeId n) const {
+    return {succ_dat_.data() + succ_off_[n], succ_off_[n + 1] - succ_off_[n]};
+  }
+  /// Producers of instruction `n` that are themselves instructions (the
+  /// entry dummy filtered out) — the scheduler's per-node dependence scan.
+  std::span<const NodeId> instr_preds(NodeId n) const {
+    return {iprd_dat_.data() + iprd_off_[n], iprd_off_[n + 1] - iprd_off_[n]};
+  }
+  /// Full in-degree column (dummies included), one entry per node.
+  std::uint32_t indegree(NodeId n) const { return indeg_[n]; }
+
   /// Heights (§4.1): length of the longest path from node n to the exit,
   /// summing node times including n's own.
   Time h_min(NodeId n) const { return h_min_.at(n); }
@@ -57,6 +79,8 @@ class InstrDag {
   std::size_t implied_syncs() const { return sync_edges_.size(); }
 
  private:
+  void build_columns();
+
   Digraph g_;
   std::size_t num_instr_ = 0;
   NodeId entry_ = kInvalidNode;
@@ -66,6 +90,11 @@ class InstrDag {
   std::vector<TimeRange> asap_;
   TimeRange critical_{0, 0};
   std::vector<std::pair<NodeId, NodeId>> sync_edges_;
+
+  // Columnar core (CSR edges + indegree), frozen after build().
+  std::vector<std::uint32_t> pred_off_, succ_off_, iprd_off_;
+  std::vector<NodeId> pred_dat_, succ_dat_, iprd_dat_;
+  std::vector<std::uint32_t> indeg_;
 };
 
 }  // namespace bm

@@ -37,37 +37,67 @@ PathEnumerator::PathEnumerator(const Digraph& g, NodeId from, NodeId to,
                                EdgeWeightFn weight)
     : g_(g), to_(to), weight_(std::move(weight)) {
   BM_REQUIRE(from < g.size() && to < g.size(), "endpoint out of range");
-  to_dist_ = longest_to(g_, to_, weight_);
-  if (to_dist_[from] != kUnreachable) {
-    Partial p;
-    p.prefix_length = 0;
-    p.priority = to_dist_[from];
-    p.nodes = {from};
-    heap_.push_back(std::move(p));
+  // Longest distance to `to_` per node, into the pooled buffer (same
+  // fixpoint as longest_to; any topological order yields the same values).
+  auto& dist = *to_dist_;
+  dist.assign(g_.size(), kUnreachable);
+  dist[to_] = 0;
+  {
+    ScratchVec<std::uint32_t> indeg_s;
+    ScratchVec<NodeId> topo_s;
+    auto& indeg = *indeg_s;
+    auto& topo = *topo_s;
+    indeg.resize(g_.size());
+    topo.clear();
+    for (NodeId n = 0; n < g_.size(); ++n) {
+      indeg[n] = static_cast<std::uint32_t>(g_.preds(n).size());
+      if (indeg[n] == 0) topo.push_back(n);
+    }
+    for (std::size_t k = 0; k < topo.size(); ++k)
+      for (NodeId s : g_.succs(topo[k]))
+        if (--indeg[s] == 0) topo.push_back(s);
+    BM_REQUIRE(topo.size() == g_.size(), "graph has a cycle");
+    for (std::size_t k = topo.size(); k-- > 0;) {
+      const NodeId n = topo[k];
+      for (NodeId s : g_.succs(n)) {
+        if (dist[s] == kUnreachable) continue;
+        dist[n] = std::max(dist[n], weight_(n, s) + dist[s]);
+      }
+    }
+  }
+  arena_->clear();
+  heap_->clear();
+  if (dist[from] != kUnreachable) {
+    arena_->push_back({from, kNoParent});
+    heap_->push_back({dist[from], 0, from, 0});
   }
 }
 
 bool PathEnumerator::next(Path& path, Time& length) {
-  while (!heap_.empty()) {
-    std::pop_heap(heap_.begin(), heap_.end(), PartialLess{});
-    Partial cur = std::move(heap_.back());
-    heap_.pop_back();
+  auto& heap = *heap_;
+  auto& arena = *arena_;
+  const auto& dist = *to_dist_;
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), PartialLess{});
+    const Partial cur = heap.back();
+    heap.pop_back();
 
-    const NodeId last = cur.nodes.back();
-    if (last == to_) {
-      path = std::move(cur.nodes);
+    if (cur.last == to_) {
+      path.clear();
+      for (std::uint32_t link = cur.chain; link != kNoParent;
+           link = arena[link].parent)
+        path.push_back(arena[link].node);
+      std::reverse(path.begin(), path.end());
       length = cur.prefix_length;
       return true;
     }
-    for (NodeId s : g_.succs(last)) {
-      if (to_dist_[s] == kUnreachable) continue;  // cannot complete
-      Partial ext;
-      ext.prefix_length = cur.prefix_length + weight_(last, s);
-      ext.priority = ext.prefix_length + to_dist_[s];
-      ext.nodes = cur.nodes;
-      ext.nodes.push_back(s);
-      heap_.push_back(std::move(ext));
-      std::push_heap(heap_.begin(), heap_.end(), PartialLess{});
+    for (NodeId s : g_.succs(cur.last)) {
+      if (dist[s] == kUnreachable) continue;  // cannot complete
+      const Time prefix = cur.prefix_length + weight_(cur.last, s);
+      arena.push_back({s, cur.chain});
+      heap.push_back({prefix + dist[s], prefix, s,
+                      static_cast<std::uint32_t>(arena.size() - 1)});
+      std::push_heap(heap.begin(), heap.end(), PartialLess{});
     }
   }
   return false;

@@ -2,12 +2,14 @@
 // labeling (§4.1) and the barrier-dag timing queries (§4.4).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <limits>
 #include <vector>
 
 #include "graph/digraph.hpp"
 #include "ir/timing.hpp"
+#include "support/scratch.hpp"
 
 namespace bm {
 
@@ -31,6 +33,12 @@ using Path = std::vector<NodeId>;
 /// Enumerates u→v paths in non-increasing order of total edge weight.
 /// Best-first search over path prefixes with the exact longest-remaining
 /// distance as priority, so each next() is optimal among unreported paths.
+///
+/// Prefixes are stored as parent links into a shared arena rather than as
+/// one node vector per heap entry, and every internal buffer is a pooled
+/// ScratchVec — enumerations inside the per-seed scheduling loop allocate
+/// nothing in steady state. Consequently non-copyable and non-movable;
+/// construct it where it is used.
 class PathEnumerator {
  public:
   PathEnumerator(const Digraph& g, NodeId from, NodeId to,
@@ -41,22 +49,30 @@ class PathEnumerator {
   bool next(Path& path, Time& length);
 
  private:
+  static constexpr std::uint32_t kNoParent = ~std::uint32_t{0};
+
   struct Partial {
     Time priority;  // prefix length + exact longest completion
     Time prefix_length;
-    Path nodes;
+    NodeId last;           // final node of the prefix
+    std::uint32_t chain;   // arena index of the prefix's tail link
   };
   struct PartialLess {
     bool operator()(const Partial& a, const Partial& b) const {
       return a.priority < b.priority;
     }
   };
+  struct ChainLink {
+    NodeId node;
+    std::uint32_t parent;  // kNoParent at the path source
+  };
 
   const Digraph& g_;
   NodeId to_;
   EdgeWeightFn weight_;
-  std::vector<Time> to_dist_;  // longest distance to `to_` per node
-  std::vector<Partial> heap_;
+  ScratchVec<Time> to_dist_;      // longest distance to `to_` per node
+  ScratchVec<Partial> heap_;
+  ScratchVec<ChainLink> arena_;   // shared prefix storage (parent links)
 };
 
 }  // namespace bm

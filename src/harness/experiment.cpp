@@ -76,10 +76,10 @@ SeedResult run_seed(const GeneratorConfig& gen, const SchedulerConfig& sched,
     BM_OBS_SPAN(span, "sim.summarize", "sim");
     const std::size_t runs = opt.sim_runs > 0 ? opt.sim_runs : 1;
     if (opt.validate_draws) {
+      static thread_local ExecTrace t;  // resized in place per draw
       for (std::size_t k = 0; k < runs; ++k) {
-        const ExecTrace t = simulate(*scheduled.schedule,
-                                     {sched.machine, SamplingMode::kUniform},
-                                     rng);
+        simulate_into(*scheduled.schedule,
+                      {sched.machine, SamplingMode::kUniform}, rng, t);
         r.violations += find_violations(dag, t).size();
       }
     }

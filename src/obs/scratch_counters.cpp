@@ -1,0 +1,17 @@
+// Counter bumps for the support/scratch.hpp pooled arenas. They live here
+// (not in bm_support) because bm_obs links *on top of* bm_support; the
+// scratch header itself stays obs-free and header-only.
+//
+// `mem.*` metrics are machine/thread-dependent (each worker thread warms its
+// own pool), so run_experiment excludes the prefix from experiment manifests
+// — see src/exp/experiment.cpp.
+#include "obs/obs.hpp"
+#include "support/scratch.hpp"
+
+namespace bm::scratch_detail {
+
+void note_miss() { BM_OBS_COUNT("mem.scratch.miss"); }
+
+void note_grow() { BM_OBS_COUNT("mem.scratch.grow"); }
+
+}  // namespace bm::scratch_detail

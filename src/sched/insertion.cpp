@@ -1,10 +1,12 @@
 #include "sched/insertion.hpp"
 
+#include <array>
 #include <utility>
 #include <vector>
 
 #include "obs/obs.hpp"
 #include "support/assert.hpp"
+#include "support/scratch.hpp"
 
 namespace bm {
 
@@ -69,14 +71,16 @@ bool optimal_timing_satisfied(const Schedule& sched, const PairContext& ctx) {
       bd.psi_min(ctx.common_dom, ctx.last_bar_i) + ctx.delta_min_i;
 
   auto paths = bd.max_paths(ctx.common_dom, ctx.last_bar_g);
-  std::vector<BarrierId> path;
+  ScratchVec<BarrierId> path_s;
+  ScratchVec<std::pair<BarrierId, BarrierId>> overlap_s;
+  std::vector<BarrierId>& path = *path_s;
+  std::vector<std::pair<BarrierId, BarrierId>>& overlap_edges = *overlap_s;
   Time length = 0;
   std::size_t enumerated = 0;
   while (paths.next(path, length)) {
     if (length + ctx.delta_max_g <= base_min) return true;  // rest is shorter
     if (++enumerated > kMaxEnumeratedPaths) return false;   // give up safely
-    std::vector<std::pair<BarrierId, BarrierId>> overlap_edges;
-    overlap_edges.reserve(path.size());
+    overlap_edges.clear();
     for (std::size_t k = 0; k + 1 < path.size(); ++k)
       overlap_edges.emplace_back(path[k], path[k + 1]);
     const Time adjusted =
@@ -143,8 +147,8 @@ namespace {
 /// the first producer-processor entry reachable from i) is non-empty, or a
 /// cycle would already exist.
 void insert_barrier_guarded(Schedule& sched, const PairContext& ctx) {
-  std::vector<Schedule::Loc> locs{{ctx.producer_proc, 0},
-                                  {ctx.consumer_proc, ctx.consumer_pos}};
+  std::array<Schedule::Loc, 2> locs{{{ctx.producer_proc, 0},
+                                     {ctx.consumer_proc, ctx.consumer_pos}}};
   const std::uint32_t paper_pos = producer_side_position(sched, ctx);
   locs[0].pos = paper_pos;
   if (sched.order_feasible(locs)) {

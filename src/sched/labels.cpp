@@ -1,22 +1,90 @@
 #include "sched/labels.hpp"
 
 #include <algorithm>
+#include <cstdint>
+
+#include "support/scratch.hpp"
 
 namespace bm {
 
+namespace {
+
+/// One stable counting-sort pass over `order` by `key`, descending —
+/// equivalent to std::stable_sort with `key(a) > key(b)`. `lo`/`hi` bound
+/// the key values; `tmp` and `count` are pooled scratch.
+template <typename KeyFn>
+void bucket_pass(std::vector<NodeId>& order, std::vector<NodeId>& tmp,
+                 std::vector<std::uint32_t>& count, Time lo, Time hi,
+                 KeyFn&& key) {
+  const std::size_t buckets = static_cast<std::size_t>(hi - lo) + 1;
+  count.assign(buckets, 0);
+  for (NodeId v : order) ++count[static_cast<std::size_t>(hi - key(v))];
+  std::uint32_t run = 0;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::uint32_t c = count[b];
+    count[b] = run;
+    run += c;
+  }
+  tmp.resize(order.size());
+  for (NodeId v : order)
+    tmp[count[static_cast<std::size_t>(hi - key(v))]++] = v;
+  order.swap(tmp);
+}
+
+}  // namespace
+
+void make_list_order_into(const InstrDag& dag, OrderingPolicy policy,
+                          std::vector<NodeId>& order) {
+  const std::size_t n = dag.num_instructions();
+  order.resize(n);
+  for (NodeId i = 0; i < order.size(); ++i) order[i] = i;
+  if (n < 2) return;
+
+  const bool max_first = policy == OrderingPolicy::kMaxThenMin;
+  auto primary = [&](NodeId v) {
+    return max_first ? dag.h_max(v) : dag.h_min(v);
+  };
+  auto secondary = [&](NodeId v) {
+    return max_first ? dag.h_min(v) : dag.h_max(v);
+  };
+
+  Time plo = primary(0), phi = plo;
+  Time slo = secondary(0), shi = slo;
+  for (NodeId v = 1; v < order.size(); ++v) {
+    plo = std::min(plo, primary(v));
+    phi = std::max(phi, primary(v));
+    slo = std::min(slo, secondary(v));
+    shi = std::max(shi, secondary(v));
+  }
+
+  // Heights span at most the critical path, so the bucket tables stay small
+  // for every generator block; an adversarially wide height range (huge
+  // instruction times) falls back to the comparison sort, which produces
+  // the exact same ordering.
+  const Time cap = static_cast<Time>(16 * n + 4096);
+  if (phi - plo > cap || shi - slo > cap) {
+    auto key = [&](NodeId v) {
+      return std::pair<Time, Time>{primary(v), secondary(v)};
+    };
+    std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+      return key(a) > key(b);  // descending
+    });
+    return;
+  }
+
+  // Two stable bucket passes, least-significant key first: by secondary
+  // height, then by primary — a lexicographic descending order identical to
+  // the stable comparison sort on (primary, secondary).
+  ScratchVec<NodeId> tmp_s;
+  ScratchVec<std::uint32_t> count_s;
+  bucket_pass(order, *tmp_s, *count_s, slo, shi, secondary);
+  bucket_pass(order, *tmp_s, *count_s, plo, phi, primary);
+}
+
 std::vector<NodeId> make_list_order(const InstrDag& dag,
                                     OrderingPolicy policy) {
-  std::vector<NodeId> order(dag.num_instructions());
-  for (NodeId i = 0; i < order.size(); ++i) order[i] = i;
-
-  auto key = [&](NodeId n) {
-    if (policy == OrderingPolicy::kMaxThenMin)
-      return std::pair<Time, Time>{dag.h_max(n), dag.h_min(n)};
-    return std::pair<Time, Time>{dag.h_min(n), dag.h_max(n)};
-  };
-  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
-    return key(a) > key(b);  // descending
-  });
+  std::vector<NodeId> order;
+  make_list_order_into(dag, policy, order);
   return order;
 }
 

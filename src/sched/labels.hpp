@@ -13,7 +13,15 @@ namespace bm {
 /// Priority-ordered instruction list for the list scheduler. Producers
 /// always precede their consumers (heights strictly decrease along edges for
 /// positive-time instructions).
+///
+/// Implemented as a bucketed two-pass counting sort over the dag's columnar
+/// (h_max, h_min) height arrays — stable and byte-identical in output to a
+/// stable comparison sort descending on the policy's key pair.
 std::vector<NodeId> make_list_order(const InstrDag& dag,
                                     OrderingPolicy policy);
+
+/// Same, filling a caller-owned (typically pooled) buffer.
+void make_list_order_into(const InstrDag& dag, OrderingPolicy policy,
+                          std::vector<NodeId>& order);
 
 }  // namespace bm

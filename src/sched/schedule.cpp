@@ -4,8 +4,19 @@
 #include <sstream>
 
 #include "support/assert.hpp"
+#include "support/scratch.hpp"
 
 namespace bm {
+
+namespace {
+
+/// Componentwise interval difference of two prefix sums (valid because both
+/// are sums of the same leading segment plus a common base).
+constexpr TimeRange prefix_diff(const TimeRange& a, const TimeRange& b) {
+  return {a.min - b.min, a.max - b.max};
+}
+
+}  // namespace
 
 Schedule::Schedule(const InstrDag& dag, std::size_t num_procs,
                    Time barrier_latency)
@@ -13,7 +24,9 @@ Schedule::Schedule(const InstrDag& dag, std::size_t num_procs,
       barrier_latency_(barrier_latency),
       streams_(num_procs),
       instr_loc_(dag.num_instructions()),
-      instr_placed_(dag.num_instructions(), false) {
+      instr_placed_(dag.num_instructions(), false),
+      last_instr_(num_procs, kInvalidNode),
+      instr_cnt_(num_procs, 0) {
   BM_REQUIRE(num_procs >= 1, "need at least one processor");
   BM_REQUIRE(barrier_latency >= 0, "barrier latency must be >= 0");
   // Barrier 0: the initial barrier across all processors (§3.1).
@@ -54,6 +67,45 @@ Schedule::Loc Schedule::loc(NodeId instr) const {
   return instr_loc_[instr];
 }
 
+void Schedule::rebuild_stream_index() const {
+  sidx_.resize(streams_.size());
+  for (ProcId p = 0; p < streams_.size(); ++p) {
+    const auto& s = streams_[p];
+    StreamIndex& ix = sidx_[p];
+    ix.cum.resize(s.size() + 1);
+    ix.base.resize(s.size() + 1);
+    ix.last_bar.resize(s.size() + 1);
+    ix.next_bar.resize(s.size());
+    TimeRange cum{0, 0}, base{0, 0};
+    BarrierId last = kInitialBarrier;
+    for (std::uint32_t k = 0; k < s.size(); ++k) {
+      ix.cum[k] = cum;
+      ix.base[k] = base;
+      ix.last_bar[k] = last;
+      if (s[k].is_barrier) {
+        last = s[k].id;
+        base = cum;  // new segment starts after this barrier
+      } else {
+        cum += instr_time(s[k].id);
+      }
+    }
+    ix.cum[s.size()] = cum;
+    ix.base[s.size()] = base;
+    ix.last_bar[s.size()] = last;
+    BarrierId next = kInvalidBarrier;
+    for (std::uint32_t k = static_cast<std::uint32_t>(s.size()); k-- > 0;) {
+      ix.next_bar[k] = next;
+      if (s[k].is_barrier) next = s[k].id;
+    }
+  }
+  sidx_valid_ = true;
+}
+
+const Schedule::StreamIndex& Schedule::sidx(ProcId p) const {
+  if (!sidx_valid_) rebuild_stream_index();
+  return sidx_[p];
+}
+
 void Schedule::append_instr(ProcId p, NodeId instr) {
   BM_REQUIRE(p < streams_.size(), "processor id out of range");
   BM_REQUIRE(instr < instr_placed_.size() && !instr_placed_[instr],
@@ -61,6 +113,17 @@ void Schedule::append_instr(ProcId p, NodeId instr) {
   instr_loc_[instr] = {p, static_cast<std::uint32_t>(streams_[p].size())};
   instr_placed_[instr] = true;
   streams_[p].push_back(ScheduleEntry::instr(instr));
+  last_instr_[p] = instr;
+  ++instr_cnt_[p];
+  if (sidx_valid_) {
+    // Extend the positional index in place: an appended instruction adds one
+    // tail position with the same segment base and last barrier.
+    StreamIndex& ix = sidx_[p];
+    ix.cum.push_back(ix.cum.back() + instr_time(instr));
+    ix.base.push_back(ix.base.back());
+    ix.last_bar.push_back(ix.last_bar.back());
+    ix.next_bar.push_back(kInvalidBarrier);
+  }
   // No invalidate(): the entry lands after the stream's last barrier, i.e.
   // in the tail code that barrier_dag() excludes from its chains, so the
   // cached analysis (and its ψ memo) stays exact. Only barrier insertion
@@ -68,35 +131,28 @@ void Schedule::append_instr(ProcId p, NodeId instr) {
 }
 
 std::optional<NodeId> Schedule::last_instr(ProcId p) const {
-  const auto& s = stream(p);
-  for (auto it = s.rbegin(); it != s.rend(); ++it)
-    if (!it->is_barrier) return it->id;
-  return std::nullopt;
+  BM_REQUIRE(p < streams_.size(), "processor id out of range");
+  if (last_instr_[p] == kInvalidNode) return std::nullopt;
+  return last_instr_[p];
 }
 
 std::size_t Schedule::instr_count(ProcId p) const {
-  const auto& s = stream(p);
-  std::size_t n = 0;
-  for (const auto& e : s)
-    if (!e.is_barrier) ++n;
-  return n;
+  BM_REQUIRE(p < streams_.size(), "processor id out of range");
+  return instr_cnt_[p];
 }
 
 BarrierId Schedule::last_barrier_before(ProcId p, std::uint32_t pos) const {
-  const auto& s = stream(p);
-  BM_REQUIRE(pos <= s.size(), "position out of range");
-  for (std::uint32_t i = pos; i-- > 0;)
-    if (s[i].is_barrier) return s[i].id;
-  return kInitialBarrier;
+  const StreamIndex& ix = sidx(p);
+  BM_REQUIRE(pos < ix.last_bar.size(), "position out of range");
+  return ix.last_bar[pos];
 }
 
 std::optional<BarrierId> Schedule::next_barrier_after(
     ProcId p, std::uint32_t pos) const {
-  const auto& s = stream(p);
-  BM_REQUIRE(pos < s.size(), "position out of range");
-  for (std::uint32_t i = pos + 1; i < s.size(); ++i)
-    if (s[i].is_barrier) return s[i].id;
-  return std::nullopt;
+  const StreamIndex& ix = sidx(p);
+  BM_REQUIRE(pos < ix.next_bar.size(), "position out of range");
+  if (ix.next_bar[pos] == kInvalidBarrier) return std::nullopt;
+  return ix.next_bar[pos];
 }
 
 TimeRange Schedule::delta_through(ProcId p, std::uint32_t pos) const {
@@ -107,46 +163,41 @@ TimeRange Schedule::delta_through(ProcId p, std::uint32_t pos) const {
 }
 
 TimeRange Schedule::delta_before(ProcId p, std::uint32_t pos) const {
-  const auto& s = stream(p);
-  BM_REQUIRE(pos <= s.size(), "position out of range");
-  TimeRange total{0, 0};
-  for (std::uint32_t i = pos; i-- > 0;) {
-    if (s[i].is_barrier) break;
-    total += instr_time(s[i].id);
-  }
-  return total;
+  const StreamIndex& ix = sidx(p);
+  BM_REQUIRE(pos < ix.cum.size(), "position out of range");
+  return prefix_diff(ix.cum[pos], ix.base[pos]);
 }
 
-const BarrierDag& Schedule::barrier_dag() const {
-  if (!analysis_) {
-    std::vector<BarrierChainInput> chains(streams_.size());
-    for (ProcId p = 0; p < streams_.size(); ++p) {
-      BarrierChainInput& chain = chains[p];
-      chain.barriers.push_back(kInitialBarrier);
-      TimeRange seg{0, 0};
-      for (const ScheduleEntry& e : streams_[p]) {
-        if (e.is_barrier) {
-          chain.segments.push_back(seg);
-          chain.barriers.push_back(e.id);
-          seg = TimeRange{0, 0};
-        } else {
-          seg += instr_time(e.id);
-        }
+const BarrierDag& Schedule::build_analysis() const {
+  chains_scratch_.resize(streams_.size());
+  for (ProcId p = 0; p < streams_.size(); ++p) {
+    BarrierChainInput& chain = chains_scratch_[p];
+    chain.barriers.clear();
+    chain.segments.clear();
+    chain.barriers.push_back(kInitialBarrier);
+    TimeRange seg{0, 0};
+    for (const ScheduleEntry& e : streams_[p]) {
+      if (e.is_barrier) {
+        chain.segments.push_back(seg);
+        chain.barriers.push_back(e.id);
+        seg = TimeRange{0, 0};
+      } else {
+        seg += instr_time(e.id);
       }
-      // Tail code after the last barrier is not part of the dag.
     }
-    analysis_.emplace(masks_.size(), kInitialBarrier, chains,
-                      barrier_latency_);
+    // Tail code after the last barrier is not part of the dag.
   }
+  analysis_.emplace(masks_.size(), kInitialBarrier, chains_scratch_,
+                    barrier_latency_);
   return *analysis_;
 }
 
 TimeRange Schedule::proc_finish(ProcId p) const {
   const BarrierDag& bd = barrier_dag();
-  const auto& s = stream(p);
-  const BarrierId last = last_barrier_before(p, static_cast<std::uint32_t>(s.size()));
-  return bd.fire_range(last) +
-         delta_before(p, static_cast<std::uint32_t>(s.size()));
+  const StreamIndex& ix = sidx(p);
+  const std::size_t end = ix.cum.size() - 1;
+  return bd.fire_range(ix.last_bar[end]) +
+         prefix_diff(ix.cum[end], ix.base[end]);
 }
 
 TimeRange Schedule::completion() const {
@@ -162,7 +213,7 @@ void Schedule::reindex(ProcId p) {
     if (!s[i].is_barrier) instr_loc_[s[i].id] = {p, i};
 }
 
-BarrierId Schedule::insert_barrier(const std::vector<Loc>& at) {
+BarrierId Schedule::insert_barrier(std::span<const Loc> at) {
   BM_REQUIRE(!at.empty(), "barrier needs at least one participant");
   DynBitset mask(num_procs());
   for (const Loc& l : at) {
@@ -197,19 +248,22 @@ bool Schedule::order_feasible(std::span<const Loc> virtual_barrier,
       b = merge_keep;  // unified node
     return n + b;
   };
-
-  std::vector<std::vector<std::uint32_t>> succs(num_nodes);
-  std::vector<std::size_t> indegree(num_nodes, 0);
-  auto add_edge = [&](std::size_t from, std::size_t to) {
-    if (from == to) return;  // merged barriers adjacent on a chain
-    succs[from].push_back(static_cast<std::uint32_t>(to));
-    ++indegree[to];
-  };
   auto entry_node = [&](const ScheduleEntry& e) {
     return e.is_barrier ? barrier_index(e.id) : e.id;
   };
-
-  // Stream order (with the virtual barrier spliced in).
+  // One pass collects the joint edge set (stream order with the virtual
+  // barrier spliced in, plus every placed dependence edge) into a pooled
+  // flat list; degrees and the CSR are then filled from the list. All
+  // buffers are pooled, so the thousands of feasibility probes per schedule
+  // allocate nothing.
+  ScratchVec<std::pair<std::uint32_t, std::uint32_t>> edges_s;
+  auto& edges = *edges_s;
+  edges.clear();
+  auto sink = [&](std::size_t from, std::size_t to) {
+    if (from == to) return;  // merged barriers adjacent on a chain
+    edges.emplace_back(static_cast<std::uint32_t>(from),
+                       static_cast<std::uint32_t>(to));
+  };
   for (ProcId p = 0; p < streams_.size(); ++p) {
     std::optional<std::uint32_t> splice;
     for (const Loc& l : virtual_barrier)
@@ -218,38 +272,57 @@ bool Schedule::order_feasible(std::span<const Loc> virtual_barrier,
     const auto& s = streams_[p];
     for (std::uint32_t k = 0; k <= s.size(); ++k) {
       if (splice && *splice == k) {
-        add_edge(prev, barrier_node);
+        sink(prev, barrier_node);
         prev = barrier_node;
       }
       if (k == s.size()) break;
       const std::size_t node = entry_node(s[k]);
-      add_edge(prev, node);
+      sink(prev, node);
       prev = node;
     }
   }
-
   // Every placed dependence edge must remain jointly enforceable.
   for (const auto& [g, i] : dag_->sync_edges())
-    if (instr_placed_[g] && instr_placed_[i]) add_edge(g, i);
+    if (instr_placed_[g] && instr_placed_[i])
+      sink(static_cast<std::size_t>(g), static_cast<std::size_t>(i));
+
+  ScratchVec<std::uint32_t> off_s, cursor_s, dat_s, indeg_s, ready_s;
+  auto& off = *off_s;
+  auto& indeg = *indeg_s;
+  off.assign(num_nodes + 1, 0);
+  indeg.assign(num_nodes, 0);
+  for (const auto& [from, to] : edges) {
+    ++off[from + 1];
+    ++indeg[to];
+  }
+  for (std::size_t v = 1; v <= num_nodes; ++v) off[v] += off[v - 1];
+  auto& cursor = *cursor_s;
+  cursor.assign(off.begin(), off.end() - 1);
+  auto& dat = *dat_s;
+  dat.resize(off[num_nodes]);
+  for (const auto& [from, to] : edges) dat[cursor[from]++] = to;
 
   // Kahn acyclicity check.
-  std::vector<std::uint32_t> ready;
+  auto& ready = *ready_s;
+  ready.clear();
   for (std::size_t v = 0; v < num_nodes; ++v)
-    if (indegree[v] == 0) ready.push_back(static_cast<std::uint32_t>(v));
+    if (indeg[v] == 0) ready.push_back(static_cast<std::uint32_t>(v));
   std::size_t seen = 0;
   while (!ready.empty()) {
     const std::uint32_t v = ready.back();
     ready.pop_back();
     ++seen;
-    for (std::uint32_t s : succs[v])
-      if (--indegree[s] == 0) ready.push_back(s);
+    for (std::uint32_t e = off[v]; e < off[v + 1]; ++e)
+      if (--indeg[dat[e]] == 0) ready.push_back(dat[e]);
   }
   return seen == num_nodes;
 }
 
 std::size_t Schedule::merge_overlapping_all() {
   std::size_t merges = 0;
-  std::vector<std::pair<BarrierId, BarrierId>> rejected;
+  ScratchVec<std::pair<BarrierId, BarrierId>> rejected_s;
+  auto& rejected = *rejected_s;
+  rejected.clear();
   for (;;) {
     const BarrierDag& bd = barrier_dag();
     BarrierId keep = kInvalidBarrier, victim = kInvalidBarrier;

@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -80,8 +82,12 @@ class Schedule {
   TimeRange delta_before(ProcId p, std::uint32_t pos) const;
 
   // --- analysis -------------------------------------------------------------
-  /// Lazily (re)built barrier dag over the current streams.
-  const BarrierDag& barrier_dag() const;
+  /// Lazily (re)built barrier dag over the current streams. Queried millions
+  /// of times per run, so the cached-hit path is inline.
+  const BarrierDag& barrier_dag() const {
+    if (analysis_) return *analysis_;
+    return build_analysis();
+  }
   /// When this processor has retired its whole stream: fire range of its
   /// last barrier plus the tail code.
   TimeRange proc_finish(ProcId p) const;
@@ -92,7 +98,10 @@ class Schedule {
   /// Inserts a new barrier entry at each given position (one Loc per
   /// distinct processor; existing entries at >= pos shift right). Returns
   /// the new barrier's id. Participation mask = the given processors.
-  BarrierId insert_barrier(const std::vector<Loc>& at);
+  BarrierId insert_barrier(std::span<const Loc> at);
+  BarrierId insert_barrier(std::initializer_list<Loc> at) {
+    return insert_barrier(std::span<const Loc>(at.begin(), at.size()));
+  }
 
   /// §4.4.3 SBM merging, run to a global fixpoint: while any two alive
   /// unordered barriers have overlapping fire ranges, merge them (union
@@ -150,9 +159,29 @@ class Schedule {
   std::string to_string() const;
 
  private:
-  void invalidate() { analysis_.reset(); }
+  void invalidate() {
+    analysis_.reset();
+    sidx_valid_ = false;
+  }
+  const BarrierDag& build_analysis() const;
   void reindex(ProcId p);
   TimeRange instr_time(NodeId n) const { return dag_->time(n); }
+
+  /// Columnar per-stream position index, the backing store of every
+  /// stream-relative query (δ prefix sums, LastBar/NextBar, segment bases).
+  /// Each array has one entry per position 0..size (cum/last_bar/base) or
+  /// per entry 0..size-1 (next_bar), so the former O(segment) backwards
+  /// walks are O(1) lookups. Rebuilt lazily after barrier mutations;
+  /// append_instr extends it in place (appending never changes the barrier
+  /// structure, only the tail).
+  struct StreamIndex {
+    std::vector<TimeRange> cum;       ///< cum[k]: instr time summed over [0,k)
+    std::vector<TimeRange> base;      ///< cum value at k's segment start
+    std::vector<BarrierId> last_bar;  ///< last barrier strictly before k
+    std::vector<BarrierId> next_bar;  ///< first barrier after k (kInvalid: none)
+  };
+  const StreamIndex& sidx(ProcId p) const;
+  void rebuild_stream_index() const;
 
   const InstrDag* dag_;
   Time barrier_latency_ = 0;
@@ -162,8 +191,15 @@ class Schedule {
   std::optional<BarrierId> final_barrier_;
   std::vector<Loc> instr_loc_;
   std::vector<bool> instr_placed_;
+  std::vector<NodeId> last_instr_;        ///< per proc; kInvalidNode if none
+  std::vector<std::uint32_t> instr_cnt_;  ///< per proc instruction count
   std::size_t merges_skipped_ = 0;
   mutable std::optional<BarrierDag> analysis_;
+  mutable std::vector<StreamIndex> sidx_;
+  mutable bool sidx_valid_ = false;
+  /// Chain inputs for barrier_dag() rebuilds; member scratch so the ~10
+  /// rebuilds per schedule reuse one allocation's capacity.
+  mutable std::vector<BarrierChainInput> chains_scratch_;
 };
 
 }  // namespace bm

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "obs/obs.hpp"
 #include "sched/insertion.hpp"
 #include "sched/labels.hpp"
 #include "support/assert.hpp"
+#include "support/scratch.hpp"
 
 namespace bm {
 
@@ -30,19 +32,10 @@ double ScheduleStats::static_fraction() const {
 
 namespace {
 
-/// Instruction-node producers of `node` (entry dummy excluded), appended
-/// into a caller-owned scratch buffer — the scheduling loop issues this per
-/// producer check, so per-call allocations dominated the hot path.
-void instr_preds(const InstrDag& dag, NodeId node, std::vector<NodeId>& out) {
-  out.clear();
-  for (NodeId p : dag.graph().preds(node))
-    if (!dag.is_dummy(p)) out.push_back(p);
-}
-
 /// §4.3 step 1: processors where some producer of `node` is the last
 /// instruction (serialization slot open). Fills a caller-owned buffer.
 void serialization_candidates(const Schedule& sched,
-                              const std::vector<NodeId>& preds,
+                              std::span<const NodeId> preds,
                               std::vector<ProcId>& out) {
   out.clear();
   for (NodeId p : preds) {
@@ -92,8 +85,7 @@ class AssignmentEngine {
     if (cfg_.assignment == AssignmentPolicy::kRoundRobin)
       return static_cast<ProcId>(list_index % sched_.num_procs());
 
-    instr_preds(dag_, node, preds_);
-    serialization_candidates(sched_, preds_, serial_);
+    serialization_candidates(sched_, dag_.instr_preds(node), serial_);
     if (serial_.size() == 1) {
       BM_OBS_COUNT("sched.choice.serialize");
       return serial_.front();
@@ -142,11 +134,9 @@ class AssignmentEngine {
     if (!last) return false;
     const std::size_t end =
         std::min(order_.size(), list_index + 1 + cfg_.lookahead_window);
-    for (std::size_t k = list_index + 1; k < end; ++k) {
-      instr_preds(dag_, order_[k], window_preds_);
-      for (NodeId pred : window_preds_)
+    for (std::size_t k = list_index + 1; k < end; ++k)
+      for (NodeId pred : dag_.instr_preds(order_[k]))
         if (pred == *last) return true;
-    }
     return false;
   }
 
@@ -159,7 +149,6 @@ class AssignmentEngine {
   // Scratch buffers reused across choose() calls (identical contents and
   // rng draw sequence to the allocate-per-call version).
   std::vector<ProcId> all_procs_;   ///< 0..num_procs-1, fixed
-  std::vector<NodeId> preds_, window_preds_;
   std::vector<ProcId> serial_, filtered_, ties_;
 };
 
@@ -179,16 +168,16 @@ ScheduleResult schedule_program(const InstrDag& dag,
   ScheduleStats& stats = result.stats;
 
   const bool merge = config.machine == MachineKind::kSBM;
-  std::vector<NodeId> order;
+  ScratchVec<NodeId> order_s;  // pooled: schedule_program runs per seed
+  std::vector<NodeId>& order = *order_s;
   {
     BM_OBS_SPAN(span, "sched.label_order", "sched");
-    order = make_list_order(dag, config.ordering);
+    make_list_order_into(dag, config.ordering, order);
   }
   AssignmentEngine engine(dag, sched, config, rng, order);
 
   BM_OBS_SPAN_ARG(sched_span, "sched.list_schedule", "sched", "nodes",
                   static_cast<double>(order.size()));
-  std::vector<NodeId> preds;  // scratch, reused across the loop
   for (std::size_t k = 0; k < order.size(); ++k) {
     const NodeId node = order[k];
     const ProcId proc = engine.choose(k, node);
@@ -196,8 +185,7 @@ ScheduleResult schedule_program(const InstrDag& dag,
 
     // Check every producer on another processor (§4.4); producers are
     // always already placed because heights order them first.
-    instr_preds(dag, node, preds);
-    for (NodeId p : preds) {
+    for (NodeId p : dag.instr_preds(node)) {
       if (sched.loc(p).proc == proc) continue;
       const SyncOutcome outcome =
           ensure_sync(sched, p, node, config.insertion, merge);

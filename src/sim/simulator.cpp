@@ -4,6 +4,7 @@
 
 #include "obs/obs.hpp"
 #include "support/assert.hpp"
+#include "support/scratch.hpp"
 
 namespace bm {
 
@@ -39,37 +40,38 @@ class MachineState {
  public:
   MachineState(const Schedule& sched, SamplingMode mode, Rng& rng,
                ExecTrace& trace)
-      : sched_(sched),
-        trace_(trace),
-        idx_(sched.num_procs(), 0),
-        time_(sched.num_procs(), 0),
-        waiting_(sched.num_procs(), false) {
+      : sched_(sched), trace_(trace) {
+    idx_->assign(sched.num_procs(), 0);
+    time_->assign(sched.num_procs(), 0);
+    waiting_->assign(sched.num_procs(), 0);
     // Pre-sample every instruction's duration in node-id order, so the
     // realized draw is a property of the run, not of the machine model's
     // internal event order — SBM and DBM replay identical draws from the
     // same rng state.
     const std::size_t n = sched.instr_dag().num_instructions();
-    durations_.resize(n);
+    durations_->resize(n);
     for (NodeId i = 0; i < n; ++i)
-      durations_[i] = sample_time(sched.instr_dag().time(i), mode, rng);
+      (*durations_)[i] = sample_time(sched.instr_dag().time(i), mode, rng);
   }
 
   /// Advances processor p until it blocks on a barrier entry or retires its
   /// stream; instruction start/finish times are recorded as they execute.
   void run_proc(ProcId p) {
-    if (waiting_[p]) return;
+    if ((*waiting_)[p]) return;
     const auto& s = sched_.stream(p);
-    while (idx_[p] < s.size()) {
-      const ScheduleEntry& e = s[idx_[p]];
+    auto& idx = *idx_;
+    auto& time = *time_;
+    while (idx[p] < s.size()) {
+      const ScheduleEntry& e = s[idx[p]];
       if (e.is_barrier) {
-        waiting_[p] = true;
+        (*waiting_)[p] = 1;
         return;
       }
-      const Time dur = durations_[e.id];
-      trace_.start[e.id] = time_[p];
-      time_[p] += dur;
-      trace_.finish[e.id] = time_[p];
-      ++idx_[p];
+      const Time dur = (*durations_)[e.id];
+      trace_.start[e.id] = time[p];
+      time[p] += dur;
+      trace_.finish[e.id] = time[p];
+      ++idx[p];
     }
   }
 
@@ -77,29 +79,29 @@ class MachineState {
     for (ProcId p = 0; p < sched_.num_procs(); ++p) run_proc(p);
   }
 
-  bool waiting(ProcId p) const { return waiting_[p]; }
-  Time arrival(ProcId p) const { return time_[p]; }
+  bool waiting(ProcId p) const { return (*waiting_)[p] != 0; }
+  Time arrival(ProcId p) const { return (*time_)[p]; }
   bool done(ProcId p) const {
-    return !waiting_[p] && idx_[p] >= sched_.stream(p).size();
+    return !waiting(p) && (*idx_)[p] >= sched_.stream(p).size();
   }
   /// The barrier entry p is currently waiting at.
   BarrierId waiting_at(ProcId p) const {
-    BM_ASSERT_INTERNAL(waiting_[p], "processor is not waiting");
-    return sched_.stream(p)[idx_[p]].id;
+    BM_ASSERT_INTERNAL(waiting(p), "processor is not waiting");
+    return sched_.stream(p)[(*idx_)[p]].id;
   }
 
   void release(ProcId p, Time fire) {
-    BM_ASSERT_INTERNAL(waiting_[p], "releasing a running processor");
-    waiting_[p] = false;
-    time_[p] = fire;  // simultaneous resume (§3.2)
-    ++idx_[p];
+    BM_ASSERT_INTERNAL(waiting(p), "releasing a running processor");
+    (*waiting_)[p] = 0;
+    (*time_)[p] = fire;  // simultaneous resume (§3.2)
+    ++(*idx_)[p];
   }
 
   Time completion() const {
     Time t = 0;
     for (ProcId p = 0; p < sched_.num_procs(); ++p) {
-      BM_ASSERT_INTERNAL(!waiting_[p], "deadlocked processor at completion");
-      t = std::max(t, time_[p]);
+      BM_ASSERT_INTERNAL(!waiting(p), "deadlocked processor at completion");
+      t = std::max(t, (*time_)[p]);
     }
     return t;
   }
@@ -107,18 +109,22 @@ class MachineState {
  private:
   const Schedule& sched_;
   ExecTrace& trace_;
-  std::vector<Time> durations_;
-  std::vector<std::uint32_t> idx_;
-  std::vector<Time> time_;
-  std::vector<bool> waiting_;
+  // Pooled: one MachineState is built per simulation run, and experiment
+  // sweeps run thousands of simulations per thread.
+  ScratchVec<Time> durations_;
+  ScratchVec<std::uint32_t> idx_;
+  ScratchVec<Time> time_;
+  ScratchVec<char> waiting_;  ///< 0/1 flags (vector<bool> defeats pooling)
 };
 
 void simulate_sbm(const Schedule& sched, MachineState& m, ExecTrace& trace) {
   // Compile-time queue load order: a linear extension of the barrier dag.
-  std::vector<BarrierId> queue = sched.barrier_dag().linear_extension();
+  ScratchVec<BarrierId> queue_s;
+  sched.barrier_dag().linear_extension_into(*queue_s);
   Time last_fire = 0;
-  std::vector<Time> arrivals;  // in mask order, reused per barrier
-  for (BarrierId b : queue) {
+  ScratchVec<Time> arrivals_s;
+  std::vector<Time>& arrivals = *arrivals_s;  // in mask order, per barrier
+  for (BarrierId b : *queue_s) {
     if (b == Schedule::kInitialBarrier) {
       trace.barrier_fire[b] = 0;  // all processors start in exact synchrony
       continue;
@@ -153,11 +159,12 @@ void simulate_sbm(const Schedule& sched, MachineState& m, ExecTrace& trace) {
 
 void simulate_dbm(const Schedule& sched, MachineState& m, ExecTrace& trace) {
   trace.barrier_fire[Schedule::kInitialBarrier] = 0;
+  ScratchVec<Time> arrivals_s;
+  std::vector<Time>& arrivals = *arrivals_s;  // in mask order, per barrier
   for (;;) {
     m.run_all();
     // Associative match: fire every barrier whose participants all wait at it.
     bool fired = false;
-    std::vector<Time> arrivals;  // in mask order, reused per barrier
     for (BarrierId b = 1; b < sched.barrier_id_bound(); ++b) {
       if (!sched.barrier_alive(b)) continue;
       if (trace.barrier_fire[b] != kNotExecuted) continue;
@@ -187,17 +194,18 @@ void simulate_dbm(const Schedule& sched, MachineState& m, ExecTrace& trace) {
 
 }  // namespace
 
-ExecTrace simulate(const Schedule& sched, const SimConfig& config, Rng& rng) {
+void simulate_into(const Schedule& sched, const SimConfig& config, Rng& rng,
+                   ExecTrace& trace) {
   BM_OBS_COUNT("sim.runs");
   BM_OBS_SPAN(span,
               config.machine == MachineKind::kSBM ? "sim.run_sbm"
                                                   : "sim.run_dbm",
               "sim");
-  ExecTrace trace;
   const std::size_t n = sched.instr_dag().num_instructions();
   trace.start.assign(n, kNotExecuted);
   trace.finish.assign(n, kNotExecuted);
   trace.barrier_fire.assign(sched.barrier_id_bound(), kNotExecuted);
+  trace.completion = 0;
 
   MachineState m(sched, config.sampling, rng, trace);
   if (config.machine == MachineKind::kSBM)
@@ -208,21 +216,40 @@ ExecTrace simulate(const Schedule& sched, const SimConfig& config, Rng& rng) {
   for (ProcId p = 0; p < sched.num_procs(); ++p)
     BM_REQUIRE(m.done(p), "simulation deadlock: processor never released");
   trace.completion = m.completion();
+}
+
+ExecTrace simulate(const Schedule& sched, const SimConfig& config, Rng& rng) {
+  ExecTrace trace;
+  simulate_into(sched, config, rng, trace);
   return trace;
 }
+
+namespace {
+
+/// Per-thread trace reused by summarize_completion's draw loop; the arrays
+/// are resized in place, so completions over the seed sweep do not allocate
+/// in steady state.
+ExecTrace& tls_trace() {
+  static thread_local ExecTrace t;
+  return t;
+}
+
+}  // namespace
 
 CompletionSummary summarize_completion(const Schedule& sched,
                                        MachineKind machine, std::size_t runs,
                                        Rng& rng) {
   CompletionSummary out;
-  out.min_draw =
-      simulate(sched, {machine, SamplingMode::kAllMin}, rng).completion;
-  out.max_draw =
-      simulate(sched, {machine, SamplingMode::kAllMax}, rng).completion;
+  ExecTrace& t = tls_trace();
+  simulate_into(sched, {machine, SamplingMode::kAllMin}, rng, t);
+  out.min_draw = t.completion;
+  simulate_into(sched, {machine, SamplingMode::kAllMax}, rng, t);
+  out.max_draw = t.completion;
   double total = 0;
-  for (std::size_t r = 0; r < runs; ++r)
-    total += static_cast<double>(
-        simulate(sched, {machine, SamplingMode::kUniform}, rng).completion);
+  for (std::size_t r = 0; r < runs; ++r) {
+    simulate_into(sched, {machine, SamplingMode::kUniform}, rng, t);
+    total += static_cast<double>(t.completion);
+  }
   out.mean = runs ? total / static_cast<double>(runs) : 0.0;
   return out;
 }

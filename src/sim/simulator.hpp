@@ -27,6 +27,11 @@ struct SimConfig {
 /// Executes a schedule once; draws consume `rng`.
 ExecTrace simulate(const Schedule& sched, const SimConfig& config, Rng& rng);
 
+/// Same, reusing a caller-owned trace (its arrays are resized in place, so
+/// a trace reused across the seed loop allocates only on the first run).
+void simulate_into(const Schedule& sched, const SimConfig& config, Rng& rng,
+                   ExecTrace& trace);
+
 /// Completion-time summary over `runs` independent uniform draws plus the
 /// deterministic all-min / all-max envelope.
 struct CompletionSummary {

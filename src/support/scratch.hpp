@@ -1,0 +1,100 @@
+// Pooled per-thread scratch arenas.
+//
+// The scheduler, the barrier-insertion analyses, and the SBM/DBM simulators
+// run once per seed inside tight experiment loops; their transient buffers
+// (ready lists, path stacks, arrival vectors, Kahn indegrees) used to be
+// allocated per call. A ScratchVec<T> checks a vector out of a thread-local
+// free list on construction and returns it — capacity intact — on
+// destruction, so steady-state seeds perform no heap allocation for scratch
+// at all.
+//
+// Accounting: two counters observe the pool (through obs/metrics):
+//   mem.scratch.miss — a checkout found the free list empty (new vector)
+//   mem.scratch.grow — a buffer's capacity grew while checked out
+// Both are zero in steady state; tests/scratch_arena_test.cpp asserts it.
+// The `mem.` prefix marks machine-/thread-dependent metrics: experiment
+// manifests exclude them (a --jobs 8 run warms eight pools, a --jobs 1 run
+// one, and manifests must stay byte-identical across worker counts).
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#ifdef BM_SCRATCH_DEBUG
+#include <cstdio>
+#include <typeinfo>
+#endif
+
+namespace bm {
+
+namespace scratch_detail {
+
+/// Counter bumps live in scratch.cpp so this header stays obs-free.
+void note_miss();
+void note_grow();
+
+template <typename T>
+std::vector<std::vector<T>>& free_list() {
+  thread_local std::vector<std::vector<T>> list;
+  return list;
+}
+
+}  // namespace scratch_detail
+
+/// RAII handle on a pooled std::vector<T>. Checked out empty (capacity
+/// retained from previous uses on this thread); returned on destruction.
+/// Not copyable or movable — scope it where the buffer is needed.
+template <typename T>
+class ScratchVec {
+ public:
+  ScratchVec() {
+    auto& pool = scratch_detail::free_list<T>();
+    if (pool.empty()) {
+      scratch_detail::note_miss();
+    } else {
+      v_ = std::move(pool.back());
+      pool.pop_back();
+      v_.clear();
+    }
+    checkout_capacity_ = v_.capacity();
+  }
+
+  ~ScratchVec() {
+    if (v_.capacity() > checkout_capacity_) {
+#ifdef BM_SCRATCH_DEBUG
+      std::fprintf(stderr, "scratch grow %s: %zu -> %zu\n", typeid(T).name(),
+                   checkout_capacity_, v_.capacity());
+#endif
+      scratch_detail::note_grow();
+    }
+    // Quantize the retained capacity to a power of two (min 64): demand
+    // sizes jitter by a few entries from seed to seed (barrier counts,
+    // ready-list peaks), and exact-fit capacities would regrow some pooled
+    // buffer on nearly every checkout. The one-time round-up realloc here
+    // buys steady-state checkins that never touch the allocator.
+    const std::size_t want =
+        std::bit_ceil(std::max<std::size_t>(v_.capacity(), 64));
+    if (v_.capacity() < want) {
+      v_.clear();
+      v_.reserve(want);
+    }
+    scratch_detail::free_list<T>().push_back(std::move(v_));
+  }
+
+  ScratchVec(const ScratchVec&) = delete;
+  ScratchVec& operator=(const ScratchVec&) = delete;
+
+  std::vector<T>& operator*() { return v_; }
+  std::vector<T>* operator->() { return &v_; }
+  const std::vector<T>& operator*() const { return v_; }
+  const std::vector<T>* operator->() const { return &v_; }
+
+ private:
+  std::vector<T> v_;
+  std::size_t checkout_capacity_ = 0;
+};
+
+}  // namespace bm

@@ -1,0 +1,119 @@
+// Golden-parity corpus: serialized schedules for a grid of seeds across both
+// insertion policies and both machine models, byte-compared against committed
+// reference files in tests/golden/. The scheduler is deterministic given
+// (generator config, scheduler config, seed), so any refactor of the hot path
+// — graph layout, ready-set ordering, scratch reuse — must reproduce these
+// files exactly. A mismatch means observable scheduling behavior changed.
+//
+// Regeneration (after an *intentional* behavior change):
+//   BM_GOLDEN_REGEN=1 ./build/golden_parity_test
+// then commit the rewritten tests/golden/*.txt with the change that caused
+// them. scripts/check.sh prints this recipe when the test fails.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "codegen/synthesize.hpp"
+#include "harness/experiment.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/serialize.hpp"
+
+namespace bm {
+namespace {
+
+constexpr std::uint64_t kBaseSeed = 1990;  // the experiments' default
+constexpr std::size_t kSeedsPerCombo = 25;
+
+struct Combo {
+  const char* name;
+  InsertionPolicy insertion;
+  MachineKind machine;
+};
+
+constexpr Combo kCombos[] = {
+    {"conservative_sbm", InsertionPolicy::kConservative, MachineKind::kSBM},
+    {"conservative_dbm", InsertionPolicy::kConservative, MachineKind::kDBM},
+    {"optimal_sbm", InsertionPolicy::kOptimal, MachineKind::kSBM},
+    {"optimal_dbm", InsertionPolicy::kOptimal, MachineKind::kDBM},
+};
+
+std::string golden_path(const Combo& c) {
+  return std::string(BM_GOLDEN_DIR) + "/" + c.name + ".txt";
+}
+
+/// Reproduces the exact per-seed pipeline of harness run_seed: one rng
+/// stream per (base_seed, index), synthesis and scheduling drawing from it
+/// in order.
+std::string corpus_for(const Combo& c) {
+  GeneratorConfig gen;  // defaults == the headline experiment block shape
+  SchedulerConfig sc;
+  sc.insertion = c.insertion;
+  sc.machine = c.machine;
+
+  std::ostringstream os;
+  os << "golden schedules v1 combo=" << c.name << " base_seed=" << kBaseSeed
+     << " seeds=" << kSeedsPerCombo << "\n";
+  for (std::size_t i = 0; i < kSeedsPerCombo; ++i) {
+    Rng rng = benchmark_rng(kBaseSeed, i);
+    const SynthesisResult synth = synthesize_benchmark(gen, rng);
+    const InstrDag dag = InstrDag::build(synth.program, TimingModel::table1());
+    const ScheduleResult scheduled = schedule_program(dag, sc, rng);
+    os << "=== seed " << i << " size " << synth.program.size() << "\n"
+       << schedule_to_text(*scheduled.schedule);
+  }
+  return os.str();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class GoldenParityTest : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(GoldenParityTest, SchedulesMatchCommittedCorpus) {
+  const Combo& c = GetParam();
+  const std::string current = corpus_for(c);
+  const std::string path = golden_path(c);
+
+  if (std::getenv("BM_GOLDEN_REGEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << current;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  const std::string expected = read_file(path);
+  ASSERT_FALSE(expected.empty())
+      << "missing golden file " << path
+      << " — regenerate with: BM_GOLDEN_REGEN=1 ./golden_parity_test";
+  // Byte equality; on mismatch report the first differing line, not the
+  // (large) full corpus.
+  if (current != expected) {
+    std::istringstream a(expected), b(current);
+    std::string la, lb;
+    std::size_t line = 0;
+    while (std::getline(a, la) && std::getline(b, lb)) {
+      ++line;
+      ASSERT_EQ(la, lb) << c.name << ": first divergence at line " << line
+                        << " of " << path;
+    }
+    FAIL() << c.name << ": corpus length changed (" << expected.size()
+           << " -> " << current.size() << " bytes) in " << path;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, GoldenParityTest,
+                         ::testing::ValuesIn(kCombos),
+                         [](const ::testing::TestParamInfo<Combo>& info) {
+                           return std::string(info.param.name);
+                         });
+
+}  // namespace
+}  // namespace bm

@@ -1,0 +1,126 @@
+// RNG stream stability: golden vectors pin the exact draw sequences of
+// support/rng (xoshiro256** seeded via SplitMix64) and the harness's
+// per-benchmark stream derivation. Every experiment artifact, the golden
+// schedule corpus, and the committed figure CSVs depend on these sequences
+// bit-for-bit — any change here silently invalidates all of them, so it must
+// be a deliberate, corpus-regenerating event, not an accident.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "support/rng.hpp"
+
+namespace bm {
+namespace {
+
+std::vector<std::uint64_t> draw_next(Rng rng, std::size_t n) {
+  std::vector<std::uint64_t> out(n);
+  for (auto& v : out) v = rng.next();
+  return out;
+}
+
+TEST(RngGoldenTest, RawStreams) {
+  using V = std::vector<std::uint64_t>;
+  EXPECT_EQ(draw_next(Rng(0), 8),
+            (V{11091344671253066420ull, 13793997310169335082ull,
+               1900383378846508768ull, 7684712102626143532ull,
+               13521403990117723737ull, 18442103541295991498ull,
+               7788427924976520344ull, 9881088229871127103ull}));
+  EXPECT_EQ(draw_next(Rng(1), 8),
+            (V{12966619160104079557ull, 9600361134598540522ull,
+               10590380919521690900ull, 7218738570589545383ull,
+               12860671823995680371ull, 2648436617965840162ull,
+               1310552918490157286ull, 7031611932980406429ull}));
+  EXPECT_EQ(draw_next(Rng(42), 8),
+            (V{1546998764402558742ull, 6990951692964543102ull,
+               12544586762248559009ull, 17057574109182124193ull,
+               18295552978065317476ull, 14199186830065750584ull,
+               13267978908934200754ull, 15679888225317814407ull}));
+  // The default seed (golden ratio constant).
+  EXPECT_EQ(draw_next(Rng(), 8),
+            (V{4768932952251265552ull, 16168679545894742312ull,
+               6487188721686299062ull, 86499648889209533ull,
+               16455235402234500827ull, 4306002562074487087ull,
+               6917561557383370982ull, 11578438031395272546ull}));
+}
+
+TEST(RngGoldenTest, SplitMix64Sequence) {
+  std::uint64_t state = 12345;
+  const std::array<std::uint64_t, 6> expected{
+      2454886589211414944ull, 3778200017661327597ull, 2205171434679333405ull,
+      3248800117070709450ull, 9350289611492784363ull, 6217189988962137646ull};
+  for (std::uint64_t want : expected) EXPECT_EQ(split_mix64(state), want);
+}
+
+TEST(RngGoldenTest, UniformIntegers) {
+  Rng rng(7);
+  const std::array<std::int64_t, 16> expected{94, 74, 38, 64, 64, 21, 16, 96,
+                                              8,  19, 3,  96, 97, 51, 30, 83};
+  for (std::int64_t want : expected) EXPECT_EQ(rng.uniform(0, 99), want);
+}
+
+TEST(RngGoldenTest, Uniform01ExactDoubles) {
+  Rng rng(3);
+  // 53-bit mantissa draws; exact double equality is intentional.
+  EXPECT_EQ(rng.uniform01(), 0.69063829511778796);
+  EXPECT_EQ(rng.uniform01(), 0.6405810067354607);
+  EXPECT_EQ(rng.uniform01(), 0.21826237328256315);
+  EXPECT_EQ(rng.uniform01(), 0.53396162650045376);
+}
+
+TEST(RngGoldenTest, IndexChanceWeighted) {
+  Rng idx(11);
+  const std::array<std::size_t, 12> want_idx{5, 1, 9, 0, 0, 5, 7, 5, 5, 1, 9, 4};
+  for (std::size_t want : want_idx) EXPECT_EQ(idx.index(10), want);
+
+  Rng ch(13);
+  const std::array<bool, 16> want_ch{true,  false, false, true, false, false,
+                                     true,  false, false, false, false, false,
+                                     false, true,  true,  false};
+  for (bool want : want_ch) EXPECT_EQ(ch.chance(0.3), want);
+
+  Rng wt(17);
+  const std::array<double, 4> weights{1.0, 2.0, 3.0, 4.0};
+  const std::array<std::size_t, 12> want_wt{3, 3, 3, 3, 3, 3, 3, 3, 2, 3, 0, 3};
+  for (std::size_t want : want_wt) EXPECT_EQ(wt.weighted(weights), want);
+}
+
+TEST(RngGoldenTest, ForkIndependence) {
+  Rng parent(5);
+  Rng child = parent.fork();
+  EXPECT_EQ(draw_next(parent, 4),
+            (std::vector<std::uint64_t>{
+                9531689329179025993ull, 14471912560152521095ull,
+                9295126279674440255ull, 14917173486637513096ull}));
+  EXPECT_EQ(draw_next(child, 4),
+            (std::vector<std::uint64_t>{
+                18340469436663551497ull, 6828430683535990998ull,
+                14608069944617803966ull, 18440534448503883835ull}));
+}
+
+TEST(RngGoldenTest, BenchmarkStreamDerivation) {
+  // The (base_seed, index) -> stream map run_point fans out over. Seed 1990
+  // is the default base seed of every experiment.
+  EXPECT_EQ(draw_next(benchmark_rng(1990, 0), 3),
+            (std::vector<std::uint64_t>{11430255064959890396ull,
+                                        187501975355642564ull,
+                                        4659642176651710987ull}));
+  EXPECT_EQ(draw_next(benchmark_rng(1990, 1), 3),
+            (std::vector<std::uint64_t>{14705764915965891297ull,
+                                        7611556354604426313ull,
+                                        17150649722603642866ull}));
+  EXPECT_EQ(draw_next(benchmark_rng(1990, 2), 3),
+            (std::vector<std::uint64_t>{5404891414047624669ull,
+                                        17280915383685305741ull,
+                                        1945041184784591419ull}));
+  EXPECT_EQ(draw_next(benchmark_rng(1990, 99), 3),
+            (std::vector<std::uint64_t>{3272176808581893000ull,
+                                        3214371906611051910ull,
+                                        15674196516837734410ull}));
+}
+
+}  // namespace
+}  // namespace bm

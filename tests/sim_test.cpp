@@ -226,6 +226,145 @@ TEST(Simulator, LatencyPreservesEnvelopeAndSoundness) {
   }
 }
 
+TEST(Simulator, SinglePeNeedsNoBarriers) {
+  // One PE: program order alone satisfies every dependence, so the
+  // scheduler must insert nothing and both machine models must replay the
+  // stream back-to-back with no violations.
+  Rng rng(11);
+  const GeneratorConfig gen{.num_statements = 20, .num_variables = 6,
+                            .num_constants = 4, .const_max = 64};
+  const SynthesisResult s = synthesize_benchmark(gen, rng);
+  const InstrDag dag = InstrDag::build(s.program, TimingModel::table1());
+  SchedulerConfig cfg;
+  cfg.num_procs = 1;
+  const ScheduleResult r = schedule_program(dag, cfg, rng);
+  EXPECT_EQ(r.schedule->inserted_barrier_count(), 0u);
+  for (MachineKind mk : {MachineKind::kSBM, MachineKind::kDBM}) {
+    const ExecTrace t =
+        simulate(*r.schedule, {mk, SamplingMode::kAllMax}, rng);
+    EXPECT_TRUE(find_violations(dag, t).empty());
+    // Back-to-back: the stream's total work equals the completion time.
+    Time sum = 0;
+    for (const ScheduleEntry& e : r.schedule->stream(0))
+      if (!e.is_barrier) sum += dag.time(e.id).max;
+    EXPECT_EQ(t.completion, sum);
+  }
+}
+
+TEST(Simulator, ZeroVarianceTableCollapsesEnvelope) {
+  // Degenerate timing: every range is a point. All sampling modes must
+  // produce the same trace, and the static envelope collapses to it.
+  TimingModel tm = TimingModel::table1();
+  tm.set(Opcode::kLoad, {4, 4});
+  tm.set(Opcode::kAdd, {2, 2});
+  Program p(2);
+  p.append(Tuple::load(0, 0));
+  p.append(Tuple::binary(1, Opcode::kAdd, C(1), C(1)));
+  p.append(Tuple::binary(2, Opcode::kAdd, T(0), T(1)));
+  const InstrDag dag = InstrDag::build(p, tm);
+  Schedule sched(dag, 2);
+  sched.append_instr(0, 0);
+  sched.append_instr(1, 1);
+  sched.insert_barrier({{0, 1}, {1, 1}});
+  sched.append_instr(1, 2);
+  Rng rng(12);
+  const Time ref =
+      simulate(sched, {MachineKind::kSBM, SamplingMode::kAllMin}, rng)
+          .completion;
+  for (MachineKind mk : {MachineKind::kSBM, MachineKind::kDBM}) {
+    for (SamplingMode sm : {SamplingMode::kAllMin, SamplingMode::kAllMax,
+                            SamplingMode::kUniform, SamplingMode::kBimodal}) {
+      EXPECT_EQ(simulate(sched, {mk, sm}, rng).completion, ref);
+    }
+  }
+  const CompletionSummary cs =
+      summarize_completion(sched, MachineKind::kSBM, 8, rng);
+  EXPECT_EQ(cs.min_draw, ref);
+  EXPECT_EQ(cs.max_draw, ref);
+  EXPECT_EQ(cs.mean, static_cast<double>(ref));
+}
+
+TEST(Simulator, FullMaskBarrierSynchronizesEveryProc) {
+  // A barrier whose mask covers all PEs: fires at the slowest arrival and
+  // every PE resumes on that instant.
+  TimingModel tm = wide_timing();
+  Program p(8);
+  for (std::int64_t i = 0; i < 4; ++i)
+    p.append(Tuple::binary(static_cast<TupleId>(i), Opcode::kAdd, C(i), C(1)));
+  p.append(Tuple::load(4, 0));  // the slow straggler, [1,50]
+  for (std::int64_t i = 5; i < 9; ++i)
+    p.append(Tuple::binary(static_cast<TupleId>(i), Opcode::kAdd, C(i), C(1)));
+  const InstrDag dag = InstrDag::build(p, tm);
+  Schedule sched(dag, 4);
+  for (ProcId pr = 0; pr < 3; ++pr) sched.append_instr(pr, pr);
+  sched.append_instr(3, 4);  // straggler on P3
+  const BarrierId b =
+      sched.insert_barrier({{0, 1}, {1, 1}, {2, 1}, {3, 1}});
+  for (ProcId pr = 0; pr < 4; ++pr)
+    sched.append_instr(pr, static_cast<NodeId>(5 + pr));
+  EXPECT_EQ(sched.barrier_mask(b).count(), 4u);
+  Rng rng(13);
+  for (MachineKind mk : {MachineKind::kSBM, MachineKind::kDBM}) {
+    const ExecTrace t = simulate(sched, {mk, SamplingMode::kAllMax}, rng);
+    EXPECT_EQ(t.barrier_fire[b], 50);
+    for (NodeId n = 5; n < 9; ++n) EXPECT_EQ(t.start[n], 50);
+  }
+}
+
+TEST(Simulator, SingletonMaskBarrierFiresOnArrival) {
+  // Degenerate mask of one PE: the barrier is a self-sync and must fire
+  // the moment its only participant arrives, on both machines, without
+  // stalling the other stream.
+  Program p(2);
+  p.append(Tuple::load(0, 0));                           // P0: [1,50]
+  p.append(Tuple::binary(1, Opcode::kAdd, C(1), C(1)));  // P1: [2,2]
+  const InstrDag dag = InstrDag::build(p, wide_timing());
+  Schedule sched(dag, 2);
+  sched.append_instr(0, 0);
+  sched.append_instr(1, 1);
+  const BarrierId b = sched.insert_barrier({{1, 1}});
+  EXPECT_EQ(sched.barrier_mask(b).count(), 1u);
+  Rng rng(14);
+  for (MachineKind mk : {MachineKind::kSBM, MachineKind::kDBM}) {
+    const ExecTrace t = simulate(sched, {mk, SamplingMode::kAllMax}, rng);
+    EXPECT_EQ(t.barrier_fire[b], 2);   // P1's arrival, not P0's
+    EXPECT_EQ(t.completion, 50);       // P0 never waits on it
+  }
+}
+
+TEST(Simulator, SbmFifoTieBreaksByBarrierId) {
+  // FIFO boundary: two unordered barriers with the SAME static min fire
+  // time. The linear extension breaks the tie by id, so the lower-id
+  // barrier loads first and the higher-id one is held behind it even when
+  // its own participants arrive earlier. The DBM has no queue and fires
+  // each on arrival.
+  TimingModel tm = TimingModel::table1();
+  tm.set(Opcode::kLoad, {1, 50});
+  tm.set(Opcode::kOr, {1, 2});  // same min as the load -> fire-min tie
+  Program p(4);
+  p.append(Tuple::load(0, 0));                          // P0: [1,50]
+  p.append(Tuple::load(1, 1));                          // P1: [1,50]
+  p.append(Tuple::binary(2, Opcode::kOr, C(1), C(1)));  // P2: [1,2]
+  p.append(Tuple::binary(3, Opcode::kOr, C(2), C(2)));  // P3: [1,2]
+  const InstrDag dag = InstrDag::build(p, tm);
+  Schedule sched(dag, 4);
+  for (NodeId n = 0; n < 4; ++n)
+    sched.append_instr(static_cast<ProcId>(n), n);
+  const BarrierId a = sched.insert_barrier({{0, 1}, {1, 1}});
+  const BarrierId b = sched.insert_barrier({{2, 1}, {3, 1}});
+  ASSERT_LT(a, b);
+  EXPECT_EQ(sched.barrier_dag().fire_range(a).min,
+            sched.barrier_dag().fire_range(b).min);
+  Rng rng(15);
+  const ExecTrace sbm =
+      simulate(sched, {MachineKind::kSBM, SamplingMode::kAllMax}, rng);
+  EXPECT_EQ(sbm.barrier_fire[a], 50);
+  EXPECT_EQ(sbm.barrier_fire[b], 50);  // held behind the tied queue head
+  const ExecTrace dbm =
+      simulate(sched, {MachineKind::kDBM, SamplingMode::kAllMax}, rng);
+  EXPECT_EQ(dbm.barrier_fire[b], 2);
+}
+
 TEST(Simulator, EmptyScheduleCompletesAtZero) {
   Program p(0);
   const InstrDag dag = InstrDag::build(p, TimingModel::table1());
