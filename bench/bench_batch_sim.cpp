@@ -1,0 +1,85 @@
+// google-benchmark microbenchmarks: throughput of the seed-batched lockstep
+// simulator at batch widths 1/4/8/16, against the serial baseline in
+// bench_sim_perf. Items processed counts simulated *runs* (lanes), so
+// items_per_second is directly comparable across widths. Not a paper
+// figure — engineering instrumentation.
+#include <memory>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "codegen/synthesize.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/batch_sim.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace bm;
+
+struct Prepared {
+  // The schedule holds a pointer to the dag, so keep the dag's address
+  // stable across the return-by-value move.
+  std::unique_ptr<InstrDag> dag;
+  ScheduleResult result;
+};
+
+Prepared prepare(std::size_t statements, MachineKind machine) {
+  GeneratorConfig gen;
+  gen.num_statements = static_cast<std::uint32_t>(statements);
+  gen.num_variables = 10;
+  Rng rng(42);
+  const SynthesisResult s = synthesize_benchmark(gen, rng);
+  Prepared p;
+  p.dag = std::make_unique<InstrDag>(
+      InstrDag::build(s.program, TimingModel::table1()));
+  SchedulerConfig cfg;
+  cfg.num_procs = 8;
+  cfg.machine = machine;
+  p.result = schedule_program(*p.dag, cfg, rng);
+  return p;
+}
+
+/// One batch dispatch of `width` lanes per iteration, single draw stream —
+/// the summarize_completion inner loop.
+void run_batch(benchmark::State& state, MachineKind machine) {
+  const std::size_t width = static_cast<std::size_t>(state.range(0));
+  const Prepared p = prepare(60, machine);
+  Rng rng(9);
+  BatchExecTrace trace;
+  for (auto _ : state) {
+    batch_simulate_runs_into(*p.result.schedule,
+                             {machine, SamplingMode::kUniform}, width, rng,
+                             trace);
+    benchmark::DoNotOptimize(trace.completion.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * width));
+}
+
+void BM_BatchSimulateSbm(benchmark::State& state) {
+  run_batch(state, MachineKind::kSBM);
+}
+BENCHMARK(BM_BatchSimulateSbm)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_BatchSimulateDbm(benchmark::State& state) {
+  run_batch(state, MachineKind::kDBM);
+}
+BENCHMARK(BM_BatchSimulateDbm)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
+
+/// End-to-end completion summary (min/max draws + batched uniform sweep) at
+/// the production batch width — the quantity experiments actually compute.
+void BM_SummarizeCompletion(benchmark::State& state) {
+  const Prepared p = prepare(60, MachineKind::kSBM);
+  Rng rng(9);
+  const std::size_t runs = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(summarize_completion(
+        *p.result.schedule, MachineKind::kSBM, runs, rng, kDefaultSimBatch));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * runs));
+}
+BENCHMARK(BM_SummarizeCompletion);
+
+}  // namespace
+// main() is bench/bench_main.cpp (stamps bm_build_type for the bench gate).

@@ -14,8 +14,9 @@ Subcommands
                                  gated regression
   validate <file.json>           assert the JSON came from a Release build
   selftest <baseline.json>       prove the gate trips: synthesize a current
-                                 run with one hot benchmark slowed by 25%
-                                 and assert check() fails on it (and passes
+                                 run with one hot benchmark slowed past
+                                 its noise-aware threshold and assert
+                                 check() fails on it (and passes
                                  on an unmodified copy)
 
 Noise handling: per benchmark the threshold is
@@ -50,6 +51,13 @@ GATED_BENCHMARKS = {
         "BM_SimulateSbm/120",
         "BM_SimulateDbm/120",
         "BM_ValidateTrace",
+    ],
+    "BENCH_batch.json": [
+        "BM_BatchSimulateSbm/1",
+        "BM_BatchSimulateSbm/8",
+        "BM_BatchSimulateSbm/16",
+        "BM_BatchSimulateDbm/8",
+        "BM_SummarizeCompletion",
     ],
 }
 
@@ -216,20 +224,30 @@ def cmd_selftest(args):
               file=sys.stderr)
         return 1
 
-    # Slowing one gated benchmark by 25% must trip the gate.
+    # Slowing one gated benchmark past its own noise-aware threshold must
+    # trip the gate. The factor is derived from the victim's measured cv
+    # (allowed ratio + 10 points of headroom) so the selftest stays
+    # meaningful on noisy machines where a fixed 25% could sit inside the
+    # widened threshold. cv aggregate rows are left untouched: a uniformly
+    # slowed run has the same relative spread, and scaling them would
+    # inflate the very margin the synthetic regression must beat.
     victim = victims[0]
+    _, vcv = medians_and_cv(baseline).get(victim, (0.0, None))
+    noise = vcv if vcv else NOISE_FALLBACK
+    factor = 1.0 + BASE_THRESHOLD + NOISE_CV_MULT * noise + 0.10
     slowed = json.loads(json.dumps(clean))
     for row in slowed["benchmarks"]:
-        if row.get("run_name", row.get("name")) == victim:
-            row["cpu_time"] = float(row["cpu_time"]) * 1.25
-            row["real_time"] = float(row.get("real_time", 0)) * 1.25
+        if row.get("run_name", row.get("name")) == victim \
+                and row.get("aggregate_name") != "cv":
+            row["cpu_time"] = float(row["cpu_time"]) * factor
+            row["real_time"] = float(row.get("real_time", 0)) * factor
     failures = compare(baseline, slowed, gated, out=open("/dev/null", "w"))
     if victim not in failures:
-        print(f"bench_gate selftest: FAIL — 25% slowdown of {victim} "
-              "was not flagged", file=sys.stderr)
+        print(f"bench_gate selftest: FAIL — {factor:.2f}x slowdown of "
+              f"{victim} was not flagged", file=sys.stderr)
         return 1
     print(f"ok  bench_gate selftest ({args.baseline}: identical run passes, "
-          f"25% slowdown of {victim} trips the gate)")
+          f"{factor:.2f}x slowdown of {victim} trips the gate)")
     return 0
 
 

@@ -12,10 +12,10 @@
 # Benchmark regression gate (separate Release tree, build-bench/):
 #   --bench-gate   build build-bench/ (forced Release), run the gated
 #                  benchmarks with repetitions, and compare against the
-#                  committed BENCH_sched.json / BENCH_sim.json baselines
+#                  committed BENCH_{sched,sim,batch}.json baselines
 #                  via scripts/bench_gate.py (fails on >10% + noise
 #                  regression of any gated benchmark). Also runs the
-#                  gate's selftest (a synthetic 25% slowdown must trip).
+#                  gate's selftest (a synthetic above-threshold slowdown must trip).
 #   --bench-regen  rebuild build-bench/ and REGENERATE the committed
 #                  baselines from it. Use on a quiet machine; commit the
 #                  resulting BENCH_*.json.
@@ -46,27 +46,46 @@ done
 # these modes skip the regular build/test pass entirely.
 if [[ "$bench_gate" -eq 1 || "$bench_regen" -eq 1 ]]; then
   cmake -B build-bench -G Ninja -DCMAKE_BUILD_TYPE=Release
-  cmake --build build-bench --target bench_scheduler_perf bench_sim_perf
+  cmake --build build-bench \
+      --target bench_scheduler_perf bench_sim_perf bench_batch_sim bmrun
   if [[ "$bench_regen" -eq 1 ]]; then
     python3 scripts/bench_gate.py run \
         build-bench/bench/bench_scheduler_perf BENCH_sched.json
     python3 scripts/bench_gate.py run \
         build-bench/bench/bench_sim_perf BENCH_sim.json
+    python3 scripts/bench_gate.py run \
+        build-bench/bench/bench_batch_sim BENCH_batch.json
     echo "baselines regenerated; review and commit BENCH_*.json"
   else
     python3 scripts/bench_gate.py validate BENCH_sched.json
     python3 scripts/bench_gate.py validate BENCH_sim.json
+    python3 scripts/bench_gate.py validate BENCH_batch.json
     python3 scripts/bench_gate.py selftest BENCH_sched.json
     python3 scripts/bench_gate.py selftest BENCH_sim.json
+    python3 scripts/bench_gate.py selftest BENCH_batch.json
     mkdir -p out
     python3 scripts/bench_gate.py run \
         build-bench/bench/bench_scheduler_perf out/bench_sched_current.json
     python3 scripts/bench_gate.py run \
         build-bench/bench/bench_sim_perf out/bench_sim_current.json
+    python3 scripts/bench_gate.py run \
+        build-bench/bench/bench_batch_sim out/bench_batch_current.json
     python3 scripts/bench_gate.py check out/bench_sched_current.json \
         --baseline BENCH_sched.json
     python3 scripts/bench_gate.py check out/bench_sim_current.json \
         --baseline BENCH_sim.json
+    python3 scripts/bench_gate.py check out/bench_batch_current.json \
+        --baseline BENCH_batch.json
+    # Mega-DAG wall-clock budget: the full 10^6-tuple stress experiment must
+    # finish inside BM_STRESS_BUDGET_SECS (default 60) on the Release tree.
+    # A quadratic regression in the streaming CSR build or the labeling
+    # sweeps blows this budget by orders of magnitude, not by noise.
+    mkdir -p out
+    timeout "${BM_STRESS_BUDGET_SECS:-60}" \
+        ./build-bench/bmrun run stress_megadag --seeds 1 --jobs 1 \
+        --out-dir out > /dev/null \
+      && echo "ok  stress_megadag under budget" \
+      || { echo "stress_megadag exceeded the bench-gate budget" >&2; exit 1; }
     echo "bench gate passed"
   fi
   exit 0
@@ -98,6 +117,8 @@ done
     > /tmp/bench_sched_smoke.json && echo "ok  bench_scheduler_perf (smoke)"
 ./build/bench/bench_sim_perf --benchmark_format=json \
     > /tmp/bench_sim_smoke.json && echo "ok  bench_sim_perf (smoke)"
+./build/bench/bench_batch_sim --benchmark_format=json \
+    > /tmp/bench_batch_smoke.json && echo "ok  bench_batch_sim (smoke)"
 
 if [[ "$verify_smoke" -eq 1 ]]; then
   mkdir -p out

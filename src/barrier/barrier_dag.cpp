@@ -1,6 +1,7 @@
 #include "barrier/barrier_dag.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "obs/obs.hpp"
 #include "support/assert.hpp"
@@ -10,12 +11,34 @@ namespace bm {
 
 BarrierDag::BarrierDag(std::size_t num_barrier_ids, BarrierId initial,
                        std::span<const BarrierChainInput> chains,
-                       Time barrier_latency)
-    : initial_(initial),
-      latency_(barrier_latency),
-      index_(num_barrier_ids, kInvalidNode) {
+                       Time barrier_latency) {
+  init(num_barrier_ids, initial, chains, barrier_latency);
+}
+
+void BarrierDag::rebuild(std::size_t num_barrier_ids, BarrierId initial,
+                         std::span<const BarrierChainInput> chains,
+                         Time barrier_latency) {
+  // Settle the generation being replaced exactly as its destructor would
+  // have, then start a fresh tally for the new one.
+  fold_tally();
+  tally_.hits = tally_.misses = 0;
+  tally_.live = true;
+  init(num_barrier_ids, initial, chains, barrier_latency);
+}
+
+void BarrierDag::init(std::size_t num_barrier_ids, BarrierId initial,
+                      std::span<const BarrierChainInput> chains,
+                      Time barrier_latency) {
   BM_REQUIRE(initial < num_barrier_ids, "initial barrier id out of range");
   BM_REQUIRE(barrier_latency >= 0, "barrier latency must be >= 0");
+  initial_ = initial;
+  latency_ = barrier_latency;
+  index_.assign(num_barrier_ids, kInvalidNode);
+  ids_.clear();
+  edges_.clear();
+  lazy_g_.reset();
+  dom_valid_ = false;
+  linext_.clear();
 
   auto intern = [&](BarrierId b) -> NodeId {
     BM_REQUIRE(b < index_.size(), "barrier id out of range");
@@ -43,8 +66,25 @@ BarrierDag::BarrierDag(std::size_t num_barrier_ids, BarrierId initial,
 
   // Aggregate parallel chain traversals of one edge with the Fig. 13 rule
   // (join_max), collapsing the raw list into a sorted unique-key table.
-  std::sort(edges_.begin(), edges_.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // Keys are (source<<32)|target with both halves < n_nodes, so two stable
+  // counting passes (by target, then by source) produce the full key order
+  // in O(E + B) — cheaper than a comparison sort for the short, re-sorted-
+  // per-rebuild chain edge lists.
+  {
+    ScratchVec<std::pair<std::uint64_t, TimeRange>> tmp_s;
+    ScratchVec<std::uint32_t> cnt_s;
+    auto& tmp = *tmp_s;
+    auto& cnt = *cnt_s;
+    tmp.resize(edges_.size());
+    cnt.assign(n_nodes + 1, 0);
+    for (const auto& e : edges_) ++cnt[static_cast<NodeId>(e.first) + 1];
+    for (std::size_t v = 1; v <= n_nodes; ++v) cnt[v] += cnt[v - 1];
+    for (const auto& e : edges_) tmp[cnt[static_cast<NodeId>(e.first)]++] = e;
+    cnt.assign(n_nodes + 1, 0);
+    for (const auto& e : tmp) ++cnt[(e.first >> 32) + 1];
+    for (std::size_t v = 1; v <= n_nodes; ++v) cnt[v] += cnt[v - 1];
+    for (const auto& e : tmp) edges_[cnt[e.first >> 32]++] = e;
+  }
   std::size_t out = 0;
   for (std::size_t i = 0; i < edges_.size(); ++i) {
     if (out > 0 && edges_[out - 1].first == edges_[i].first)
@@ -89,8 +129,20 @@ BarrierDag::BarrierDag(std::size_t num_barrier_ids, BarrierId initial,
   }
   BM_REQUIRE(topo_.size() == n_nodes, "graph has a cycle");
 
-  psi_min_cache_.resize(n_nodes * n_nodes);
-  psi_max_cache_.resize(n_nodes * n_nodes);
+  // ψ caches: flat B×B rows, uninitialized (`new Time[...]` without parens
+  // skips the value-init zero-fill; psi_row overwrites a row before reading
+  // it). The fire-range computation below always fills the root rows, so
+  // the buffers are never allocated in vain; a power-of-two capacity is
+  // kept across rebuilds so the scheduler's one-barrier-at-a-time growth
+  // reallocates only logarithmically often.
+  const std::size_t psi_need = n_nodes * n_nodes;
+  if (psi_cap_ < psi_need || !psi_min_cache_) {
+    const std::size_t cap = std::bit_ceil(psi_need);
+    psi_cap_ = 0;  // stay consistent if an allocation throws
+    psi_min_cache_.reset(new Time[cap]);
+    psi_max_cache_.reset(new Time[cap]);
+    psi_cap_ = cap;
+  }
   psi_min_filled_.assign(n_nodes, 0);
   psi_max_filled_.assign(n_nodes, 0);
 
@@ -132,13 +184,15 @@ const Digraph& BarrierDag::lazy_digraph() const {
   return *lazy_g_;
 }
 
-BarrierDag::~BarrierDag() {
+void BarrierDag::fold_tally() const {
   if (!tally_.live) return;  // moved-from shell: tallies were transferred
   BM_OBS_COUNT("barrier.dag_builds");
   if (tally_.hits > 0) BM_OBS_COUNT_N("barrier.psi_cache_hits", tally_.hits);
   if (tally_.misses > 0)
     BM_OBS_COUNT_N("barrier.psi_cache_misses", tally_.misses);
 }
+
+BarrierDag::~BarrierDag() { fold_tally(); }
 
 const TimeRange* BarrierDag::find_edge(NodeId a, NodeId b) const {
   const std::uint64_t key = edge_key(a, b);
@@ -151,13 +205,13 @@ const TimeRange* BarrierDag::find_edge(NodeId a, NodeId b) const {
 
 const Time* BarrierDag::psi_row(NodeId src, bool use_max) const {
   std::uint8_t& filled = use_max ? psi_max_filled_[src] : psi_min_filled_[src];
-  Time* dist = (use_max ? psi_max_cache_.data() : psi_min_cache_.data()) +
-               src * size();
+  Time* const cache = (use_max ? psi_max_cache_ : psi_min_cache_).get();
   if (filled) {
     ++tally_.hits;  // memo hit: O(1) amortized queries
-    return dist;
+    return cache + src * size();
   }
   ++tally_.misses;
+  Time* dist = cache + src * size();
   filled = 1;
   std::fill(dist, dist + size(), kUnreachable);
   dist[src] = 0;
@@ -201,9 +255,36 @@ bool BarrierDag::path_exists(BarrierId u, BarrierId v) const {
 
 BarrierId BarrierDag::common_dominator(BarrierId a, BarrierId b) const {
   // Built on first use: rebuilds triggered by merge sweeps often never ask
-  // for a dominator before the next mutation invalidates the dag.
-  if (!dom_)
-    dom_ = std::make_unique<DominatorTree>(lazy_digraph(), index_[initial_]);
+  // for a dominator before the next mutation invalidates the dag. The CSR
+  // views are assembled in pooled scratch straight from the sorted edge
+  // table (succ offsets are adj_off_; predecessors via one counting pass),
+  // so no Digraph and no per-node vectors are materialized.
+  if (!dom_valid_) {
+    const std::size_t n = size();
+    ScratchVec<NodeId> sdat_s, pdat_s;
+    ScratchVec<std::uint32_t> poff_s, cur_s;
+    auto& sdat = *sdat_s;
+    auto& pdat = *pdat_s;
+    auto& poff = *poff_s;
+    auto& cur = *cur_s;
+    sdat.resize(edges_.size());
+    for (std::size_t i = 0; i < edges_.size(); ++i)
+      sdat[i] = static_cast<NodeId>(edges_[i].first);
+    poff.resize(n + 1);
+    poff[0] = 0;
+    for (std::size_t v = 0; v < n; ++v) poff[v + 1] = poff[v] + indeg_[v];
+    pdat.resize(edges_.size());
+    cur.assign(poff.begin(), poff.end());
+    for (const auto& [key, w] : edges_)
+      pdat[cur[static_cast<NodeId>(key)]++] = static_cast<NodeId>(key >> 32);
+    if (!dom_) dom_.emplace();
+    dom_->rebuild(CsrAdjacency{{adj_off_.data(), n + 1},
+                               {sdat.data(), sdat.size()},
+                               {poff.data(), n + 1},
+                               {pdat.data(), pdat.size()}},
+                  index_[initial_]);
+    dom_valid_ = true;
+  }
   return ids_[dom_->common_dominator(index_of(a), index_of(b))];
 }
 
@@ -254,6 +335,10 @@ std::vector<BarrierId> BarrierDag::linear_extension() const {
 }
 
 void BarrierDag::linear_extension_into(std::vector<BarrierId>& out) const {
+  if (!linext_.empty()) {
+    out.assign(linext_.begin(), linext_.end());
+    return;
+  }
   ScratchVec<std::uint32_t> indegree_s;
   ScratchVec<NodeId> ready_s;
   auto& indegree = *indegree_s;
@@ -280,6 +365,7 @@ void BarrierDag::linear_extension_into(std::vector<BarrierId>& out) const {
       if (--indegree[adj_dat_[e].to] == 0) ready.push_back(adj_dat_[e].to);
   }
   BM_ASSERT_INTERNAL(out.size() == size(), "linear extension incomplete");
+  linext_ = out;
 }
 
 BarrierDag::MaxPathRange::MaxPathRange(const BarrierDag& dag, NodeId from,

@@ -49,6 +49,16 @@ class BarrierDag {
              std::span<const BarrierChainInput> chains,
              Time barrier_latency = 0);
 
+  /// Rebuilds this dag in place for a mutated schedule, reusing every
+  /// internal buffer's capacity (the scheduler rebuilds after each of its
+  /// hundreds of thousands of mutations; a fresh construction would pay a
+  /// dozen allocations each time). Observationally identical to destroying
+  /// and re-constructing: the previous generation's ψ tallies are folded
+  /// into the metric registry exactly as the destructor would have.
+  void rebuild(std::size_t num_barrier_ids, BarrierId initial,
+               std::span<const BarrierChainInput> chains,
+               Time barrier_latency = 0);
+
   /// The destructor folds the ψ-cache hit/miss tallies into the global
   /// metric registry (`barrier.psi_cache_{hits,misses}`). Moves stay
   /// defaulted: PsiTally transfers its counts and zeroes the source, so a
@@ -110,6 +120,9 @@ class BarrierDag {
   /// linear extension can delay but never deadlock the mask FIFO.
   std::vector<BarrierId> linear_extension() const;
   /// Same, filling a caller-owned buffer (the SBM simulator's pooled queue).
+  /// The extension is a pure function of this immutable dag, so it is
+  /// computed once and memoized: completion summaries replay the same
+  /// queue order for every draw (and every batch lane).
   void linear_extension_into(std::vector<BarrierId>& out) const;
 
   /// Enumerates u→v paths in non-increasing max-time length. Wraps
@@ -133,6 +146,14 @@ class BarrierDag {
   std::uint64_t psi_cache_misses() const { return tally_.misses; }
 
  private:
+  /// Shared constructor/rebuild body; assumes tallies are already settled.
+  void init(std::size_t num_barrier_ids, BarrierId initial,
+            std::span<const BarrierChainInput> chains, Time barrier_latency);
+  /// Folds the current tallies into the metric registry (one dag build plus
+  /// the ψ hit/miss counts) — the destructor's accounting, also run by
+  /// rebuild() on the generation it replaces.
+  void fold_tally() const;
+
   NodeId index_of(BarrierId b) const;  // throws if unknown
   static std::uint64_t edge_key(NodeId a, NodeId b) {
     return (static_cast<std::uint64_t>(a) << 32) | b;
@@ -172,8 +193,11 @@ class BarrierDag {
   std::size_t reach_stride_ = 0;
   std::vector<std::uint64_t> reach_;
   /// Lazily built on the first common_dominator query (many rebuilds never
-  /// issue one before the next mutation discards the dag).
-  mutable std::unique_ptr<DominatorTree> dom_;
+  /// issue one before the next mutation discards the dag), directly from
+  /// the flat edge table — no Digraph. The tree object itself survives
+  /// rebuilds so its buffers keep their capacity; `dom_valid_` gates it.
+  mutable std::optional<DominatorTree> dom_;
+  mutable bool dom_valid_ = false;
 
   /// Weighted adjacency (succ, latency-charged edge range), CSR layout —
   /// the edge-table lookup hoisted out of every sweep.
@@ -185,8 +209,13 @@ class BarrierDag {
   std::vector<WeightedEdge> adj_dat_;
   std::vector<NodeId> topo_;  ///< topological order, computed once
 
-  /// Flat B×B ψ memo (row per source) with per-row filled flags.
-  mutable std::vector<Time> psi_min_cache_, psi_max_cache_;
+  /// Flat B×B ψ memo (row per source) with per-row filled flags. The
+  /// buffers are deliberately left uninitialized (psi_row overwrites a row
+  /// before reading it), so a rebuild never pays two O(B²) zero-fills; the
+  /// power-of-two capacity survives rebuilds, so the insertion loop's
+  /// one-barrier-at-a-time growth reallocates only logarithmically often.
+  mutable std::unique_ptr<Time[]> psi_min_cache_, psi_max_cache_;
+  mutable std::size_t psi_cap_ = 0;  ///< elements per cache buffer
   mutable std::vector<std::uint8_t> psi_min_filled_, psi_max_filled_;
 
   /// ψ-cache hit/miss tallies plus a liveness marker for dtor folding.
@@ -212,6 +241,10 @@ class BarrierDag {
     }
   };
   mutable PsiTally tally_;
+
+  /// Memoized SBM queue order (non-empty once computed: every dag has at
+  /// least the initial barrier). Single-thread confined like the ψ caches.
+  mutable std::vector<BarrierId> linext_;
 };
 
 }  // namespace bm

@@ -22,8 +22,8 @@ std::string instr_dag_to_dot(const InstrDag& dag, const Program& prog) {
     if (n == dag.exit()) return "exit";
     return "n" + std::to_string(n);
   };
-  for (NodeId n = 0; n < dag.graph().size(); ++n)
-    for (NodeId s : dag.graph().succs(n))
+  for (NodeId n = 0; n < dag.num_nodes(); ++n)
+    for (NodeId s : dag.succs(n))
       os << "  " << name(n) << " -> " << name(s) << ";\n";
   os << "}\n";
   return os.str();

@@ -56,13 +56,16 @@ CfgExecResult run_cfg(const CfgScheduleResult& scheduled,
 
   Time completion = 0;
   std::size_t transfers = 0;
+  // Reused across block visits (and across run_cfg calls on this thread):
+  // CFG sweeps simulate hundreds of thousands of tiny block schedules, and
+  // a fresh ExecTrace per visit would allocate three vectors each time.
+  static thread_local ExecTrace trace;
   CfgExecResult out = walk(
       cfg, std::move(initial_memory), config.max_transfers,
       [&](BlockId id, const BasicBlock& b,
           const std::vector<std::int64_t>& memory) {
-        const ExecTrace trace =
-            simulate(*scheduled.blocks[id].result.schedule,
-                     {config.machine, config.sampling}, rng);
+        simulate_into(*scheduled.blocks[id].result.schedule,
+                      {config.machine, config.sampling}, rng, trace);
         completion += trace.completion;
         if (b.term != BasicBlock::Terminator::kExit) ++transfers;
         return eval_program(b.body, memory);

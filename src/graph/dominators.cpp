@@ -2,41 +2,84 @@
 
 #include <algorithm>
 
+#include "support/scratch.hpp"
+
 namespace bm {
 
-namespace {
-/// Reverse postorder of nodes reachable from root (iterative DFS).
-std::vector<NodeId> reverse_postorder(const Digraph& g, NodeId root) {
-  std::vector<NodeId> post;
-  std::vector<std::uint8_t> state(g.size(), 0);  // 0=unseen 1=open 2=done
-  std::vector<std::pair<NodeId, std::size_t>> stack{{root, 0}};
+DominatorTree::DominatorTree(const Digraph& g, NodeId root) {
+  // Flatten the per-node adjacency into CSR scratch and run the shared
+  // builder — one code path for both entry points.
+  const std::size_t n = g.size();
+  ScratchVec<std::uint32_t> soff_s, poff_s;
+  ScratchVec<NodeId> sdat_s, pdat_s;
+  auto& soff = *soff_s;
+  auto& poff = *poff_s;
+  auto& sdat = *sdat_s;
+  auto& pdat = *pdat_s;
+  soff.assign(n + 1, 0);
+  poff.assign(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    soff[v + 1] = soff[v] + static_cast<std::uint32_t>(g.succs(v).size());
+    poff[v + 1] = poff[v] + static_cast<std::uint32_t>(g.preds(v).size());
+  }
+  sdat.clear();
+  pdat.clear();
+  sdat.reserve(soff[n]);
+  pdat.reserve(poff[n]);
+  for (NodeId v = 0; v < n; ++v) {
+    sdat.insert(sdat.end(), g.succs(v).begin(), g.succs(v).end());
+    pdat.insert(pdat.end(), g.preds(v).begin(), g.preds(v).end());
+  }
+  init(CsrAdjacency{{soff.data(), n + 1},
+                    {sdat.data(), sdat.size()},
+                    {poff.data(), n + 1},
+                    {pdat.data(), pdat.size()}},
+       root);
+}
+
+void DominatorTree::rebuild(const CsrAdjacency& g, NodeId root) {
+  init(g, root);
+}
+
+void DominatorTree::init(const CsrAdjacency& g, NodeId root) {
+  const std::size_t n = g.succ_off.size() - 1;
+  BM_REQUIRE(root < n, "root out of range");
+  root_ = root;
+  idom_.assign(n, kInvalidNode);
+  depth_.assign(n, 0);
+
+  // Reverse postorder of nodes reachable from root (iterative DFS). All
+  // traversal state lives in pooled scratch: this runs once per barrier-dag
+  // generation that receives a dominator query.
+  ScratchVec<NodeId> rpo_s;
+  ScratchVec<std::uint8_t> state_s;  // 0=unseen 1=open 2=done
+  ScratchVec<std::pair<NodeId, std::uint32_t>> stack_s;
+  ScratchVec<std::size_t> rpo_index_s;
+  auto& rpo = *rpo_s;
+  auto& state = *state_s;
+  auto& stack = *stack_s;
+  auto& rpo_index = *rpo_index_s;
+  rpo.clear();
+  state.assign(n, 0);
+  stack.clear();
+  stack.emplace_back(root, 0);
   state[root] = 1;
   while (!stack.empty()) {
-    auto& [n, next_child] = stack.back();
-    if (next_child < g.succs(n).size()) {
-      const NodeId s = g.succs(n)[next_child++];
+    auto& [v, next_child] = stack.back();
+    if (g.succ_off[v] + next_child < g.succ_off[v + 1]) {
+      const NodeId s = g.succ_dat[g.succ_off[v] + next_child++];
       if (state[s] == 0) {
         state[s] = 1;
         stack.emplace_back(s, 0);
       }
     } else {
-      state[n] = 2;
-      post.push_back(n);
+      state[v] = 2;
+      rpo.push_back(v);
       stack.pop_back();
     }
   }
-  std::reverse(post.begin(), post.end());
-  return post;
-}
-}  // namespace
-
-DominatorTree::DominatorTree(const Digraph& g, NodeId root)
-    : root_(root),
-      idom_(g.size(), kInvalidNode),
-      depth_(g.size(), 0) {
-  BM_REQUIRE(root < g.size(), "root out of range");
-  const std::vector<NodeId> rpo = reverse_postorder(g, root);
-  std::vector<std::size_t> rpo_index(g.size(), ~std::size_t{0});
+  std::reverse(rpo.begin(), rpo.end());
+  rpo_index.assign(n, ~std::size_t{0});
   for (std::size_t i = 0; i < rpo.size(); ++i) rpo_index[rpo[i]] = i;
 
   idom_[root] = root;
@@ -52,24 +95,25 @@ DominatorTree::DominatorTree(const Digraph& g, NodeId root)
   bool changed = true;
   while (changed) {
     changed = false;
-    for (NodeId n : rpo) {
-      if (n == root) continue;
+    for (NodeId v : rpo) {
+      if (v == root) continue;
       NodeId new_idom = kInvalidNode;
-      for (NodeId p : g.preds(n)) {
+      for (std::uint32_t e = g.pred_off[v]; e < g.pred_off[v + 1]; ++e) {
+        const NodeId p = g.pred_dat[e];
         if (idom_[p] == kInvalidNode) continue;  // pred not processed yet
         new_idom = (new_idom == kInvalidNode) ? p : intersect(p, new_idom);
       }
-      if (new_idom != kInvalidNode && idom_[n] != new_idom) {
-        idom_[n] = new_idom;
+      if (new_idom != kInvalidNode && idom_[v] != new_idom) {
+        idom_[v] = new_idom;
         changed = true;
       }
     }
   }
 
-  for (NodeId n : rpo) {
-    if (n == root) continue;
-    BM_ASSERT_INTERNAL(idom_[n] != kInvalidNode, "reachable node has no idom");
-    depth_[n] = depth_[idom_[n]] + 1;
+  for (NodeId v : rpo) {
+    if (v == root) continue;
+    BM_ASSERT_INTERNAL(idom_[v] != kInvalidNode, "reachable node has no idom");
+    depth_[v] = depth_[idom_[v]] + 1;
   }
 }
 

@@ -84,7 +84,7 @@ SeedResult run_seed(const GeneratorConfig& gen, const SchedulerConfig& sched,
       }
     }
     r.outcome.barrier_completion = summarize_completion(
-        *scheduled.schedule, sched.machine, opt.sim_runs, rng);
+        *scheduled.schedule, sched.machine, opt.sim_runs, rng, opt.sim_batch);
   }
   return r;
 }

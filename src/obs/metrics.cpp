@@ -101,6 +101,12 @@ void Histogram::observe(std::uint64_t v) const {
   s.hist_sum[id_].fetch_add(v, std::memory_order_relaxed);
 }
 
+void Histogram::observe_n(std::uint64_t count, std::uint64_t sum) const {
+  Shard& s = local_shard();
+  s.hist_count[id_].fetch_add(count, std::memory_order_relaxed);
+  s.hist_sum[id_].fetch_add(sum, std::memory_order_relaxed);
+}
+
 Counter counter(std::string_view name) {
   NameTable& t = names();
   std::lock_guard<std::mutex> lock(t.mu);

@@ -57,6 +57,11 @@ class Gauge {
 class Histogram {
  public:
   void observe(std::uint64_t v) const;
+  /// Folds `count` observations totalling `sum` in one shard access —
+  /// exactly equivalent to `count` individual observe() calls (the export
+  /// is the monotonic count/sum pair). Lets per-event hot paths tally
+  /// locally and record once per run.
+  void observe_n(std::uint64_t count, std::uint64_t sum) const;
 
  private:
   friend Histogram histogram(std::string_view);

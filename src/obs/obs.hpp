@@ -33,6 +33,16 @@
     bm_obs_hist_.observe(static_cast<std::uint64_t>(v));     \
   } while (0)
 
+/// Records `cnt` observations totalling `sum` into the named histogram —
+/// one shard access, equivalent to `cnt` BM_OBS_OBSERVE calls.
+#define BM_OBS_OBSERVE_N(name, cnt, sum)                     \
+  do {                                                       \
+    static const ::bm::obs::Histogram bm_obs_hist_ =         \
+        ::bm::obs::histogram(name);                          \
+    bm_obs_hist_.observe_n(static_cast<std::uint64_t>(cnt),  \
+                           static_cast<std::uint64_t>(sum)); \
+  } while (0)
+
 /// Sets the named gauge to `v`.
 #define BM_OBS_GAUGE_SET(name, v)                            \
   do {                                                       \
@@ -61,6 +71,9 @@
   } while (0)
 #define BM_OBS_OBSERVE(name, v) \
   do {                          \
+  } while (0)
+#define BM_OBS_OBSERVE_N(name, cnt, sum) \
+  do {                                   \
   } while (0)
 #define BM_OBS_GAUGE_SET(name, v) \
   do {                            \

@@ -34,6 +34,7 @@ Schedule::Schedule(const InstrDag& dag, std::size_t num_procs,
   all.set_all();
   masks_.push_back(std::move(all));
   alive_.push_back(true);
+  bar_pos_.assign(num_procs, 0);  // the initial barrier has no stream entry
 }
 
 const std::vector<ScheduleEntry>& Schedule::stream(ProcId p) const {
@@ -187,8 +188,13 @@ const BarrierDag& Schedule::build_analysis() const {
     }
     // Tail code after the last barrier is not part of the dag.
   }
-  analysis_.emplace(masks_.size(), kInitialBarrier, chains_scratch_,
-                    barrier_latency_);
+  if (analysis_)
+    analysis_->rebuild(masks_.size(), kInitialBarrier, chains_scratch_,
+                       barrier_latency_);
+  else
+    analysis_.emplace(masks_.size(), kInitialBarrier, chains_scratch_,
+                      barrier_latency_);
+  analysis_valid_ = true;
   return *analysis_;
 }
 
@@ -225,18 +231,178 @@ BarrierId Schedule::insert_barrier(std::span<const Loc> at) {
   const auto id = static_cast<BarrierId>(masks_.size());
   masks_.push_back(std::move(mask));
   alive_.push_back(true);
+  bar_pos_.resize(masks_.size() * num_procs(), 0);
+  // The dag analysis must rebuild, but the stream index can be patched in
+  // place: only the participating processors change, and within each only
+  // the tail shifts and the split segment's base/last-bar entries move to
+  // the new barrier. A full rebuild_stream_index() would rescan every
+  // stream of every processor on each of the scheduler's ~10^5 insertions.
+  const bool patch_sidx = sidx_valid_;
   for (const Loc& l : at) {
     auto& s = streams_[l.proc];
     s.insert(s.begin() + l.pos, ScheduleEntry::barrier(id));
-    reindex(l.proc);
+    bar_pos_[id * num_procs() + l.proc] = l.pos + 1;
+    for (auto i = static_cast<std::uint32_t>(l.pos + 1); i < s.size(); ++i)
+      if (!s[i].is_barrier)
+        instr_loc_[s[i].id] = {l.proc, i};
+      else
+        bar_pos_[s[i].id * num_procs() + l.proc] = i + 1;
+    if (patch_sidx) patch_stream_index(l.proc, l.pos, id);
   }
-  invalidate();
+  analysis_valid_ = false;
   return id;
+}
+
+void Schedule::patch_stream_index(ProcId p, std::uint32_t pos,
+                                  BarrierId id) const {
+  // `streams_[p]` already contains the new barrier entry at `pos`.
+  const auto& s = streams_[p];
+  StreamIndex& ix = sidx_[p];
+  // Positions <= pos are untouched; the barrier adds a zero-time position
+  // whose prefix equals cum[pos], and opens a segment based there.
+  const TimeRange cum_at = ix.cum[pos];
+  ix.cum.insert(ix.cum.begin() + pos + 1, cum_at);
+  ix.base.insert(ix.base.begin() + pos + 1, cum_at);
+  ix.last_bar.insert(ix.last_bar.begin() + pos + 1, id);
+  // The rest of the split segment (up to the next barrier entry) now bases
+  // at the new barrier; positions beyond it are shifted but unchanged.
+  for (std::uint32_t k = pos + 2; k < ix.cum.size(); ++k) {
+    if (s[k - 1].is_barrier) break;
+    ix.base[k] = cum_at;
+    ix.last_bar[k] = id;
+  }
+  // next_bar: the new entry's next barrier is the first one at or after the
+  // old `pos`; earlier entries in the split segment now point at `id`.
+  BarrierId nb = kInvalidBarrier;
+  if (pos + 1 < s.size())
+    nb = s[pos + 1].is_barrier ? s[pos + 1].id : ix.next_bar[pos];
+  ix.next_bar.insert(ix.next_bar.begin() + pos, nb);
+  for (std::uint32_t k = pos; k-- > 0;) {
+    ix.next_bar[k] = id;
+    if (s[k].is_barrier) break;
+  }
 }
 
 bool Schedule::order_feasible(std::span<const Loc> virtual_barrier,
                               BarrierId merge_keep,
                               BarrierId merge_victim) const {
+  // The full-graph check (no probe) has no acyclicity invariant to lean on
+  // — deserialized schedules land here — so it stays on the Kahn reference.
+  // Probe shapes outside the scheduler's two hot forms (a two-sided virtual
+  // barrier, or a pure merge) also fall through to it.
+  const bool merging = merge_victim != kInvalidBarrier;
+  if (virtual_barrier.empty() ? !merging
+                              : (merging || virtual_barrier.size() > 2))
+    return order_feasible_ref(virtual_barrier, merge_keep, merge_victim);
+
+  // Fast path: the scheduler only mutates after a feasible probe, appended
+  // instructions have all their dag predecessors already placed, and
+  // remove_barrier only deletes constraints — so the CURRENT joint graph is
+  // always acyclic here. Any new cycle must therefore pass through the
+  // probed mutation, which turns the acyclicity check into a targeted
+  // reachability question on the existing graph:
+  //
+  //  * merge(a, b): contracting two barriers creates a cycle iff some
+  //    successor of the contracted node reaches it again, i.e. iff a path
+  //    a ⇝ b or b ⇝ a runs through at least one intermediate node (the
+  //    direct stream edge would contract to a self-loop, which the
+  //    reference drops too).
+  //  * virtual barrier at {(p, pos_p)}: the splice replaces each stream
+  //    edge prev_p → next_p by prev_p → v → next_p, so a cycle through v
+  //    exists iff some next entry reaches some prev entry. The search runs
+  //    on the unspliced graph; that is sound because it stops the moment it
+  //    reaches any prev (never traversing the replaced prev → next edge),
+  //    and an initial-barrier prev (pos 0) has no in-edges to reach.
+  //
+  // Visiting enumerates successors in place — stream successor via
+  // instr_loc_ / bar_pos_, dependence successors via the dag's CSR — so a
+  // probe touches only the reachable frontier instead of materializing and
+  // Kahn-sorting the whole joint graph.
+  const std::size_t n = instr_placed_.size();
+  const std::size_t procs = streams_.size();
+  auto relabel = [&](BarrierId b) {
+    return (merging && b == merge_victim) ? merge_keep : b;
+  };
+  auto entry_node = [&](const ScheduleEntry& e) -> std::uint32_t {
+    return e.is_barrier ? static_cast<std::uint32_t>(n + relabel(e.id))
+                        : e.id;
+  };
+
+  const std::size_t num_nodes = n + masks_.size();
+  if (probe_stamp_.size() < num_nodes) probe_stamp_.resize(num_nodes, 0);
+  const std::uint64_t epoch = ++probe_epoch_;
+
+  ScratchVec<std::uint32_t> stack_s;
+  auto& stack = *stack_s;
+  stack.clear();
+
+  constexpr std::uint32_t kNoTarget = 0xffffffffu;
+  std::uint32_t tgt0 = kNoTarget, tgt1 = kNoTarget;
+  // Returns true when the probe is infeasible (a target was reached).
+  auto visit = [&](std::uint32_t v) {
+    if (v == tgt0 || v == tgt1) return true;
+    if (probe_stamp_[v] != epoch) {
+      probe_stamp_[v] = epoch;
+      stack.push_back(v);
+    }
+    return false;
+  };
+
+  if (merging) {
+    tgt0 = static_cast<std::uint32_t>(n + merge_keep);
+    for (const BarrierId b : {merge_keep, merge_victim}) {
+      for (ProcId p = 0; p < procs; ++p) {
+        const std::uint32_t bp = bar_pos_[b * procs + p];
+        if (bp == 0 || bp >= streams_[p].size()) continue;
+        const std::uint32_t succ = entry_node(streams_[p][bp]);
+        if (succ == tgt0) continue;  // contracts to a dropped self-loop
+        if (probe_stamp_[succ] != epoch) {
+          probe_stamp_[succ] = epoch;
+          stack.push_back(succ);
+        }
+      }
+    }
+  } else {
+    for (const Loc& l : virtual_barrier)
+      if (l.pos > 0)
+        (tgt0 == kNoTarget ? tgt0 : tgt1) =
+            entry_node(streams_[l.proc][l.pos - 1]);
+    // Every prev is the (unreachable) initial barrier: nothing to cycle to.
+    if (tgt0 == kNoTarget) return true;
+    // A next entry that is itself some prev entry is the immediate cycle
+    // v → x → v; visit() reports it before any expansion.
+    for (const Loc& l : virtual_barrier)
+      if (l.pos < streams_[l.proc].size())
+        if (visit(entry_node(streams_[l.proc][l.pos]))) return false;
+  }
+
+  while (!stack.empty()) {
+    const std::uint32_t v = stack.back();
+    stack.pop_back();
+    if (v < n) {
+      const Loc l = instr_loc_[v];
+      const auto& s = streams_[l.proc];
+      if (l.pos + 1 < s.size() && visit(entry_node(s[l.pos + 1])))
+        return false;
+      for (const NodeId d : dag_->succs(v))
+        if (d < n && instr_placed_[d] &&
+            visit(static_cast<std::uint32_t>(d)))
+          return false;
+    } else {
+      const auto b = static_cast<BarrierId>(v - n);
+      for (ProcId p = 0; p < procs; ++p) {
+        const std::uint32_t bp = bar_pos_[b * procs + p];
+        if (bp == 0 || bp >= streams_[p].size()) continue;
+        if (visit(entry_node(streams_[p][bp]))) return false;
+      }
+    }
+  }
+  return true;  // no path back through the probed mutation
+}
+
+bool Schedule::order_feasible_ref(std::span<const Loc> virtual_barrier,
+                                  BarrierId merge_keep,
+                                  BarrierId merge_victim) const {
   // Node layout: [0, n) instructions, [n, n + id_bound) barriers,
   // n + id_bound = the virtual barrier.
   const std::size_t n = instr_placed_.size();
@@ -320,9 +486,16 @@ bool Schedule::order_feasible(std::span<const Loc> virtual_barrier,
 
 std::size_t Schedule::merge_overlapping_all() {
   std::size_t merges = 0;
-  ScratchVec<std::pair<BarrierId, BarrierId>> rejected_s;
-  auto& rejected = *rejected_s;
-  rejected.clear();
+  // Pairs already counted as skipped by THIS sweep; the per-call analogue
+  // of the persistent memo below, preserving the historical one-count-per-
+  // sweep accounting of merges_skipped().
+  ScratchVec<std::pair<BarrierId, BarrierId>> counted_s;
+  auto& counted = *counted_s;
+  counted.clear();
+  auto in = [](const std::vector<std::pair<BarrierId, BarrierId>>& v,
+               BarrierId a, BarrierId b) {
+    return std::find(v.begin(), v.end(), std::pair{a, b}) != v.end();
+  };
   for (;;) {
     const BarrierDag& bd = barrier_dag();
     BarrierId keep = kInvalidBarrier, victim = kInvalidBarrier;
@@ -334,11 +507,16 @@ std::size_t Schedule::merge_overlapping_all() {
         if (final_barrier_ && b == *final_barrier_) continue;
         if (!bd.fire_range(a).overlaps(bd.fire_range(b)) || bd.ordered(a, b))
           continue;
-        if (std::find(rejected.begin(), rejected.end(),
-                      std::pair{a, b}) != rejected.end())
-          continue;
-        if (!order_feasible({}, a, b)) {
-          rejected.emplace_back(a, b);
+        if (in(counted, a, b)) continue;
+        // Infeasibility is monotone across this schedule's lifetime: every
+        // mutation the list scheduler performs (append, insertion, merge)
+        // only ADDs constraints to the joint order graph, so a pair that
+        // once formed a cycle forms one forever. The memo turns the
+        // repeated re-probe of known-bad pairs on every sweep into a list
+        // hit (remove_barrier, which deletes constraints, clears it).
+        if (in(merge_infeasible_, a, b) || !order_feasible({}, a, b)) {
+          if (!in(merge_infeasible_, a, b)) merge_infeasible_.emplace_back(a, b);
+          counted.emplace_back(a, b);
           ++merges_skipped_;
           continue;
         }
@@ -354,10 +532,28 @@ std::size_t Schedule::merge_overlapping_all() {
     masks_[keep] |= masks_[victim];
     alive_[victim] = false;
     masks_[victim].clear();
+    for (ProcId p = 0; p < num_procs(); ++p) {
+      std::uint32_t& vp = bar_pos_[victim * num_procs() + p];
+      if (vp != 0) {
+        bar_pos_[keep * num_procs() + p] = vp;  // masks are disjoint
+        vp = 0;
+      }
+    }
     for (auto& s : streams_)
       for (auto& e : s)
         if (e.is_barrier && e.id == victim) e.id = keep;
-    invalidate();
+    // A merge relabels barrier ids but moves no entry: positions, prefix
+    // sums, and segment bases are untouched, so the stream index survives
+    // with the same relabel; only the dag analysis must rebuild.
+    if (sidx_valid_) {
+      for (StreamIndex& ix : sidx_) {
+        for (BarrierId& lb : ix.last_bar)
+          if (lb == victim) lb = keep;
+        for (BarrierId& nb : ix.next_bar)
+          if (nb == victim) nb = keep;
+      }
+    }
+    analysis_valid_ = false;
     ++merges;
   }
 }
@@ -365,6 +561,9 @@ std::size_t Schedule::merge_overlapping_all() {
 void Schedule::remove_barrier(BarrierId b) {
   BM_REQUIRE(b != kInitialBarrier, "cannot remove the initial barrier");
   BM_REQUIRE(b < masks_.size() && alive_[b], "barrier not alive");
+  // Removal deletes joint-order constraints, so infeasibility proofs
+  // recorded by the merge sweep no longer hold.
+  merge_infeasible_.clear();
   if (final_barrier_ && *final_barrier_ == b) final_barrier_.reset();
   alive_[b] = false;
   masks_[b].clear();
@@ -378,7 +577,17 @@ void Schedule::remove_barrier(BarrierId b) {
             s.end());
     if (s.size() != before) reindex(p);
   }
+  rebuild_barrier_positions();
   invalidate();
+}
+
+void Schedule::rebuild_barrier_positions() {
+  std::fill(bar_pos_.begin(), bar_pos_.end(), 0);
+  for (ProcId p = 0; p < num_procs(); ++p) {
+    const auto& s = streams_[p];
+    for (std::uint32_t i = 0; i < s.size(); ++i)
+      if (s[i].is_barrier) bar_pos_[s[i].id * num_procs() + p] = i + 1;
+  }
 }
 
 void Schedule::add_final_barrier() {

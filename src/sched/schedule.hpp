@@ -85,7 +85,7 @@ class Schedule {
   /// Lazily (re)built barrier dag over the current streams. Queried millions
   /// of times per run, so the cached-hit path is inline.
   const BarrierDag& barrier_dag() const {
-    if (analysis_) return *analysis_;
+    if (analysis_valid_) return *analysis_;
     return build_analysis();
   }
   /// When this processor has retired its whole stream: fire range of its
@@ -139,6 +139,16 @@ class Schedule {
                       BarrierId merge_keep = kInvalidBarrier,
                       BarrierId merge_victim = kInvalidBarrier) const;
 
+  /// Reference implementation of order_feasible(): materializes the whole
+  /// joint graph and runs Kahn's algorithm. order_feasible() delegates here
+  /// for the no-probe full check (deserialized schedules carry no
+  /// acyclicity invariant) and for probe shapes the reachability fast path
+  /// does not cover; it is also the differential-testing oracle for that
+  /// fast path (see schedule_feasibility_test).
+  bool order_feasible_ref(std::span<const Loc> virtual_barrier,
+                          BarrierId merge_keep = kInvalidBarrier,
+                          BarrierId merge_victim = kInvalidBarrier) const;
+
   /// Deletes an alive barrier outright: kills its mask, erases its stream
   /// entries, and forgets it as the final rejoin if it was one. The initial
   /// barrier cannot be removed. Primarily a mutation hook for the verifier's
@@ -160,11 +170,17 @@ class Schedule {
 
  private:
   void invalidate() {
-    analysis_.reset();
+    analysis_valid_ = false;
     sidx_valid_ = false;
   }
   const BarrierDag& build_analysis() const;
   void reindex(ProcId p);
+  /// Rescans every stream into bar_pos_ (only remove_barrier needs it; all
+  /// other mutations patch the index in place).
+  void rebuild_barrier_positions();
+  /// In-place stream-index update for a barrier inserted at (p, pos) —
+  /// insert_barrier's alternative to wholesale invalidation.
+  void patch_stream_index(ProcId p, std::uint32_t pos, BarrierId id) const;
   TimeRange instr_time(NodeId n) const { return dag_->time(n); }
 
   /// Columnar per-stream position index, the backing store of every
@@ -191,10 +207,30 @@ class Schedule {
   std::optional<BarrierId> final_barrier_;
   std::vector<Loc> instr_loc_;
   std::vector<bool> instr_placed_;
+  /// Stream position of barrier b on processor p at [b * num_procs + p],
+  /// stored as pos + 1 (0 = b has no entry on p). The barrier-side analogue
+  /// of instr_loc_, maintained by every mutation; order_feasible()'s
+  /// reachability probes use it to enumerate a barrier node's stream
+  /// successors without scanning streams.
+  std::vector<std::uint32_t> bar_pos_;
+  /// Visited stamps for order_feasible()'s reachability probes, epoch-keyed
+  /// so the ~10^5 probes per schedule never clear the array.
+  mutable std::vector<std::uint64_t> probe_stamp_;
+  mutable std::uint64_t probe_epoch_ = 0;
   std::vector<NodeId> last_instr_;        ///< per proc; kInvalidNode if none
   std::vector<std::uint32_t> instr_cnt_;  ///< per proc instruction count
   std::size_t merges_skipped_ = 0;
+  /// Merge pairs proven order-infeasible. Monotone: list-scheduler
+  /// mutations only add joint-order constraints, so entries stay valid for
+  /// the schedule's lifetime — except remove_barrier, which deletes
+  /// constraints and clears the memo.
+  std::vector<std::pair<BarrierId, BarrierId>> merge_infeasible_;
+  /// The dag object outlives invalidations: a stale dag is rebuilt in
+  /// place (BarrierDag::rebuild) so its buffer capacities carry across the
+  /// mutation loop's hundreds of rebuilds. `analysis_valid_` is the
+  /// staleness flag; the optional is empty only before the first query.
   mutable std::optional<BarrierDag> analysis_;
+  mutable bool analysis_valid_ = false;
   mutable std::vector<StreamIndex> sidx_;
   mutable bool sidx_valid_ = false;
   /// Chain inputs for barrier_dag() rebuilds; member scratch so the ~10

@@ -87,25 +87,25 @@ class AssignmentEngine {
 
     serialization_candidates(sched_, dag_.instr_preds(node), serial_);
     if (serial_.size() == 1) {
-      BM_OBS_COUNT("sched.choice.serialize");
+      ++choice_serialize_;
       return serial_.front();
     }
     if (serial_.size() > 1) {
       // Largest current maximum time, "to possibly avoid inserting a
       // barrier"; full ties resolved randomly (§4.3 step 1).
-      BM_OBS_COUNT("sched.choice.serialize");
+      ++choice_serialize_;
       return pick_best(
           serial_, rng_,
           [&](ProcId p) { return sched_.proc_finish(p).max; },
           /*want_max=*/true, ties_);
     }
     // Step 2: schedule as early as possible; ties random (load balance).
-    BM_OBS_COUNT("sched.choice.earliest");
+    ++choice_earliest_;
     if (cfg_.assignment == AssignmentPolicy::kLookahead) {
       filter_lookahead(all_procs_, list_index, filtered_);
       if (!filtered_.empty()) {
         if (filtered_.size() < all_procs_.size())
-          BM_OBS_COUNT("sched.choice.lookahead_filtered");
+          ++choice_lookahead_filtered_;
         return pick_best(
             filtered_, rng_,
             [&](ProcId p) { return sched_.proc_finish(p).min; },
@@ -116,6 +116,18 @@ class AssignmentEngine {
         all_procs_, rng_,
         [&](ProcId p) { return sched_.proc_finish(p).min; },
         /*want_max=*/false, ties_);
+  }
+
+  /// Folds the per-choice tallies into the registry — called once per
+  /// schedule; totals match the former bump-per-choose() exactly.
+  void flush_choice_counts() const {
+    if (choice_serialize_ > 0)
+      BM_OBS_COUNT_N("sched.choice.serialize", choice_serialize_);
+    if (choice_earliest_ > 0)
+      BM_OBS_COUNT_N("sched.choice.earliest", choice_earliest_);
+    if (choice_lookahead_filtered_ > 0)
+      BM_OBS_COUNT_N("sched.choice.lookahead_filtered",
+                     choice_lookahead_filtered_);
   }
 
  private:
@@ -150,6 +162,11 @@ class AssignmentEngine {
   // rng draw sequence to the allocate-per-call version).
   std::vector<ProcId> all_procs_;   ///< 0..num_procs-1, fixed
   std::vector<ProcId> serial_, filtered_, ties_;
+
+  // Per-schedule choice tallies, registry-folded by flush_choice_counts().
+  std::uint64_t choice_serialize_ = 0;
+  std::uint64_t choice_earliest_ = 0;
+  std::uint64_t choice_lookahead_filtered_ = 0;
 };
 
 }  // namespace
@@ -250,6 +267,7 @@ ScheduleResult schedule_program(const InstrDag& dag,
   // benchmark (cheaper than counting inside the hot loop, and the totals
   // are identical).
   BM_OBS_COUNT("sched.schedules");
+  engine.flush_choice_counts();
   BM_OBS_COUNT_N("sched.implied_syncs", stats.implied_syncs);
   BM_OBS_COUNT_N("sched.serialized_edges", stats.serialized_edges);
   BM_OBS_COUNT_N("sched.barriers_inserted",

@@ -1,0 +1,266 @@
+#include "sim/batch_sim.hpp"
+
+#include <cstring>
+
+#include "obs/obs.hpp"
+#include "support/assert.hpp"
+#include "support/scratch.hpp"
+#include "support/simd.hpp"
+
+namespace bm {
+
+namespace {
+
+/// W-lane machine state. The *structural* state (stream cursors, waiting
+/// flags) is a single copy shared by every lane — the sampled times never
+/// feed back into control flow, so all lanes advance through the schedule
+/// in lockstep. Only the clocks and durations are per-lane, stored
+/// seed-major so the W-wide inner loops are contiguous.
+class BatchMachineState {
+ public:
+  BatchMachineState(const Schedule& sched, std::size_t width,
+                    BatchExecTrace& trace)
+      : sched_(sched), trace_(trace), width_(width) {
+    idx_->assign(sched.num_procs(), 0);
+    waiting_->assign(sched.num_procs(), 0);
+    time_->assign(sched.num_procs() * width, 0);
+    durations_->resize(sched.instr_dag().num_instructions() * width);
+  }
+
+  std::vector<Time>& durations() { return *durations_; }
+  Time* time_row(ProcId p) { return time_->data() + p * width_; }
+
+  /// Advances processor p until it blocks on a barrier entry or retires its
+  /// stream; every lane's start/finish times are recorded as it executes.
+  void run_proc(ProcId p) {
+    if ((*waiting_)[p]) return;
+    const auto& s = sched_.stream(p);
+    auto& idx = (*idx_)[p];
+    Time* __restrict__ t = time_row(p);
+    while (idx < s.size()) {
+      const ScheduleEntry& e = s[idx];
+      if (e.is_barrier) {
+        (*waiting_)[p] = 1;
+        return;
+      }
+      simd::step_lanes(t, durations_->data() + e.id * width_,
+                       trace_.start.data() + e.id * width_,
+                       trace_.finish.data() + e.id * width_, width_);
+      ++idx;
+    }
+  }
+
+  void run_all() {
+    for (ProcId p = 0; p < sched_.num_procs(); ++p) run_proc(p);
+  }
+
+  bool waiting(ProcId p) const { return (*waiting_)[p] != 0; }
+  bool done(ProcId p) const {
+    return !waiting(p) && (*idx_)[p] >= sched_.stream(p).size();
+  }
+  BarrierId waiting_at(ProcId p) const {
+    BM_ASSERT_INTERNAL(waiting(p), "processor is not waiting");
+    return sched_.stream(p)[(*idx_)[p]].id;
+  }
+
+  void release(ProcId p, const Time* fire) {
+    BM_ASSERT_INTERNAL(waiting(p), "releasing a running processor");
+    (*waiting_)[p] = 0;
+    std::memcpy(time_row(p), fire, width_ * sizeof(Time));  // §3.2 resume
+    ++(*idx_)[p];
+  }
+
+  void completion_into(Time* out) const {
+    std::memset(out, 0, width_ * sizeof(Time));
+    for (ProcId p = 0; p < sched_.num_procs(); ++p) {
+      BM_ASSERT_INTERNAL(!waiting(p), "deadlocked processor at completion");
+      simd::max_accumulate(out, time_->data() + p * width_, width_);
+    }
+  }
+
+ private:
+  const Schedule& sched_;
+  BatchExecTrace& trace_;
+  std::size_t width_;
+  // Pooled: one state per batch, thousands of batches per seed sweep.
+  ScratchVec<Time> durations_;  ///< [instr * width + lane]
+  ScratchVec<Time> time_;       ///< [proc * width + lane]
+  ScratchVec<std::uint32_t> idx_;
+  ScratchVec<char> waiting_;  ///< 0/1 flags (vector<bool> defeats pooling)
+};
+
+/// Per-barrier accounting, replicating the scalar simulator's registry
+/// bumps exactly: one fired count, one stall observation, and the summed
+/// stall cycles per lane — so a W-lane batch leaves the (manifest-embedded)
+/// sim.* counters identical to W scalar runs. Traced runs get one
+/// representative set of lane-0 machine events rather than W copies.
+void record_batch_fire(const Schedule& sched, BarrierId b, const Time* fire,
+                       const Time* stall, std::size_t width) {
+  BM_OBS_COUNT_N("sim.barriers_fired", width);
+  Time total = 0;
+  for (std::size_t w = 0; w < width; ++w) total += stall[w];
+  BM_OBS_COUNT_N("sim.stall_cycles", total);
+  for (std::size_t w = 0; w < width; ++w)
+    BM_OBS_OBSERVE("sim.barrier_stall", stall[w]);
+  if (BM_OBS_TRACING()) {
+    sched.barrier_mask(b).for_each([&](std::size_t p) {
+      obs::sim_instant("fire b" + std::to_string(b), "sim",
+                       static_cast<std::uint32_t>(p),
+                       static_cast<double>(fire[0]), "lanes",
+                       static_cast<double>(width));
+    });
+  }
+}
+
+void batch_simulate_sbm(const Schedule& sched, BatchMachineState& m,
+                        std::size_t W, BatchExecTrace& trace) {
+  ScratchVec<BarrierId> queue_s;
+  sched.barrier_dag().linear_extension_into(*queue_s);
+  ScratchVec<Time> rows_s;
+  auto& rows = *rows_s;
+  rows.assign(3 * W, 0);
+  Time* last_fire = rows.data();        // fire time of the previous queue top
+  Time* arrival = rows.data() + W;      // latest participant arrival
+  Time* stall = rows.data() + 2 * W;    // summed stall over participants
+  for (BarrierId b : *queue_s) {
+    Time* fire = trace.barrier_fire.data() + b * W;
+    if (b == Schedule::kInitialBarrier) {
+      std::memset(fire, 0, W * sizeof(Time));  // exact initial synchrony
+      continue;
+    }
+    m.run_all();
+    std::memset(arrival, 0, W * sizeof(Time));
+    sched.barrier_mask(b).for_each([&](std::size_t p) {
+      const auto proc = static_cast<ProcId>(p);
+      BM_ASSERT_INTERNAL(m.waiting(proc) && m.waiting_at(proc) == b,
+                         "SBM participant not waiting at queue top");
+      simd::max_accumulate(arrival, m.time_row(proc), W);
+    });
+    // FIFO semantics: the mask cannot fire before its queue predecessor —
+    // any extra wait beyond the arrivals is pure SBM ordering delay.
+    const Time delay = simd::fire_lanes(fire, last_fire, arrival,
+                                        sched.barrier_latency(), W);
+    if (delay > 0) BM_OBS_COUNT_N("sim.sbm_fifo_delay_cycles", delay);
+    std::memcpy(last_fire, fire, W * sizeof(Time));
+    std::memset(stall, 0, W * sizeof(Time));
+    sched.barrier_mask(b).for_each([&](std::size_t p) {
+      simd::add_diff(stall, fire, m.time_row(static_cast<ProcId>(p)), W);
+    });
+    record_batch_fire(sched, b, fire, stall, W);
+    sched.barrier_mask(b).for_each(
+        [&](std::size_t p) { m.release(static_cast<ProcId>(p), fire); });
+  }
+  m.run_all();
+}
+
+void batch_simulate_dbm(const Schedule& sched, BatchMachineState& m,
+                        std::size_t W, BatchExecTrace& trace) {
+  std::memset(trace.barrier_fire.data() + Schedule::kInitialBarrier * W, 0,
+              W * sizeof(Time));
+  ScratchVec<Time> rows_s;
+  auto& rows = *rows_s;
+  rows.assign(2 * W, 0);
+  Time* fire = rows.data();
+  Time* stall = rows.data() + W;
+  for (;;) {
+    m.run_all();
+    // Associative match: fire every barrier whose participants all wait at
+    // it. Eligibility is structural, hence identical across lanes.
+    bool fired = false;
+    for (BarrierId b = 1; b < sched.barrier_id_bound(); ++b) {
+      if (!sched.barrier_alive(b)) continue;
+      Time* fire_out = trace.barrier_fire.data() + b * W;
+      if (fire_out[0] != kNotExecuted) continue;  // lanes fire together
+      bool all_waiting = true;
+      sched.barrier_mask(b).for_each([&](std::size_t p) {
+        const auto proc = static_cast<ProcId>(p);
+        if (!m.waiting(proc) || m.waiting_at(proc) != b) all_waiting = false;
+      });
+      if (!all_waiting) continue;
+      std::memset(fire, 0, W * sizeof(Time));
+      sched.barrier_mask(b).for_each([&](std::size_t p) {
+        simd::max_accumulate(fire, m.time_row(static_cast<ProcId>(p)), W);
+      });
+      for (std::size_t w = 0; w < W; ++w) fire[w] += sched.barrier_latency();
+      std::memcpy(fire_out, fire, W * sizeof(Time));
+      std::memset(stall, 0, W * sizeof(Time));
+      sched.barrier_mask(b).for_each([&](std::size_t p) {
+        simd::add_diff(stall, fire, m.time_row(static_cast<ProcId>(p)), W);
+      });
+      record_batch_fire(sched, b, fire, stall, W);
+      sched.barrier_mask(b).for_each(
+          [&](std::size_t p) { m.release(static_cast<ProcId>(p), fire); });
+      fired = true;
+    }
+    if (!fired) break;
+  }
+}
+
+/// Shared body: `sample` fills the seed-major duration matrix, then one
+/// structural walk executes all lanes.
+template <typename SampleFn>
+void batch_run(const Schedule& sched, const SimConfig& config, std::size_t W,
+               BatchExecTrace& trace, SampleFn&& sample) {
+  BM_REQUIRE(W >= 1, "batch width must be >= 1");
+  BM_OBS_COUNT_N("sim.runs", W);
+  BM_OBS_COUNT("mem.batch.runs");
+  BM_OBS_COUNT_N("mem.batch.lanes", W);
+  BM_OBS_SPAN_ARG(span,
+                  config.machine == MachineKind::kSBM ? "sim.run_sbm_batch"
+                                                      : "sim.run_dbm_batch",
+                  "sim", "lanes", static_cast<double>(W));
+  const std::size_t n = sched.instr_dag().num_instructions();
+  trace.width = W;
+  trace.start.assign(n * W, kNotExecuted);
+  trace.finish.assign(n * W, kNotExecuted);
+  trace.barrier_fire.assign(sched.barrier_id_bound() * W, kNotExecuted);
+  trace.completion.assign(W, 0);
+
+  BatchMachineState m(sched, W, trace);
+  sample(m.durations());
+  if (config.machine == MachineKind::kSBM)
+    batch_simulate_sbm(sched, m, W, trace);
+  else
+    batch_simulate_dbm(sched, m, W, trace);
+
+  for (ProcId p = 0; p < sched.num_procs(); ++p)
+    BM_REQUIRE(m.done(p), "simulation deadlock: processor never released");
+  m.completion_into(trace.completion.data());
+}
+
+}  // namespace
+
+void batch_simulate_into(const Schedule& sched, const SimConfig& config,
+                         std::span<Rng> rngs, BatchExecTrace& trace) {
+  const std::size_t W = rngs.size();
+  batch_run(sched, config, W, trace, [&](std::vector<Time>& dur) {
+    // Lockstep streams: per node, one draw from every stream. Each stream
+    // individually sees its draws in node-id order — exactly the scalar
+    // pre-sampling pass — so lane w replays rngs[w]'s serial run.
+    const InstrDag& dag = sched.instr_dag();
+    const std::size_t n = dag.num_instructions();
+    for (NodeId i = 0; i < n; ++i) {
+      const TimeRange r = dag.time(i);
+      Time* row = dur.data() + i * W;
+      for (std::size_t w = 0; w < W; ++w)
+        row[w] = sample_time(r, config.sampling, rngs[w]);
+    }
+  });
+}
+
+void batch_simulate_runs_into(const Schedule& sched, const SimConfig& config,
+                              std::size_t lanes, Rng& rng,
+                              BatchExecTrace& trace) {
+  batch_run(sched, config, lanes, trace, [&](std::vector<Time>& dur) {
+    // Sequential draw groups: lane w consumes the stream only after lanes
+    // [0, w) are fully sampled, matching `lanes` back-to-back scalar runs
+    // over the same rng draw for draw.
+    const InstrDag& dag = sched.instr_dag();
+    const std::size_t n = dag.num_instructions();
+    for (std::size_t w = 0; w < lanes; ++w)
+      for (NodeId i = 0; i < n; ++i)
+        dur[i * lanes + w] = sample_time(dag.time(i), config.sampling, rng);
+  });
+}
+
+}  // namespace bm

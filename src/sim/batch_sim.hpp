@@ -1,0 +1,64 @@
+// Seed-batched lockstep simulation of one schedule (the MASIM-style
+// multi-array layout applied to the §3.2 machine models).
+//
+// Key property making W-wide batching exact rather than approximate: the
+// scalar simulator consumes randomness ONLY in the upfront duration
+// pre-sampling pass (node-id order, see MachineState in simulator.cpp).
+// Everything after that — instruction advancement, who waits at which
+// barrier, SBM queue order, DBM match order — is purely structural: it
+// depends on the schedule, never on the sampled times. W draws of the same
+// schedule therefore share one control-flow trajectory, and all per-seed
+// state (PE clocks, sampled durations, fire times) batches into seed-major
+// rows of W contiguous lanes that the inner loops walk with SIMD
+// (support/simd.hpp).
+//
+// Two sampling disciplines cover the two callers:
+//  - batch_simulate_into: W independent rng streams advanced in lockstep;
+//    lane w is bit-identical to a serial simulate_into run with rngs[w].
+//  - batch_simulate_runs_into: W sequential draw groups from ONE stream;
+//    lane w consumes exactly the draws run w of a serial loop over the
+//    same rng would, so summarize_completion stays byte-identical while
+//    simulating W runs per schedule walk.
+#pragma once
+
+#include <span>
+
+#include "sim/simulator.hpp"
+
+namespace bm {
+
+/// Seed-major execution traces for W lanes: the value for (row i, lane w)
+/// lives at [i * width + w]. Arrays are resized in place, so a trace
+/// reused across batches allocates only on first use.
+struct BatchExecTrace {
+  std::size_t width = 0;
+  std::vector<Time> start;         ///< [instr * width + lane]
+  std::vector<Time> finish;        ///< [instr * width + lane]
+  std::vector<Time> barrier_fire;  ///< [barrier * width + lane]
+  std::vector<Time> completion;    ///< [lane]
+
+  std::span<const Time> start_row(NodeId i) const {
+    return {start.data() + i * width, width};
+  }
+  std::span<const Time> finish_row(NodeId i) const {
+    return {finish.data() + i * width, width};
+  }
+  std::span<const Time> fire_row(BarrierId b) const {
+    return {barrier_fire.data() + b * width, width};
+  }
+};
+
+/// Executes the schedule once per lane, lane w drawing from rngs[w]; the W
+/// streams advance in lockstep (per node: one draw from each stream).
+/// Bit-identical to W serial simulate_into calls, one per rng.
+void batch_simulate_into(const Schedule& sched, const SimConfig& config,
+                         std::span<Rng> rngs, BatchExecTrace& trace);
+
+/// Executes the schedule `lanes` times from ONE stream: lane w's durations
+/// are sampled after lanes [0, w) finish sampling, so the rng consumption
+/// order matches `lanes` sequential simulate_into calls exactly.
+void batch_simulate_runs_into(const Schedule& sched, const SimConfig& config,
+                              std::size_t lanes, Rng& rng,
+                              BatchExecTrace& trace);
+
+}  // namespace bm

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/obs.hpp"
+#include "sim/batch_sim.hpp"
 #include "support/assert.hpp"
 #include "support/scratch.hpp"
 
@@ -10,17 +11,37 @@ namespace bm {
 
 namespace {
 
+/// Run-local barrier accounting, folded into the metric registry once per
+/// simulation (record_barrier_fire used to touch the registry three times
+/// per fire — at hundreds of thousands of simulated runs per experiment
+/// that was the dominant obs cost). The folded totals are identical: the
+/// stall histogram exports only its monotonic count/sum pair.
+struct FireTally {
+  std::uint64_t fires = 0;
+  Time stall_sum = 0;
+  Time fifo_delay_sum = 0;
+
+  void flush() const {
+    if (fires > 0) {
+      BM_OBS_COUNT_N("sim.barriers_fired", fires);
+      BM_OBS_COUNT_N("sim.stall_cycles", stall_sum);
+      BM_OBS_OBSERVE_N("sim.barrier_stall", fires, stall_sum);
+    }
+    if (fifo_delay_sum > 0)
+      BM_OBS_COUNT_N("sim.sbm_fifo_delay_cycles", fifo_delay_sum);
+  }
+};
+
 /// Per-barrier accounting shared by both machine models: stall cycles (sum
-/// over participants of fire-time minus arrival-time) into the registry,
+/// over participants of fire-time minus arrival-time) into the run tally,
 /// plus — when tracing — a stall span per participant lane and a fire
 /// instant on each lane of the simulated-machine track.
 void record_barrier_fire(const Schedule& sched, BarrierId b, Time fire,
-                         const std::vector<Time>& arrivals) {
-  BM_OBS_COUNT("sim.barriers_fired");
+                         const std::vector<Time>& arrivals, FireTally& tally) {
+  ++tally.fires;
   Time stall_total = 0;
   for (const Time a : arrivals) stall_total += fire - a;
-  BM_OBS_COUNT_N("sim.stall_cycles", stall_total);
-  BM_OBS_OBSERVE("sim.barrier_stall", stall_total);
+  tally.stall_sum += stall_total;
   if (BM_OBS_TRACING()) {
     std::size_t k = 0;
     sched.barrier_mask(b).for_each([&](std::size_t p) {
@@ -117,7 +138,8 @@ class MachineState {
   ScratchVec<char> waiting_;  ///< 0/1 flags (vector<bool> defeats pooling)
 };
 
-void simulate_sbm(const Schedule& sched, MachineState& m, ExecTrace& trace) {
+void simulate_sbm(const Schedule& sched, MachineState& m, ExecTrace& trace,
+                  FireTally& tally) {
   // Compile-time queue load order: a linear extension of the barrier dag.
   ScratchVec<BarrierId> queue_s;
   sched.barrier_dag().linear_extension_into(*queue_s);
@@ -145,19 +167,20 @@ void simulate_sbm(const Schedule& sched, MachineState& m, ExecTrace& trace) {
     // FIFO semantics: the mask cannot fire before its queue predecessor —
     // any extra wait beyond the arrivals is pure SBM ordering delay.
     if (last_fire > last_arrival)
-      BM_OBS_COUNT_N("sim.sbm_fifo_delay_cycles", last_fire - last_arrival);
+      tally.fifo_delay_sum += last_fire - last_arrival;
     const Time fire =
         std::max(last_fire, last_arrival) + sched.barrier_latency();
     trace.barrier_fire[b] = fire;
     last_fire = fire;  // a barrier becomes top only after its predecessor fires
-    record_barrier_fire(sched, b, fire, arrivals);
+    record_barrier_fire(sched, b, fire, arrivals, tally);
     sched.barrier_mask(b).for_each(
         [&](std::size_t p) { m.release(static_cast<ProcId>(p), fire); });
   }
   m.run_all();
 }
 
-void simulate_dbm(const Schedule& sched, MachineState& m, ExecTrace& trace) {
+void simulate_dbm(const Schedule& sched, MachineState& m, ExecTrace& trace,
+                  FireTally& tally) {
   trace.barrier_fire[Schedule::kInitialBarrier] = 0;
   ScratchVec<Time> arrivals_s;
   std::vector<Time>& arrivals = *arrivals_s;  // in mask order, per barrier
@@ -183,7 +206,7 @@ void simulate_dbm(const Schedule& sched, MachineState& m, ExecTrace& trace) {
       if (!all_waiting) continue;
       fire += sched.barrier_latency();
       trace.barrier_fire[b] = fire;
-      record_barrier_fire(sched, b, fire, arrivals);
+      record_barrier_fire(sched, b, fire, arrivals, tally);
       sched.barrier_mask(b).for_each(
           [&](std::size_t p) { m.release(static_cast<ProcId>(p), fire); });
       fired = true;
@@ -208,10 +231,12 @@ void simulate_into(const Schedule& sched, const SimConfig& config, Rng& rng,
   trace.completion = 0;
 
   MachineState m(sched, config.sampling, rng, trace);
+  FireTally tally;
   if (config.machine == MachineKind::kSBM)
-    simulate_sbm(sched, m, trace);
+    simulate_sbm(sched, m, trace, tally);
   else
-    simulate_dbm(sched, m, trace);
+    simulate_dbm(sched, m, trace, tally);
+  tally.flush();
 
   for (ProcId p = 0; p < sched.num_procs(); ++p)
     BM_REQUIRE(m.done(p), "simulation deadlock: processor never released");
@@ -226,7 +251,7 @@ ExecTrace simulate(const Schedule& sched, const SimConfig& config, Rng& rng) {
 
 namespace {
 
-/// Per-thread trace reused by summarize_completion's draw loop; the arrays
+/// Per-thread traces reused by summarize_completion's draw loop; the arrays
 /// are resized in place, so completions over the seed sweep do not allocate
 /// in steady state.
 ExecTrace& tls_trace() {
@@ -234,21 +259,36 @@ ExecTrace& tls_trace() {
   return t;
 }
 
+BatchExecTrace& tls_batch_trace() {
+  static thread_local BatchExecTrace t;
+  return t;
+}
+
 }  // namespace
 
 CompletionSummary summarize_completion(const Schedule& sched,
                                        MachineKind machine, std::size_t runs,
-                                       Rng& rng) {
+                                       Rng& rng, std::size_t batch_width) {
   CompletionSummary out;
   ExecTrace& t = tls_trace();
   simulate_into(sched, {machine, SamplingMode::kAllMin}, rng, t);
   out.min_draw = t.completion;
   simulate_into(sched, {machine, SamplingMode::kAllMax}, rng, t);
   out.max_draw = t.completion;
+  // Uniform draws run through the lockstep batch engine W lanes at a time.
+  // The lane-sequential sampler consumes `rng` in the exact order of the
+  // historical serial loop, and the mean folds lane results in lane (= run)
+  // order, so the summary is bit-identical for every batch width.
+  const std::size_t W = batch_width ? batch_width : 1;
+  BatchExecTrace& bt = tls_batch_trace();
   double total = 0;
-  for (std::size_t r = 0; r < runs; ++r) {
-    simulate_into(sched, {machine, SamplingMode::kUniform}, rng, t);
-    total += static_cast<double>(t.completion);
+  for (std::size_t r = 0; r < runs;) {
+    const std::size_t lanes = std::min(W, runs - r);
+    batch_simulate_runs_into(sched, {machine, SamplingMode::kUniform}, lanes,
+                             rng, bt);
+    for (std::size_t w = 0; w < lanes; ++w)
+      total += static_cast<double>(bt.completion[w]);
+    r += lanes;
   }
   out.mean = runs ? total / static_cast<double>(runs) : 0.0;
   return out;

@@ -32,8 +32,17 @@ ExecTrace simulate(const Schedule& sched, const SimConfig& config, Rng& rng);
 void simulate_into(const Schedule& sched, const SimConfig& config, Rng& rng,
                    ExecTrace& trace);
 
+/// Default lane count for batched completion summaries (see
+/// sim/batch_sim.hpp; RunOptions/--sim-batch override it). Eight 64-bit
+/// lanes span two AVX2 vectors — wide enough to amortize the per-run
+/// schedule walk, small enough that ragged tails (runs % W) stay cheap.
+inline constexpr std::size_t kDefaultSimBatch = 8;
+
 /// Completion-time summary over `runs` independent uniform draws plus the
-/// deterministic all-min / all-max envelope.
+/// deterministic all-min / all-max envelope. The uniform draws execute
+/// through the seed-batched engine `batch_width` lanes at a time; every
+/// width (including the ragged tail) consumes `rng` in the exact serial
+/// draw order, so the summary is bit-identical for all widths.
 struct CompletionSummary {
   Time min_draw = 0;   ///< all-min deterministic draw
   Time max_draw = 0;   ///< all-max deterministic draw
@@ -41,6 +50,7 @@ struct CompletionSummary {
 };
 CompletionSummary summarize_completion(const Schedule& sched,
                                        MachineKind machine, std::size_t runs,
-                                       Rng& rng);
+                                       Rng& rng,
+                                       std::size_t batch_width = kDefaultSimBatch);
 
 }  // namespace bm

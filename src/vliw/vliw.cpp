@@ -18,7 +18,7 @@ VliwSchedule schedule_vliw(const InstrDag& dag, std::size_t num_procs,
 
   for (NodeId node : make_list_order(dag, ordering)) {
     Time ready = 0;
-    for (NodeId p : dag.graph().preds(node))
+    for (NodeId p : dag.preds(node))
       if (!dag.is_dummy(p)) ready = std::max(ready, out.slots[p].finish);
 
     // Earliest-available unit at or after `ready`; prefer the unit that

@@ -1,0 +1,153 @@
+// Bit-identity tests for the seed-batched lockstep simulator: every lane of
+// a batched run must reproduce the serial simulator exactly — same traces,
+// same completions, same rng consumption — across sampling modes, machine
+// models, batch widths, and ragged tails.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "codegen/synthesize.hpp"
+#include "graph/instr_dag.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/batch_sim.hpp"
+#include "sim/simulator.hpp"
+
+namespace bm {
+namespace {
+
+constexpr SamplingMode kAllModes[] = {SamplingMode::kUniform,
+                                      SamplingMode::kBimodal,
+                                      SamplingMode::kAllMin,
+                                      SamplingMode::kAllMax};
+constexpr MachineKind kBothMachines[] = {MachineKind::kSBM, MachineKind::kDBM};
+
+/// A synthesized benchmark scheduled for `machine`: big enough to have many
+/// barriers and cross-PE edges, deterministic for a fixed seed. Timing
+/// variation keeps min < max so the four sampling modes genuinely diverge.
+struct Bench {
+  SynthesisResult syn;
+  InstrDag dag;
+  ScheduleResult result;
+
+  explicit Bench(MachineKind machine, std::uint64_t seed = 42) {
+    Rng rng(seed);
+    const GeneratorConfig gen{
+        .num_statements = 60, .num_variables = 10, .num_constants = 4};
+    syn = synthesize_benchmark(gen, rng);
+    dag = InstrDag::build(syn.program, TimingModel::table1_with_variation(0.5));
+    SchedulerConfig cfg;
+    cfg.machine = machine;
+    result = schedule_program(dag, cfg, rng);
+  }
+
+  const Schedule& sched() const { return *result.schedule; }
+};
+
+/// Expects lane `w` of `bt` to equal the serial trace `t` element-for-element
+/// (starts, finishes, fire times including kNotExecuted slots, completion).
+void expect_lane_equals_serial(const BatchExecTrace& bt, std::size_t w,
+                               const ExecTrace& t, const Schedule& sched) {
+  const std::size_t n = sched.instr_dag().num_instructions();
+  ASSERT_EQ(bt.start.size(), n * bt.width);
+  for (NodeId i = 0; i < n; ++i) {
+    EXPECT_EQ(bt.start_row(i)[w], t.start[i]) << "start i=" << i << " w=" << w;
+    EXPECT_EQ(bt.finish_row(i)[w], t.finish[i])
+        << "finish i=" << i << " w=" << w;
+  }
+  for (BarrierId b = 0; b < sched.barrier_id_bound(); ++b)
+    EXPECT_EQ(bt.fire_row(b)[w], t.barrier_fire[b])
+        << "fire b=" << b << " w=" << w;
+  EXPECT_EQ(bt.completion[w], t.completion) << "completion w=" << w;
+}
+
+TEST(BatchSim, LockstepLanesBitIdenticalToSerial) {
+  for (MachineKind machine : kBothMachines) {
+    const Bench bench(machine);
+    for (SamplingMode mode : kAllModes) {
+      const SimConfig config{machine, mode};
+      constexpr std::size_t kW = 8;
+
+      // W independent streams, lane w seeded like serial run w.
+      std::vector<Rng> rngs;
+      for (std::size_t w = 0; w < kW; ++w) rngs.emplace_back(100 + w);
+      BatchExecTrace bt;
+      batch_simulate_into(bench.sched(), config, rngs, bt);
+      ASSERT_EQ(bt.width, kW);
+
+      for (std::size_t w = 0; w < kW; ++w) {
+        Rng serial_rng(100 + w);
+        ExecTrace t;
+        simulate_into(bench.sched(), config, serial_rng, t);
+        expect_lane_equals_serial(bt, w, t, bench.sched());
+        // Lockstep advancement must leave each stream exactly where its
+        // serial counterpart ends.
+        EXPECT_EQ(rngs[w].next(), serial_rng.next())
+            << "rng state diverged, lane " << w;
+      }
+    }
+  }
+}
+
+TEST(BatchSim, RunsIntoMatchesSequentialSerialDraws) {
+  for (MachineKind machine : kBothMachines) {
+    const Bench bench(machine);
+    for (SamplingMode mode : kAllModes) {
+      const SimConfig config{machine, mode};
+      constexpr std::size_t kLanes = 5;  // deliberately not a SIMD width
+
+      Rng batch_rng(7);
+      BatchExecTrace bt;
+      batch_simulate_runs_into(bench.sched(), config, kLanes, batch_rng, bt);
+      ASSERT_EQ(bt.width, kLanes);
+
+      // One serial stream: run w consumes the draws lane w must have seen.
+      Rng serial_rng(7);
+      for (std::size_t w = 0; w < kLanes; ++w) {
+        ExecTrace t;
+        simulate_into(bench.sched(), config, serial_rng, t);
+        expect_lane_equals_serial(bt, w, t, bench.sched());
+      }
+      EXPECT_EQ(batch_rng.next(), serial_rng.next()) << "rng state diverged";
+    }
+  }
+}
+
+TEST(BatchSim, SummaryInvariantAcrossBatchWidthsAndRaggedTails) {
+  for (MachineKind machine : kBothMachines) {
+    const Bench bench(machine);
+    // 13 runs: ragged against every width below (13 = 8+5 = 3*4+1 = ...).
+    constexpr std::size_t kRuns = 13;
+    Rng ref_rng(9);
+    const CompletionSummary ref = summarize_completion(
+        bench.sched(), machine, kRuns, ref_rng, /*batch_width=*/1);
+    const std::uint64_t ref_next = ref_rng.next();
+    for (std::size_t width : {3UL, 4UL, 8UL, 16UL}) {
+      Rng rng(9);
+      const CompletionSummary s =
+          summarize_completion(bench.sched(), machine, kRuns, rng, width);
+      EXPECT_EQ(s.min_draw, ref.min_draw) << "width " << width;
+      EXPECT_EQ(s.max_draw, ref.max_draw) << "width " << width;
+      // The mean folds lane completions in run order for every width, so
+      // the doubles are bit-identical, not merely close.
+      EXPECT_EQ(s.mean, ref.mean) << "width " << width;
+      EXPECT_EQ(rng.next(), ref_next) << "rng state, width " << width;
+    }
+  }
+}
+
+TEST(BatchSim, SingleLaneBatchDegeneratesToSerial) {
+  const Bench bench(MachineKind::kSBM);
+  const SimConfig config{MachineKind::kSBM, SamplingMode::kUniform};
+  std::vector<Rng> rngs;
+  rngs.emplace_back(3);
+  BatchExecTrace bt;
+  batch_simulate_into(bench.sched(), config, rngs, bt);
+  ASSERT_EQ(bt.width, 1u);
+  Rng serial_rng(3);
+  ExecTrace t;
+  simulate_into(bench.sched(), config, serial_rng, t);
+  expect_lane_equals_serial(bt, 0, t, bench.sched());
+}
+
+}  // namespace
+}  // namespace bm

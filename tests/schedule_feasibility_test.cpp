@@ -1,0 +1,104 @@
+// Differential test for Schedule::order_feasible: the reachability fast
+// path (merge / virtual-barrier probes on an acyclic schedule) must agree
+// with order_feasible_ref, the full-graph Kahn oracle, on every probe. The
+// corpus is real scheduler output — the only states the fast path's
+// acyclicity precondition holds for — probed exhaustively over merge pairs
+// and randomly over splice locations, including after remove_barrier
+// (which exercises the barrier-position index rebuild).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "codegen/synthesize.hpp"
+#include "graph/instr_dag.hpp"
+#include "sched/scheduler.hpp"
+#include "support/rng.hpp"
+
+namespace bm {
+namespace {
+
+struct Bench {
+  explicit Bench(MachineKind machine, std::uint64_t seed) {
+    Rng rng(seed);
+    GeneratorConfig gen{
+        .num_statements = 60, .num_variables = 10, .num_constants = 4};
+    syn = synthesize_benchmark(gen, rng);
+    dag = InstrDag::build(syn.program, TimingModel::table1_with_variation(0.5));
+    SchedulerConfig cfg{.num_procs = 8, .machine = machine};
+    result = schedule_program(dag, cfg, rng);
+  }
+  SynthesisResult syn;
+  InstrDag dag;
+  ScheduleResult result;
+  Schedule& sched() { return *result.schedule; }
+};
+
+/// Probes every alive merge pair and `splices` random two-sided virtual
+/// barriers, comparing fast path vs oracle; tallies both verdicts so the
+/// caller can assert the corpus was not vacuous.
+void probe_all(const Schedule& s, Rng& rng, int splices, int& feasible,
+               int& infeasible) {
+  const auto bound = static_cast<BarrierId>(s.barrier_id_bound());
+  for (BarrierId a = 1; a < bound; ++a) {
+    if (!s.barrier_alive(a)) continue;
+    for (BarrierId b = a + 1; b < bound; ++b) {
+      if (!s.barrier_alive(b)) continue;
+      if (s.barrier_mask(a).intersects(s.barrier_mask(b))) continue;
+      const bool fast = s.order_feasible({}, a, b);
+      ASSERT_EQ(fast, s.order_feasible_ref({}, a, b))
+          << "merge probe (" << a << ", " << b << ") diverged";
+      (fast ? feasible : infeasible) += 1;
+    }
+  }
+  const auto procs = static_cast<ProcId>(s.num_procs());
+  for (int t = 0; t < splices; ++t) {
+    const auto p0 = static_cast<ProcId>(rng.next() % procs);
+    auto p1 = static_cast<ProcId>(rng.next() % procs);
+    if (p1 == p0) p1 = (p1 + 1) % procs;
+    const std::vector<Schedule::Loc> locs{
+        {p0, static_cast<std::uint32_t>(rng.next() %
+                                        (s.stream(p0).size() + 1))},
+        {p1, static_cast<std::uint32_t>(rng.next() %
+                                        (s.stream(p1).size() + 1))}};
+    const bool fast = s.order_feasible(locs);
+    ASSERT_EQ(fast, s.order_feasible_ref(locs))
+        << "splice probe (" << locs[0].proc << "@" << locs[0].pos << ", "
+        << locs[1].proc << "@" << locs[1].pos << ") diverged";
+    (fast ? feasible : infeasible) += 1;
+  }
+}
+
+TEST(ScheduleFeasibility, FastPathMatchesKahnOracleOnSchedulerOutput) {
+  int feasible = 0, infeasible = 0;
+  Rng probe_rng(2026);
+  for (const MachineKind machine : {MachineKind::kSBM, MachineKind::kDBM}) {
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      Bench bench(machine, seed);
+      probe_all(bench.sched(), probe_rng, 200, feasible, infeasible);
+    }
+  }
+  // The corpus must exercise both verdicts, or the equivalence is vacuous.
+  EXPECT_GT(feasible, 0);
+  EXPECT_GT(infeasible, 0);
+}
+
+TEST(ScheduleFeasibility, FastPathMatchesOracleAfterBarrierRemoval) {
+  int feasible = 0, infeasible = 0;
+  Rng probe_rng(1990);
+  Bench bench(MachineKind::kSBM, 7);
+  Schedule& s = bench.sched();
+  // Drop the first removable barrier: remove_barrier rebuilds the
+  // barrier-position index the fast path walks, and deleting constraints
+  // can only keep the graph acyclic, so the precondition still holds.
+  for (BarrierId b = 1; b < s.barrier_id_bound(); ++b) {
+    if (!s.barrier_alive(b)) continue;
+    s.remove_barrier(b);
+    break;
+  }
+  probe_all(s, probe_rng, 200, feasible, infeasible);
+  EXPECT_GT(feasible + infeasible, 0);
+}
+
+}  // namespace
+}  // namespace bm

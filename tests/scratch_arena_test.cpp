@@ -5,8 +5,14 @@
 // witness (see support/scratch.hpp).
 #include <gtest/gtest.h>
 
+#include <array>
+
+#include "codegen/synthesize.hpp"
+#include "graph/instr_dag.hpp"
 #include "harness/experiment.hpp"
 #include "obs/obs.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
 #include "support/scratch.hpp"
 
 namespace bm {
@@ -53,6 +59,45 @@ TEST(ScratchArenaTest, SteadyStateSeedLoopAllocatesNothing) {
       << "a seed-loop code path allocated a scratch buffer per call";
   EXPECT_EQ(scratch_grows() - grow_before, 0)
       << "a pooled buffer regrew inside the steady-state seed loop";
+}
+
+// The batch-simulation bookkeeping counters live under the same "mem."
+// prefix as the scratch-pool counters, because both depend on machine
+// configuration rather than on the workload: mem.batch.runs counts batch
+// dispatches, which varies with the batch width, so it must never reach an
+// experiment manifest (run_experiment drops every "mem."-prefixed key).
+// Manifest-visible totals like sim.runs must stay width-invariant.
+TEST(ScratchArenaTest, BatchCountersTrackDispatchesAndStayOffManifests) {
+  GeneratorConfig gen;
+  gen.num_statements = 30;
+  SchedulerConfig sc;
+  Rng rng(77);
+  const SynthesisResult syn = synthesize_benchmark(gen, rng);
+  const InstrDag dag = InstrDag::build(syn.program, TimingModel::table1());
+  const ScheduleResult r = schedule_program(dag, sc, rng);
+
+  const auto counters_after = [&](std::size_t runs, std::size_t width) {
+    const obs::Snapshot before = obs::snapshot();
+    Rng sim_rng(5);
+    summarize_completion(*r.schedule, sc.machine, runs, sim_rng, width);
+    const obs::Snapshot d = obs::delta(before, obs::snapshot());
+    return std::array<double, 3>{d.get("mem.batch.runs"),
+                                 d.get("mem.batch.lanes"),
+                                 d.get("sim.runs")};
+  };
+
+  // Width 1: every run is its own dispatch. Width 8 over 12 runs: two
+  // dispatches (8 + a ragged 4). Total lanes and sim.runs (12 uniform
+  // + 2 min/max draws) are identical — the manifest-visible counter does
+  // not leak the batch width.
+  const auto narrow = counters_after(12, 1);
+  const auto batched = counters_after(12, 8);
+  EXPECT_EQ(narrow[0], 12);
+  EXPECT_EQ(batched[0], 2);
+  EXPECT_EQ(narrow[1], 12);
+  EXPECT_EQ(batched[1], 12);
+  EXPECT_EQ(narrow[2], 14);
+  EXPECT_EQ(batched[2], 14);
 }
 
 #else  // BM_OBS_ENABLED
