@@ -1,0 +1,84 @@
+// google-benchmark microbenchmarks for the serving core: cold scheduling
+// latency (full synthesize→schedule pipeline, cache bypassed), cache-hit
+// latency (fingerprint + lookup + id rewrite), and the canonical-fingerprint
+// hash itself. items_per_second on the serve benchmarks is the single-worker
+// QPS figure quoted in docs/SERVING.md. Not a paper figure — engineering
+// instrumentation; BENCH_serve.json is the gated baseline.
+#include <cstddef>
+
+#include <benchmark/benchmark.h>
+
+#include "codegen/synthesize.hpp"
+#include "serve/core.hpp"
+#include "serve/fingerprint.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace bm;
+using namespace bm::serve;
+
+Request synth_request(std::size_t index, std::size_t statements) {
+  Request req;
+  req.verb = Verb::kSynth;
+  req.index = index;
+  req.gen.num_statements = static_cast<std::uint32_t>(statements);
+  return req;
+}
+
+/// Full request path with the cache bypassed: synthesize, build the DAG,
+/// list-schedule, insert barriers — the cold-miss cost per request.
+void BM_ServeScheduleCold(benchmark::State& state) {
+  CoreConfig cfg;
+  cfg.workers = 1;
+  ServeCore core(cfg);
+  Request req = synth_request(0, static_cast<std::size_t>(state.range(0)));
+  req.no_cache = true;
+  for (auto _ : state) {
+    const Response resp = core.handle(req);
+    if (resp.status != Status::kOk) state.SkipWithError(resp.error.c_str());
+    benchmark::DoNotOptimize(resp.body.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServeScheduleCold)->Arg(60)->Arg(120);
+
+/// Steady-state hit path: canonicalize + fingerprint the program, look the
+/// schedule up, rewrite ids back into request numbering. The latency a warm
+/// server answers repeat DAGs with.
+void BM_ServeCacheHit(benchmark::State& state) {
+  CoreConfig cfg;
+  cfg.workers = 1;
+  ServeCore core(cfg);
+  const Request req =
+      synth_request(0, static_cast<std::size_t>(state.range(0)));
+  const Response primed = core.handle(req);  // insert the entry
+  if (primed.status != Status::kOk) state.SkipWithError(primed.error.c_str());
+  for (auto _ : state) {
+    const Response resp = core.handle(req);
+    if (resp.cache != CacheOutcome::kHit)
+      state.SkipWithError("expected a cache hit");
+    benchmark::DoNotOptimize(resp.body.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServeCacheHit)->Arg(60)->Arg(120);
+
+/// The canonical fingerprint alone (WL refinement + canonical bytes) — the
+/// fixed overhead every request pays whether it hits or misses.
+void BM_FingerprintCanonicalize(benchmark::State& state) {
+  GeneratorConfig gen;
+  gen.num_statements = static_cast<std::uint32_t>(state.range(0));
+  Rng rng = benchmark_rng(1990, 0);
+  const Program prog = synthesize_benchmark(gen, rng).program;
+  for (auto _ : state) {
+    const CanonicalProgram canon = canonicalize_program(prog);
+    benchmark::DoNotOptimize(canon.fingerprint);
+    benchmark::DoNotOptimize(canon.bytes.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FingerprintCanonicalize)->Arg(60)->Arg(120);
+
+}  // namespace
+// main() is bench/bench_main.cpp (stamps bm_build_type for the bench gate).

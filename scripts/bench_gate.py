@@ -59,6 +59,12 @@ GATED_BENCHMARKS = {
         "BM_BatchSimulateDbm/8",
         "BM_SummarizeCompletion",
     ],
+    "BENCH_serve.json": [
+        "BM_ServeScheduleCold/60",
+        "BM_ServeScheduleCold/120",
+        "BM_ServeCacheHit/120",
+        "BM_FingerprintCanonicalize/120",
+    ],
 }
 
 BASE_THRESHOLD = 0.10     # the ">10% regression" contract from the ISSUE

@@ -7,7 +7,10 @@
 # trees (build-asan/, build-ubsan/); `--trace-smoke` additionally produces
 # a --trace run and validates the JSON with trace_check; `--verify-smoke`
 # exercises the static schedule verifier (golden schedule, mutation
-# rejection, selftest, bmrun --verify).
+# rejection, selftest, bmrun --verify); `--serve-smoke` boots bmserve on a
+# temp socket and drives a few thousand bmload requests through it, then
+# asserts a clean SIGTERM drain (combined with --asan it repeats the smoke
+# against the AddressSanitizer tree).
 #
 # Benchmark regression gate (separate Release tree, build-bench/):
 #   --bench-gate   build build-bench/ (forced Release), run the gated
@@ -26,6 +29,7 @@ asan=0
 ubsan=0
 trace_smoke=0
 verify_smoke=0
+serve_smoke=0
 bench_gate=0
 bench_regen=0
 for arg in "$@"; do
@@ -34,20 +38,46 @@ for arg in "$@"; do
     --ubsan) ubsan=1 ;;
     --trace-smoke) trace_smoke=1 ;;
     --verify-smoke) verify_smoke=1 ;;
+    --serve-smoke) serve_smoke=1 ;;
     --bench-gate) bench_gate=1 ;;
     --bench-regen) bench_regen=1 ;;
     *) echo "usage: $0 [--asan] [--ubsan] [--trace-smoke] [--verify-smoke]" \
-            "[--bench-gate] [--bench-regen]" >&2
+            "[--serve-smoke] [--bench-gate] [--bench-regen]" >&2
        exit 2 ;;
   esac
 done
+
+# bmserve/bmload end-to-end smoke against a given build tree: a few
+# thousand requests over several connections (verified schedules, mixed
+# cache hits), zero client-side errors, then a SIGTERM drain that must
+# exit 0 with "drained" on stdout and errors=0 in the final stats.
+run_serve_smoke() {
+  local tree="$1" sock stats_log
+  sock="$(mktemp -u /tmp/bmserve-smoke.XXXXXX.sock)"
+  stats_log="$(mktemp /tmp/bmserve-smoke.XXXXXX.log)"
+  "$tree/bmserve" --socket "$sock" --workers 2 > "$stats_log" 2>&1 &
+  local srv=$!
+  for _ in $(seq 50); do [[ -S "$sock" ]] && break; sleep 0.1; done
+  [[ -S "$sock" ]] || { echo "bmserve never opened $sock" >&2; exit 1; }
+  "$tree/bmload" --socket "$sock" --requests 3000 --connections 4 \
+      --distinct 25 --verify \
+    || { echo "bmload reported failures ($tree)" >&2; kill "$srv"; exit 1; }
+  kill -TERM "$srv"
+  wait "$srv" \
+    || { echo "bmserve did not drain cleanly ($tree)" >&2; exit 1; }
+  grep -q "^bmserve: drained$" "$stats_log"
+  grep -q "^errors 0$" "$stats_log"
+  rm -f "$sock" "$stats_log"
+  echo "ok  serve-smoke ($tree)"
+}
 
 # Benchmark timing only means anything from the dedicated Release tree;
 # these modes skip the regular build/test pass entirely.
 if [[ "$bench_gate" -eq 1 || "$bench_regen" -eq 1 ]]; then
   cmake -B build-bench -G Ninja -DCMAKE_BUILD_TYPE=Release
   cmake --build build-bench \
-      --target bench_scheduler_perf bench_sim_perf bench_batch_sim bmrun
+      --target bench_scheduler_perf bench_sim_perf bench_batch_sim \
+               bench_serve bmrun
   if [[ "$bench_regen" -eq 1 ]]; then
     python3 scripts/bench_gate.py run \
         build-bench/bench/bench_scheduler_perf BENCH_sched.json
@@ -55,14 +85,18 @@ if [[ "$bench_gate" -eq 1 || "$bench_regen" -eq 1 ]]; then
         build-bench/bench/bench_sim_perf BENCH_sim.json
     python3 scripts/bench_gate.py run \
         build-bench/bench/bench_batch_sim BENCH_batch.json
+    python3 scripts/bench_gate.py run \
+        build-bench/bench/bench_serve BENCH_serve.json
     echo "baselines regenerated; review and commit BENCH_*.json"
   else
     python3 scripts/bench_gate.py validate BENCH_sched.json
     python3 scripts/bench_gate.py validate BENCH_sim.json
     python3 scripts/bench_gate.py validate BENCH_batch.json
+    python3 scripts/bench_gate.py validate BENCH_serve.json
     python3 scripts/bench_gate.py selftest BENCH_sched.json
     python3 scripts/bench_gate.py selftest BENCH_sim.json
     python3 scripts/bench_gate.py selftest BENCH_batch.json
+    python3 scripts/bench_gate.py selftest BENCH_serve.json
     mkdir -p out
     python3 scripts/bench_gate.py run \
         build-bench/bench/bench_scheduler_perf out/bench_sched_current.json
@@ -70,12 +104,16 @@ if [[ "$bench_gate" -eq 1 || "$bench_regen" -eq 1 ]]; then
         build-bench/bench/bench_sim_perf out/bench_sim_current.json
     python3 scripts/bench_gate.py run \
         build-bench/bench/bench_batch_sim out/bench_batch_current.json
+    python3 scripts/bench_gate.py run \
+        build-bench/bench/bench_serve out/bench_serve_current.json
     python3 scripts/bench_gate.py check out/bench_sched_current.json \
         --baseline BENCH_sched.json
     python3 scripts/bench_gate.py check out/bench_sim_current.json \
         --baseline BENCH_sim.json
     python3 scripts/bench_gate.py check out/bench_batch_current.json \
         --baseline BENCH_batch.json
+    python3 scripts/bench_gate.py check out/bench_serve_current.json \
+        --baseline BENCH_serve.json
     # Mega-DAG wall-clock budget: the full 10^6-tuple stress experiment must
     # finish inside BM_STRESS_BUDGET_SECS (default 60) on the Release tree.
     # A quadratic regression in the streaming CSR build or the labeling
@@ -144,6 +182,10 @@ if [[ "$verify_smoke" -eq 1 ]]; then
       > /dev/null && echo "ok  bmrun --verify"
 fi
 
+if [[ "$serve_smoke" -eq 1 ]]; then
+  run_serve_smoke build
+fi
+
 if [[ "$trace_smoke" -eq 1 ]]; then
   # A traced run must emit Perfetto-loadable JSON: structurally valid, with
   # at least one timed event. trace_check is the in-repo validator.
@@ -159,6 +201,9 @@ if [[ "$asan" -eq 1 ]]; then
   ctest --test-dir build-asan --output-on-failure
   ./build-asan/bmrun run --all --seeds 3 --jobs 2 --out-dir out-asan > /dev/null \
     && echo "ok  bmrun run --all (asan)"
+  if [[ "$serve_smoke" -eq 1 ]]; then
+    run_serve_smoke build-asan
+  fi
   rm -rf out-asan
 fi
 

@@ -2,19 +2,11 @@
 
 #include <vector>
 
-#include "obs/obs.hpp"
+#include "serve/session.hpp"
 #include "support/assert.hpp"
 #include "support/thread_pool.hpp"
-#include "verify/verify.hpp"
 
 namespace bm {
-
-Rng benchmark_rng(std::uint64_t base_seed, std::size_t index) {
-  std::uint64_t mix = base_seed;
-  (void)split_mix64(mix);
-  mix ^= 0x5851F42D4C957F2Dull * (index + 1);
-  return Rng(split_mix64(mix));
-}
 
 namespace {
 
@@ -31,61 +23,36 @@ struct SeedResult {
 
 SeedResult run_seed(const GeneratorConfig& gen, const SchedulerConfig& sched,
                     const RunOptions& opt, std::size_t i) {
-  BM_OBS_SPAN_ARG(seed_span, "harness.seed", "harness", "seed",
-                  static_cast<double>(i));
-  Rng rng = benchmark_rng(opt.base_seed, i);
-  const SynthesisResult synth = synthesize_benchmark(gen, rng);
-  const InstrDag dag = [&] {
-    BM_OBS_SPAN(span, "dag.build", "graph");
-    return InstrDag::build(synth.program, opt.timing);
-  }();
+  // One session per harness thread, in thread-shared arena mode: pipeline
+  // working memory keeps flowing through the warm per-thread scratch pools
+  // (tests/scratch_arena_test.cpp pins the zero-steady-state-allocation
+  // behavior), while the serving path runs the very same session code with
+  // per-session owned arenas.
+  static thread_local serve::SchedulerSession session(
+      serve::SchedulerSession::ArenaMode::kThreadShared);
+
+  serve::BenchmarkRequest req;
+  req.gen = gen;
+  req.sched = sched;
+  req.timing = opt.timing;
+  req.base_seed = opt.base_seed;
+  req.index = i;
+  req.with_vliw = opt.with_vliw;
+  req.sim_runs = opt.sim_runs;
+  req.sim_batch = opt.sim_batch;
+  req.validate_draws = opt.validate_draws;
+  req.verify = opt.verify;
+  const serve::BenchmarkResult b = session.run_benchmark(req);
 
   SeedResult r;
-  r.outcome.seed_index = i;
-  r.outcome.program_size = synth.program.size();
-
-  ScheduleResult scheduled = schedule_program(dag, sched, rng);
-  r.outcome.stats = scheduled.stats;
-
-  if (opt.with_vliw) {
-    BM_OBS_SPAN(span, "vliw.schedule", "vliw");
-    const VliwSchedule vliw = schedule_vliw(dag, sched.num_procs);
-    r.outcome.vliw_makespan = vliw.makespan;
-  }
-
-  if (opt.verify) {
-    BM_OBS_SPAN(span, "verify.schedule", "verify");
-    // Redundancy linting is advisory and O(B·(V+E)); the harness check is
-    // about soundness, so skip it to stay within the throughput budget.
-    VerifyOptions vopt;
-    vopt.lint_redundant = false;
-    const VerifyReport report =
-        verify_schedule(dag, *scheduled.schedule, vopt);
-    r.verify_errors = report.error_count();
-    if (!report.clean()) {
-      for (const VerifyDiagnostic& d : report.diagnostics()) {
-        if (d.severity != VerifySeverity::kError) continue;
-        r.verify_first = "[seed " + std::to_string(i) + "] " + d.code + ": " +
-                         d.message;
-        break;
-      }
-    }
-  }
-
-  if (opt.sim_runs > 0 || opt.validate_draws) {
-    BM_OBS_SPAN(span, "sim.summarize", "sim");
-    const std::size_t runs = opt.sim_runs > 0 ? opt.sim_runs : 1;
-    if (opt.validate_draws) {
-      static thread_local ExecTrace t;  // resized in place per draw
-      for (std::size_t k = 0; k < runs; ++k) {
-        simulate_into(*scheduled.schedule,
-                      {sched.machine, SamplingMode::kUniform}, rng, t);
-        r.violations += find_violations(dag, t).size();
-      }
-    }
-    r.outcome.barrier_completion = summarize_completion(
-        *scheduled.schedule, sched.machine, opt.sim_runs, rng, opt.sim_batch);
-  }
+  r.outcome.seed_index = b.seed_index;
+  r.outcome.program_size = b.program_size;
+  r.outcome.stats = b.stats;
+  r.outcome.vliw_makespan = b.vliw_makespan;
+  r.outcome.barrier_completion = b.barrier_completion;
+  r.violations = b.violations;
+  r.verify_errors = b.verify_errors;
+  r.verify_first = b.verify_first;
   return r;
 }
 

@@ -1,0 +1,108 @@
+#include "serve/cache.hpp"
+
+#include "obs/obs.hpp"
+#include "serve/fingerprint.hpp"
+
+namespace bm::serve {
+
+ScheduleCache::ScheduleCache(std::size_t max_entries, std::size_t max_bytes)
+    : max_entries_(max_entries), max_bytes_(max_bytes) {}
+
+ScheduleCache::Hit ScheduleCache::lookup(
+    std::uint64_t fingerprint, std::uint64_t config_digest,
+    const std::string& canonical_bytes,
+    std::span<const std::uint32_t> canon_to_request) {
+  const Key key{fingerprint, config_digest};
+  std::string text_canonical;
+  ScheduleStats stats;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++stats_.misses;
+      BM_OBS_COUNT("cache.miss");
+      return {};
+    }
+    if (it->second->canonical_bytes != canonical_bytes) {
+      // Same 64-bit fingerprint, different canonical program: either a hash
+      // collision or a WL-unresolved automorphism tie. Correctness demands
+      // a miss; the caller recomputes and insert() replaces this entry.
+      ++stats_.misses;
+      ++stats_.collisions;
+      BM_OBS_COUNT("cache.miss");
+      BM_OBS_COUNT("cache.collision");
+      return {};
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);  // touch
+    ++stats_.hits;
+    BM_OBS_COUNT("cache.hit");
+    text_canonical = it->second->schedule_text;
+    stats = it->second->stats;
+  }
+  // Rewrite outside the lock: O(text) work that needs no cache state.
+  Hit hit;
+  hit.found = true;
+  hit.schedule_text = rewrite_schedule_ids(text_canonical, canon_to_request);
+  hit.stats = stats;
+  return hit;
+}
+
+void ScheduleCache::insert(std::uint64_t fingerprint,
+                           std::uint64_t config_digest,
+                           std::string canonical_bytes,
+                           std::string schedule_text_canonical,
+                           const ScheduleStats& stats) {
+  if (max_entries_ == 0) return;
+  Entry e;
+  e.key = Key{fingerprint, config_digest};
+  e.footprint = sizeof(Entry) + canonical_bytes.size() +
+                schedule_text_canonical.size();
+  e.canonical_bytes = std::move(canonical_bytes);
+  e.schedule_text = std::move(schedule_text_canonical);
+  e.stats = stats;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = index_.find(e.key);
+  if (it != index_.end()) {
+    // Colliding or racing insert: keep the newest computation.
+    stats_.bytes -= it->second->footprint;
+    --stats_.entries;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  stats_.bytes += e.footprint;
+  ++stats_.entries;
+  ++stats_.insertions;
+  BM_OBS_COUNT("cache.insert");
+  lru_.push_front(std::move(e));
+  index_.emplace(lru_.front().key, lru_.begin());
+  evict_overflow_locked();
+}
+
+void ScheduleCache::evict_overflow_locked() {
+  while (stats_.entries > max_entries_ ||
+         (max_bytes_ > 0 && stats_.bytes > max_bytes_ && stats_.entries > 1)) {
+    Entry& victim = lru_.back();
+    stats_.bytes -= victim.footprint;
+    --stats_.entries;
+    ++stats_.evictions;
+    BM_OBS_COUNT("cache.evict");
+    index_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+CacheStats ScheduleCache::stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ScheduleCache::clear() {
+  std::unique_lock<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  stats_.entries = 0;
+  stats_.bytes = 0;
+}
+
+}  // namespace bm::serve

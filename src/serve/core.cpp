@@ -1,0 +1,335 @@
+#include "serve/core.hpp"
+
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "sched/serialize.hpp"
+#include "serve/fingerprint.hpp"
+#include "support/assert.hpp"
+
+namespace bm::serve {
+
+namespace {
+
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t mix2(std::uint64_t a, std::uint64_t b) {
+  return mix64(a ^ (b * 0xD6E8FEB86659FD93ull));
+}
+
+/// Everything that shapes synthesis output, folded into the RNG identity:
+/// the synthesis draws advance the stream the scheduler then continues, so
+/// the cache key must distinguish generator configurations even for the
+/// (fingerprint-identical) programs they might coincide on.
+std::uint64_t gen_digest(const GeneratorConfig& g) {
+  std::uint64_t h = mix64(0x6E6Eull);
+  h = mix2(h, g.num_statements);
+  h = mix2(h, g.num_variables);
+  h = mix2(h, g.num_constants);
+  std::uint64_t prob_bits = 0;
+  static_assert(sizeof(prob_bits) == sizeof(g.const_operand_prob));
+  __builtin_memcpy(&prob_bits, &g.const_operand_prob, sizeof(prob_bits));
+  h = mix2(h, prob_bits);
+  return mix2(h, static_cast<std::uint64_t>(g.const_max));
+}
+
+}  // namespace
+
+/// Checks a session out of the shared idle pool (or creates one: the pool
+/// grows to the worker count and no further, since leases are per-request).
+class ServeCore::SessionLease {
+ public:
+  explicit SessionLease(ServeCore& core) : core_(core) {
+    std::unique_lock<std::mutex> lock(core_.mu_);
+    if (!core_.idle_sessions_.empty()) {
+      session_ = std::move(core_.idle_sessions_.back());
+      core_.idle_sessions_.pop_back();
+      return;
+    }
+    lock.unlock();
+    session_ = std::make_unique<SchedulerSession>(
+        SchedulerSession::ArenaMode::kOwned);
+  }
+  ~SessionLease() {
+    std::unique_lock<std::mutex> lock(core_.mu_);
+    core_.idle_sessions_.push_back(std::move(session_));
+  }
+
+  SchedulerSession* operator->() { return session_.get(); }
+  SchedulerSession& operator*() { return *session_; }
+
+ private:
+  ServeCore& core_;
+  std::unique_ptr<SchedulerSession> session_;
+};
+
+/// One admitted request. Guarantees the exactly-once answer: workers call
+/// answer() with the computed response; if the closure is destroyed unrun
+/// (token cancelled at dequeue, a drain racing a cancel, ...) the
+/// destructor answers status=cancelled. Shared between the queue closure
+/// and nothing else, so the destructor runs where the closure dies.
+struct ServeCore::PendingReq {
+  ServeCore* core;
+  Request req;
+  Callback cb;
+  std::atomic<bool> answered{false};
+
+  PendingReq(ServeCore* c, Request r, Callback f)
+      : core(c), req(std::move(r)), cb(std::move(f)) {}
+
+  void answer(const Response& resp) {
+    if (answered.exchange(true)) return;
+    try {
+      cb(resp);
+    } catch (...) {
+      // Transport failures are the transport's problem; the request is
+      // accounted as answered either way.
+    }
+    core->note_outcome(resp);
+  }
+
+  ~PendingReq() {
+    if (answered.load()) return;
+    Response resp;
+    resp.id = req.id;
+    resp.status = Status::kCancelled;
+    resp.error = "cancelled before execution";
+    answer(resp);
+  }
+};
+
+ServeCore::ServeCore(CoreConfig cfg)
+    : cfg_(std::move(cfg)),
+      cache_(cfg_.cache_entries, cfg_.cache_bytes),
+      pool_(std::make_unique<ThreadPool>(cfg_.workers)) {}
+
+ServeCore::~ServeCore() {
+  drain();
+  // pool_ (last member) is destroyed first; its drain contract answers any
+  // stragglers through their PendingReq destructors while `this` is whole.
+}
+
+CancelToken ServeCore::submit(Request req, Callback cb) {
+  CancelToken token;
+  bool reject = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.received;
+    if (draining_ || stats_.queued >= cfg_.max_queue) {
+      ++stats_.rejected;
+      reject = true;
+    } else {
+      ++stats_.queued;
+    }
+  }
+  BM_OBS_COUNT("serve.request");
+  if (reject) {
+    BM_OBS_COUNT("serve.reject");
+    Response resp;
+    resp.id = req.id;
+    resp.status = Status::kRejected;
+    resp.error = draining() ? "server draining" : "queue full";
+    cb(resp);
+    return token;
+  }
+
+  auto pending = std::make_shared<PendingReq>(this, std::move(req), std::move(cb));
+  pool_->submit(token, [pending] {
+    ServeCore& core = *pending->core;
+    if (core.cfg_.pre_handle) core.cfg_.pre_handle(pending->req);
+    if (pending->answered.load()) return;
+    Response resp;
+    try {
+      resp = core.process(pending->req);
+    } catch (const std::exception& e) {
+      resp.id = pending->req.id;
+      resp.status = Status::kError;
+      resp.error = e.what();
+    }
+    pending->answer(resp);
+  });
+  return token;
+}
+
+Response ServeCore::handle(const Request& req) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.received;
+  }
+  BM_OBS_COUNT("serve.request");
+  Response resp;
+  try {
+    resp = process(req);
+  } catch (const std::exception& e) {
+    resp.id = req.id;
+    resp.status = Status::kError;
+    resp.error = e.what();
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.queued;  // note_outcome's pairing decrement
+  lock.unlock();
+  note_outcome(resp);
+  return resp;
+}
+
+void ServeCore::drain() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+  pool_->wait_idle();
+}
+
+bool ServeCore::draining() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return draining_;
+}
+
+CoreStats ServeCore::stats() const {
+  CoreStats out;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    out = stats_;
+  }
+  out.cache = cache_.stats();
+  return out;
+}
+
+void ServeCore::note_outcome(const Response& resp) {
+  std::unique_lock<std::mutex> lock(mu_);
+  BM_ASSERT_INTERNAL(stats_.queued > 0, "response without admission");
+  --stats_.queued;
+  switch (resp.status) {
+    case Status::kOk:
+      ++stats_.completed;
+      break;
+    case Status::kCancelled:
+      ++stats_.cancelled;
+      break;
+    case Status::kError:
+      ++stats_.errors;
+      break;
+    case Status::kRejected:
+      ++stats_.rejected;  // unreachable: rejections never admit
+      break;
+  }
+  lock.unlock();
+  switch (resp.status) {
+    case Status::kOk: BM_OBS_COUNT("serve.ok"); break;
+    case Status::kCancelled: BM_OBS_COUNT("serve.cancel"); break;
+    case Status::kError: BM_OBS_COUNT("serve.error"); break;
+    case Status::kRejected: break;
+  }
+}
+
+Response ServeCore::process(const Request& req) {
+  switch (req.verb) {
+    case Verb::kPing: {
+      Response resp;
+      resp.id = req.id;
+      resp.body = "pong";
+      return resp;
+    }
+    case Verb::kStats: {
+      Response resp;
+      resp.id = req.id;
+      resp.body = stats().to_text();
+      return resp;
+    }
+    case Verb::kSynth:
+    case Verb::kSchedule:
+      return process_scheduling(req);
+  }
+  throw Error("unhandled verb");
+}
+
+Response ServeCore::process_scheduling(const Request& req) {
+  Response resp;
+  resp.id = req.id;
+
+  SessionLease session(*this);
+  const TimingModel timing = TimingModel::table1();
+
+  // Stage 1: obtain the program and the scheduler's RNG stream. For synth
+  // requests the scheduler continues the synthesis stream — the exact
+  // sequence the experiment harness uses, so a synth request for
+  // (base_seed, index) reproduces the harness schedule bit-for-bit.
+  Program program;
+  Rng rng = benchmark_rng(req.base_seed, req.index);
+  std::uint64_t rng_key = 0;
+  if (req.verb == Verb::kSynth) {
+    const SynthesisResult synth = session->synthesize(req.gen, rng);
+    program = synth.program;
+    rng_key = mix2(mix2(req.base_seed, req.index), gen_digest(req.gen));
+  } else {
+    program = session->compile_source(req.source);
+    rng = Rng(req.seed);
+    rng_key = mix2(0x5C4Ed01Eull, req.seed);
+  }
+  BM_REQUIRE(!program.empty(), "program optimized to an empty block");
+
+  // Stage 2: cache probe under the canonical fingerprint.
+  const CanonicalProgram canon = canonicalize_program(program);
+  const std::uint64_t digest = config_digest(req.sched, timing, rng_key);
+  resp.fingerprint = fingerprint_hex(canon.fingerprint);
+
+  if (!req.no_cache) {
+    ScheduleCache::Hit hit =
+        cache_.lookup(canon.fingerprint, digest, canon.bytes, canon.inv_perm);
+    if (hit.found) {
+      resp.cache = CacheOutcome::kHit;
+      resp.stats = hit.stats;
+      resp.body = std::move(hit.schedule_text);
+      if (req.verify) {
+        const InstrDag dag = session->build_dag(program, timing);
+        const Schedule sched = schedule_from_text(dag, resp.body);
+        resp.verify_errors = session->verify(dag, sched).error_count();
+      }
+      return resp;
+    }
+  }
+
+  // Stage 3: cold path — the ordinary pipeline.
+  const InstrDag dag = session->build_dag(program, timing);
+  const ScheduleResult scheduled = session->schedule(dag, req.sched, rng);
+  resp.stats = scheduled.stats;
+  resp.body = schedule_to_text(*scheduled.schedule);
+  if (req.verify)
+    resp.verify_errors =
+        session->verify(dag, *scheduled.schedule).error_count();
+
+  if (req.no_cache) {
+    resp.cache = CacheOutcome::kBypass;
+  } else {
+    resp.cache = CacheOutcome::kMiss;
+    cache_.insert(canon.fingerprint, digest, canon.bytes,
+                  rewrite_schedule_ids(resp.body, canon.perm),
+                  scheduled.stats);
+  }
+  return resp;
+}
+
+std::string CoreStats::to_text() const {
+  std::string t;
+  t += "received " + std::to_string(received) + "\n";
+  t += "completed " + std::to_string(completed) + "\n";
+  t += "rejected " + std::to_string(rejected) + "\n";
+  t += "cancelled " + std::to_string(cancelled) + "\n";
+  t += "errors " + std::to_string(errors) + "\n";
+  t += "queued " + std::to_string(queued) + "\n";
+  t += "cache-hits " + std::to_string(cache.hits) + "\n";
+  t += "cache-misses " + std::to_string(cache.misses) + "\n";
+  t += "cache-collisions " + std::to_string(cache.collisions) + "\n";
+  t += "cache-insertions " + std::to_string(cache.insertions) + "\n";
+  t += "cache-evictions " + std::to_string(cache.evictions) + "\n";
+  t += "cache-entries " + std::to_string(cache.entries) + "\n";
+  t += "cache-bytes " + std::to_string(cache.bytes) + "\n";
+  return t;
+}
+
+}  // namespace bm::serve

@@ -1,0 +1,76 @@
+// Canonical DAG fingerprinting for the scheduling service (bmserve).
+//
+// Two requests whose tuple programs pose the *same scheduling problem* —
+// identical dependence DAG shape, opcodes (hence execution-time ranges),
+// and constant operands — must key the same schedule-cache entry even when
+// their instructions are numbered or ordered differently. The fingerprint
+// is a 64-bit hash of a Weisfeiler–Lehman-style canonical form:
+//
+//   1. Build the typed dependence edges exactly as InstrDag::build does
+//      (dataflow per operand slot, memory flow store→load, anti
+//      load→store, output store→store, duplicates suppressed the same
+//      way), annotated with the edge kind.
+//   2. Seed every node with a label hashing its opcode and constant
+//      operands (tuple uids and variable ids never participate: uids are
+//      display-only and variables matter only through the memory edges).
+//   3. Refine labels iteratively — each round mixes in the sorted
+//      multisets of (edge kind, neighbor label) over in- and out-edges —
+//      until the label partition stabilizes.
+//   4. fingerprint = order-independent combine of the stabilized labels
+//      and edge triples; *guaranteed* invariant under instruction
+//      renumbering and semantics-preserving input reordering.
+//
+// WL refinement is not a perfect graph canonizer, so the cache never
+// trusts the hash alone: canonicalize_program also emits a canonical byte
+// serialization (nodes in canonical order, edges as canonical indices).
+// A cache hit is only served when the request's canonical bytes equal the
+// entry's — a hash collision or an unresolved automorphism tie degrades to
+// a correct cache miss, never to a wrong schedule (cache.collision counts
+// them; see docs/SERVING.md).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+#include "sched/policies.hpp"
+
+namespace bm::serve {
+
+struct CanonicalProgram {
+  std::uint64_t fingerprint = 0;
+  /// Original dense tuple id -> canonical index.
+  std::vector<std::uint32_t> perm;
+  /// Canonical index -> original dense tuple id.
+  std::vector<std::uint32_t> inv_perm;
+  /// Canonical serialization: exact equality certifies that two programs
+  /// pose the identical scheduling problem under their respective perms.
+  std::string bytes;
+};
+
+/// Canonicalizes a (validated) program. Deterministic; O(E · rounds).
+CanonicalProgram canonicalize_program(const Program& prog);
+
+/// Fingerprint only (no permutation / bytes needed by the caller).
+std::uint64_t program_fingerprint(const Program& prog);
+
+/// 16-digit lowercase hex rendering used in the protocol and fixtures.
+std::string fingerprint_hex(std::uint64_t fp);
+
+/// Digest of everything besides the program that determines the schedule
+/// bytes: scheduler config, timing model, and the tie-break RNG identity.
+/// The schedule cache key is (program fingerprint, config digest) — any
+/// machine/policy/timing change invalidates by construction.
+std::uint64_t config_digest(const SchedulerConfig& cfg, const TimingModel& tm,
+                            std::uint64_t rng_key);
+
+/// Rewrites every instruction token `n<id>` in a serialized schedule
+/// (sched/serialize.hpp text format) through `map` (old id -> new id).
+/// Barrier tokens, masks, and headers are untouched. Used to store cached
+/// schedules in canonical numbering and serve them in request numbering.
+std::string rewrite_schedule_ids(const std::string& text,
+                                 std::span<const std::uint32_t> map);
+
+}  // namespace bm::serve

@@ -1,0 +1,59 @@
+// Socket front end for bmserve: accepts connections on a Unix-domain
+// socket and/or a loopback TCP port, speaks the length-prefixed frame
+// protocol (serve/protocol.hpp), and feeds requests into a ServeCore.
+//
+// Threading model: one accept loop (run() on the caller), one thread per
+// connection reading frames and submitting them; responses are written by
+// whichever worker finishes the request, serialized per connection.
+// Requests from one connection may therefore complete out of order —
+// clients correlate by the echoed request id.
+//
+// Disconnect cancels that connection's still-queued requests (their
+// cancelled responses go nowhere). request_stop() — safe from a signal
+// handler — makes run() stop accepting, drain the core (every admitted
+// request is answered and written before its connection is torn down),
+// and return. That is the whole SIGTERM story: zero admitted requests
+// are ever dropped.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "serve/core.hpp"
+
+namespace bm::serve {
+
+struct NetConfig {
+  std::string uds_path;  ///< empty = no Unix-domain listener
+  int tcp_port = -1;     ///< <0 = no TCP listener; 0 = ephemeral
+  CoreConfig core;
+};
+
+class Server {
+ public:
+  explicit Server(NetConfig cfg);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bound TCP port (after construction; useful with tcp_port = 0).
+  int tcp_port() const { return tcp_port_; }
+
+  ServeCore& core() { return *core_; }
+
+  /// Accept-and-serve loop; returns after request_stop() completes the
+  /// graceful drain. Call from the main thread.
+  void run();
+
+  /// Async-signal-safe stop request (writes one byte to a self-pipe).
+  void request_stop();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::unique_ptr<ServeCore> core_;
+  int tcp_port_ = -1;
+};
+
+}  // namespace bm::serve

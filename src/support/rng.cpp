@@ -86,4 +86,11 @@ Rng Rng::fork() {
   return child;
 }
 
+Rng benchmark_rng(std::uint64_t base_seed, std::size_t index) {
+  std::uint64_t mix = base_seed;
+  (void)split_mix64(mix);
+  mix ^= 0x5851F42D4C957F2Dull * (index + 1);
+  return Rng(split_mix64(mix));
+}
+
 }  // namespace bm

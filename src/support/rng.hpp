@@ -56,4 +56,10 @@ class Rng {
   std::uint64_t s_[4];
 };
 
+/// The canonical per-benchmark stream: an independent Rng derived from
+/// (base_seed, index). Every consumer of seeded benchmarks — the experiment
+/// harness, the scheduling service, the golden corpora — derives streams
+/// through this one function so their draws agree bit-for-bit.
+Rng benchmark_rng(std::uint64_t base_seed, std::size_t index);
+
 }  // namespace bm

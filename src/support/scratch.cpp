@@ -1,0 +1,37 @@
+#include "support/scratch.hpp"
+
+#include <atomic>
+
+namespace bm::scratch_detail {
+
+std::size_t next_scratch_type_id() {
+  static std::atomic<std::size_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// The thread's fallback arena: preserves the historical behavior (one
+/// warm pool per thread, living for the thread) for code that never
+/// installs a session arena — the experiment harness and all tests.
+ScratchArena& thread_default_arena() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+thread_local ScratchArena* t_installed = nullptr;
+
+}  // namespace
+
+ScratchArena& active_arena() {
+  ScratchArena* a = t_installed;
+  return a != nullptr ? *a : thread_default_arena();
+}
+
+ScratchArena* exchange_arena(ScratchArena* next) {
+  ScratchArena* prev = t_installed;
+  t_installed = next;
+  return prev;
+}
+
+}  // namespace bm::scratch_detail

@@ -1,14 +1,25 @@
-// Pooled per-thread scratch arenas.
+// Pooled scratch arenas with session-scoped installation.
 //
 // The scheduler, the barrier-insertion analyses, and the SBM/DBM simulators
 // run once per seed inside tight experiment loops; their transient buffers
 // (ready lists, path stacks, arrival vectors, Kahn indegrees) used to be
-// allocated per call. A ScratchVec<T> checks a vector out of a thread-local
-// free list on construction and returns it — capacity intact — on
+// allocated per call. A ScratchVec<T> checks a vector out of the *active
+// arena's* free list on construction and returns it — capacity intact — on
 // destruction, so steady-state seeds perform no heap allocation for scratch
 // at all.
 //
-// Accounting: two counters observe the pool (through obs/metrics):
+// Arenas: every thread has an implicit default ScratchArena (created
+// lazily, lives for the thread), which preserves the historical
+// "thread-local pool" behavior for batch drivers like the experiment
+// harness. Long-lived services instead give each SchedulerSession its own
+// ScratchArena and install it for the duration of a request with
+// ScratchArenaScope, so concurrent or interleaved sessions never share (or
+// fight over) scratch capacity and a session's memory footprint is owned,
+// bounded, and released by that session. Installation is a thread-local
+// pointer swap; a ScratchVec must not outlive the scope it was checked out
+// under (all users are function-scoped).
+//
+// Accounting: two counters observe the pools (through obs/metrics):
 //   mem.scratch.miss — a checkout found the free list empty (new vector)
 //   mem.scratch.grow — a buffer's capacity grew while checked out
 // Both are zero in steady state; tests/scratch_arena_test.cpp asserts it.
@@ -32,26 +43,94 @@ namespace bm {
 
 namespace scratch_detail {
 
-/// Counter bumps live in scratch.cpp so this header stays obs-free.
+/// Counter bumps live in obs/scratch_counters.cpp so this header stays
+/// obs-free.
 void note_miss();
 void note_grow();
 
+/// Dense per-element-type index, assigned on first use (scratch.cpp).
+std::size_t next_scratch_type_id();
+
 template <typename T>
-std::vector<std::vector<T>>& free_list() {
-  thread_local std::vector<std::vector<T>> list;
-  return list;
+std::size_t scratch_type_id() {
+  static const std::size_t id = next_scratch_type_id();
+  return id;
 }
 
 }  // namespace scratch_detail
 
+/// A set of per-type free lists of pooled vectors. Not thread-safe: an
+/// arena may only be active on one thread at a time (ScratchArenaScope
+/// installs it; SchedulerSession enforces single-threaded use).
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+  ~ScratchArena() {
+    for (Slot& s : slots_)
+      if (s.pools != nullptr) s.destroy(s.pools);
+  }
+
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// The free list of pooled vectors for element type T.
+  template <typename T>
+  std::vector<std::vector<T>>& pool() {
+    using Pool = std::vector<std::vector<T>>;
+    const std::size_t id = scratch_detail::scratch_type_id<T>();
+    if (id >= slots_.size()) slots_.resize(id + 1);
+    Slot& s = slots_[id];
+    if (s.pools == nullptr) {
+      s.pools = new Pool();
+      s.destroy = [](void* p) { delete static_cast<Pool*>(p); };
+    }
+    return *static_cast<Pool*>(s.pools);
+  }
+
+ private:
+  struct Slot {
+    void* pools = nullptr;
+    void (*destroy)(void*) = nullptr;
+  };
+  std::vector<Slot> slots_;
+};
+
+namespace scratch_detail {
+
+/// The thread's active arena (never null): an explicitly installed one, or
+/// the thread's lazily created default arena.
+ScratchArena& active_arena();
+/// Swaps the installed arena; returns the previous installation (nullptr =
+/// the thread default was active). Used by ScratchArenaScope only.
+ScratchArena* exchange_arena(ScratchArena* next);
+
+}  // namespace scratch_detail
+
+/// RAII installation of an arena as the calling thread's active arena.
+/// Every ScratchVec constructed inside the scope checks out of (and returns
+/// to) this arena. Scopes nest; each restores its predecessor.
+class ScratchArenaScope {
+ public:
+  explicit ScratchArenaScope(ScratchArena& arena)
+      : prev_(scratch_detail::exchange_arena(&arena)) {}
+  ~ScratchArenaScope() { scratch_detail::exchange_arena(prev_); }
+
+  ScratchArenaScope(const ScratchArenaScope&) = delete;
+  ScratchArenaScope& operator=(const ScratchArenaScope&) = delete;
+
+ private:
+  ScratchArena* prev_;
+};
+
 /// RAII handle on a pooled std::vector<T>. Checked out empty (capacity
-/// retained from previous uses on this thread); returned on destruction.
-/// Not copyable or movable — scope it where the buffer is needed.
+/// retained from previous uses of the active arena); returned on
+/// destruction. Not copyable or movable — scope it where the buffer is
+/// needed, and never across a ScratchArenaScope boundary.
 template <typename T>
 class ScratchVec {
  public:
   ScratchVec() {
-    auto& pool = scratch_detail::free_list<T>();
+    auto& pool = scratch_detail::active_arena().pool<T>();
     if (pool.empty()) {
       scratch_detail::note_miss();
     } else {
@@ -81,7 +160,7 @@ class ScratchVec {
       v_.clear();
       v_.reserve(want);
     }
-    scratch_detail::free_list<T>().push_back(std::move(v_));
+    scratch_detail::active_arena().pool<T>().push_back(std::move(v_));
   }
 
   ScratchVec(const ScratchVec&) = delete;

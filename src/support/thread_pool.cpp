@@ -19,19 +19,30 @@ ThreadPool::~ThreadPool() {
     std::unique_lock<std::mutex> lock(mu_);
     stopping_ = true;
   }
+  // Workers drain the queue before exiting (worker_loop only returns on an
+  // *empty* queue under stopping_), so destruction never abandons a task.
   work_ready_.notify_all();
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
-  BM_REQUIRE(task != nullptr, "cannot submit an empty task");
+void ThreadPool::enqueue(Task t) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     BM_REQUIRE(!stopping_, "pool is shutting down");
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(t));
     ++in_flight_;
   }
   work_ready_.notify_one();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  BM_REQUIRE(task != nullptr, "cannot submit an empty task");
+  enqueue(Task{std::move(task), CancelToken{}, false});
+}
+
+void ThreadPool::submit(CancelToken token, std::function<void()> task) {
+  BM_REQUIRE(task != nullptr, "cannot submit an empty task");
+  enqueue(Task{std::move(task), std::move(token), true});
 }
 
 void ThreadPool::wait_idle() {
@@ -44,25 +55,45 @@ void ThreadPool::wait_idle() {
   }
 }
 
+std::size_t ThreadPool::pending() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::size_t ThreadPool::cancelled_skips() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cancelled_skips_;
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
+    bool skip = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      if (task.has_token && task.token.cancelled()) {
+        skip = true;
+        ++cancelled_skips_;
+      }
     }
     // A throwing task must not take the worker down (std::terminate) or
     // leak its in_flight_ tick (wait_idle would deadlock). Capture the
-    // first exception; wait_idle rethrows it on the caller.
+    // first exception; wait_idle rethrows it on the caller. A skipped task
+    // destroys its closure outside the lock (captured resources may have
+    // nontrivial destructors) and counts as completed.
     std::exception_ptr err;
-    try {
-      task();
-    } catch (...) {
-      err = std::current_exception();
+    if (!skip) {
+      try {
+        task.fn();
+      } catch (...) {
+        err = std::current_exception();
+      }
     }
+    task.fn = nullptr;  // release closure state before signalling idle
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (err && !pending_error_) pending_error_ = err;

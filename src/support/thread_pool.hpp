@@ -1,20 +1,40 @@
 // A small fixed-size worker pool for coarse-grain parallel evaluation (the
-// experiment harness fans independent seeded benchmarks across workers).
+// experiment harness fans independent seeded benchmarks across workers, and
+// the scheduling service batches client requests onto one shared pool).
 // Tasks are plain std::function<void()>; the pool makes no fairness or
 // ordering promises, so callers that need deterministic output must collect
 // per-task results and merge them in a deterministic order themselves.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace bm {
+
+/// Shared cooperative-cancellation handle. Copies refer to the same state;
+/// cancel() is sticky and thread-safe. A task submitted with a token is
+/// *skipped* (dropped unrun, its closure destroyed) if the token is
+/// cancelled by the time a worker would dequeue it; a task already running
+/// is never interrupted — long-running task bodies that want mid-flight
+/// cancellation poll cancelled() themselves.
+class CancelToken {
+ public:
+  CancelToken() : state_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void cancel() const { state_->store(true, std::memory_order_release); }
+  bool cancelled() const { return state_->load(std::memory_order_acquire); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;
+};
 
 class ThreadPool {
  public:
@@ -22,7 +42,9 @@ class ThreadPool {
   /// growth, no work stealing — predictable for benchmarking.
   explicit ThreadPool(std::size_t threads);
 
-  /// Drains the queue (pending tasks still run), then joins all workers.
+  /// Drains the queue — every task still pending runs to completion (it is
+  /// never abandoned; cancelled-token tasks are skipped as usual) — then
+  /// joins all workers. tests/thread_pool_test.cpp pins this contract.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -35,11 +57,24 @@ class ThreadPool {
   /// (by completion time) is captured and rethrown by the next wait_idle().
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished running, then rethrows
-  /// the first exception any task leaked since the last wait_idle (clearing
-  /// it, so the pool stays usable afterwards). Exceptions still pending at
-  /// destruction are dropped.
+  /// Enqueues a task bound to a cancellation token: if `token.cancelled()`
+  /// when a worker dequeues it, the task body never runs (its closure is
+  /// destroyed, releasing captured resources) and the skip is counted by
+  /// cancelled_skips(). wait_idle() accounting treats a skip as completion.
+  void submit(CancelToken token, std::function<void()> task);
+
+  /// Blocks until every submitted task has finished running (or been
+  /// skipped), then rethrows the first exception any task leaked since the
+  /// last wait_idle (clearing it, so the pool stays usable afterwards).
+  /// Exceptions still pending at destruction are dropped.
   void wait_idle();
+
+  /// Queued-but-not-yet-running tasks (snapshot; callers wanting admission
+  /// control should keep their own atomic pending count).
+  std::size_t pending() const;
+
+  /// Tasks dropped unrun because their token was cancelled.
+  std::size_t cancelled_skips() const;
 
   /// Runs fn(0), ..., fn(n-1) across the workers and blocks until all are
   /// done. Indices are claimed from a shared atomic counter, so completion
@@ -53,13 +88,21 @@ class ThreadPool {
   static std::size_t default_jobs();
 
  private:
-  void worker_loop();
+  struct Task {
+    std::function<void()> fn;
+    CancelToken token;
+    bool has_token = false;
+  };
 
-  std::mutex mu_;
+  void worker_loop();
+  void enqueue(Task t);
+
+  mutable std::mutex mu_;
   std::condition_variable work_ready_;
   std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::size_t in_flight_ = 0;  ///< queued + currently running tasks
+  std::size_t cancelled_skips_ = 0;
   std::exception_ptr pending_error_;  ///< first task-leaked exception
   bool stopping_ = false;
   std::vector<std::thread> workers_;

@@ -1,0 +1,246 @@
+// bmload — load generator and correctness client for bmserve.
+//
+// Opens N connections, drives `--requests` synth requests across them
+// (round-robin seed indices in [0, --distinct) so the server's schedule
+// cache sees a controllable hit ratio), checks every response, and reports
+// latency percentiles and aggregate QPS. Nonzero exit on any protocol
+// error, unexpected rejection, or response/request id mismatch — the CI
+// serve-smoke job relies on that.
+//
+//   bmload --socket /tmp/bm.sock --requests 2000 --connections 4
+//   bmload --port 7421 --requests 500 --distinct 16 --verify
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <netinet/in.h>
+#include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "support/cli.hpp"
+
+namespace {
+
+using namespace bm;
+using namespace bm::serve;
+
+int connect_uds(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connect_tcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+struct WorkerReport {
+  std::vector<double> latencies_us;
+  std::size_t ok = 0, hits = 0, rejected = 0, errors = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<FlagSpec> schema = {
+      string_flag("socket", "", "connect to this unix-domain socket"),
+      int_flag("port", -1, "connect to this loopback TCP port"),
+      int_flag("requests", 1000, "total requests across all connections"),
+      int_flag("connections", 4, "concurrent connections"),
+      int_flag("distinct", 32,
+               "distinct (base-seed, index) pairs; smaller = hotter cache"),
+      int_flag("statements", 20, "generator: statements per benchmark"),
+      int_flag("variables", 8, "generator: variable pool size"),
+      int_flag("procs", 8, "scheduler: processor count"),
+      bool_flag("verify", false, "request server-side verification"),
+      bool_flag("no-cache", false, "bypass the schedule cache"),
+      bool_flag("allow-reject", false,
+                "tolerate rejected responses (overload experiments)"),
+  };
+
+  try {
+    const CliFlags flags(argc, argv);
+    flags.validate(schema);
+    const std::string socket_path = flags.get("socket", "");
+    const std::int64_t port = flags.get_int("port", -1);
+    if (socket_path.empty() && port < 0) {
+      std::fprintf(stderr, "bmload: need --socket PATH or --port N\n");
+      return 2;
+    }
+    const std::size_t total =
+        static_cast<std::size_t>(std::max<std::int64_t>(1, flags.get_int("requests", 1000)));
+    const std::size_t conns = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, flags.get_int("connections", 4)));
+    const std::size_t distinct = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, flags.get_int("distinct", 32)));
+    const bool allow_reject = flags.get_bool("allow-reject", false);
+
+    Request proto;
+    proto.verb = Verb::kSynth;
+    proto.gen.num_statements =
+        static_cast<std::uint32_t>(flags.get_int("statements", 20));
+    proto.gen.num_variables =
+        static_cast<std::uint32_t>(flags.get_int("variables", 8));
+    proto.sched.num_procs =
+        static_cast<std::size_t>(flags.get_int("procs", 8));
+    proto.verify = flags.get_bool("verify", false);
+    proto.no_cache = flags.get_bool("no-cache", false);
+
+    std::atomic<std::size_t> next_request{0};
+    std::atomic<bool> failed{false};
+    std::vector<WorkerReport> reports(conns);
+    std::vector<std::thread> threads;
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    for (std::size_t c = 0; c < conns; ++c) {
+      threads.emplace_back([&, c] {
+        WorkerReport& rep = reports[c];
+        const int fd = socket_path.empty()
+                           ? connect_tcp(static_cast<int>(port))
+                           : connect_uds(socket_path);
+        if (fd < 0) {
+          std::fprintf(stderr, "bmload: connection %zu failed to connect\n",
+                       c);
+          failed.store(true);
+          return;
+        }
+        for (;;) {
+          const std::size_t i = next_request.fetch_add(1);
+          if (i >= total || failed.load()) break;
+          Request req = proto;
+          req.id = i + 1;
+          req.index = i % distinct;
+
+          const auto t0 = std::chrono::steady_clock::now();
+          std::optional<std::string> payload;
+          try {
+            if (!write_frame(fd, encode_request(req))) {
+              std::fprintf(stderr, "bmload: write failed (req %zu)\n", i);
+              failed.store(true);
+              break;
+            }
+            payload = read_frame(fd);
+          } catch (const std::exception& e) {
+            std::fprintf(stderr, "bmload: %s (req %zu)\n", e.what(), i);
+            failed.store(true);
+            break;
+          }
+          if (!payload) {
+            std::fprintf(stderr, "bmload: server closed connection\n");
+            failed.store(true);
+            break;
+          }
+          const auto t1 = std::chrono::steady_clock::now();
+
+          Response resp;
+          try {
+            resp = decode_response(*payload);
+          } catch (const std::exception& e) {
+            std::fprintf(stderr, "bmload: bad response: %s\n", e.what());
+            failed.store(true);
+            break;
+          }
+          if (resp.id != req.id) {
+            std::fprintf(stderr, "bmload: id mismatch (%llu != %llu)\n",
+                         static_cast<unsigned long long>(resp.id),
+                         static_cast<unsigned long long>(req.id));
+            failed.store(true);
+            break;
+          }
+          switch (resp.status) {
+            case Status::kOk:
+              if (resp.body.empty() || resp.fingerprint.empty() ||
+                  (proto.verify && resp.verify_errors != 0)) {
+                std::fprintf(stderr, "bmload: bad ok response (req %zu)\n",
+                             i);
+                failed.store(true);
+                break;
+              }
+              ++rep.ok;
+              if (resp.cache == CacheOutcome::kHit) ++rep.hits;
+              break;
+            case Status::kRejected:
+              ++rep.rejected;
+              if (!allow_reject) {
+                std::fprintf(stderr, "bmload: rejected: %s\n",
+                             resp.error.c_str());
+                failed.store(true);
+              }
+              break;
+            default:
+              ++rep.errors;
+              std::fprintf(stderr, "bmload: server error: %s\n",
+                           resp.error.c_str());
+              failed.store(true);
+              break;
+          }
+          rep.latencies_us.push_back(
+              std::chrono::duration<double, std::micro>(t1 - t0).count());
+        }
+        ::close(fd);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+
+    WorkerReport all;
+    for (const WorkerReport& r : reports) {
+      all.ok += r.ok;
+      all.hits += r.hits;
+      all.rejected += r.rejected;
+      all.errors += r.errors;
+      all.latencies_us.insert(all.latencies_us.end(), r.latencies_us.begin(),
+                              r.latencies_us.end());
+    }
+    std::sort(all.latencies_us.begin(), all.latencies_us.end());
+    auto pct = [&](double p) -> double {
+      if (all.latencies_us.empty()) return 0;
+      const auto idx = static_cast<std::size_t>(
+          p * static_cast<double>(all.latencies_us.size() - 1));
+      return all.latencies_us[idx];
+    };
+
+    std::printf(
+        "bmload: %zu ok (%zu cache hits), %zu rejected, %zu errors\n",
+        all.ok, all.hits, all.rejected, all.errors);
+    std::printf("bmload: p50 %.1f us  p99 %.1f us  qps %.0f\n", pct(0.50),
+                pct(0.99),
+                wall_s > 0 ? static_cast<double>(all.latencies_us.size()) /
+                                 wall_s
+                           : 0.0);
+    return failed.load() ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bmload: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,89 @@
+// bmserve — long-lived scheduling daemon. Accepts length-prefixed protocol
+// frames (docs/SERVING.md) over a Unix-domain socket and/or loopback TCP,
+// schedules programs through session-scoped pipeline instances, caches
+// schedules under canonical DAG fingerprints, and sheds overload with fast
+// rejections. SIGTERM/SIGINT drain gracefully: every admitted request is
+// answered before exit (exit code 0).
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "serve/net.hpp"
+#include "support/cli.hpp"
+
+namespace {
+
+bm::serve::Server* g_server = nullptr;
+
+void on_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bm;
+
+  const std::vector<FlagSpec> schema = {
+      string_flag("socket", "", "unix-domain socket path to listen on"),
+      int_flag("port", -1, "loopback TCP port (-1 = off, 0 = ephemeral)"),
+      int_flag("workers", 4, "scheduling worker threads"),
+      int_flag("max-queue", 128,
+               "admitted-request bound; overload is rejected"),
+      int_flag("cache-entries", 4096, "schedule cache entry bound (0 = off)"),
+      int_flag("cache-mb", 64, "schedule cache byte bound (MiB)"),
+      bool_flag("quiet", false, "skip the shutdown stats report"),
+  };
+
+  try {
+    const CliFlags flags(argc, argv);
+    flags.validate(schema);
+
+    const std::string socket_path = flags.get("socket", "");
+    const std::int64_t port = flags.get_int("port", -1);
+    if (socket_path.empty() && port < 0) {
+      std::fprintf(stderr,
+                   "bmserve: need --socket PATH and/or --port N "
+                   "(see docs/SERVING.md)\n");
+      return 2;
+    }
+
+    serve::NetConfig cfg;
+    cfg.uds_path = socket_path;
+    cfg.tcp_port = static_cast<int>(port);
+    cfg.core.workers =
+        static_cast<std::size_t>(std::max<std::int64_t>(1, flags.get_int("workers", 4)));
+    cfg.core.max_queue = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, flags.get_int("max-queue", 128)));
+    cfg.core.cache_entries = static_cast<std::size_t>(
+        std::max<std::int64_t>(0, flags.get_int("cache-entries", 4096)));
+    cfg.core.cache_bytes = static_cast<std::size_t>(std::max<std::int64_t>(
+                               0, flags.get_int("cache-mb", 64)))
+                           << 20;
+
+    serve::Server server(std::move(cfg));
+    g_server = &server;
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+
+    if (!socket_path.empty())
+      std::printf("bmserve: listening on %s\n", socket_path.c_str());
+    if (port >= 0)
+      std::printf("bmserve: listening on 127.0.0.1:%d\n", server.tcp_port());
+    std::fflush(stdout);
+
+    server.run();  // returns after the graceful drain
+    g_server = nullptr;
+
+    if (!flags.get_bool("quiet", false)) {
+      const serve::CoreStats stats = server.core().stats();
+      std::printf("bmserve: drained\n%s", stats.to_text().c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bmserve: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,186 @@
+// Session isolation (serve/session.hpp): two SchedulerSessions configured
+// with different machines/policies, with their requests interleaved — on
+// one thread and on two concurrent threads — must produce results
+// byte-identical to running the same requests through the direct pipeline
+// functions in isolation. No hidden shared state (scratch arenas, rng,
+// traces) may leak between sessions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "codegen/synthesize.hpp"
+#include "graph/instr_dag.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/serialize.hpp"
+#include "serve/session.hpp"
+#include "support/rng.hpp"
+
+namespace bm {
+namespace {
+
+using serve::BenchmarkRequest;
+using serve::BenchmarkResult;
+using serve::SchedulerSession;
+
+BenchmarkRequest request_for(std::size_t index, MachineKind machine,
+                             InsertionPolicy insertion) {
+  BenchmarkRequest req;
+  req.index = index;
+  req.sched.machine = machine;
+  req.sched.insertion = insertion;
+  req.sched.num_procs = machine == MachineKind::kSBM ? 8 : 12;
+  req.verify = true;
+  req.sim_runs = 8;
+  req.validate_draws = true;
+  return req;
+}
+
+/// The oracle: the pipeline run through the free functions, fresh state,
+/// nothing shared — the behavior a request would see in its own process.
+std::string oracle_schedule(const BenchmarkRequest& req) {
+  Rng rng = benchmark_rng(req.base_seed, req.index);
+  const SynthesisResult synth = synthesize_benchmark(req.gen, rng);
+  const InstrDag dag = InstrDag::build(synth.program, req.timing);
+  const ScheduleResult scheduled = schedule_program(dag, req.sched, rng);
+  return schedule_to_text(*scheduled.schedule);
+}
+
+std::string session_schedule(SchedulerSession& session,
+                             const BenchmarkRequest& req) {
+  Rng rng = benchmark_rng(req.base_seed, req.index);
+  const SynthesisResult synth = session.synthesize(req.gen, rng);
+  const InstrDag dag = session.build_dag(synth.program, req.timing);
+  const ScheduleResult scheduled = session.schedule(dag, req.sched, rng);
+  return schedule_to_text(*scheduled.schedule);
+}
+
+std::string outcome_key(const BenchmarkResult& r) {
+  return std::to_string(r.program_size) + "|" +
+         std::to_string(r.stats.barriers_final) + "|" +
+         std::to_string(r.stats.implied_syncs) + "|" +
+         std::to_string(r.stats.completion.min) + "," +
+         std::to_string(r.stats.completion.max) + "|" +
+         std::to_string(r.barrier_completion.min_draw) + "," +
+         std::to_string(r.barrier_completion.max_draw) + "," +
+         std::to_string(r.barrier_completion.mean) + "|" +
+         std::to_string(r.violations) + "|" +
+         std::to_string(r.verify_errors);
+}
+
+TEST(SessionIsolation, InterleavedSessionsMatchSerialOracle) {
+  // Session A: SBM/conservative. Session B: DBM/optimal. Strictly
+  // alternating requests on one thread.
+  SchedulerSession a, b;
+  for (std::size_t i = 0; i < 6; ++i) {
+    const BenchmarkRequest ra =
+        request_for(i, MachineKind::kSBM, InsertionPolicy::kConservative);
+    const BenchmarkRequest rb =
+        request_for(i, MachineKind::kDBM, InsertionPolicy::kOptimal);
+    EXPECT_EQ(session_schedule(a, ra), oracle_schedule(ra)) << "A seed " << i;
+    EXPECT_EQ(session_schedule(b, rb), oracle_schedule(rb)) << "B seed " << i;
+  }
+}
+
+TEST(SessionIsolation, RunBenchmarkMatchesAcrossInterleaving) {
+  // Full run_benchmark (verify + sim + draw validation): interleaved
+  // sessions vs fresh one-request sessions.
+  SchedulerSession a, b;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const BenchmarkRequest ra =
+        request_for(i, MachineKind::kSBM, InsertionPolicy::kOptimal);
+    const BenchmarkRequest rb =
+        request_for(i, MachineKind::kDBM, InsertionPolicy::kConservative);
+    const BenchmarkResult out_a = a.run_benchmark(ra);
+    const BenchmarkResult out_b = b.run_benchmark(rb);
+
+    SchedulerSession fresh_a, fresh_b;
+    EXPECT_EQ(outcome_key(out_a), outcome_key(fresh_a.run_benchmark(ra)))
+        << "A seed " << i;
+    EXPECT_EQ(outcome_key(out_b), outcome_key(fresh_b.run_benchmark(rb)))
+        << "B seed " << i;
+  }
+}
+
+TEST(SessionIsolation, ConcurrentSessionsMatchSerialOracle) {
+  // The same interleaving, but genuinely concurrent: one thread per
+  // session, each hammering its own session. Every result must equal the
+  // serial oracle — sessions share no mutable state.
+  constexpr std::size_t kSeeds = 8;
+  std::vector<std::string> got_a(kSeeds), got_b(kSeeds);
+  std::thread ta([&] {
+    SchedulerSession s;
+    for (std::size_t i = 0; i < kSeeds; ++i)
+      got_a[i] = session_schedule(
+          s, request_for(i, MachineKind::kSBM, InsertionPolicy::kOptimal));
+  });
+  std::thread tb([&] {
+    SchedulerSession s;
+    for (std::size_t i = 0; i < kSeeds; ++i)
+      got_b[i] = session_schedule(
+          s, request_for(i, MachineKind::kDBM, InsertionPolicy::kOptimal));
+  });
+  ta.join();
+  tb.join();
+  for (std::size_t i = 0; i < kSeeds; ++i) {
+    EXPECT_EQ(got_a[i],
+              oracle_schedule(request_for(i, MachineKind::kSBM,
+                                          InsertionPolicy::kOptimal)))
+        << "A seed " << i;
+    EXPECT_EQ(got_b[i],
+              oracle_schedule(request_for(i, MachineKind::kDBM,
+                                          InsertionPolicy::kOptimal)))
+        << "B seed " << i;
+  }
+}
+
+TEST(SessionIsolation, ThreadSharedModeMatchesOwnedMode) {
+  // Arena mode is a memory-placement choice, never a behavior choice.
+  SchedulerSession owned(SchedulerSession::ArenaMode::kOwned);
+  SchedulerSession shared(SchedulerSession::ArenaMode::kThreadShared);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const BenchmarkRequest req =
+        request_for(i, MachineKind::kSBM, InsertionPolicy::kConservative);
+    EXPECT_EQ(outcome_key(owned.run_benchmark(req)),
+              outcome_key(shared.run_benchmark(req)))
+        << "seed " << i;
+  }
+}
+
+TEST(SessionIsolation, ConcurrentUseOfOneSessionIsRejected) {
+  SchedulerSession session;
+  // Simulate a second caller arriving mid-request via the pre-verify hook:
+  // simplest deterministic overlap is re-entering from the same thread.
+  GeneratorConfig gen;
+  Rng rng = benchmark_rng(1990, 0);
+  const SynthesisResult synth = session.synthesize(gen, rng);
+  // A nested call *during* another call must throw; sequential calls work.
+  // (Exercised via a worker thread blocked at a gate inside run_benchmark
+  // would need a hook; the cheap deterministic variant: two threads racing
+  // many times — every loser must observe bm::Error, never corruption.)
+  std::atomic<int> errors{0};
+  std::atomic<int> oks{0};
+  auto hammer = [&] {
+    for (int k = 0; k < 25; ++k) {
+      try {
+        BenchmarkRequest req;
+        req.index = static_cast<std::size_t>(k % 3);
+        (void)session.run_benchmark(req);
+        ++oks;
+      } catch (const Error&) {
+        ++errors;
+      }
+    }
+  };
+  std::thread t1(hammer), t2(hammer);
+  t1.join();
+  t2.join();
+  EXPECT_EQ(oks.load() + errors.load(), 50);
+  EXPECT_GT(oks.load(), 0);
+  (void)synth;
+}
+
+}  // namespace
+}  // namespace bm

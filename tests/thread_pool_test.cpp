@@ -3,6 +3,8 @@
 // wait_idle (leaked in_flight_ tick). The first leaked exception surfaces
 // on the caller at the next wait_idle, and the pool stays usable.
 #include <atomic>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 
@@ -86,6 +88,101 @@ TEST(ThreadPool, ParallelForJobsPooledPathPropagates) {
                                    if (i == 40) throw std::runtime_error("x");
                                  }),
                std::runtime_error);
+}
+
+TEST(ThreadPool, CancelledTokenSkipsQueuedTask) {
+  ThreadPool pool(1);
+  std::mutex gate;
+  gate.lock();  // hold the single worker so later submissions stay queued
+  pool.submit([&gate] {
+    gate.lock();
+    gate.unlock();
+  });
+
+  std::atomic<int> ran{0};
+  CancelToken keep, drop;
+  pool.submit(keep, [&ran] { ++ran; });
+  pool.submit(drop, [&ran] { ran += 100; });
+  pool.submit(keep, [&ran] { ++ran; });
+  drop.cancel();  // cancelled while still queued behind the gate
+
+  gate.unlock();
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_EQ(pool.cancelled_skips(), 1u);
+}
+
+TEST(ThreadPool, CancelAfterCompletionIsHarmless) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  CancelToken token;
+  pool.submit(token, [&ran] { ++ran; });
+  pool.wait_idle();
+  token.cancel();  // too late to have any effect
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_EQ(pool.cancelled_skips(), 0u);
+}
+
+TEST(ThreadPool, SkippedTaskReleasesItsClosure) {
+  // A cancelled task's closure must be destroyed (captured resources
+  // released) even though its body never runs.
+  ThreadPool pool(1);
+  std::mutex gate;
+  gate.lock();
+  pool.submit([&gate] {
+    gate.lock();
+    gate.unlock();
+  });
+
+  auto resource = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = resource;
+  CancelToken token;
+  pool.submit(token, [resource] { (void)*resource; });
+  resource.reset();
+  token.cancel();
+
+  gate.unlock();
+  pool.wait_idle();
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  // Shutdown must *drain*: every task submitted before destruction runs to
+  // completion (unless its token was cancelled) — never silently dropped.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    std::mutex gate;
+    gate.lock();
+    pool.submit([&gate] {
+      gate.lock();
+      gate.unlock();
+    });
+    for (int i = 0; i < 16; ++i) pool.submit([&ran] { ++ran; });
+    EXPECT_GT(pool.pending(), 0u);
+    gate.unlock();
+    // Destructor joins here with most tasks still queued.
+  }
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPool, DestructorSkipsCancelledTasksWhileDraining) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    std::mutex gate;
+    gate.lock();
+    pool.submit([&gate] {
+      gate.lock();
+      gate.unlock();
+    });
+    CancelToken token;
+    for (int i = 0; i < 8; ++i) pool.submit(token, [&ran] { ++ran; });
+    for (int i = 0; i < 8; ++i) pool.submit([&ran] { ++ran; });
+    token.cancel();
+    gate.unlock();
+  }
+  EXPECT_EQ(ran.load(), 8);  // tokened tasks skipped, plain tasks drained
 }
 
 }  // namespace
