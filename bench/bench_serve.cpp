@@ -64,6 +64,46 @@ void BM_ServeCacheHit(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeCacheHit)->Arg(60)->Arg(120);
 
+/// Hit path with the full telemetry surface on: latency histograms (window
+/// included) plus a JSONL access-log line per request. The delta against
+/// BM_ServeCacheHit is the telemetry tax on the fastest path; a
+/// `-DBM_OBS=OFF` build of this same benchmark isolates the histogram
+/// share (the access log stays live in that build).
+void BM_ServeCacheHitAccessLog(benchmark::State& state) {
+  CoreConfig cfg;
+  cfg.workers = 1;
+  cfg.telemetry.access_log_path = "/dev/null";  // append cost, no disk growth
+  ServeCore core(cfg);
+  const Request req =
+      synth_request(0, static_cast<std::size_t>(state.range(0)));
+  const Response primed = core.handle(req);  // insert the entry
+  if (primed.status != Status::kOk) state.SkipWithError(primed.error.c_str());
+  for (auto _ : state) {
+    const Response resp = core.handle(req);
+    if (resp.cache != CacheOutcome::kHit)
+      state.SkipWithError("expected a cache hit");
+    benchmark::DoNotOptimize(resp.body.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServeCacheHitAccessLog)->Arg(120);
+
+/// Building one `stats v1` JSON snapshot (histogram merges + quantile
+/// extraction + serialization) — the per-poll cost of a dashboard client.
+void BM_ServeStatsSnapshot(benchmark::State& state) {
+  CoreConfig cfg;
+  cfg.workers = 1;
+  ServeCore core(cfg);
+  for (std::size_t i = 0; i < 64; ++i)  // populate the histograms
+    core.handle(synth_request(i % 8, 60));
+  for (auto _ : state) {
+    const std::string snap = core.stats_json();
+    benchmark::DoNotOptimize(snap.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServeStatsSnapshot);
+
 /// The canonical fingerprint alone (WL refinement + canonical bytes) — the
 /// fixed overhead every request pays whether it hits or misses.
 void BM_FingerprintCanonicalize(benchmark::State& state) {

@@ -59,10 +59,17 @@ GATED_BENCHMARKS = {
         "BM_BatchSimulateDbm/8",
         "BM_SummarizeCompletion",
     ],
+    # BM_ServeStatsSnapshot rides in BENCH_serve.json for visibility but is
+    # deliberately ungated: at ~7.5us its cross-process run-to-run spread
+    # (heap/ASLR layout) reaches 20% while within-run cv reads <2%, so the
+    # cv-widened threshold can't absorb it — and a 1 Hz stats poll is not a
+    # hot path. The telemetry-on hit path (BM_ServeCacheHitAccessLog) is the
+    # gated overhead contract.
     "BENCH_serve.json": [
         "BM_ServeScheduleCold/60",
         "BM_ServeScheduleCold/120",
         "BM_ServeCacheHit/120",
+        "BM_ServeCacheHitAccessLog/120",
         "BM_FingerprintCanonicalize/120",
     ],
 }

@@ -10,7 +10,10 @@
 # rejection, selftest, bmrun --verify); `--serve-smoke` boots bmserve on a
 # temp socket and drives a few thousand bmload requests through it, then
 # asserts a clean SIGTERM drain (combined with --asan it repeats the smoke
-# against the AddressSanitizer tree).
+# against the AddressSanitizer tree); `--stats-smoke` boots bmserve with
+# the full telemetry surface (access log, slow traces), polls the `stats
+# v1` verb mid-load via `bmload --stats`, SIGUSR1-dumps the snapshot, and
+# validates an emitted slow trace with trace_check.
 #
 # Benchmark regression gate (separate Release tree, build-bench/):
 #   --bench-gate   build build-bench/ (forced Release), run the gated
@@ -30,6 +33,7 @@ ubsan=0
 trace_smoke=0
 verify_smoke=0
 serve_smoke=0
+stats_smoke=0
 bench_gate=0
 bench_regen=0
 for arg in "$@"; do
@@ -39,10 +43,11 @@ for arg in "$@"; do
     --trace-smoke) trace_smoke=1 ;;
     --verify-smoke) verify_smoke=1 ;;
     --serve-smoke) serve_smoke=1 ;;
+    --stats-smoke) stats_smoke=1 ;;
     --bench-gate) bench_gate=1 ;;
     --bench-regen) bench_regen=1 ;;
     *) echo "usage: $0 [--asan] [--ubsan] [--trace-smoke] [--verify-smoke]" \
-            "[--serve-smoke] [--bench-gate] [--bench-regen]" >&2
+            "[--serve-smoke] [--stats-smoke] [--bench-gate] [--bench-regen]" >&2
        exit 2 ;;
   esac
 done
@@ -69,6 +74,50 @@ run_serve_smoke() {
   grep -q "^errors 0$" "$stats_log"
   rm -f "$sock" "$stats_log"
   echo "ok  serve-smoke ($tree)"
+}
+
+# Telemetry end-to-end smoke against a given build tree: bmserve with the
+# access log + slow-trace surface on, a stats poll racing the load, a
+# SIGUSR1 snapshot dump, and trace_check over one emitted slow trace.
+run_stats_smoke() {
+  local tree="$1" dir sock
+  dir="$(mktemp -d /tmp/bmserve-stats-smoke.XXXXXX)"
+  sock="$dir/bm.sock"
+  mkdir -p "$dir/traces"
+  "$tree/bmserve" --socket "$sock" --workers 2 \
+      --access-log "$dir/access.jsonl" \
+      --slow-trace-us 1 --trace-dir "$dir/traces" --slow-trace-max 16 \
+      > "$dir/serve.log" 2> "$dir/serve.err" &
+  local srv=$!
+  for _ in $(seq 50); do [[ -S "$sock" ]] && break; sleep 0.1; done
+  [[ -S "$sock" ]] || { echo "bmserve never opened $sock" >&2; exit 1; }
+  # Load and dashboard race each other: the poller must see live traffic.
+  "$tree/bmload" --socket "$sock" --requests 2000 --connections 4 \
+      --distinct 25 > "$dir/load.log" &
+  local load=$!
+  "$tree/bmload" --socket "$sock" --stats --interval-ms 100 --iterations 5 \
+      > "$dir/stats.log" \
+    || { echo "stats poll failed ($tree)" >&2; kill "$srv" "$load"; exit 1; }
+  wait "$load" \
+    || { echo "bmload reported failures ($tree)" >&2; kill "$srv"; exit 1; }
+  kill -USR1 "$srv"
+  sleep 0.5
+  kill -TERM "$srv"
+  wait "$srv" \
+    || { echo "bmserve did not drain cleanly ($tree)" >&2; exit 1; }
+  grep -q '"stats":"v1"' "$dir/serve.err" \
+    || { echo "SIGUSR1 dump missing ($tree)" >&2; exit 1; }
+  grep -q "qps" "$dir/stats.log" \
+    || { echo "stats dashboard empty ($tree)" >&2; exit 1; }
+  [[ "$(wc -l < "$dir/access.jsonl")" -ge 2000 ]] \
+    || { echo "access log too short ($tree)" >&2; exit 1; }
+  local trace
+  trace="$(ls "$dir"/traces/slow-req-*.trace.json 2>/dev/null | head -1)"
+  [[ -n "$trace" ]] || { echo "no slow trace emitted ($tree)" >&2; exit 1; }
+  "$tree/trace_check" "$trace" > /dev/null \
+    || { echo "slow trace failed trace_check ($tree)" >&2; exit 1; }
+  rm -rf "$dir"
+  echo "ok  stats-smoke ($tree)"
 }
 
 # Benchmark timing only means anything from the dedicated Release tree;
@@ -184,6 +233,10 @@ fi
 
 if [[ "$serve_smoke" -eq 1 ]]; then
   run_serve_smoke build
+fi
+
+if [[ "$stats_smoke" -eq 1 ]]; then
+  run_stats_smoke build
 fi
 
 if [[ "$trace_smoke" -eq 1 ]]; then

@@ -126,7 +126,9 @@ void run_experiment(const Experiment& exp, const CliFlags& flags,
   // only deterministic quantities, so the manifest stays byte-identical
   // across --jobs values (wall time goes to the trace, never in here).
   // "mem."-prefixed counters (scratch-pool misses/grows) are excluded: pools
-  // are thread-local, so their totals depend on the worker count.
+  // are thread-local, so their totals depend on the worker count. The
+  // "serve-metrics." gauge namespace (bmserve wall-clock telemetry,
+  // serve/telemetry.hpp) is excluded for the same reason.
   const obs::Snapshot before = obs::snapshot();
   {
     BM_OBS_SPAN(exp_span, "exp:" + exp.name, "exp");
@@ -135,6 +137,7 @@ void run_experiment(const Experiment& exp, const CliFlags& flags,
   const obs::Snapshot used = obs::delta(before, obs::snapshot());
   for (const obs::Snapshot::Entry& e : used.entries) {
     if (e.key.rfind("mem.", 0) == 0) continue;
+    if (e.key.rfind("serve-metrics.", 0) == 0) continue;
     artifacts.metric("obs." + e.key, e.value);
   }
   if (!exp.expected.empty()) os << '\n' << exp.expected << '\n';

@@ -1,0 +1,27 @@
+#include "obs/latency.hpp"
+
+namespace bm::obs {
+
+std::uint64_t LatencyBuckets::quantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Nearest-rank: the smallest bucket whose cumulative count reaches
+  // ceil(q * count), clamped to [1, count].
+  auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count));
+  if (static_cast<double>(rank) < q * static_cast<double>(count)) ++rank;
+  if (rank == 0) rank = 1;
+  if (rank > count) rank = count;
+
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < kLatencyBuckets; ++b) {
+    cum += counts[b];
+    if (cum >= rank) {
+      const std::uint64_t upper = latency_bucket_upper(b);
+      return upper < max ? upper : max;
+    }
+  }
+  return max;  // unreachable when counts/count agree
+}
+
+}  // namespace bm::obs

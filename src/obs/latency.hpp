@@ -1,0 +1,211 @@
+// Lock-free log-bucketed latency histograms for the serving stack.
+//
+// Unlike the registry histograms in obs/metrics.hpp (deterministic
+// quantities only, exported as count/sum into experiment manifests), these
+// record *wall-clock* durations and are therefore never embedded in a
+// manifest: serving telemetry reads them on demand through the `stats v1`
+// verb, SIGUSR1 dumps, and the `serve-metrics.*` gauge namespace, all of
+// which are excluded from `--jobs` byte-identity.
+//
+// Bucketing: values 0..15 get exact unit buckets; above that each octave
+// splits into 4 sub-buckets (two mantissa bits), i.e. a relative bucket
+// width of 12.5–25%. 256 buckets cover the full uint64 range, so a
+// microsecond-stamped request can span nanoscale cache hits to multi-hour
+// outliers without configuration.
+//
+// Three layers:
+//   LatencyBuckets          — plain value type: merge, quantile, mean.
+//   LatencyHistogram        — atomic cells, wait-free relaxed observe();
+//                             snapshot() is a racy-but-consistent-enough
+//                             copy (each cell individually atomic).
+//   WindowedLatencyHistogram— N rotating slots of LatencyHistogram keyed
+//                             by epoch = now / slot_width; quantiles over
+//                             the trailing window, for "p99 right now"
+//                             dashboards as opposed to since-boot totals.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace bm::obs {
+
+inline constexpr std::size_t kLatencyBuckets = 256;
+
+/// Bucket index for a value: exact below 16, then 4 sub-buckets per octave.
+constexpr std::size_t latency_bucket(std::uint64_t v) {
+  if (v < 16) return static_cast<std::size_t>(v);
+  const int e = 63 - std::countl_zero(v);
+  const auto sub = static_cast<std::size_t>((v >> (e - 2)) & 3);
+  return 16 + static_cast<std::size_t>(e - 4) * 4 + sub;
+}
+
+/// Smallest value mapping to bucket `b`.
+constexpr std::uint64_t latency_bucket_lower(std::size_t b) {
+  if (b < 16) return b;
+  const int e = 4 + static_cast<int>((b - 16) / 4);
+  const std::uint64_t sub = (b - 16) % 4;
+  return (4 + sub) << (e - 2);
+}
+
+/// Largest value mapping to bucket `b` (saturates for the top bucket).
+constexpr std::uint64_t latency_bucket_upper(std::size_t b) {
+  if (b < 16) return b;
+  if (b == kLatencyBuckets - 1) return ~0ull;
+  return latency_bucket_lower(b + 1) - 1;
+}
+
+/// Plain (non-atomic) bucket counts plus exact count/sum/max. The value
+/// type every reader works with: snapshots, merges across shards or window
+/// slots, quantile extraction.
+struct LatencyBuckets {
+  std::array<std::uint64_t, kLatencyBuckets> counts{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+
+  void add(std::uint64_t v) {
+    ++counts[latency_bucket(v)];
+    ++count;
+    sum += v;
+    if (v > max) max = v;
+  }
+
+  void merge(const LatencyBuckets& other) {
+    for (std::size_t i = 0; i < kLatencyBuckets; ++i)
+      counts[i] += other.counts[i];
+    count += other.count;
+    sum += other.sum;
+    if (other.max > max) max = other.max;
+  }
+
+  /// Upper bound of the bucket holding the q-quantile rank (exact for
+  /// values < 16, within one sub-bucket — ≤25% — above), clamped to the
+  /// exact observed max. q in [0,1]; 0 with no observations.
+  std::uint64_t quantile(double q) const;
+
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// Lock-free histogram: observe() is a handful of relaxed atomic adds on
+/// the caller, safe from any thread; snapshot() may run concurrently.
+class LatencyHistogram {
+ public:
+  void observe(std::uint64_t v) {
+    counts_[latency_bucket(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    update_max(v);
+  }
+
+  /// Folds `n` observations totalling `total` in one call, credited to the
+  /// mean-value bucket (the count/sum pair stays exact; the distribution
+  /// and max are approximated at the mean). Mirrors the registry
+  /// histograms' observe_n so per-event hot paths can tally locally.
+  void fold(std::uint64_t n, std::uint64_t total) {
+    if (n == 0) return;
+    const std::uint64_t avg = total / n;
+    counts_[latency_bucket(avg)].fetch_add(n, std::memory_order_relaxed);
+    count_.fetch_add(n, std::memory_order_relaxed);
+    sum_.fetch_add(total, std::memory_order_relaxed);
+    update_max(avg);
+  }
+
+  LatencyBuckets snapshot() const {
+    LatencyBuckets out;
+    for (std::size_t i = 0; i < kLatencyBuckets; ++i)
+      out.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    out.count = count_.load(std::memory_order_relaxed);
+    out.sum = sum_.load(std::memory_order_relaxed);
+    out.max = max_.load(std::memory_order_relaxed);
+    return out;
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Zeroes every cell. Concurrent observers may interleave (window-slot
+  /// rotation accepts that bounded raciness); not for use while a reader
+  /// needs exact totals.
+  void reset() {
+    for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void update_max(std::uint64_t v) {
+    std::uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::array<std::atomic<std::uint64_t>, kLatencyBuckets> counts_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Trailing-window quantiles: kSlots rotating LatencyHistograms, each
+/// owning epoch = now / slot_width. An observation lands in slot
+/// (epoch % kSlots); the first observer of a new epoch claims the slot by
+/// CAS and resets it. window() merges the slots whose epoch is within the
+/// trailing kSlots epochs of `now`.
+///
+/// Rotation is deliberately best-effort lock-free: an observer racing the
+/// claimant's reset can lose or double-count a handful of events at the
+/// slot boundary. The window is a dashboard quantity — the since-boot
+/// LatencyHistogram next to it stays exact.
+class WindowedLatencyHistogram {
+ public:
+  static constexpr std::size_t kSlots = 8;
+
+  explicit WindowedLatencyHistogram(std::uint64_t slot_width_us = 1000000)
+      : slot_width_us_(slot_width_us == 0 ? 1 : slot_width_us) {}
+
+  void observe(std::uint64_t now_us, std::uint64_t v) {
+    const std::uint64_t epoch = now_us / slot_width_us_;
+    Slot& s = slots_[epoch % kSlots];
+    std::uint64_t cur = s.epoch.load(std::memory_order_relaxed);
+    if (cur != epoch &&
+        s.epoch.compare_exchange_strong(cur, epoch,
+                                        std::memory_order_relaxed))
+      s.hist.reset();
+    s.hist.observe(v);
+  }
+
+  /// Merged distribution over the trailing window ending at `now_us`.
+  LatencyBuckets window(std::uint64_t now_us) const {
+    const std::uint64_t cur = now_us / slot_width_us_;
+    LatencyBuckets out;
+    for (const Slot& s : slots_) {
+      const std::uint64_t e = s.epoch.load(std::memory_order_relaxed);
+      if (e == kIdle || e > cur || cur - e >= kSlots) continue;
+      out.merge(s.hist.snapshot());
+    }
+    return out;
+  }
+
+  std::uint64_t span_us() const { return slot_width_us_ * kSlots; }
+
+ private:
+  static constexpr std::uint64_t kIdle = ~0ull;
+
+  struct Slot {
+    std::atomic<std::uint64_t> epoch{kIdle};
+    LatencyHistogram hist;
+  };
+
+  std::uint64_t slot_width_us_;
+  std::array<Slot, kSlots> slots_;
+};
+
+}  // namespace bm::obs

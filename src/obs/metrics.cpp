@@ -39,8 +39,9 @@ std::uint32_t intern(std::vector<std::string>& v, std::string_view name,
 /// totals and unregisters.
 struct Shard {
   std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
-  std::array<std::atomic<std::uint64_t>, kMaxHistograms> hist_count{};
-  std::array<std::atomic<std::uint64_t>, kMaxHistograms> hist_sum{};
+  /// Full bucketed distribution per histogram; count/sum for the snapshot
+  /// come from the same cells, so the two exports can never disagree.
+  std::array<LatencyHistogram, kMaxHistograms> hists{};
 
   Shard();
   ~Shard();
@@ -50,8 +51,7 @@ struct Global {
   std::mutex mu;
   std::vector<Shard*> shards;
   std::array<std::uint64_t, kMaxCounters> retired_counters{};
-  std::array<std::uint64_t, kMaxHistograms> retired_hist_count{};
-  std::array<std::uint64_t, kMaxHistograms> retired_hist_sum{};
+  std::array<LatencyBuckets, kMaxHistograms> retired_hists{};
   std::array<std::atomic<std::int64_t>, kMaxGauges> gauges{};
 };
 
@@ -71,10 +71,8 @@ Shard::~Shard() {
   std::lock_guard<std::mutex> lock(g.mu);
   for (std::size_t i = 0; i < kMaxCounters; ++i)
     g.retired_counters[i] += counters[i].load(std::memory_order_relaxed);
-  for (std::size_t i = 0; i < kMaxHistograms; ++i) {
-    g.retired_hist_count[i] += hist_count[i].load(std::memory_order_relaxed);
-    g.retired_hist_sum[i] += hist_sum[i].load(std::memory_order_relaxed);
-  }
+  for (std::size_t i = 0; i < kMaxHistograms; ++i)
+    g.retired_hists[i].merge(hists[i].snapshot());
   g.shards.erase(std::find(g.shards.begin(), g.shards.end(), this));
 }
 
@@ -96,15 +94,11 @@ void Gauge::set(std::int64_t v) const {
 }
 
 void Histogram::observe(std::uint64_t v) const {
-  Shard& s = local_shard();
-  s.hist_count[id_].fetch_add(1, std::memory_order_relaxed);
-  s.hist_sum[id_].fetch_add(v, std::memory_order_relaxed);
+  local_shard().hists[id_].observe(v);
 }
 
 void Histogram::observe_n(std::uint64_t count, std::uint64_t sum) const {
-  Shard& s = local_shard();
-  s.hist_count[id_].fetch_add(count, std::memory_order_relaxed);
-  s.hist_sum[id_].fetch_add(sum, std::memory_order_relaxed);
+  local_shard().hists[id_].fold(count, sum);
 }
 
 Counter counter(std::string_view name) {
@@ -152,15 +146,15 @@ Snapshot snapshot() {
     for (std::size_t i = 0; i < cnames.size(); ++i)
       csum[i] = g.retired_counters[i];
     for (std::size_t i = 0; i < hnames.size(); ++i) {
-      hcount[i] = g.retired_hist_count[i];
-      hsum[i] = g.retired_hist_sum[i];
+      hcount[i] = g.retired_hists[i].count;
+      hsum[i] = g.retired_hists[i].sum;
     }
     for (const Shard* s : g.shards) {
       for (std::size_t i = 0; i < cnames.size(); ++i)
         csum[i] += s->counters[i].load(std::memory_order_relaxed);
       for (std::size_t i = 0; i < hnames.size(); ++i) {
-        hcount[i] += s->hist_count[i].load(std::memory_order_relaxed);
-        hsum[i] += s->hist_sum[i].load(std::memory_order_relaxed);
+        hcount[i] += s->hists[i].count();
+        hsum[i] += s->hists[i].sum();
       }
     }
     for (std::size_t i = 0; i < gnames.size(); ++i)
@@ -182,6 +176,29 @@ Snapshot snapshot() {
             [](const Snapshot::Entry& a, const Snapshot::Entry& b) {
               return a.key < b.key;
             });
+  return out;
+}
+
+LatencyBuckets histogram_buckets(std::string_view name) {
+  // Lookup only — an unregistered name yields an empty distribution rather
+  // than registering a slot a reader typo'd into existence.
+  std::size_t id = kMaxHistograms;
+  {
+    NameTable& t = names();
+    std::lock_guard<std::mutex> lock(t.mu);
+    for (std::size_t i = 0; i < t.histograms.size(); ++i)
+      if (t.histograms[i] == name) {
+        id = i;
+        break;
+      }
+  }
+  LatencyBuckets out;
+  if (id == kMaxHistograms) return out;
+
+  Global& g = global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  out = g.retired_hists[id];
+  for (const Shard* s : g.shards) out.merge(s->hists[id].snapshot());
   return out;
 }
 

@@ -18,6 +18,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/latency.hpp"
+
 namespace bm::obs {
 
 /// Fixed capacity per metric kind; registration beyond it throws. Shards
@@ -53,7 +55,9 @@ class Gauge {
 
 /// Distribution of a deterministic integer quantity (e.g. per-barrier stall
 /// cycles). Sharded like counters; the snapshot exports the monotonic
-/// `.count` / `.sum` pair so deltas stay meaningful.
+/// `.count` / `.sum` pair so deltas stay meaningful, and the full
+/// log-bucketed distribution is available via histogram_buckets() for
+/// quantile reporting (never embedded in manifests).
 class Histogram {
  public:
   void observe(std::uint64_t v) const;
@@ -91,6 +95,15 @@ struct Snapshot {
 /// Aggregates all shards. Call from a driver thread while no instrumented
 /// worker is mid-flight (the harness joins its pool before returning).
 Snapshot snapshot();
+
+/// Merged log-bucketed distribution (live shards + retired totals) for the
+/// named registry histogram, for p50/p90/p99/max extraction — e.g.
+/// `sim.barrier_stall` quantiles. Zero-filled if the name was never
+/// registered. observe_n() folds are credited to their mean-value bucket
+/// (the count/sum pair stays exact), so bucket shapes may differ between
+/// per-event and folded recording of the same data; manifests only ever
+/// see count/sum, which are identical.
+LatencyBuckets histogram_buckets(std::string_view name);
 
 /// Per-run attribution: monotonic entries subtract (`after - before`),
 /// gauges keep their `after` value. Entries that did not change (delta 0

@@ -10,17 +10,7 @@
 namespace bm::obs {
 namespace {
 
-struct Event {
-  std::string name;
-  const char* cat;
-  char ph;         ///< 'X' (complete) or 'i' (instant)
-  double ts;       ///< us (wall) or cycles (sim)
-  double dur;      ///< 'X' only
-  std::uint32_t pid;
-  std::uint32_t tid;
-  const char* arg_key;  ///< nullptr = no args object
-  double arg_val;
-};
+using Event = TraceEvent;
 
 /// Per-thread event buffer. The owning thread appends; trace_start /
 /// trace_write_json harvest under the same mutex. Buffers outlive their
@@ -213,21 +203,30 @@ void sim_instant(std::string name, const char* cat, std::uint32_t lane,
         arg_val});
 }
 
-std::size_t trace_write_json(std::ostream& os) {
-  std::vector<Event> all = harvest();
-  std::stable_sort(all.begin(), all.end(), [](const Event& a, const Event& b) {
-    if (a.pid != b.pid) return a.pid < b.pid;
-    if (a.tid != b.tid) return a.tid < b.tid;
-    return a.ts < b.ts;
-  });
+std::size_t write_trace_events_json(
+    std::ostream& os, std::vector<TraceEvent> events,
+    const std::vector<std::pair<std::uint32_t, std::string>>& processes,
+    const std::vector<TraceLaneName>& lane_names) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.pid != b.pid) return a.pid < b.pid;
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.ts < b.ts;
+                   });
 
   // Lanes actually used, for thread-name metadata.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> lanes;  // (pid, tid)
-  for (const Event& e : all) {
+  for (const Event& e : events) {
     const auto key = std::make_pair(e.pid, e.tid);
     if (std::find(lanes.begin(), lanes.end(), key) == lanes.end())
       lanes.push_back(key);
   }
+  auto lane_name = [&](std::uint32_t pid, std::uint32_t tid) -> std::string {
+    for (const TraceLaneName& n : lane_names)
+      if (n.pid == pid && n.tid == tid) return n.name;
+    return pid == kWallPid ? "thread " + std::to_string(tid)
+                           : "PE " + std::to_string(tid);
+  };
 
   os << "{\"traceEvents\":[";
   bool first = true;
@@ -235,22 +234,26 @@ std::size_t trace_write_json(std::ostream& os) {
     if (!first) os << ",\n";
     first = false;
   };
-  sep();
-  write_meta(os, "process_name", kWallPid, 0, false, "wall clock");
-  sep();
-  write_meta(os, "process_name", kSimPid, 0, false, "simulated machine");
+  for (const auto& [pid, name] : processes) {
+    sep();
+    write_meta(os, "process_name", pid, 0, false, name);
+  }
   for (const auto& [pid, tid] : lanes) {
     sep();
-    write_meta(os, "thread_name", pid, tid, true,
-               pid == kWallPid ? "thread " + std::to_string(tid)
-                               : "PE " + std::to_string(tid));
+    write_meta(os, "thread_name", pid, tid, true, lane_name(pid, tid));
   }
-  for (const Event& e : all) {
+  for (const Event& e : events) {
     sep();
     write_event(os, e);
   }
   os << "],\"displayTimeUnit\":\"ms\"}\n";
-  return all.size();
+  return events.size();
+}
+
+std::size_t trace_write_json(std::ostream& os) {
+  return write_trace_events_json(os, harvest(),
+                                 {{kWallPid, "wall clock"},
+                                  {kSimPid, "simulated machine"}});
 }
 
 std::vector<PhaseSummaryRow> phase_summary() {

@@ -23,12 +23,49 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace bm::obs {
 
 inline constexpr std::uint32_t kWallPid = 1;  ///< real-time spans
 inline constexpr std::uint32_t kSimPid = 2;   ///< simulated-cycle events
+
+/// One trace-event record. The global trace buffers store these, and
+/// callers with their own event streams (e.g. bmserve's per-request slow
+/// traces) can build a vector and hand it to write_trace_events_json for a
+/// standalone Perfetto file. `cat`/`arg_key` must be string literals.
+struct TraceEvent {
+  std::string name;
+  const char* cat = "phase";
+  char ph = 'X';   ///< 'X' (complete) or 'i' (instant)
+  double ts = 0;   ///< us (wall) or cycles (sim)
+  double dur = 0;  ///< 'X' only
+  std::uint32_t pid = kWallPid;
+  std::uint32_t tid = 0;
+  const char* arg_key = nullptr;  ///< nullptr = no args object
+  double arg_val = 0;
+};
+
+/// (pid, tid) -> display name for one trace lane.
+struct TraceLaneName {
+  std::uint32_t pid = kWallPid;
+  std::uint32_t tid = 0;
+  std::string name;
+};
+
+/// Serializes `events` as `{"traceEvents":[...],"displayTimeUnit":"ms"}`:
+/// process_name metadata for each (pid, name) in `processes`, thread_name
+/// metadata per lane in use (an entry in `lane_names` wins; otherwise
+/// "thread N" on kWallPid, "PE N" elsewhere), then the events stably
+/// sorted by (pid, tid, ts). Returns the number of data (non-metadata)
+/// events written. This is the single writer behind both the global trace
+/// sink (trace_write_json) and standalone traces (e.g. bmserve's
+/// per-request slow traces).
+std::size_t write_trace_events_json(
+    std::ostream& os, std::vector<TraceEvent> events,
+    const std::vector<std::pair<std::uint32_t, std::string>>& processes,
+    const std::vector<TraceLaneName>& lane_names = {});
 
 bool tracing_enabled();
 

@@ -77,20 +77,30 @@ struct ServeCore::PendingReq {
   ServeCore* core;
   Request req;
   Callback cb;
+  RequestTiming timing;
   std::atomic<bool> answered{false};
 
-  PendingReq(ServeCore* c, Request r, Callback f)
-      : core(c), req(std::move(r)), cb(std::move(f)) {}
+  PendingReq(ServeCore* c, Request r, Callback f, RequestTiming t)
+      : core(c), req(std::move(r)), cb(std::move(f)), timing(std::move(t)) {}
 
   void answer(const Response& resp) {
     if (answered.exchange(true)) return;
-    try {
-      cb(resp);
-    } catch (...) {
-      // Transport failures are the transport's problem; the request is
-      // accounted as answered either way.
+    ServeTelemetry& tel = core->telemetry_;
+    {
+      PhaseScope write_back(tel, timing, Phase::kWriteBack);
+      try {
+        cb(resp);
+      } catch (...) {
+        // Transport failures are the transport's problem; the request is
+        // accounted as answered either way.
+      }
     }
+    timing.status = resp.status;
+    timing.cache = resp.cache;
+    timing.fingerprint = resp.fingerprint;
+    timing.total_us = tel.now_us() - timing.admit_us;
     core->note_outcome(resp);
+    tel.record(timing);
   }
 
   ~PendingReq() {
@@ -106,6 +116,7 @@ struct ServeCore::PendingReq {
 ServeCore::ServeCore(CoreConfig cfg)
     : cfg_(std::move(cfg)),
       cache_(cfg_.cache_entries, cfg_.cache_bytes),
+      telemetry_(cfg_.telemetry),
       pool_(std::make_unique<ThreadPool>(cfg_.workers)) {}
 
 ServeCore::~ServeCore() {
@@ -116,6 +127,11 @@ ServeCore::~ServeCore() {
 
 CancelToken ServeCore::submit(Request req, Callback cb) {
   CancelToken token;
+  RequestTiming timing;
+  timing.rid = telemetry_.next_rid();
+  timing.client_id = req.id;
+  timing.verb = req.verb;
+  timing.admit_us = telemetry_.now_us();
   bool reject = false;
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -134,46 +150,70 @@ CancelToken ServeCore::submit(Request req, Callback cb) {
     resp.id = req.id;
     resp.status = Status::kRejected;
     resp.error = draining() ? "server draining" : "queue full";
-    cb(resp);
+    {
+      PhaseScope write_back(telemetry_, timing, Phase::kWriteBack);
+      cb(resp);
+    }
+    timing.status = Status::kRejected;
+    timing.total_us = telemetry_.now_us() - timing.admit_us;
+    telemetry_.record(timing);
     return token;
   }
 
-  auto pending = std::make_shared<PendingReq>(this, std::move(req), std::move(cb));
+  auto pending = std::make_shared<PendingReq>(this, std::move(req),
+                                              std::move(cb), std::move(timing));
   pool_->submit(token, [pending] {
     ServeCore& core = *pending->core;
+    ServeTelemetry& tel = core.telemetry_;
+    pending->timing.add_phase(Phase::kQueueWait, pending->timing.admit_us,
+                              tel.now_us() - pending->timing.admit_us);
     if (core.cfg_.pre_handle) core.cfg_.pre_handle(pending->req);
     if (pending->answered.load()) return;
+    tel.worker_begin();
     Response resp;
     try {
-      resp = core.process(pending->req);
+      resp = core.process(pending->req, pending->timing);
     } catch (const std::exception& e) {
       resp.id = pending->req.id;
       resp.status = Status::kError;
       resp.error = e.what();
     }
     pending->answer(resp);
+    tel.worker_end();
   });
   return token;
 }
 
 Response ServeCore::handle(const Request& req) {
+  RequestTiming timing;
+  timing.rid = telemetry_.next_rid();
+  timing.client_id = req.id;
+  timing.verb = req.verb;
+  timing.admit_us = telemetry_.now_us();
   {
+    // Both counters in one critical section: a concurrent stats snapshot
+    // must never see this request received but neither queued nor resolved.
     std::unique_lock<std::mutex> lock(mu_);
     ++stats_.received;
+    ++stats_.queued;  // note_outcome's pairing decrement
   }
   BM_OBS_COUNT("serve.request");
+  telemetry_.worker_begin();
   Response resp;
   try {
-    resp = process(req);
+    resp = process(req, timing);
   } catch (const std::exception& e) {
     resp.id = req.id;
     resp.status = Status::kError;
     resp.error = e.what();
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  ++stats_.queued;  // note_outcome's pairing decrement
-  lock.unlock();
+  telemetry_.worker_end();
+  timing.status = resp.status;
+  timing.cache = resp.cache;
+  timing.fingerprint = resp.fingerprint;
+  timing.total_us = telemetry_.now_us() - timing.admit_us;
   note_outcome(resp);
+  telemetry_.record(timing);
   return resp;
 }
 
@@ -198,6 +238,24 @@ CoreStats ServeCore::stats() const {
   }
   out.cache = cache_.stats();
   return out;
+}
+
+CoreTotals ServeCore::totals() const {
+  const CoreStats s = stats();
+  CoreTotals t;
+  t.received = s.received;
+  t.completed = s.completed;
+  t.rejected = s.rejected;
+  t.cancelled = s.cancelled;
+  t.errors = s.errors;
+  t.queued = s.queued;
+  t.workers = cfg_.workers;
+  t.cache = s.cache;
+  return t;
+}
+
+std::string ServeCore::stats_json() const {
+  return telemetry_.stats_json(totals());
 }
 
 void ServeCore::note_outcome(const Response& resp) {
@@ -227,7 +285,7 @@ void ServeCore::note_outcome(const Response& resp) {
   }
 }
 
-Response ServeCore::process(const Request& req) {
+Response ServeCore::process(const Request& req, RequestTiming& rt) {
   switch (req.verb) {
     case Verb::kPing: {
       Response resp;
@@ -238,17 +296,17 @@ Response ServeCore::process(const Request& req) {
     case Verb::kStats: {
       Response resp;
       resp.id = req.id;
-      resp.body = stats().to_text();
+      resp.body = stats_json();
       return resp;
     }
     case Verb::kSynth:
     case Verb::kSchedule:
-      return process_scheduling(req);
+      return process_scheduling(req, rt);
   }
   throw Error("unhandled verb");
 }
 
-Response ServeCore::process_scheduling(const Request& req) {
+Response ServeCore::process_scheduling(const Request& req, RequestTiming& rt) {
   Response resp;
   resp.id = req.id;
 
@@ -259,33 +317,49 @@ Response ServeCore::process_scheduling(const Request& req) {
   // requests the scheduler continues the synthesis stream — the exact
   // sequence the experiment harness uses, so a synth request for
   // (base_seed, index) reproduces the harness schedule bit-for-bit.
+  // Attributed to kColdSchedule: synthesis/compilation runs even on the
+  // hit path (the fingerprint needs the program), and it is the same
+  // compute the cold path spends.
   Program program;
   Rng rng = benchmark_rng(req.base_seed, req.index);
   std::uint64_t rng_key = 0;
-  if (req.verb == Verb::kSynth) {
-    const SynthesisResult synth = session->synthesize(req.gen, rng);
-    program = synth.program;
-    rng_key = mix2(mix2(req.base_seed, req.index), gen_digest(req.gen));
-  } else {
-    program = session->compile_source(req.source);
-    rng = Rng(req.seed);
-    rng_key = mix2(0x5C4Ed01Eull, req.seed);
+  {
+    PhaseScope ps(telemetry_, rt, Phase::kColdSchedule);
+    if (req.verb == Verb::kSynth) {
+      const SynthesisResult synth = session->synthesize(req.gen, rng);
+      program = synth.program;
+      rng_key = mix2(mix2(req.base_seed, req.index), gen_digest(req.gen));
+    } else {
+      program = session->compile_source(req.source);
+      rng = Rng(req.seed);
+      rng_key = mix2(0x5C4Ed01Eull, req.seed);
+    }
   }
   BM_REQUIRE(!program.empty(), "program optimized to an empty block");
 
   // Stage 2: cache probe under the canonical fingerprint.
-  const CanonicalProgram canon = canonicalize_program(program);
-  const std::uint64_t digest = config_digest(req.sched, timing, rng_key);
-  resp.fingerprint = fingerprint_hex(canon.fingerprint);
+  CanonicalProgram canon;
+  std::uint64_t digest = 0;
+  {
+    PhaseScope ps(telemetry_, rt, Phase::kFingerprint);
+    canon = canonicalize_program(program);
+    digest = config_digest(req.sched, timing, rng_key);
+    resp.fingerprint = fingerprint_hex(canon.fingerprint);
+  }
 
   if (!req.no_cache) {
-    ScheduleCache::Hit hit =
-        cache_.lookup(canon.fingerprint, digest, canon.bytes, canon.inv_perm);
+    ScheduleCache::Hit hit;
+    {
+      PhaseScope ps(telemetry_, rt, Phase::kCacheLookup);
+      hit = cache_.lookup(canon.fingerprint, digest, canon.bytes,
+                          canon.inv_perm);
+    }
     if (hit.found) {
       resp.cache = CacheOutcome::kHit;
       resp.stats = hit.stats;
       resp.body = std::move(hit.schedule_text);
       if (req.verify) {
+        PhaseScope ps(telemetry_, rt, Phase::kVerify);
         const InstrDag dag = session->build_dag(program, timing);
         const Schedule sched = schedule_from_text(dag, resp.body);
         resp.verify_errors = session->verify(dag, sched).error_count();
@@ -295,18 +369,31 @@ Response ServeCore::process_scheduling(const Request& req) {
   }
 
   // Stage 3: cold path — the ordinary pipeline.
-  const InstrDag dag = session->build_dag(program, timing);
-  const ScheduleResult scheduled = session->schedule(dag, req.sched, rng);
+  const InstrDag dag = [&] {
+    PhaseScope ps(telemetry_, rt, Phase::kColdSchedule);
+    return session->build_dag(program, timing);
+  }();
+  ScheduleResult scheduled;
+  {
+    PhaseScope ps(telemetry_, rt, Phase::kColdSchedule);
+    scheduled = session->schedule(dag, req.sched, rng);
+  }
   resp.stats = scheduled.stats;
-  resp.body = schedule_to_text(*scheduled.schedule);
-  if (req.verify)
+  {
+    PhaseScope ps(telemetry_, rt, Phase::kSerialize);
+    resp.body = schedule_to_text(*scheduled.schedule);
+  }
+  if (req.verify) {
+    PhaseScope ps(telemetry_, rt, Phase::kVerify);
     resp.verify_errors =
         session->verify(dag, *scheduled.schedule).error_count();
+  }
 
   if (req.no_cache) {
     resp.cache = CacheOutcome::kBypass;
   } else {
     resp.cache = CacheOutcome::kMiss;
+    PhaseScope ps(telemetry_, rt, Phase::kSerialize);
     cache_.insert(canon.fingerprint, digest, canon.bytes,
                   rewrite_schedule_ids(resp.body, canon.perm),
                   scheduled.stats);

@@ -28,6 +28,7 @@
 #include "serve/cache.hpp"
 #include "serve/protocol.hpp"
 #include "serve/session.hpp"
+#include "serve/telemetry.hpp"
 #include "support/thread_pool.hpp"
 
 namespace bm::serve {
@@ -42,6 +43,9 @@ struct CoreConfig {
   /// Test hook: runs on the worker just before a request is processed.
   /// Lets tests hold workers to force queue buildup; never set in prod.
   std::function<void(const Request&)> pre_handle;
+
+  /// Access log, slow-request traces, latency window (serve/telemetry.hpp).
+  TelemetryConfig telemetry;
 };
 
 struct CoreStats {
@@ -83,13 +87,20 @@ class ServeCore {
 
   CoreStats stats() const;
 
+  /// The `stats v1` JSON snapshot (what the kStats verb answers with and
+  /// what the SIGUSR1 dump prints): core totals + telemetry quantiles.
+  std::string stats_json() const;
+
+  const ServeTelemetry& telemetry() const { return telemetry_; }
+
  private:
   class SessionLease;
   struct PendingReq;
 
-  Response process(const Request& req);
-  Response process_scheduling(const Request& req);
+  Response process(const Request& req, RequestTiming& timing);
+  Response process_scheduling(const Request& req, RequestTiming& timing);
   void note_outcome(const Response& resp);
+  CoreTotals totals() const;
 
   CoreConfig cfg_;
   ScheduleCache cache_;
@@ -98,6 +109,10 @@ class ServeCore {
   std::vector<std::unique_ptr<SchedulerSession>> idle_sessions_;
   CoreStats stats_;
   bool draining_ = false;
+
+  /// Declared before pool_: straggler requests answered while the pool
+  /// drains in ~ServeCore still record into live telemetry.
+  ServeTelemetry telemetry_;
 
   /// Last member: destroyed first, so queued tasks still see a live core
   /// while the pool drains in the destructor.

@@ -191,6 +191,11 @@ void Server::request_stop() {
   [[maybe_unused]] ssize_t n = ::write(impl_->stop_pipe[1], &byte, 1);
 }
 
+void Server::request_dump() {
+  const char byte = 'd';
+  [[maybe_unused]] ssize_t n = ::write(impl_->stop_pipe[1], &byte, 1);
+}
+
 void Server::run() {
   for (;;) {
     pollfd fds[3];
@@ -204,7 +209,19 @@ void Server::run() {
       if (errno == EINTR) continue;
       throw Error(std::string("poll: ") + std::strerror(errno));
     }
-    if (fds[0].revents & POLLIN) break;  // stop requested
+    if (fds[0].revents & POLLIN) {
+      // One command byte per wakeup: 's' = graceful stop, 'd' = dump the
+      // stats snapshot to stderr (the SIGUSR1 path) and keep serving.
+      char cmd = 's';
+      if (::read(impl_->stop_pipe[0], &cmd, 1) <= 0) cmd = 's';
+      if (cmd == 's') break;
+      if (cmd == 'd') {
+        const std::string snap = core_->stats_json() + "\n";
+        [[maybe_unused]] ssize_t n =
+            ::write(STDERR_FILENO, snap.data(), snap.size());
+      }
+      continue;
+    }
 
     for (nfds_t i = 1; i < nfds; ++i) {
       if (!(fds[i].revents & POLLIN)) continue;

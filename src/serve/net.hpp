@@ -49,6 +49,11 @@ class Server {
   /// Async-signal-safe stop request (writes one byte to a self-pipe).
   void request_stop();
 
+  /// Async-signal-safe stats-dump request (the SIGUSR1 handler): the
+  /// accept loop prints the `stats v1` JSON snapshot to stderr and keeps
+  /// serving.
+  void request_dump();
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;

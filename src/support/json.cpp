@@ -1,0 +1,216 @@
+#include "support/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/assert.hpp"
+
+namespace bm::json {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing data after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw Error("json: " + why + " at byte " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  void literal(std::string_view word) {
+    if (text_.compare(pos_, word.size(), word) != 0) fail("invalid literal");
+    pos_ += word.size();
+  }
+
+  Value value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': {
+        literal("true");
+        Value v;
+        v.kind = Value::Kind::kBool;
+        v.boolean = true;
+        return v;
+      }
+      case 'f': {
+        literal("false");
+        Value v;
+        v.kind = Value::Kind::kBool;
+        return v;
+      }
+      case 'n': literal("null"); return {};
+      default: return number();
+    }
+  }
+
+  Value object() {
+    expect('{');
+    Value v;
+    v.kind = Value::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      Value key = string_value();
+      skip_ws();
+      expect(':');
+      v.members[key.string] = value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value array() {
+    expect('[');
+    Value v;
+    v.kind = Value::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  Value string_value() {
+    expect('"');
+    Value v;
+    v.kind = Value::Kind::kString;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c != '\\') {
+        v.string += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': v.string += '"'; break;
+        case '\\': v.string += '\\'; break;
+        case '/': v.string += '/'; break;
+        case 'b': v.string += '\b'; break;
+        case 'f': v.string += '\f'; break;
+        case 'n': v.string += '\n'; break;
+        case 'r': v.string += '\r'; break;
+        case 't': v.string += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_ + static_cast<std::size_t>(i)];
+            if (!std::isxdigit(static_cast<unsigned char>(h)))
+              fail("invalid \\u escape");
+            code = code * 16 +
+                   static_cast<unsigned>(
+                       h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
+          }
+          pos_ += 4;
+          // UTF-8 encode the BMP code point (surrogate pairs decode as two
+          // replacement sequences — nothing in this repo emits them).
+          if (code < 0x80) {
+            v.string += static_cast<char>(code);
+          } else if (code < 0x800) {
+            v.string += static_cast<char>(0xC0 | (code >> 6));
+            v.string += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            v.string += static_cast<char>(0xE0 | (code >> 12));
+            v.string += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            v.string += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("invalid escape character");
+      }
+    }
+  }
+
+  Value number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    auto digits = [&] {
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        fail("invalid number");
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+    };
+    digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      digits();
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      digits();
+    }
+    Value v;
+    v.kind = Value::Kind::kNumber;
+    v.number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                           nullptr);
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const Value* Value::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  const auto it = members.find(std::string(key));
+  return it == members.end() ? nullptr : &it->second;
+}
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace bm::json

@@ -1,14 +1,22 @@
-// bmload — load generator and correctness client for bmserve.
+// bmload — load generator, correctness client, and live dashboard for
+// bmserve.
 //
-// Opens N connections, drives `--requests` synth requests across them
-// (round-robin seed indices in [0, --distinct) so the server's schedule
-// cache sees a controllable hit ratio), checks every response, and reports
-// latency percentiles and aggregate QPS. Nonzero exit on any protocol
-// error, unexpected rejection, or response/request id mismatch — the CI
-// serve-smoke job relies on that.
+// Load mode (default): opens N connections, drives `--requests` synth
+// requests across them (round-robin seed indices in [0, --distinct) so the
+// server's schedule cache sees a controllable hit ratio), checks every
+// response, and reports latency quantiles and aggregate QPS. Latencies go
+// through the same log-bucketed histogram the server uses
+// (obs/latency.hpp) — quantiles are bucket upper bounds, within 25% of
+// exact. Nonzero exit on any protocol error, unexpected rejection, or
+// response/request id mismatch — the CI serve-smoke job relies on that.
+//
+// Stats mode (--stats): polls the `stats v1` verb every --interval-ms and
+// prints a one-line dashboard per poll (QPS over the poll gap, trailing-
+// window p50/p99, cache hit ratio, queue depth). Run it next to a load:
 //
 //   bmload --socket /tmp/bm.sock --requests 2000 --connections 4
 //   bmload --port 7421 --requests 500 --distinct 16 --verify
+//   bmload --socket /tmp/bm.sock --stats --interval-ms 500 --iterations 10
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -22,8 +30,10 @@
 #include <unistd.h>
 #include <vector>
 
+#include "obs/latency.hpp"
 #include "serve/protocol.hpp"
 #include "support/cli.hpp"
+#include "support/json.hpp"
 
 namespace {
 
@@ -61,10 +71,85 @@ int connect_tcp(int port) {
   return fd;
 }
 
+int do_connect(const std::string& socket_path, std::int64_t port) {
+  return socket_path.empty() ? connect_tcp(static_cast<int>(port))
+                             : connect_uds(socket_path);
+}
+
 struct WorkerReport {
-  std::vector<double> latencies_us;
+  obs::LatencyBuckets hist;
   std::size_t ok = 0, hits = 0, rejected = 0, errors = 0;
 };
+
+/// `--stats`: poll the stats verb and print a dashboard line per poll.
+/// Returns the process exit code.
+int run_stats_dashboard(const std::string& socket_path, std::int64_t port,
+                        std::int64_t interval_ms, std::int64_t iterations) {
+  const int fd = do_connect(socket_path, port);
+  if (fd < 0) {
+    std::fprintf(stderr, "bmload: failed to connect\n");
+    return 1;
+  }
+  double prev_answered = -1, prev_uptime_us = 0;
+  for (std::int64_t it = 0; iterations <= 0 || it < iterations; ++it) {
+    if (it > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    Request req;
+    req.id = static_cast<std::uint64_t>(it) + 1;
+    req.verb = Verb::kStats;
+
+    std::optional<std::string> payload;
+    try {
+      if (write_frame(fd, encode_request(req))) payload = read_frame(fd);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bmload: %s\n", e.what());
+      ::close(fd);
+      return 1;
+    }
+    if (!payload) {
+      std::fprintf(stderr, "bmload: server closed connection\n");
+      ::close(fd);
+      return 1;
+    }
+
+    json::Value snap;
+    try {
+      const Response resp = decode_response(*payload);
+      if (resp.status != Status::kOk) throw Error("stats status not ok");
+      snap = json::parse(resp.body);
+      if (snap.str("", "stats") != "v1") throw Error("not a stats v1 body");
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bmload: bad stats response: %s\n", e.what());
+      ::close(fd);
+      return 1;
+    }
+
+    const double uptime_us = snap.num(0, "uptime_us");
+    const double answered =
+        snap.num(0, "totals", "ok") + snap.num(0, "totals", "rejected") +
+        snap.num(0, "totals", "cancelled") + snap.num(0, "totals", "errors");
+    // QPS over the poll gap; the first line has no gap, so rate since boot.
+    const double d_req =
+        prev_answered < 0 ? answered : answered - prev_answered;
+    const double d_us =
+        prev_answered < 0 ? uptime_us : uptime_us - prev_uptime_us;
+    const double qps = d_us > 0 ? d_req * 1e6 / d_us : 0.0;
+    prev_answered = answered;
+    prev_uptime_us = uptime_us;
+
+    std::printf(
+        "bmload: up %.1fs  qps %.0f  p50 %.0fus  p99 %.0fus  "
+        "win-p99 %.0fus  hit %.2f  queue %.0f  inflight %.0f\n",
+        uptime_us / 1e6, qps, snap.num(0, "latency", "p50_us"),
+        snap.num(0, "latency", "p99_us"),
+        snap.num(0, "window", "quantiles", "p99_us"),
+        snap.num(0, "cache", "hit_ratio"), snap.num(0, "queue_depth"),
+        snap.num(0, "inflight"));
+    std::fflush(stdout);
+  }
+  ::close(fd);
+  return 0;
+}
 
 }  // namespace
 
@@ -83,6 +168,9 @@ int main(int argc, char** argv) {
       bool_flag("no-cache", false, "bypass the schedule cache"),
       bool_flag("allow-reject", false,
                 "tolerate rejected responses (overload experiments)"),
+      bool_flag("stats", false, "poll the stats verb instead of sending load"),
+      int_flag("interval-ms", 1000, "stats mode: poll interval"),
+      int_flag("iterations", 0, "stats mode: polls before exiting (0 = forever)"),
   };
 
   try {
@@ -94,6 +182,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "bmload: need --socket PATH or --port N\n");
       return 2;
     }
+    if (flags.get_bool("stats", false))
+      return run_stats_dashboard(
+          socket_path, port,
+          std::max<std::int64_t>(1, flags.get_int("interval-ms", 1000)),
+          flags.get_int("iterations", 0));
+
     const std::size_t total =
         static_cast<std::size_t>(std::max<std::int64_t>(1, flags.get_int("requests", 1000)));
     const std::size_t conns = static_cast<std::size_t>(
@@ -122,9 +216,7 @@ int main(int argc, char** argv) {
     for (std::size_t c = 0; c < conns; ++c) {
       threads.emplace_back([&, c] {
         WorkerReport& rep = reports[c];
-        const int fd = socket_path.empty()
-                           ? connect_tcp(static_cast<int>(port))
-                           : connect_uds(socket_path);
+        const int fd = do_connect(socket_path, port);
         if (fd < 0) {
           std::fprintf(stderr, "bmload: connection %zu failed to connect\n",
                        c);
@@ -201,8 +293,9 @@ int main(int argc, char** argv) {
               failed.store(true);
               break;
           }
-          rep.latencies_us.push_back(
-              std::chrono::duration<double, std::micro>(t1 - t0).count());
+          rep.hist.add(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+                  .count()));
         }
         ::close(fd);
       });
@@ -219,25 +312,18 @@ int main(int argc, char** argv) {
       all.hits += r.hits;
       all.rejected += r.rejected;
       all.errors += r.errors;
-      all.latencies_us.insert(all.latencies_us.end(), r.latencies_us.begin(),
-                              r.latencies_us.end());
+      all.hist.merge(r.hist);
     }
-    std::sort(all.latencies_us.begin(), all.latencies_us.end());
-    auto pct = [&](double p) -> double {
-      if (all.latencies_us.empty()) return 0;
-      const auto idx = static_cast<std::size_t>(
-          p * static_cast<double>(all.latencies_us.size() - 1));
-      return all.latencies_us[idx];
-    };
 
     std::printf(
         "bmload: %zu ok (%zu cache hits), %zu rejected, %zu errors\n",
         all.ok, all.hits, all.rejected, all.errors);
-    std::printf("bmload: p50 %.1f us  p99 %.1f us  qps %.0f\n", pct(0.50),
-                pct(0.99),
-                wall_s > 0 ? static_cast<double>(all.latencies_us.size()) /
-                                 wall_s
-                           : 0.0);
+    std::printf(
+        "bmload: p50 %llu us  p99 %llu us  max %llu us  qps %.0f\n",
+        static_cast<unsigned long long>(all.hist.quantile(0.50)),
+        static_cast<unsigned long long>(all.hist.quantile(0.99)),
+        static_cast<unsigned long long>(all.hist.max),
+        wall_s > 0 ? static_cast<double>(all.hist.count) / wall_s : 0.0);
     return failed.load() ? 1 : 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bmload: %s\n", e.what());

@@ -3,7 +3,8 @@
 // schedules programs through session-scoped pipeline instances, caches
 // schedules under canonical DAG fingerprints, and sheds overload with fast
 // rejections. SIGTERM/SIGINT drain gracefully: every admitted request is
-// answered before exit (exit code 0).
+// answered before exit (exit code 0). SIGUSR1 dumps the `stats v1` JSON
+// snapshot to stderr without disturbing service (docs/OBSERVABILITY.md).
 #include <algorithm>
 #include <csignal>
 #include <cstdio>
@@ -21,6 +22,10 @@ void on_signal(int) {
   if (g_server != nullptr) g_server->request_stop();
 }
 
+void on_dump_signal(int) {
+  if (g_server != nullptr) g_server->request_dump();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -34,6 +39,15 @@ int main(int argc, char** argv) {
                "admitted-request bound; overload is rejected"),
       int_flag("cache-entries", 4096, "schedule cache entry bound (0 = off)"),
       int_flag("cache-mb", 64, "schedule cache byte bound (MiB)"),
+      string_flag("access-log", "",
+                  "JSONL access log path (one line per request)"),
+      int_flag("access-log-rotate-mb", 64,
+               "rotate the access log past this size (MiB)"),
+      int_flag("slow-trace-us", 0,
+               "emit a Perfetto trace for requests slower than this (0 = off)"),
+      string_flag("trace-dir", "",
+                  "directory for slow-request traces (with --slow-trace-us)"),
+      int_flag("slow-trace-max", 256, "stop emitting after this many traces"),
       bool_flag("quiet", false, "skip the shutdown stats report"),
   };
 
@@ -62,11 +76,27 @@ int main(int argc, char** argv) {
     cfg.core.cache_bytes = static_cast<std::size_t>(std::max<std::int64_t>(
                                0, flags.get_int("cache-mb", 64)))
                            << 20;
+    cfg.core.telemetry.access_log_path = flags.get("access-log", "");
+    cfg.core.telemetry.access_log_rotate_bytes =
+        static_cast<std::size_t>(std::max<std::int64_t>(
+            1, flags.get_int("access-log-rotate-mb", 64)))
+        << 20;
+    cfg.core.telemetry.slow_trace_us = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(0, flags.get_int("slow-trace-us", 0)));
+    cfg.core.telemetry.slow_trace_dir = flags.get("trace-dir", "");
+    cfg.core.telemetry.slow_trace_max = static_cast<std::size_t>(
+        std::max<std::int64_t>(0, flags.get_int("slow-trace-max", 256)));
+    if (cfg.core.telemetry.slow_trace_us > 0 &&
+        cfg.core.telemetry.slow_trace_dir.empty()) {
+      std::fprintf(stderr, "bmserve: --slow-trace-us needs --trace-dir DIR\n");
+      return 2;
+    }
 
     serve::Server server(std::move(cfg));
     g_server = &server;
     std::signal(SIGTERM, on_signal);
     std::signal(SIGINT, on_signal);
+    std::signal(SIGUSR1, on_dump_signal);
 
     if (!socket_path.empty())
       std::printf("bmserve: listening on %s\n", socket_path.c_str());

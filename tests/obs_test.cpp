@@ -3,11 +3,15 @@
 // histograms, gauges, and the Chrome-trace JSON writer. Metric state is
 // process-global, so every test uses its own metric names and asserts on
 // before/after deltas, never absolute values.
+#include <algorithm>
+#include <cstdint>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "obs/latency.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
@@ -61,6 +65,127 @@ TEST(Metrics, HistogramExportsCountAndSum) {
   const obs::Snapshot after = obs::snapshot();
   EXPECT_EQ(counter_delta(before, after, "test.hist.count"), 3.0);
   EXPECT_EQ(counter_delta(before, after, "test.hist.sum"), 12.0);
+}
+
+TEST(Metrics, HistogramBucketsExposeFullDistribution) {
+  const obs::Histogram h = obs::histogram("test.bucket_hist");
+  ThreadPool pool(4);
+  // 1..400 from four threads: stresses the shard merge underneath.
+  pool.parallel_for(400, [&h](std::size_t i) { h.observe(i + 1); });
+
+  const obs::LatencyBuckets b = obs::histogram_buckets("test.bucket_hist");
+  EXPECT_EQ(b.count, 400u);
+  EXPECT_EQ(b.sum, 400u * 401u / 2);
+  EXPECT_EQ(b.max, 400u);
+  // Quantiles come out of the bucketed distribution: within one log bucket
+  // (≤25%) of the exact order statistics.
+  EXPECT_GE(b.quantile(0.50), 200u);
+  EXPECT_LE(b.quantile(0.50), 250u);
+  EXPECT_GE(b.quantile(0.99), 396u);
+  EXPECT_LE(b.quantile(0.99), 400u);
+}
+
+TEST(Metrics, HistogramBucketsUnknownNameIsEmpty) {
+  const obs::LatencyBuckets b =
+      obs::histogram_buckets("test.never_registered_hist");
+  EXPECT_EQ(b.count, 0u);
+  EXPECT_EQ(b.quantile(0.99), 0u);
+}
+
+TEST(Latency, BucketBoundsTileTheAxis) {
+  for (const std::uint64_t v :
+       {0ull, 1ull, 15ull, 16ull, 17ull, 100ull, 1000ull, 123456ull,
+        1ull << 40, ~0ull}) {
+    const std::size_t b = obs::latency_bucket(v);
+    ASSERT_LT(b, obs::kLatencyBuckets);
+    EXPECT_LE(obs::latency_bucket_lower(b), v);
+    EXPECT_GE(obs::latency_bucket_upper(b), v);
+  }
+  for (std::size_t b = 0; b + 1 < obs::kLatencyBuckets; ++b)
+    EXPECT_EQ(obs::latency_bucket_lower(b + 1),
+              obs::latency_bucket_upper(b) + 1);
+  // Above the exact range, relative width stays ≤ 25% of the lower bound.
+  for (std::size_t b = 16; b + 1 < obs::kLatencyBuckets; ++b)
+    EXPECT_LE(obs::latency_bucket_upper(b) - obs::latency_bucket_lower(b) + 1,
+              obs::latency_bucket_lower(b) / 4);
+}
+
+TEST(Latency, QuantileWithinOneBucketOfSortedExact) {
+  // Deterministic LCG stream with a heavy tail — the shape bmload sees.
+  std::vector<std::uint64_t> vals;
+  obs::LatencyBuckets h;
+  std::uint64_t x = 0x9E3779B97F4A7C15ull;
+  for (int i = 0; i < 5000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    std::uint64_t v = (x >> 33) % 3000;
+    if (i % 100 == 0) v *= 50;  // outliers
+    vals.push_back(v);
+    h.add(v);
+  }
+  std::sort(vals.begin(), vals.end());
+  for (const double q : {0.50, 0.90, 0.99}) {
+    // Same nearest-rank convention as LatencyBuckets::quantile.
+    auto rank = static_cast<std::uint64_t>(q * static_cast<double>(vals.size()));
+    if (static_cast<double>(rank) < q * static_cast<double>(vals.size()))
+      ++rank;
+    const std::uint64_t exact = vals[rank - 1];
+    const std::uint64_t approx = h.quantile(q);
+    EXPECT_GE(approx, exact) << "q=" << q;
+    EXPECT_LE(approx, obs::latency_bucket_upper(obs::latency_bucket(exact)))
+        << "q=" << q;
+  }
+  EXPECT_EQ(h.quantile(1.0), vals.back());
+}
+
+TEST(Latency, HistogramMergesAcrossThreads) {
+  obs::LatencyHistogram shard_a, shard_b;
+  ThreadPool pool(2);
+  pool.parallel_for(1000, [&](std::size_t i) {
+    (i % 2 == 0 ? shard_a : shard_b).observe(i);
+  });
+  obs::LatencyBuckets merged = shard_a.snapshot();
+  merged.merge(shard_b.snapshot());
+  EXPECT_EQ(merged.count, 1000u);
+  EXPECT_EQ(merged.sum, 999u * 1000u / 2);
+  EXPECT_EQ(merged.max, 999u);
+}
+
+TEST(Latency, WindowedRotationExpiresOldSlots) {
+  obs::WindowedLatencyHistogram w(/*slot_width_us=*/1000);
+  w.observe(500, 42);  // epoch 0
+  EXPECT_EQ(w.window(500).count, 1u);
+  // Still inside the trailing 8-slot window.
+  EXPECT_EQ(w.window(7 * 1000 + 999).count, 1u);
+  // 8 epochs later the slot has aged out.
+  EXPECT_EQ(w.window(8 * 1000).count, 0u);
+  // A new observation reclaims and resets the slot.
+  w.observe(16 * 1000 + 1, 7);  // epoch 16 reuses slot 0
+  const obs::LatencyBuckets win = w.window(16 * 1000 + 2);
+  EXPECT_EQ(win.count, 1u);
+  EXPECT_EQ(win.max, 7u);
+}
+
+TEST(Trace, WriteTraceEventsJsonHonorsLaneNames) {
+  std::vector<obs::TraceEvent> events;
+  obs::TraceEvent e;
+  e.name = "phase_x";
+  e.cat = "test";
+  e.ts = 10;
+  e.dur = 5;
+  e.tid = 3;
+  events.push_back(e);
+
+  std::ostringstream os;
+  const std::size_t n = obs::write_trace_events_json(
+      os, events, {{obs::kWallPid, "unit process"}},
+      {{obs::kWallPid, 3, "custom lane"}});
+  EXPECT_EQ(n, 1u);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"unit process\""), std::string::npos);
+  EXPECT_NE(out.find("\"custom lane\""), std::string::npos);
+  EXPECT_NE(out.find("\"phase_x\""), std::string::npos);
+  // Unnamed lanes keep the default naming.
+  EXPECT_EQ(out.find("thread 3"), std::string::npos);
 }
 
 TEST(Metrics, DeltaDropsUntouchedAndKeepsGaugeValue) {
