@@ -2,9 +2,12 @@
 # Full verification: configure, build, run the test suite (including the
 # parallel-harness determinism and barrier-cache consistency tests), smoke
 # every registered experiment through bmrun with a reduced seed count, and
-# smoke the perf microbenchmarks. `--asan` / `--ubsan` additionally build
-# and test under Address- / UndefinedBehaviorSanitizer in separate build
-# trees (build-asan/, build-ubsan/); `--trace-smoke` additionally produces
+# smoke the perf microbenchmarks. `--asan` / `--ubsan` / `--tsan`
+# additionally build and test under Address- / UndefinedBehavior- /
+# ThreadSanitizer in separate build trees (build-asan/, build-ubsan/,
+# build-tsan/; combine `--tsan` with `--serve-smoke`/`--stats-smoke` to
+# repeat those smokes against the TSan tree, tsan.supp applied);
+# `--trace-smoke` additionally produces
 # a --trace run and validates the JSON with trace_check; `--verify-smoke`
 # exercises the static schedule verifier (golden schedule, mutation
 # rejection, selftest, bmrun --verify); `--serve-smoke` boots bmserve on a
@@ -30,6 +33,7 @@ cd "$(dirname "$0")/.."
 
 asan=0
 ubsan=0
+tsan=0
 trace_smoke=0
 verify_smoke=0
 serve_smoke=0
@@ -40,14 +44,16 @@ for arg in "$@"; do
   case "$arg" in
     --asan) asan=1 ;;
     --ubsan) ubsan=1 ;;
+    --tsan) tsan=1 ;;
     --trace-smoke) trace_smoke=1 ;;
     --verify-smoke) verify_smoke=1 ;;
     --serve-smoke) serve_smoke=1 ;;
     --stats-smoke) stats_smoke=1 ;;
     --bench-gate) bench_gate=1 ;;
     --bench-regen) bench_regen=1 ;;
-    *) echo "usage: $0 [--asan] [--ubsan] [--trace-smoke] [--verify-smoke]" \
-            "[--serve-smoke] [--stats-smoke] [--bench-gate] [--bench-regen]" >&2
+    *) echo "usage: $0 [--asan] [--ubsan] [--tsan] [--trace-smoke]" \
+            "[--verify-smoke] [--serve-smoke] [--stats-smoke]" \
+            "[--bench-gate] [--bench-regen]" >&2
        exit 2 ;;
   esac
 done
@@ -178,6 +184,10 @@ if [[ "$bench_gate" -eq 1 || "$bench_regen" -eq 1 ]]; then
   exit 0
 fi
 
+# Static concurrency hygiene: every memory_order_relaxed under src/ must
+# carry a `// mo:` rationale (docs/CONCURRENCY.md describes the contract).
+python3 scripts/lint_atomics.py src
+
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
@@ -258,6 +268,27 @@ if [[ "$asan" -eq 1 ]]; then
     run_serve_smoke build-asan
   fi
   rm -rf out-asan
+fi
+
+if [[ "$tsan" -eq 1 ]]; then
+  echo "--- ThreadSanitizer pass (build-tsan/) ---"
+  # halt_on_error turns any report into a nonzero exit so ctest and the
+  # smokes below fail loudly; the suppressions file is for *external*
+  # noise only (empty today) — races in our code get fixed, not silenced.
+  export TSAN_OPTIONS="suppressions=$PWD/tsan.supp halt_on_error=1 second_deadlock_stack=1"
+  cmake -B build-tsan -G Ninja -DBM_SANITIZE=thread
+  cmake --build build-tsan
+  ctest --test-dir build-tsan --output-on-failure
+  ./build-tsan/bmrun run headline --seeds 3 --jobs 2 --out-dir out-tsan \
+      > /dev/null && echo "ok  bmrun headline (tsan)"
+  if [[ "$serve_smoke" -eq 1 ]]; then
+    run_serve_smoke build-tsan
+  fi
+  if [[ "$stats_smoke" -eq 1 ]]; then
+    run_stats_smoke build-tsan
+  fi
+  rm -rf out-tsan
+  unset TSAN_OPTIONS
 fi
 
 if [[ "$ubsan" -eq 1 ]]; then

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Require a rationale comment on every relaxed atomic operation.
+
+Every use of `memory_order_relaxed` under src/ must carry (on the same
+line or within the preceding WINDOW lines) a `// mo:` comment explaining
+why relaxed ordering is sufficient — what invariant makes the missing
+synchronization safe. One comment may cover the handful of sites in the
+statement block directly beneath it.
+
+The point is reviewability: `memory_order_relaxed` is the single easiest
+way to write a latent bug in this codebase, and "why is this safe" should
+never require archaeology. docs/CONCURRENCY.md describes the conventions.
+
+Usage: scripts/lint_atomics.py [root]   (default root: src/)
+Exit 0 = clean, 1 = violations (listed one per line).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+WINDOW = 8  # lines above a site in which the // mo: comment must appear
+PATTERN = re.compile(r"memory_order_relaxed")
+RATIONALE = re.compile(r"//\s*mo:")
+SUFFIXES = {".cpp", ".hpp", ".cc", ".h"}
+
+
+def check_file(path: Path) -> list[str]:
+    lines = path.read_text(encoding="utf-8").splitlines()
+    bad = []
+    for i, line in enumerate(lines):
+        if not PATTERN.search(line):
+            continue
+        lo = max(0, i - WINDOW)
+        if any(RATIONALE.search(lines[j]) for j in range(lo, i + 1)):
+            continue
+        bad.append(f"{path}:{i + 1}: memory_order_relaxed without a "
+                   f"'// mo:' rationale comment within {WINDOW} lines")
+    return bad
+
+
+def main() -> int:
+    root = Path(sys.argv[1] if len(sys.argv) > 1 else "src")
+    if not root.exists():
+        print(f"lint_atomics: no such directory: {root}", file=sys.stderr)
+        return 2
+    violations = []
+    for path in sorted(root.rglob("*")):
+        if path.suffix in SUFFIXES and path.is_file():
+            violations.extend(check_file(path))
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"lint_atomics: {len(violations)} unannotated "
+              f"memory_order_relaxed site(s)", file=sys.stderr)
+        return 1
+    print(f"lint_atomics: OK ({root})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -96,6 +96,9 @@ struct LatencyBuckets {
 class LatencyHistogram {
  public:
   void observe(std::uint64_t v) {
+    // mo: independent tally cells; readers tolerate torn cross-cell state
+    // (snapshot() is documented racy-but-consistent-enough), no ordering
+    // is published through these counters.
     counts_[latency_bucket(v)].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(v, std::memory_order_relaxed);
@@ -109,6 +112,7 @@ class LatencyHistogram {
   void fold(std::uint64_t n, std::uint64_t total) {
     if (n == 0) return;
     const std::uint64_t avg = total / n;
+    // mo: same tally-cell contract as observe() — no cross-cell ordering.
     counts_[latency_bucket(avg)].fetch_add(n, std::memory_order_relaxed);
     count_.fetch_add(n, std::memory_order_relaxed);
     sum_.fetch_add(total, std::memory_order_relaxed);
@@ -117,6 +121,8 @@ class LatencyHistogram {
 
   LatencyBuckets snapshot() const {
     LatencyBuckets out;
+    // mo: each cell is individually atomic; the copy is allowed to tear
+    // across cells (documented), so no acquire pairing is needed.
     for (std::size_t i = 0; i < kLatencyBuckets; ++i)
       out.counts[i] = counts_[i].load(std::memory_order_relaxed);
     out.count = count_.load(std::memory_order_relaxed);
@@ -126,14 +132,19 @@ class LatencyHistogram {
   }
 
   std::uint64_t count() const {
+    // mo: monotonic gauge read; staleness is fine, nothing piggybacks.
     return count_.load(std::memory_order_relaxed);
   }
+  // mo: monotonic gauge read; staleness is fine, nothing piggybacks.
   std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
 
   /// Zeroes every cell. Concurrent observers may interleave (window-slot
   /// rotation accepts that bounded raciness); not for use while a reader
   /// needs exact totals.
   void reset() {
+    // mo: callers that need the zeroes visible before reuse publish them
+    // themselves (the window-slot claimant release-stores its epoch after
+    // reset() returns); cell-by-cell zeroing needs no ordering of its own.
     for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
     sum_.store(0, std::memory_order_relaxed);
@@ -142,6 +153,8 @@ class LatencyHistogram {
 
  private:
   void update_max(std::uint64_t v) {
+    // mo: standalone monotonic max cell — the CAS loop only needs atomicity
+    // of the compare-and-swap itself, not ordering against other cells.
     std::uint64_t cur = max_.load(std::memory_order_relaxed);
     while (v > cur &&
            !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
@@ -156,14 +169,19 @@ class LatencyHistogram {
 
 /// Trailing-window quantiles: kSlots rotating LatencyHistograms, each
 /// owning epoch = now / slot_width. An observation lands in slot
-/// (epoch % kSlots); the first observer of a new epoch claims the slot by
-/// CAS and resets it. window() merges the slots whose epoch is within the
-/// trailing kSlots epochs of `now`.
+/// (epoch % kSlots); the first observer of a new epoch claims the slot
+/// (CAS to the kClaiming sentinel), resets it, then publishes the new
+/// epoch with a release store. Observers that find the slot mid-claim spin
+/// until the epoch is published, so a rotation never wipes a concurrent
+/// observation from the same epoch. window() merges the slots whose epoch
+/// is within the trailing kSlots epochs of `now`.
 ///
-/// Rotation is deliberately best-effort lock-free: an observer racing the
-/// claimant's reset can lose or double-count a handful of events at the
-/// slot boundary. The window is a dashboard quantity — the since-boot
-/// LatencyHistogram next to it stays exact.
+/// Remaining (accepted) raciness: an observer whose timestamp is a full
+/// window (kSlots epochs) stale can have its single observation erased by
+/// the next claimant of the same slot. The window is a dashboard quantity —
+/// the since-boot LatencyHistogram next to it stays exact. This slot
+/// protocol is model-checked in tests/interleave_test.cpp, including the
+/// seeded-bug variants (plain-store claim, publish-before-reset).
 class WindowedLatencyHistogram {
  public:
   static constexpr std::size_t kSlots = 8;
@@ -174,11 +192,28 @@ class WindowedLatencyHistogram {
   void observe(std::uint64_t now_us, std::uint64_t v) {
     const std::uint64_t epoch = now_us / slot_width_us_;
     Slot& s = slots_[epoch % kSlots];
-    std::uint64_t cur = s.epoch.load(std::memory_order_relaxed);
-    if (cur != epoch &&
-        s.epoch.compare_exchange_strong(cur, epoch,
-                                        std::memory_order_relaxed))
-      s.hist.reset();
+    // mo: acquire pairs with the claimant's release publish below — an
+    // observer that reads the published epoch also sees the reset done.
+    std::uint64_t cur = s.epoch.load(std::memory_order_acquire);
+    while (cur != epoch) {
+      if (cur == kClaiming) {
+        // Another thread is between claim and publish; wait it out. The
+        // claimant's critical section is a bounded reset, no locks held.
+        // mo: acquire — same pairing as the initial load.
+        cur = s.epoch.load(std::memory_order_acquire);
+        continue;
+      }
+      // mo: acquire on success orders our reset after whatever the prior
+      // epoch's claimant published; failure reloads for the retry.
+      if (s.epoch.compare_exchange_weak(cur, kClaiming,
+                                        std::memory_order_acquire,
+                                        std::memory_order_acquire)) {
+        s.hist.reset();
+        // mo: release publishes the completed reset to spinning observers.
+        s.epoch.store(epoch, std::memory_order_release);
+        cur = epoch;
+      }
+    }
     s.hist.observe(v);
   }
 
@@ -187,7 +222,10 @@ class WindowedLatencyHistogram {
     const std::uint64_t cur = now_us / slot_width_us_;
     LatencyBuckets out;
     for (const Slot& s : slots_) {
-      const std::uint64_t e = s.epoch.load(std::memory_order_relaxed);
+      // mo: acquire pairs with the claimant's release publish, so a slot
+      // seen with a real epoch is seen post-reset. kClaiming and kIdle
+      // both fail the `e > cur` / kIdle guards and are skipped.
+      const std::uint64_t e = s.epoch.load(std::memory_order_acquire);
       if (e == kIdle || e > cur || cur - e >= kSlots) continue;
       out.merge(s.hist.snapshot());
     }
@@ -198,6 +236,8 @@ class WindowedLatencyHistogram {
 
  private:
   static constexpr std::uint64_t kIdle = ~0ull;
+  /// Slot is between claim and epoch publish (reset in progress).
+  static constexpr std::uint64_t kClaiming = ~0ull - 1;
 
   struct Slot {
     std::atomic<std::uint64_t> epoch{kIdle};

@@ -69,6 +69,8 @@ Shard::Shard() {
 Shard::~Shard() {
   Global& g = global();
   std::lock_guard<std::mutex> lock(g.mu);
+  // mo: reading our own thread's cells at thread exit; the registry lock
+  // above orders this fold against concurrent snapshots.
   for (std::size_t i = 0; i < kMaxCounters; ++i)
     g.retired_counters[i] += counters[i].load(std::memory_order_relaxed);
   for (std::size_t i = 0; i < kMaxHistograms; ++i)
@@ -86,10 +88,13 @@ Shard& local_shard() {
 }  // namespace
 
 void Counter::add(std::uint64_t n) const {
+  // mo: per-thread shard cell, only snapshot() reads it cross-thread and
+  // tolerates bounded staleness; no data is published through counters.
   local_shard().counters[id_].fetch_add(n, std::memory_order_relaxed);
 }
 
 void Gauge::set(std::int64_t v) const {
+  // mo: last-writer-wins gauge cell; readers need no ordering with it.
   global().gauges[id_].store(v, std::memory_order_relaxed);
 }
 
@@ -150,6 +155,8 @@ Snapshot snapshot() {
       hsum[i] = g.retired_hists[i].sum;
     }
     for (const Shard* s : g.shards) {
+      // mo: snapshot read of live shard cells; documented as a bounded-
+      // staleness view, counters publish no other data.
       for (std::size_t i = 0; i < cnames.size(); ++i)
         csum[i] += s->counters[i].load(std::memory_order_relaxed);
       for (std::size_t i = 0; i < hnames.size(); ++i) {
@@ -157,6 +164,7 @@ Snapshot snapshot() {
         hsum[i] += s->hists[i].sum();
       }
     }
+    // mo: last-writer-wins gauge cells (see Gauge::set).
     for (std::size_t i = 0; i < gnames.size(); ++i)
       gval[i] = g.gauges[i].load(std::memory_order_relaxed);
   }

@@ -140,6 +140,8 @@ std::vector<Event> harvest() {
 }  // namespace
 
 bool tracing_enabled() {
+  // mo: on/off hint on the hot path; span recording takes the buffer lock,
+  // which provides the real ordering — a stale read only costs one span.
   return tg().enabled.load(std::memory_order_relaxed);
 }
 
@@ -154,9 +156,12 @@ void trace_start() {
     }
     g.base = std::chrono::steady_clock::now();
   }
+  // mo: flag flip; the buffer resets above were published under g.mu, and
+  // recorders re-take that lock before touching buffers.
   g.enabled.store(true, std::memory_order_relaxed);
 }
 
+// mo: flag flip, same contract as trace_start.
 void trace_stop() { tg().enabled.store(false, std::memory_order_relaxed); }
 
 PhaseTimer::PhaseTimer(std::string name, const char* cat)

@@ -16,7 +16,7 @@ ScheduleCache::Hit ScheduleCache::lookup(
   std::string text_canonical;
   ScheduleStats stats;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    OrderedLock lock(mu_);
     auto it = index_.find(key);
     if (it == index_.end()) {
       ++stats_.misses;
@@ -61,7 +61,7 @@ void ScheduleCache::insert(std::uint64_t fingerprint,
   e.schedule_text = std::move(schedule_text_canonical);
   e.stats = stats;
 
-  std::unique_lock<std::mutex> lock(mu_);
+  OrderedLock lock(mu_);
   auto it = index_.find(e.key);
   if (it != index_.end()) {
     // Colliding or racing insert: keep the newest computation.
@@ -93,12 +93,12 @@ void ScheduleCache::evict_overflow_locked() {
 }
 
 CacheStats ScheduleCache::stats() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  OrderedLock lock(mu_);
   return stats_;
 }
 
 void ScheduleCache::clear() {
-  std::unique_lock<std::mutex> lock(mu_);
+  OrderedLock lock(mu_);
   lru_.clear();
   index_.clear();
   stats_.entries = 0;

@@ -17,12 +17,12 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
 
 #include "sched/scheduler.hpp"
+#include "support/ordered_mutex.hpp"
 
 namespace bm::serve {
 
@@ -89,7 +89,7 @@ class ScheduleCache {
   const std::size_t max_entries_;
   const std::size_t max_bytes_;
 
-  mutable std::mutex mu_;
+  mutable OrderedMutex mu_{LockLevel::kScheduleCache, "ScheduleCache.mu"};
   std::list<Entry> lru_;  ///< front = most recently used
   std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
   CacheStats stats_;

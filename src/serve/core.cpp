@@ -45,7 +45,7 @@ std::uint64_t gen_digest(const GeneratorConfig& g) {
 class ServeCore::SessionLease {
  public:
   explicit SessionLease(ServeCore& core) : core_(core) {
-    std::unique_lock<std::mutex> lock(core_.mu_);
+    OrderedLock lock(core_.mu_);
     if (!core_.idle_sessions_.empty()) {
       session_ = std::move(core_.idle_sessions_.back());
       core_.idle_sessions_.pop_back();
@@ -56,7 +56,7 @@ class ServeCore::SessionLease {
         SchedulerSession::ArenaMode::kOwned);
   }
   ~SessionLease() {
-    std::unique_lock<std::mutex> lock(core_.mu_);
+    OrderedLock lock(core_.mu_);
     core_.idle_sessions_.push_back(std::move(session_));
   }
 
@@ -134,7 +134,7 @@ CancelToken ServeCore::submit(Request req, Callback cb) {
   timing.admit_us = telemetry_.now_us();
   bool reject = false;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    OrderedLock lock(mu_);
     ++stats_.received;
     if (draining_ || stats_.queued >= cfg_.max_queue) {
       ++stats_.rejected;
@@ -193,7 +193,7 @@ Response ServeCore::handle(const Request& req) {
   {
     // Both counters in one critical section: a concurrent stats snapshot
     // must never see this request received but neither queued nor resolved.
-    std::unique_lock<std::mutex> lock(mu_);
+    OrderedLock lock(mu_);
     ++stats_.received;
     ++stats_.queued;  // note_outcome's pairing decrement
   }
@@ -219,21 +219,21 @@ Response ServeCore::handle(const Request& req) {
 
 void ServeCore::drain() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    OrderedLock lock(mu_);
     draining_ = true;
   }
   pool_->wait_idle();
 }
 
 bool ServeCore::draining() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  OrderedLock lock(mu_);
   return draining_;
 }
 
 CoreStats ServeCore::stats() const {
   CoreStats out;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    OrderedLock lock(mu_);
     out = stats_;
   }
   out.cache = cache_.stats();
@@ -259,7 +259,7 @@ std::string ServeCore::stats_json() const {
 }
 
 void ServeCore::note_outcome(const Response& resp) {
-  std::unique_lock<std::mutex> lock(mu_);
+  OrderedLock lock(mu_);
   BM_ASSERT_INTERNAL(stats_.queued > 0, "response without admission");
   --stats_.queued;
   switch (resp.status) {

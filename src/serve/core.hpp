@@ -22,13 +22,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "serve/cache.hpp"
 #include "serve/protocol.hpp"
 #include "serve/session.hpp"
 #include "serve/telemetry.hpp"
+#include "support/ordered_mutex.hpp"
 #include "support/thread_pool.hpp"
 
 namespace bm::serve {
@@ -105,7 +105,7 @@ class ServeCore {
   CoreConfig cfg_;
   ScheduleCache cache_;
 
-  mutable std::mutex mu_;
+  mutable OrderedMutex mu_{LockLevel::kServeCore, "ServeCore.mu"};
   std::vector<std::unique_ptr<SchedulerSession>> idle_sessions_;
   CoreStats stats_;
   bool draining_ = false;

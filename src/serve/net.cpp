@@ -5,7 +5,7 @@
 #include <csignal>
 #include <condition_variable>
 #include <cstring>
-#include <mutex>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "support/assert.hpp"
+#include "support/ordered_mutex.hpp"
 
 namespace bm::serve {
 
@@ -26,19 +27,19 @@ void close_quiet(int fd) {
 
 int make_uds_listener(const std::string& path) {
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  BM_REQUIRE(fd >= 0, std::string("socket(AF_UNIX): ") + std::strerror(errno));
+  BM_REQUIRE(fd >= 0, "socket(AF_UNIX): " + errno_string(errno));
   ::unlink(path.c_str());  // stale socket from a previous run
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   BM_REQUIRE(path.size() < sizeof(addr.sun_path), "socket path too long");
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const std::string err = std::strerror(errno);
+    const std::string err = errno_string(errno);
     close_quiet(fd);
     throw Error("bind(" + path + "): " + err);
   }
   if (::listen(fd, 64) != 0) {
-    const std::string err = std::strerror(errno);
+    const std::string err = errno_string(errno);
     close_quiet(fd);
     throw Error("listen(" + path + "): " + err);
   }
@@ -47,7 +48,7 @@ int make_uds_listener(const std::string& path) {
 
 int make_tcp_listener(int port, int& bound_port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  BM_REQUIRE(fd >= 0, std::string("socket(AF_INET): ") + std::strerror(errno));
+  BM_REQUIRE(fd >= 0, "socket(AF_INET): " + errno_string(errno));
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
@@ -56,7 +57,7 @@ int make_tcp_listener(int port, int& bound_port) {
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
       ::listen(fd, 64) != 0) {
-    const std::string err = std::strerror(errno);
+    const std::string err = errno_string(errno);
     close_quiet(fd);
     throw Error("tcp bind/listen on port " + std::to_string(port) + ": " +
                 err);
@@ -73,24 +74,26 @@ int make_tcp_listener(int port, int& bound_port) {
 /// so a callback never writes to a dead descriptor.
 struct ConnState {
   int fd = -1;
-  std::mutex write_mu;  ///< serializes response frames
+  /// Serializes response frames. Ordered before `mu`: the response path
+  /// may finish a frame write and then bump the outstanding count down.
+  OrderedMutex write_mu{LockLevel::kConnWrite, "ConnState.write_mu"};
 
-  std::mutex mu;
-  std::condition_variable cv;
+  OrderedMutex mu{LockLevel::kConnState, "ConnState.mu"};
+  std::condition_variable_any cv;
   std::size_t outstanding = 0;
   bool write_failed = false;
 
   void begin_request() {
-    std::unique_lock<std::mutex> lock(mu);
+    OrderedLock lock(mu);
     ++outstanding;
   }
   void end_request() {
-    std::unique_lock<std::mutex> lock(mu);
+    OrderedLock lock(mu);
     --outstanding;
     if (outstanding == 0) cv.notify_all();
   }
   void wait_quiesced() {
-    std::unique_lock<std::mutex> lock(mu);
+    OrderedLock lock(mu);
     cv.wait(lock, [this] { return outstanding == 0; });
   }
 };
@@ -103,7 +106,7 @@ struct Server::Impl {
   int tcp_fd = -1;
   int stop_pipe[2] = {-1, -1};
 
-  std::mutex conn_mu;
+  OrderedMutex conn_mu{LockLevel::kServerConns, "Server.conn_mu"};
   std::vector<std::shared_ptr<ConnState>> conns;
   std::vector<std::thread> conn_threads;
 
@@ -127,7 +130,7 @@ struct Server::Impl {
         Response resp;
         resp.status = Status::kError;
         resp.error = e.what();
-        std::unique_lock<std::mutex> lock(conn->write_mu);
+        OrderedLock lock(conn->write_mu);
         if (!write_frame(conn->fd, encode_response(resp))) break;
         continue;
       }
@@ -136,7 +139,7 @@ struct Server::Impl {
       CancelToken token = core->submit(std::move(req), [conn](
                                                           const Response& r) {
         {
-          std::unique_lock<std::mutex> lock(conn->write_mu);
+          OrderedLock lock(conn->write_mu);
           if (!conn->write_failed &&
               !write_frame(conn->fd, encode_response(r)))
             conn->write_failed = true;
@@ -153,7 +156,7 @@ struct Server::Impl {
     conn->wait_quiesced();
     // conn_mu also guards the drain path's shutdown(fd) against this close
     // recycling the descriptor number under it.
-    std::unique_lock<std::mutex> lock(conn_mu);
+    OrderedLock lock(conn_mu);
     ::shutdown(conn->fd, SHUT_RDWR);
     close_quiet(conn->fd);
     conn->fd = -1;
@@ -168,8 +171,14 @@ Server::Server(NetConfig cfg) : impl_(std::make_unique<Impl>()) {
   core_ = std::make_unique<ServeCore>(impl_->cfg.core);
   impl_->core = core_.get();
 
-  BM_REQUIRE(::pipe(impl_->stop_pipe) == 0,
-             std::string("pipe: ") + std::strerror(errno));
+  BM_REQUIRE(::pipe(impl_->stop_pipe) == 0, "pipe: " + errno_string(errno));
+  // Self-pipe hygiene: never leak into exec'd children, and never let the
+  // event loop block on the pipe itself — commands arrive via poll(), and
+  // a full pipe on the write side just means a wakeup is already pending.
+  for (const int fd : impl_->stop_pipe) {
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL) | O_NONBLOCK);
+  }
   if (!impl_->cfg.uds_path.empty())
     impl_->uds_fd = make_uds_listener(impl_->cfg.uds_path);
   if (impl_->cfg.tcp_port >= 0)
@@ -207,13 +216,28 @@ void Server::run() {
     const int rc = ::poll(fds, nfds, -1);
     if (rc < 0) {
       if (errno == EINTR) continue;
-      throw Error(std::string("poll: ") + std::strerror(errno));
+      throw Error("poll: " + errno_string(errno));
     }
     if (fds[0].revents & POLLIN) {
       // One command byte per wakeup: 's' = graceful stop, 'd' = dump the
-      // stats snapshot to stderr (the SIGUSR1 path) and keep serving.
-      char cmd = 's';
-      if (::read(impl_->stop_pipe[0], &cmd, 1) <= 0) cmd = 's';
+      // stats snapshot to stderr (the SIGUSR1 path) and keep serving. A
+      // signal landing between poll() and read() must not be mistaken for
+      // a stop command: retry on EINTR, and treat a drained pipe (EAGAIN —
+      // another wakeup already consumed the byte) as a no-op. Only a dead
+      // pipe degrades to stop.
+      char cmd = 0;
+      for (;;) {
+        const ssize_t n = ::read(impl_->stop_pipe[0], &cmd, 1);
+        if (n == 1) break;
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+          cmd = 0;
+          break;
+        }
+        cmd = 's';  // EOF or hard error: the pipe is gone, shut down
+        break;
+      }
+      if (cmd == 0) continue;
       if (cmd == 's') break;
       if (cmd == 'd') {
         const std::string snap = core_->stats_json() + "\n";
@@ -229,7 +253,7 @@ void Server::run() {
       if (client < 0) continue;  // transient accept failure
       auto conn = std::make_shared<ConnState>();
       conn->fd = client;
-      std::unique_lock<std::mutex> lock(impl_->conn_mu);
+      OrderedLock lock(impl_->conn_mu);
       impl_->conns.push_back(conn);
       impl_->conn_threads.emplace_back(
           [impl = impl_.get(), conn] { impl->serve_connection(conn); });
@@ -242,7 +266,7 @@ void Server::run() {
   // unblock the reader threads and join them.
   core_->drain();
   {
-    std::unique_lock<std::mutex> lock(impl_->conn_mu);
+    OrderedLock lock(impl_->conn_mu);
     for (const auto& conn : impl_->conns)
       if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RD);
   }

@@ -9,6 +9,19 @@
 
 namespace bm::serve {
 
+std::string errno_string(int err) {
+  char buf[128];
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  // GNU strerror_r may return a pointer into libc's immutable table
+  // instead of filling buf; either way the result is thread-safe.
+  return strerror_r(err, buf, sizeof buf);
+#else
+  if (strerror_r(err, buf, sizeof buf) != 0)
+    return "errno " + std::to_string(err);
+  return buf;
+#endif
+}
+
 namespace {
 
 const char* verb_name(Verb v) {
@@ -321,7 +334,7 @@ bool write_frame(int fd, const std::string& payload) {
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EPIPE || errno == ECONNRESET) return false;
-      throw Error(std::string("frame write failed: ") + std::strerror(errno));
+      throw Error("frame write failed: " + errno_string(errno));
     }
     off += static_cast<std::size_t>(n);
   }
@@ -336,7 +349,7 @@ std::optional<std::string> read_frame(int fd) {
       const ssize_t n = ::read(fd, dst + got, want - got);
       if (n < 0) {
         if (errno == EINTR) continue;
-        throw Error(std::string("frame read failed: ") + std::strerror(errno));
+        throw Error("frame read failed: " + errno_string(errno));
       }
       if (n == 0) {
         BM_REQUIRE(eof_ok && got == 0, "connection closed mid-frame");

@@ -66,6 +66,11 @@ struct Response {
   std::string body;         ///< schedule text / stats text / pong
 };
 
+/// Thread-safe strerror: the serving stack formats errno from concurrent
+/// connection/worker threads, where std::strerror's shared buffer is a
+/// race (and a concurrency-mt-unsafe tidy finding).
+std::string errno_string(int err);
+
 // -- text payload codec ----------------------------------------------------
 
 std::string encode_request(const Request& req);

@@ -181,7 +181,7 @@ void ServeTelemetry::append_access_log(const RequestTiming& t) {
   }
   line += "}\n";
 
-  std::lock_guard<std::mutex> lock(log_mu_);
+  OrderedLock lock(log_mu_);
   if (log_bytes_ + line.size() > cfg_.access_log_rotate_bytes &&
       log_bytes_ > 0) {
     std::fclose(log_);
@@ -207,6 +207,8 @@ void ServeTelemetry::append_access_log(const RequestTiming& t) {
 void ServeTelemetry::maybe_emit_slow_trace(const RequestTiming& t) {
   if (cfg_.slow_trace_us == 0 || cfg_.slow_trace_dir.empty()) return;
   if (t.total_us < cfg_.slow_trace_us) return;
+  // mo: fast-path pre-check and suppression tally; the authoritative slot
+  // claim is the seq_cst fetch_add below, these counters order nothing.
   if (slow_emitted_.load(std::memory_order_relaxed) >= cfg_.slow_trace_max) {
     slow_suppressed_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -215,6 +217,7 @@ void ServeTelemetry::maybe_emit_slow_trace(const RequestTiming& t) {
   const std::uint64_t n = slow_emitted_.fetch_add(1);
   if (n >= cfg_.slow_trace_max) {
     slow_emitted_.fetch_sub(1);
+    // mo: suppression tally only (see above).
     slow_suppressed_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
@@ -263,6 +266,7 @@ std::string ServeTelemetry::stats_json(const CoreTotals& totals) const {
   const std::uint64_t now = now_us();
   const obs::LatencyBuckets all = total_.snapshot();
   const obs::LatencyBuckets win = window_.window(now);
+  // mo: inflight gauge; the snapshot is allowed to be momentarily stale.
   const std::uint64_t running = running_.load(std::memory_order_relaxed);
   const std::uint64_t waiting =
       totals.queued > running ? totals.queued - running : 0;
@@ -363,7 +367,7 @@ std::string ServeTelemetry::stats_json(const CoreTotals& totals) const {
   key(out, "access_log");
   out += '{';
   {
-    std::lock_guard<std::mutex> lock(log_mu_);
+    OrderedLock lock(log_mu_);
     key(out, "enabled");
     out += log_ != nullptr ? "true" : "false";
     out += ',';
@@ -384,9 +388,11 @@ std::string ServeTelemetry::stats_json(const CoreTotals& totals) const {
   append_u64(out, cfg_.slow_trace_us);
   out += ',';
   key(out, "emitted");
+  // mo: stats-snapshot reads of tally counters; staleness is acceptable.
   append_u64(out, slow_emitted_.load(std::memory_order_relaxed));
   out += ',';
   key(out, "suppressed");
+  // mo: stats-snapshot tally read (see above).
   append_u64(out, slow_suppressed_.load(std::memory_order_relaxed));
   out += '}';
   out += "}";

@@ -33,12 +33,12 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <string>
 
 #include "obs/latency.hpp"
 #include "serve/cache.hpp"
 #include "serve/protocol.hpp"
+#include "support/ordered_mutex.hpp"
 
 namespace bm::serve {
 
@@ -135,9 +135,12 @@ class ServeTelemetry {
   std::uint64_t next_rid() { return rid_.fetch_add(1) + 1; }
 
   /// Requests currently executing on a worker (vs waiting in the queue).
+  // mo: standalone inflight gauge — read only by the stats snapshot, which
+  // tolerates a momentarily stale value; nothing is published through it.
   void worker_begin() { running_.fetch_add(1, std::memory_order_relaxed); }
   void worker_end() { running_.fetch_sub(1, std::memory_order_relaxed); }
   std::uint64_t running() const {
+    // mo: same gauge contract as worker_begin/worker_end above.
     return running_.load(std::memory_order_relaxed);
   }
 
@@ -167,7 +170,10 @@ class ServeTelemetry {
   obs::WindowedLatencyHistogram window_;
   std::array<obs::LatencyHistogram, kNumPhases> phase_;
 
-  mutable std::mutex log_mu_;  ///< guards the access-log stream + tallies
+  /// Guards the access-log stream + tallies. Leaf in the hierarchy: held
+  /// only around fwrite/rotate and the stats snapshot's tally read.
+  mutable OrderedMutex log_mu_{LockLevel::kTelemetryLog,
+                               "ServeTelemetry.log_mu"};
   std::FILE* log_ = nullptr;
   std::uint64_t log_bytes_ = 0;
   std::uint64_t log_lines_ = 0;

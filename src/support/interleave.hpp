@@ -1,0 +1,297 @@
+// Deterministic interleaving explorer for small concurrent programs — a
+// DPOR-lite stateless model checker in the spirit of CHESS/Loom, used to
+// exhaustively test the lock-free protocols in the serving core
+// (tests/interleave_test.cpp models window rotation, cache hit-vs-evict,
+// cancel-at-dequeue, exactly-once teardown).
+//
+// How it works:
+//   - A model program registers 2–3 thread bodies (ix::Env::thread) and
+//     end-state invariants (ix::Env::invariant). Shared state is built
+//     from ix::Cell<T> (atomics with explicit memory orders), ix::Plain<T>
+//     (non-atomic locations with vector-clock data-race detection) and
+//     ix::Mutex.
+//   - Every shared-memory operation is a yield point: the thread publishes
+//     the operation it is about to perform and blocks; a scheduler thread
+//     picks which runnable thread steps next. Worker threads are real
+//     std::threads, persistent across executions, serialized by a
+//     semaphore handshake so exactly one runs at a time.
+//   - The whole run is a DFS over a decision stack holding both scheduling
+//     choices and load-value choices: a relaxed/acquire load may read any
+//     store in the cell's history that coherence and happens-before still
+//     allow, which is how store-buffering/stale-read behaviours of the
+//     weak memory model are explored without reordering stores.
+//   - Happens-before is tracked with vector clocks (release stores,
+//     acquire loads, release/acquire fences, mutex hand-off, RMW release
+//     sequences). Plain accesses not ordered by HB are reported as data
+//     races. Executions with no runnable unfinished thread are deadlocks.
+//   - Sleep sets (Godefroid) prune interleavings that only reorder
+//     independent operations; exploration is exhaustive-or-fail — Result
+//     says whether the full space fit under Options::max_executions.
+//
+// The model API is deliberately tiny and value-typed (integral cells) —
+// models re-state a protocol in ~20 lines rather than link the production
+// classes, and the mutation selftest seeds the exact bug classes we care
+// about (dropped fence, widened/narrowed critical section, CAS downgraded
+// to plain load+store) to prove the harness catches them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bm::ix {
+
+class Explorer;
+
+enum class MemOrder { kRelaxed, kAcquire, kRelease, kAcqRel, kSeqCst };
+
+const char* memorder_name(MemOrder mo);
+
+struct Options {
+  /// Exploration cap; hitting it reports Result::complete == false rather
+  /// than silently passing on a truncated search.
+  long max_executions = 100000;
+  /// Per-execution scheduled-step cap (guards modelling mistakes that
+  /// produce unbounded spins; reported as a violation).
+  int max_steps = 2000;
+  /// Sleep-set partial-order reduction. Off = plain exhaustive DFS; the
+  /// selftest cross-checks both modes reach the same verdict.
+  bool sleep_sets = true;
+};
+
+struct Violation {
+  enum class Kind { kCheck, kInvariant, kDataRace, kDeadlock, kStepLimit };
+  Kind kind = Kind::kCheck;
+  std::string message;
+  /// Event log of the failing execution, one scheduled op per line.
+  std::vector<std::string> trace;
+};
+
+const char* violation_kind_name(Violation::Kind k);
+
+struct Result {
+  long executions = 0;
+  bool complete = false;  ///< full space explored within max_executions
+  std::optional<Violation> violation;
+
+  /// The model checked out: no violation and the search was exhaustive.
+  bool ok() const { return complete && !violation; }
+};
+
+namespace detail {
+
+inline constexpr int kMaxThreads = 8;
+
+/// Current explorer + worker thread id (-1 on the scheduler thread). Set
+/// for the duration of explore(); Cell/Plain/Mutex operations require it.
+Explorer* cur();
+int cur_tid();
+
+struct VectorClock {
+  std::uint32_t v[kMaxThreads] = {};
+
+  void join(const VectorClock& o) {
+    for (int i = 0; i < kMaxThreads; ++i)
+      if (o.v[i] > v[i]) v[i] = o.v[i];
+  }
+  bool leq(const VectorClock& o) const {
+    for (int i = 0; i < kMaxThreads; ++i)
+      if (v[i] > o.v[i]) return false;
+    return true;
+  }
+  void clear() {
+    for (auto& x : v) x = 0;
+  }
+};
+
+/// One entry in an atomic cell's modification order.
+struct StoreRecord {
+  std::uint64_t value = 0;
+  VectorClock release;  ///< what an acquire load of this store synchronizes with
+  VectorClock when;     ///< storing thread's clock: prunes HB-overwritten stores
+  int by_tid = -1;
+};
+
+/// Untyped core of Cell<T>: modification order + per-thread read cursor.
+class CellState {
+ public:
+  CellState(const char* name, std::uint64_t init);
+
+  std::uint64_t load(MemOrder mo);
+  void store(std::uint64_t val, MemOrder mo);
+  std::uint64_t fetch_add(std::uint64_t d, MemOrder mo);
+  std::uint64_t exchange(std::uint64_t val, MemOrder mo);
+  bool compare_exchange(std::uint64_t& expected, std::uint64_t desired,
+                        MemOrder mo);
+  /// Blocks until the latest store satisfies `pred`, then acquire-loads it.
+  /// Use for spin-wait loops: models "the spinner is eventually scheduled
+  /// after the publish" without enumerating unbounded spin iterations.
+  void await(std::function<bool(std::uint64_t)> pred, const char* what);
+
+  std::uint64_t peek() const;  ///< latest value; invariants only
+
+  const char* name() const { return name_; }
+
+ private:
+  friend class ::bm::ix::Explorer;
+  std::uint64_t read_store(std::size_t idx, MemOrder mo);
+  std::uint64_t rmw_read(MemOrder mo);
+  void rmw_write(std::uint64_t val, MemOrder mo);
+
+  const char* name_;
+  std::vector<StoreRecord> stores_;
+  int last_read_[kMaxThreads];
+};
+
+/// Untyped core of Plain<T>: value + FastTrack-style race clocks.
+class PlainState {
+ public:
+  PlainState(const char* name, std::uint64_t init);
+
+  std::uint64_t read();
+  void write(std::uint64_t val);
+  std::uint64_t peek() const { return value_; }
+
+  const char* name() const { return name_; }
+
+  /// Race bookkeeping, driven by the Explorer. A read races unless the
+  /// last write happened-before it; a write additionally needs every
+  /// prior read ordered before it.
+  bool race_check_read(const VectorClock& c) const {
+    return write_clock_.leq(c);
+  }
+  bool race_check_write(const VectorClock& c, int& other) const {
+    if (!write_clock_.leq(c)) {
+      other = last_writer_;
+      return false;
+    }
+    for (int u = 0; u < kMaxThreads; ++u)
+      if (read_clock_.v[u] > c.v[u]) {
+        other = u;
+        return false;
+      }
+    return true;
+  }
+  void note_read(int tid, const VectorClock& c) {
+    read_clock_.v[tid] = c.v[tid];
+  }
+  void note_write(int tid, const VectorClock& c, std::uint64_t v) {
+    write_clock_ = c;
+    last_writer_ = tid;
+    value_ = v;
+  }
+  int last_writer() const { return last_writer_; }
+
+ private:
+  const char* name_;
+  std::uint64_t value_;
+  VectorClock write_clock_;
+  int last_writer_ = -1;
+  VectorClock read_clock_;
+};
+
+}  // namespace detail
+
+/// Modelled atomic variable. T must be an integral or enum type that fits
+/// in 64 bits; values round-trip through uint64_t.
+template <typename T>
+class Cell {
+ public:
+  Cell(const char* name, T init)
+      : st_(name, static_cast<std::uint64_t>(init)) {}
+
+  T load(MemOrder mo) { return static_cast<T>(st_.load(mo)); }
+  void store(T v, MemOrder mo) { st_.store(static_cast<std::uint64_t>(v), mo); }
+  T fetch_add(T d, MemOrder mo) {
+    return static_cast<T>(st_.fetch_add(static_cast<std::uint64_t>(d), mo));
+  }
+  T exchange(T v, MemOrder mo) {
+    return static_cast<T>(st_.exchange(static_cast<std::uint64_t>(v), mo));
+  }
+  bool compare_exchange(T& expected, T desired, MemOrder mo) {
+    auto e = static_cast<std::uint64_t>(expected);
+    const bool ok =
+        st_.compare_exchange(e, static_cast<std::uint64_t>(desired), mo);
+    expected = static_cast<T>(e);
+    return ok;
+  }
+  /// Spin-wait replacement: block until the latest store equals `v`.
+  void await_eq(T v) {
+    st_.await([u = static_cast<std::uint64_t>(v)](
+                  std::uint64_t x) { return x == u; },
+              "await_eq");
+  }
+
+  T peek() const { return static_cast<T>(st_.peek()); }
+
+ private:
+  detail::CellState st_;
+};
+
+/// Modelled non-atomic location: unsynchronized concurrent access (at
+/// least one write) is reported as a data race.
+template <typename T>
+class Plain {
+ public:
+  Plain(const char* name, T init)
+      : st_(name, static_cast<std::uint64_t>(init)) {}
+
+  T read() { return static_cast<T>(st_.read()); }
+  void write(T v) { st_.write(static_cast<std::uint64_t>(v)); }
+  T peek() const { return static_cast<T>(st_.peek()); }
+
+ private:
+  detail::PlainState st_;
+};
+
+/// Modelled mutex: lock blocks (thread not runnable) while held; HB flows
+/// unlock -> next lock. Misuse (unlock by non-owner) is a check violation.
+class Mutex {
+ public:
+  explicit Mutex(const char* name) : name_(name) {}
+
+  void lock();
+  void unlock();
+
+ private:
+  friend class Explorer;
+  const char* name_;
+  int held_by_ = -1;
+  detail::VectorClock clock_;
+};
+
+/// Standalone fence. Thread-local clock effect only, so not a yield point:
+/// release snapshots the clock for later relaxed stores; acquire joins the
+/// release clocks of previously relaxed-loaded stores.
+void fence(MemOrder mo);
+
+/// In-thread assertion: records a Violation::Kind::kCheck and aborts the
+/// current execution when `cond` is false. Not a yield point.
+void check(bool cond, const std::string& msg);
+
+/// Per-execution program description, built fresh for every interleaving.
+class Env {
+ public:
+  /// Registers a thread body. Call count must be identical across
+  /// executions (bodies are assigned to the persistent worker pool).
+  void thread(std::function<void()> body);
+
+  /// End-state invariant, evaluated after all threads finished, reading
+  /// final values via peek(). Failure records Violation::Kind::kInvariant.
+  void invariant(std::string name, std::function<bool()> inv);
+
+ private:
+  friend class Explorer;
+  std::vector<std::function<void()>> bodies_;
+  std::vector<std::pair<std::string, std::function<bool()>>> invariants_;
+};
+
+/// Runs `program` under every schedule (and every allowed load-value
+/// resolution), stopping at the first violation. `program` is invoked at
+/// the start of each execution and must build fresh shared state.
+Result explore(const Options& opts,
+               const std::function<void(Env&)>& program);
+
+}  // namespace bm::ix

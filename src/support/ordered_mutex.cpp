@@ -1,0 +1,139 @@
+#include "support/ordered_mutex.hpp"
+
+#if BM_LOCK_ORDER_CHECK
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace bm {
+namespace lock_order_detail {
+
+namespace {
+
+/// Distinct (from-level, to-level) acquisition edges seen process-wide,
+/// with the first witnessing mutex names. Small and append-only: the
+/// hierarchy has a handful of levels, so linear scans beat a map here.
+struct EdgeTable {
+  std::mutex mu;  // meta-lock; never held while any OrderedMutex is taken
+  std::vector<LockOrderEdge> edges;
+};
+
+EdgeTable& edge_table() {
+  static EdgeTable t;
+  return t;
+}
+
+/// The calling thread's held mutexes, acquisition-ordered (bottom first).
+std::vector<const OrderedMutexBase*>& held_stack() {
+  thread_local std::vector<const OrderedMutexBase*> stack;
+  return stack;
+}
+
+void record_edge(const OrderedMutexBase* from, const OrderedMutexBase* to) {
+  EdgeTable& t = edge_table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  for (const LockOrderEdge& e : t.edges)
+    if (e.from_level == from->level() && e.to_level == to->level()) return;
+  t.edges.push_back(
+      {from->level(), to->level(), from->name(), to->name()});
+}
+
+/// The witness for an inversion: if the opposite order (attempted ->
+/// held) was ever observed anywhere in the process, name it — the pair of
+/// sites is the would-be deadlock cycle.
+const LockOrderEdge* find_opposite(const OrderedMutexBase* held,
+                                   const OrderedMutexBase* attempted) {
+  EdgeTable& t = edge_table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  for (const LockOrderEdge& e : t.edges)
+    if (e.from_level == attempted->level() && e.to_level == held->level())
+      return &e;
+  return nullptr;
+}
+
+[[noreturn]] void die(const OrderedMutexBase* attempted,
+                      const char* problem) {
+  std::fprintf(stderr,
+               "\nbm: LOCK ORDER VIOLATION: %s while acquiring "
+               "'%s' (level %u)\n",
+               problem, attempted->name(),
+               static_cast<unsigned>(attempted->level()));
+  std::fprintf(stderr, "  held by this thread (acquisition order):\n");
+  for (const OrderedMutexBase* m : held_stack())
+    std::fprintf(stderr, "    '%s' (level %u)\n", m->name(),
+                 static_cast<unsigned>(m->level()));
+  for (const OrderedMutexBase* m : held_stack()) {
+    if (const LockOrderEdge* e = find_opposite(m, attempted))
+      std::fprintf(stderr,
+                   "  cycle witness: '%s' -> '%s' was acquired in the "
+                   "opposite order elsewhere (levels %u -> %u)\n",
+                   e->from_name, e->to_name,
+                   static_cast<unsigned>(e->from_level),
+                   static_cast<unsigned>(e->to_level));
+  }
+  std::fprintf(stderr,
+               "  hierarchy: see LockLevel in support/ordered_mutex.hpp "
+               "and docs/CONCURRENCY.md\n\n");
+  std::abort();
+}
+
+}  // namespace
+
+void before_acquire(const OrderedMutexBase* m) {
+  for (const OrderedMutexBase* h : held_stack()) {
+    if (h == m) die(m, "relocking a mutex already held");
+    if (h->level() >= m->level())
+      die(m, "holding an equal-or-higher level");
+  }
+}
+
+void acquired(const OrderedMutexBase* m) {
+  for (const OrderedMutexBase* h : held_stack()) record_edge(h, m);
+  held_stack().push_back(m);
+}
+
+void released(const OrderedMutexBase* m) {
+  std::vector<const OrderedMutexBase*>& stack = held_stack();
+  // Releases are LIFO in practice; scan from the top so out-of-order
+  // unlocks (legal, just unusual) stay correct.
+  for (std::size_t i = stack.size(); i > 0; --i) {
+    if (stack[i - 1] == m) {
+      stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+  die(m, "releasing a mutex this thread does not hold");
+}
+
+}  // namespace lock_order_detail
+
+std::size_t lock_order_edge_count() {
+  lock_order_detail::EdgeTable& t = lock_order_detail::edge_table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return t.edges.size();
+}
+
+LockOrderEdge lock_order_edge(std::size_t i) {
+  lock_order_detail::EdgeTable& t = lock_order_detail::edge_table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return i < t.edges.size() ? t.edges[i] : LockOrderEdge{};
+}
+
+std::size_t lock_order_held_depth() {
+  return lock_order_detail::held_stack().size();
+}
+
+}  // namespace bm
+
+#else
+
+// Release builds: OrderedMutex is header-only plain std::mutex; nothing to
+// emit, but keep the TU non-empty for strict toolchains.
+namespace bm {
+namespace lock_order_detail {
+void ordered_mutex_release_build_anchor() {}
+}  // namespace lock_order_detail
+}  // namespace bm
+
+#endif  // BM_LOCK_ORDER_CHECK

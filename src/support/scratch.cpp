@@ -6,6 +6,7 @@ namespace bm::scratch_detail {
 
 std::size_t next_scratch_type_id() {
   static std::atomic<std::size_t> next{0};
+  // mo: unique-id allocation; only atomicity of the increment matters.
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 

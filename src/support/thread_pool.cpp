@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    OrderedLock lock(mu_);
     stopping_ = true;
   }
   // Workers drain the queue before exiting (worker_loop only returns on an
@@ -27,7 +27,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::enqueue(Task t) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    OrderedLock lock(mu_);
     BM_REQUIRE(!stopping_, "pool is shutting down");
     queue_.push_back(std::move(t));
     ++in_flight_;
@@ -46,7 +46,7 @@ void ThreadPool::submit(CancelToken token, std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mu_);
+  OrderedLock lock(mu_);
   idle_.wait(lock, [this] { return in_flight_ == 0; });
   if (pending_error_) {
     std::exception_ptr err = std::exchange(pending_error_, nullptr);
@@ -56,12 +56,12 @@ void ThreadPool::wait_idle() {
 }
 
 std::size_t ThreadPool::pending() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  OrderedLock lock(mu_);
   return queue_.size();
 }
 
 std::size_t ThreadPool::cancelled_skips() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  OrderedLock lock(mu_);
   return cancelled_skips_;
 }
 
@@ -70,7 +70,7 @@ void ThreadPool::worker_loop() {
     Task task;
     bool skip = false;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      OrderedLock lock(mu_);
       work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
@@ -95,7 +95,7 @@ void ThreadPool::worker_loop() {
     }
     task.fn = nullptr;  // release closure state before signalling idle
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      OrderedLock lock(mu_);
       if (err && !pending_error_) pending_error_ = err;
       if (--in_flight_ == 0) idle_.notify_all();
     }

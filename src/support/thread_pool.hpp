@@ -13,9 +13,10 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/ordered_mutex.hpp"
 
 namespace bm {
 
@@ -97,9 +98,13 @@ class ThreadPool {
   void worker_loop();
   void enqueue(Task t);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::condition_variable idle_;
+  /// kThreadPool is the deepest hierarchy level: submit() may run under
+  /// any serving-stack lock, and workers dequeue holding nothing else.
+  /// condition_variable_any waits release/reacquire through the checked
+  /// lock methods, keeping the held-lock stack exact across waits.
+  mutable OrderedMutex mu_{LockLevel::kThreadPool, "ThreadPool.mu"};
+  std::condition_variable_any work_ready_;
+  std::condition_variable_any idle_;
   std::deque<Task> queue_;
   std::size_t in_flight_ = 0;  ///< queued + currently running tasks
   std::size_t cancelled_skips_ = 0;

@@ -1,0 +1,176 @@
+// Lock-hierarchy checker: the accept path (increasing-level nesting,
+// out-of-order release, cv waits keeping the held stack exact, edge
+// recording) and the abort path (inversion, relock, foreign release) via
+// death tests. All checking-specific assertions are compiled out together
+// with the checker in Release builds.
+#include "support/ordered_mutex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <thread>
+
+namespace bm {
+namespace {
+
+TEST(OrderedMutexTest, IncreasingLevelsNest) {
+  OrderedMutex low(LockLevel::kTestLow, "test.low");
+  OrderedMutex mid(LockLevel::kTestMid, "test.mid");
+  OrderedMutex high(LockLevel::kTestHigh, "test.high");
+
+  OrderedLock l1(low);
+  OrderedLock l2(mid);
+  OrderedLock l3(high);
+#if BM_LOCK_ORDER_CHECK
+  EXPECT_EQ(lock_order_held_depth(), 3u);
+#endif
+  l3.unlock();
+  l2.unlock();
+  l1.unlock();
+#if BM_LOCK_ORDER_CHECK
+  EXPECT_EQ(lock_order_held_depth(), 0u);
+#endif
+}
+
+TEST(OrderedMutexTest, OutOfOrderReleaseIsLegal) {
+  OrderedMutex low(LockLevel::kTestLow, "test.low2");
+  OrderedMutex high(LockLevel::kTestHigh, "test.high2");
+  OrderedLock l1(low);
+  OrderedLock l2(high);
+  l1.unlock();  // release the bottom of the stack first
+#if BM_LOCK_ORDER_CHECK
+  EXPECT_EQ(lock_order_held_depth(), 1u);
+#endif
+  l2.unlock();
+}
+
+TEST(OrderedMutexTest, TryLockParticipates) {
+  OrderedMutex low(LockLevel::kTestLow, "test.low3");
+  ASSERT_TRUE(low.try_lock());
+#if BM_LOCK_ORDER_CHECK
+  EXPECT_EQ(lock_order_held_depth(), 1u);
+#endif
+  low.unlock();
+
+  // Contended try_lock fails without touching the held stack.
+  OrderedLock held(low);
+  std::thread other([&] {
+    EXPECT_FALSE(low.try_lock());
+#if BM_LOCK_ORDER_CHECK
+    EXPECT_EQ(lock_order_held_depth(), 0u);
+#endif
+  });
+  other.join();
+}
+
+#if BM_LOCK_ORDER_CHECK
+TEST(OrderedMutexTest, NestedAcquisitionRecordsEdge) {
+  OrderedMutex low(LockLevel::kTestLow, "test.edge.low");
+  OrderedMutex mid(LockLevel::kTestMid, "test.edge.mid");
+  {
+    OrderedLock l1(low);
+    OrderedLock l2(mid);
+  }
+  bool found = false;
+  for (std::size_t i = 0; i < lock_order_edge_count(); ++i) {
+    const LockOrderEdge e = lock_order_edge(i);
+    if (e.from_level == static_cast<std::uint16_t>(LockLevel::kTestLow) &&
+        e.to_level == static_cast<std::uint16_t>(LockLevel::kTestMid))
+      found = true;
+  }
+  EXPECT_TRUE(found);
+}
+#endif
+
+TEST(OrderedMutexTest, ConditionVariableWaitKeepsStackExact) {
+  OrderedMutex mu(LockLevel::kTestMid, "test.cv.mu");
+  std::condition_variable_any cv;
+  bool ready = false;
+
+  std::thread waiter([&] {
+    OrderedLock lock(mu);
+    cv.wait(lock, [&] { return ready; });
+#if BM_LOCK_ORDER_CHECK
+    // Woken with the lock re-held: depth must be exactly one.
+    EXPECT_EQ(lock_order_held_depth(), 1u);
+#endif
+  });
+
+  {
+    OrderedLock lock(mu);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+#if BM_LOCK_ORDER_CHECK
+  EXPECT_EQ(lock_order_held_depth(), 0u);
+#endif
+}
+
+#if BM_LOCK_ORDER_CHECK
+
+TEST(OrderedMutexDeathTest, InversionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        OrderedMutex low(LockLevel::kTestLow, "death.low");
+        OrderedMutex high(LockLevel::kTestHigh, "death.high");
+        OrderedLock l1(high);
+        OrderedLock l2(low);  // holding 1020, acquiring 1000: inversion
+      },
+      "LOCK ORDER VIOLATION.*holding an equal-or-higher level");
+}
+
+TEST(OrderedMutexDeathTest, SameLevelAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        OrderedMutex a(LockLevel::kTestMid, "death.a");
+        OrderedMutex b(LockLevel::kTestMid, "death.b");
+        OrderedLock l1(a);
+        OrderedLock l2(b);  // two mutexes of one level held together
+      },
+      "LOCK ORDER VIOLATION");
+}
+
+TEST(OrderedMutexDeathTest, RelockAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        OrderedMutex mu(LockLevel::kTestLow, "death.relock");
+        mu.lock();
+        mu.lock();
+      },
+      "LOCK ORDER VIOLATION.*relocking a mutex already held");
+}
+
+TEST(OrderedMutexDeathTest, ForeignReleaseAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        OrderedMutex mu(LockLevel::kTestLow, "death.release");
+        mu.unlock();
+      },
+      "LOCK ORDER VIOLATION.*releasing a mutex this thread does not hold");
+}
+
+TEST(OrderedMutexDeathTest, InversionWitnessNamesOppositeOrder) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        OrderedMutex low(LockLevel::kTestLow, "witness.low");
+        OrderedMutex high(LockLevel::kTestHigh, "witness.high");
+        {
+          OrderedLock l1(low);
+          OrderedLock l2(high);  // records low -> high
+        }
+        OrderedLock l1(high);
+        OrderedLock l2(low);  // inversion: witness must cite low -> high
+      },
+      "cycle witness: 'witness.low' -> 'witness.high'");
+}
+
+#endif  // BM_LOCK_ORDER_CHECK
+
+}  // namespace
+}  // namespace bm
