@@ -72,6 +72,19 @@ GATED_BENCHMARKS = {
         "BM_ServeCacheHitAccessLog/120",
         "BM_FingerprintCanonicalize/120",
     ],
+    # BM_ExecRunBlocking rides in BENCH_exec.json for visibility but is
+    # ungated: it is dominated by thread spawn + scheduler behavior on a
+    # loaded core, which the cv-widened threshold cannot absorb. The
+    # barrier-crossing latencies (manual time, spawn excluded) and the
+    # pure-CPU lowering pass are the gated contract.
+    "BENCH_exec.json": [
+        "BM_ExecBarrierCentral/2/manual_time",
+        "BM_ExecBarrierCentral/8/manual_time",
+        "BM_ExecBarrierTree/2/manual_time",
+        "BM_ExecBarrierTree/8/manual_time",
+        "BM_ExecLower/24",
+        "BM_ExecLower/120",
+    ],
 }
 
 BASE_THRESHOLD = 0.10     # the ">10% regression" contract from the ISSUE

@@ -40,6 +40,7 @@ serve_smoke=0
 stats_smoke=0
 bench_gate=0
 bench_regen=0
+exec_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --asan) asan=1 ;;
@@ -49,14 +50,38 @@ for arg in "$@"; do
     --verify-smoke) verify_smoke=1 ;;
     --serve-smoke) serve_smoke=1 ;;
     --stats-smoke) stats_smoke=1 ;;
+    --exec-smoke) exec_smoke=1 ;;
     --bench-gate) bench_gate=1 ;;
     --bench-regen) bench_regen=1 ;;
     *) echo "usage: $0 [--asan] [--ubsan] [--tsan] [--trace-smoke]" \
             "[--verify-smoke] [--serve-smoke] [--stats-smoke]" \
-            "[--bench-gate] [--bench-regen]" >&2
+            "[--exec-smoke] [--bench-gate] [--bench-regen]" >&2
        exit 2 ;;
   esac
 done
+
+# Native-execution smoke against a given build tree: the BM_EXEC_SLOW-gated
+# test set (full 100-schedule parity corpus, 64-way barrier hammering) via
+# the `slow` ctest label, then a golden-corpus spot check through the bmexec
+# CLI — both primitives, blocking and oversubscribed-cooperative mappings,
+# value-compared against the interpreter oracle (bmexec exits 1 on any
+# mismatch, 2 on usage errors).
+run_exec_smoke() {
+  local tree="$1"
+  BM_EXEC_SLOW=1 ctest --test-dir "$tree" -L slow --output-on-failure
+  local seed
+  for seed in 0 7 24; do
+    "$tree/bmexec" run --seed "$seed" --barrier both --threads 0 > /dev/null
+    "$tree/bmexec" run --seed "$seed" --barrier both --threads 3 > /dev/null
+  done
+  "$tree/bmexec" run --seed 3 --policy optimal --machine dbm --compiled \
+      > /dev/null
+  mkdir -p out
+  "$tree/bmexec" emit --seed 0 --out out/exec-smoke-emit.cpp > /dev/null
+  [[ -s out/exec-smoke-emit.cpp ]]
+  "$tree/bmexec" calibrate --repeats 2 --rounds 200 > /dev/null
+  echo "ok  exec-smoke ($tree)"
+}
 
 # bmserve/bmload end-to-end smoke against a given build tree: a few
 # thousand requests over several connections (verified schedules, mixed
@@ -132,7 +157,7 @@ if [[ "$bench_gate" -eq 1 || "$bench_regen" -eq 1 ]]; then
   cmake -B build-bench -G Ninja -DCMAKE_BUILD_TYPE=Release
   cmake --build build-bench \
       --target bench_scheduler_perf bench_sim_perf bench_batch_sim \
-               bench_serve bmrun
+               bench_serve bench_exec bmrun
   if [[ "$bench_regen" -eq 1 ]]; then
     python3 scripts/bench_gate.py run \
         build-bench/bench/bench_scheduler_perf BENCH_sched.json
@@ -142,16 +167,20 @@ if [[ "$bench_gate" -eq 1 || "$bench_regen" -eq 1 ]]; then
         build-bench/bench/bench_batch_sim BENCH_batch.json
     python3 scripts/bench_gate.py run \
         build-bench/bench/bench_serve BENCH_serve.json
+    python3 scripts/bench_gate.py run \
+        build-bench/bench/bench_exec BENCH_exec.json
     echo "baselines regenerated; review and commit BENCH_*.json"
   else
     python3 scripts/bench_gate.py validate BENCH_sched.json
     python3 scripts/bench_gate.py validate BENCH_sim.json
     python3 scripts/bench_gate.py validate BENCH_batch.json
     python3 scripts/bench_gate.py validate BENCH_serve.json
+    python3 scripts/bench_gate.py validate BENCH_exec.json
     python3 scripts/bench_gate.py selftest BENCH_sched.json
     python3 scripts/bench_gate.py selftest BENCH_sim.json
     python3 scripts/bench_gate.py selftest BENCH_batch.json
     python3 scripts/bench_gate.py selftest BENCH_serve.json
+    python3 scripts/bench_gate.py selftest BENCH_exec.json
     mkdir -p out
     python3 scripts/bench_gate.py run \
         build-bench/bench/bench_scheduler_perf out/bench_sched_current.json
@@ -161,6 +190,8 @@ if [[ "$bench_gate" -eq 1 || "$bench_regen" -eq 1 ]]; then
         build-bench/bench/bench_batch_sim out/bench_batch_current.json
     python3 scripts/bench_gate.py run \
         build-bench/bench/bench_serve out/bench_serve_current.json
+    python3 scripts/bench_gate.py run \
+        build-bench/bench/bench_exec out/bench_exec_current.json
     python3 scripts/bench_gate.py check out/bench_sched_current.json \
         --baseline BENCH_sched.json
     python3 scripts/bench_gate.py check out/bench_sim_current.json \
@@ -169,6 +200,8 @@ if [[ "$bench_gate" -eq 1 || "$bench_regen" -eq 1 ]]; then
         --baseline BENCH_batch.json
     python3 scripts/bench_gate.py check out/bench_serve_current.json \
         --baseline BENCH_serve.json
+    python3 scripts/bench_gate.py check out/bench_exec_current.json \
+        --baseline BENCH_exec.json
     # Mega-DAG wall-clock budget: the full 10^6-tuple stress experiment must
     # finish inside BM_STRESS_BUDGET_SECS (default 60) on the Release tree.
     # A quadratic regression in the streaming CSR build or the labeling
@@ -216,6 +249,9 @@ done
     > /tmp/bench_sim_smoke.json && echo "ok  bench_sim_perf (smoke)"
 ./build/bench/bench_batch_sim --benchmark_format=json \
     > /tmp/bench_batch_smoke.json && echo "ok  bench_batch_sim (smoke)"
+./build/bench/bench_exec --benchmark_format=json \
+    --benchmark_filter='BM_ExecLower/24' \
+    > /tmp/bench_exec_smoke.json && echo "ok  bench_exec (smoke)"
 
 if [[ "$verify_smoke" -eq 1 ]]; then
   mkdir -p out
@@ -247,6 +283,10 @@ fi
 
 if [[ "$stats_smoke" -eq 1 ]]; then
   run_stats_smoke build
+fi
+
+if [[ "$exec_smoke" -eq 1 ]]; then
+  run_exec_smoke build
 fi
 
 if [[ "$trace_smoke" -eq 1 ]]; then
@@ -286,6 +326,9 @@ if [[ "$tsan" -eq 1 ]]; then
   fi
   if [[ "$stats_smoke" -eq 1 ]]; then
     run_stats_smoke build-tsan
+  fi
+  if [[ "$exec_smoke" -eq 1 ]]; then
+    run_exec_smoke build-tsan
   fi
   rm -rf out-tsan
   unset TSAN_OPTIONS

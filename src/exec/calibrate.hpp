@@ -1,0 +1,73 @@
+// Calibration: compare measured native timings against the model's
+// predicted [min,max] envelopes, and measure raw per-primitive barrier
+// overhead.
+//
+// The timing model speaks in abstract cycles (Table 1 instruction
+// weights); silicon speaks in nanoseconds. calibrate() bridges them by
+// fitting one scale factor per primitive — least squares through the
+// origin over per-PE (predicted midpoint cycles, measured ns) pairs — and
+// reporting each PE's measured completion against its scaled envelope.
+//
+// This is explicitly *informational*: wall-clock on a shared, possibly
+// one-core CI box is noisy, so nothing here is asserted in tests or gated
+// in CI (the envelope property test checks ordering structure instead;
+// see docs/EXECUTION.md). The numbers surface through `bmexec calibrate`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/barrier.hpp"
+#include "exec/lower.hpp"
+
+namespace bm::exec {
+
+/// Raw cost of one full barrier crossing (all participants arrive, all
+/// released), measured as wall time of `rounds` back-to-back phases on
+/// `participants` real threads divided by `rounds`. Includes spin/yield
+/// and scheduling effects — that is the point.
+double measure_barrier_overhead_ns(BarrierKind kind,
+                                   std::uint32_t participants,
+                                   std::uint32_t rounds,
+                                   std::uint32_t spin_iters);
+
+struct PeCalibration {
+  TimeRange predicted{0, 0};  ///< model cycles (Schedule::proc_finish)
+  double measured_ns = 0;     ///< best-of-repeats stream completion
+  double scaled_min_ns = 0;   ///< predicted * ns_per_cycle
+  double scaled_max_ns = 0;
+  bool within = false;  ///< measured inside the scaled envelope
+};
+
+struct PrimitiveCalibration {
+  BarrierKind kind = BarrierKind::kCentral;
+  double barrier_overhead_ns = 0;
+  double ns_per_cycle = 0;
+  std::uint64_t best_wall_ns = 0;
+  std::vector<PeCalibration> pes;
+};
+
+struct CalibrationReport {
+  std::uint32_t participants = 0;
+  std::uint32_t repeats = 0;
+  std::uint32_t barrier_rounds = 0;
+  std::vector<PrimitiveCalibration> primitives;
+};
+
+struct CalibrateOptions {
+  std::uint32_t repeats = 5;         ///< program runs per primitive (min taken)
+  std::uint32_t barrier_rounds = 2000;
+  std::uint32_t spin_iters = 128;
+  bool pin = false;
+};
+
+/// Runs the lowered program under every barrier primitive (one thread per
+/// PE, blocking waits) and measures both primitives' raw overhead.
+CalibrationReport calibrate(const LoweredProgram& lp,
+                            const CalibrateOptions& opts = {});
+
+/// Human-readable report (the `bmexec calibrate` output).
+std::string format_calibration(const CalibrationReport& report);
+
+}  // namespace bm::exec

@@ -1,0 +1,318 @@
+#include "exec/lower.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "support/assert.hpp"
+
+namespace bm::exec {
+
+namespace {
+
+ExecOp decode(const Tuple& t, NodeId id) {
+  ExecOp op;
+  op.op = t.op;
+  op.dst = id;
+  if (t.is_load()) {
+    op.var = t.var;
+    return op;
+  }
+  const auto operand = [](const Operand& o, bool& imm, std::int64_t& out) {
+    imm = o.is_const();
+    out = imm ? o.const_value() : static_cast<std::int64_t>(o.tuple_id());
+  };
+  if (t.is_store()) {
+    op.var = t.var;
+    operand(t.lhs, op.lhs_imm, op.lhs);
+    return op;
+  }
+  operand(t.lhs, op.lhs_imm, op.lhs);
+  operand(t.rhs, op.rhs_imm, op.rhs);
+  return op;
+}
+
+}  // namespace
+
+LoweredProgram lower(const Program& prog, const Schedule& sched,
+                     const LowerOptions& options) {
+  const InstrDag& dag = sched.instr_dag();
+  BM_REQUIRE(dag.num_instructions() == prog.size(),
+             "schedule was not built over this program");
+  for (NodeId i = 0; i < prog.size(); ++i)
+    BM_REQUIRE(sched.placed(i), "unplaced instruction; schedule is partial");
+
+  if (options.verify) {
+    const VerifyReport report =
+        verify_schedule(dag, sched, options.verify_options);
+    if (!report.clean())
+      throw Error(
+          "refusing to lower an unverified schedule: " +
+          std::to_string(report.error_count()) + " verifier error(s); first: " +
+          (report.diagnostics().empty() ? std::string("<none>")
+                                        : report.diagnostics().front().code +
+                                              " " +
+                                              report.diagnostics().front()
+                                                  .message));
+  }
+
+  LoweredProgram lp;
+  lp.num_procs = static_cast<std::uint32_t>(sched.num_procs());
+  lp.num_vars = prog.num_vars();
+  lp.num_values = static_cast<std::uint32_t>(prog.size());
+
+  // Dense-number every alive non-initial barrier that appears in a stream,
+  // in schedule-id order (deterministic, stable across runs).
+  lp.dense_of_barrier.assign(sched.barrier_id_bound(),
+                             LoweredProgram::kNoBarrier);
+  const BarrierDag& bdag = sched.barrier_dag();
+  for (BarrierId b = 0; b < sched.barrier_id_bound(); ++b) {
+    if (b == Schedule::kInitialBarrier || !sched.barrier_alive(b)) continue;
+    bool in_stream = false;
+    for (ProcId p = 0; p < sched.num_procs() && !in_stream; ++p)
+      for (const ScheduleEntry& e : sched.stream(p))
+        if (e.is_barrier && e.id == b) {
+          in_stream = true;
+          break;
+        }
+    if (!in_stream) continue;
+    lp.dense_of_barrier[b] = static_cast<std::uint32_t>(lp.barriers.size());
+    LoweredBarrier lb;
+    lb.schedule_id = b;
+    sched.barrier_mask(b).for_each(
+        [&](std::size_t p) { lb.participants.push_back(static_cast<ProcId>(p)); });
+    lb.predicted_fire = bdag.known(b) ? bdag.fire_range(b) : TimeRange{0, 0};
+    lp.barriers.push_back(std::move(lb));
+  }
+
+  // Structural-coverage context for the handshake pass: which PE each
+  // instruction runs on, the last barrier before it and the first barrier
+  // after it in its stream. A cross-PE edge u→v is covered by barriers iff
+  // NextBar(u) reaches LastBar(v) in the barrier dag — real happens-before
+  // on silicon. Everything else was proven by a §4.4 timing window, which
+  // asynchronous threads do not honor, and becomes a ready-flag handshake.
+  constexpr BarrierId kNoBar = ~BarrierId{0};
+  std::vector<ProcId> proc_of(prog.size(), 0);
+  std::vector<BarrierId> last_bar_before(prog.size(), Schedule::kInitialBarrier);
+  std::vector<BarrierId> next_bar_after(prog.size(), kNoBar);
+  for (ProcId p = 0; p < lp.num_procs; ++p) {
+    BarrierId last = Schedule::kInitialBarrier;
+    std::vector<NodeId> pending;
+    for (const ScheduleEntry& e : sched.stream(p)) {
+      if (e.is_barrier) {
+        for (const NodeId id : pending) next_bar_after[id] = e.id;
+        pending.clear();
+        last = e.id;
+      } else {
+        proc_of[e.id] = p;
+        last_bar_before[e.id] = last;
+        pending.push_back(e.id);
+      }
+    }
+  }
+  const auto covered = [&](NodeId u, NodeId v) {
+    const BarrierId a = next_bar_after[u];
+    const BarrierId b = last_bar_before[v];
+    if (a == kNoBar) return false;
+    return a == b || bdag.path_exists(a, b);
+  };
+  std::vector<bool> publish(prog.size(), false);
+
+  lp.pes.resize(lp.num_procs);
+  lp.pe_envelope.resize(lp.num_procs);
+  for (ProcId p = 0; p < lp.num_procs; ++p) {
+    PeStream& pe = lp.pes[p];
+    std::uint32_t seg_begin = 0;
+    const auto flush_segment = [&] {
+      const auto end = static_cast<std::uint32_t>(pe.ops.size());
+      if (end > seg_begin)
+        pe.steps.push_back({LoweredStep::Kind::kSegment, seg_begin, end});
+      seg_begin = end;
+    };
+    for (const ScheduleEntry& e : sched.stream(p)) {
+      if (e.is_barrier) {
+        const std::uint32_t dense = lp.dense_of_barrier[e.id];
+        BM_ASSERT_INTERNAL(dense != LoweredProgram::kNoBarrier,
+                           "stream references an unlowered barrier");
+        flush_segment();
+        const auto& parts = lp.barriers[dense].participants;
+        std::uint32_t slot = 0;
+        while (slot < parts.size() && parts[slot] != p) ++slot;
+        BM_REQUIRE(slot < parts.size(),
+                   "stream barrier whose mask excludes this PE");
+        pe.steps.push_back({LoweredStep::Kind::kBarrier, dense, slot});
+      } else {
+        ExecOp op = decode(prog[e.id], e.id);
+        op.await_begin = static_cast<std::uint32_t>(pe.awaits.size());
+        for (const NodeId u : dag.instr_preds(e.id)) {
+          if (proc_of[u] == p || covered(u, e.id)) continue;
+          pe.awaits.push_back(u);
+          publish[u] = true;
+        }
+        const auto beg = pe.awaits.begin() + op.await_begin;
+        std::sort(beg, pe.awaits.end());
+        pe.awaits.erase(std::unique(beg, pe.awaits.end()), pe.awaits.end());
+        op.await_end = static_cast<std::uint32_t>(pe.awaits.size());
+        pe.ops.push_back(op);
+      }
+    }
+    flush_segment();
+    lp.total_ops += pe.ops.size();
+    lp.timing_edges += pe.awaits.size();
+    lp.pe_envelope[p] = sched.proc_finish(p);
+  }
+  for (PeStream& pe : lp.pes)
+    for (ExecOp& op : pe.ops) op.publish = publish[op.dst];
+  return lp;
+}
+
+namespace {
+
+/// Renders an int64 immediate as a C++ expression (INT64_MIN has no
+/// negative literal form).
+std::string imm(std::int64_t v) {
+  if (v == std::numeric_limits<std::int64_t>::min())
+    return "(-9223372036854775807LL - 1)";
+  return std::to_string(v) + "LL";
+}
+
+std::string operand(bool is_imm, std::int64_t v) {
+  return is_imm ? imm(v) : "v[" + std::to_string(v) + "]";
+}
+
+}  // namespace
+
+std::string emit_cpp(const LoweredProgram& lp) {
+  std::ostringstream os;
+  os << "// Generated by bmexec emit — native lowering of a verified\n"
+        "// barrier-MIMD schedule. One function per PE stream; barriers are\n"
+        "// indirect calls into the host runtime; timing-proven cross-PE\n"
+        "// dependences are pairwise ready-flag handshakes (bm_await /\n"
+        "// bm_done). Standalone: compiles with any C++17 compiler, no\n"
+        "// repo headers needed.\n"
+        "#include <cstdint>\n"
+        "#include <thread>\n"
+        "\n"
+        "extern \"C\" {\n"
+        "struct bm_exec_ctx {\n"
+        "  int64_t* mem;         // variables\n"
+        "  int64_t* val;         // per-tuple results\n"
+        "  unsigned char* ready; // per-instruction done flags\n"
+        "  void* rt;             // host runtime state\n"
+        "  void (*barrier_wait)(void* rt, uint32_t barrier, uint32_t slot);\n"
+        "};\n"
+        "typedef void (*bm_pe_fn)(bm_exec_ctx*);\n"
+        "}\n"
+        "\n"
+        "namespace {\n"
+        "// Ready-flag handshake for dependences the model proved only by a\n"
+        "// timing window: release by the producer, bounded-spin acquire by\n"
+        "// the consumer.\n"
+        "inline void bm_done(unsigned char* f, uint32_t i) {\n"
+        "  __atomic_store_n(&f[i], (unsigned char)1, __ATOMIC_RELEASE);\n"
+        "}\n"
+        "inline void bm_await(unsigned char* f, uint32_t i) {\n"
+        "  uint32_t k = 0;\n"
+        "  while (!__atomic_load_n(&f[i], __ATOMIC_ACQUIRE)) {\n"
+        "    if (++k > 4096u) { k = 0; std::this_thread::yield(); }\n"
+        "  }\n"
+        "}\n"
+        "// Value semantics mirror the scheduler's constant folder: wrap on\n"
+        "// Add/Sub/Mul, div/mod by zero -> 0, INT64_MIN / -1 guarded.\n"
+        "inline int64_t bm_add(int64_t a, int64_t b) {\n"
+        "  return (int64_t)((uint64_t)a + (uint64_t)b);\n"
+        "}\n"
+        "inline int64_t bm_sub(int64_t a, int64_t b) {\n"
+        "  return (int64_t)((uint64_t)a - (uint64_t)b);\n"
+        "}\n"
+        "inline int64_t bm_mul(int64_t a, int64_t b) {\n"
+        "  return (int64_t)((uint64_t)a * (uint64_t)b);\n"
+        "}\n"
+        "inline int64_t bm_div(int64_t a, int64_t b) {\n"
+        "  if (b == 0) return 0;\n"
+        "  if (a == (-9223372036854775807LL - 1) && b == -1) return a;\n"
+        "  return a / b;\n"
+        "}\n"
+        "inline int64_t bm_mod(int64_t a, int64_t b) {\n"
+        "  if (b == 0) return 0;\n"
+        "  if (a == (-9223372036854775807LL - 1) && b == -1) return 0;\n"
+        "  return a % b;\n"
+        "}\n"
+        "}  // namespace\n";
+
+  for (std::uint32_t p = 0; p < lp.num_procs; ++p) {
+    const PeStream& pe = lp.pes[p];
+    os << "\nextern \"C\" void bm_pe" << p << "(bm_exec_ctx* c) {\n";
+    if (pe.ops.empty() &&
+        pe.steps.empty()) {  // idle PE: nothing but the implicit start line
+      os << "  (void)c;\n}\n";
+      continue;
+    }
+    os << "  int64_t* m = c->mem;\n  int64_t* v = c->val;\n";
+    if (pe.ops.empty()) os << "  (void)m;\n  (void)v;\n";
+    for (const LoweredStep& st : pe.steps) {
+      if (st.kind == LoweredStep::Kind::kBarrier) {
+        os << "  c->barrier_wait(c->rt, " << st.a << "u, " << st.b << "u);\n";
+        continue;
+      }
+      for (std::uint32_t i = st.a; i < st.b; ++i) {
+        const ExecOp& op = pe.ops[i];
+        for (std::uint32_t a = op.await_begin; a < op.await_end; ++a)
+          os << "  bm_await(c->ready, " << pe.awaits[a] << "u);\n";
+        const std::string dst = "v[" + std::to_string(op.dst) + "]";
+        switch (op.op) {
+          case Opcode::kLoad:
+            os << "  " << dst << " = m[" << op.var << "];\n";
+            break;
+          case Opcode::kStore:
+            os << "  m[" << op.var << "] = " << operand(op.lhs_imm, op.lhs)
+               << ";\n";
+            break;
+          case Opcode::kAdd:
+          case Opcode::kSub:
+          case Opcode::kMul:
+          case Opcode::kDiv:
+          case Opcode::kMod: {
+            const char* fn = op.op == Opcode::kAdd   ? "bm_add"
+                             : op.op == Opcode::kSub ? "bm_sub"
+                             : op.op == Opcode::kMul ? "bm_mul"
+                             : op.op == Opcode::kDiv ? "bm_div"
+                                                     : "bm_mod";
+            os << "  " << dst << " = " << fn << "("
+               << operand(op.lhs_imm, op.lhs) << ", "
+               << operand(op.rhs_imm, op.rhs) << ");\n";
+            break;
+          }
+          case Opcode::kAnd:
+            os << "  " << dst << " = " << operand(op.lhs_imm, op.lhs) << " & "
+               << operand(op.rhs_imm, op.rhs) << ";\n";
+            break;
+          case Opcode::kOr:
+            os << "  " << dst << " = " << operand(op.lhs_imm, op.lhs) << " | "
+               << operand(op.rhs_imm, op.rhs) << ";\n";
+            break;
+        }
+        if (op.publish)
+          os << "  bm_done(c->ready, " << op.dst << "u);\n";
+      }
+    }
+    os << "}\n";
+  }
+
+  // `extern` spelled out: a namespace-scope const has internal linkage in
+  // C++ even inside an extern "C" block, and dlsym needs these exported.
+  os << "\nextern \"C\" {\n"
+     << "extern const uint32_t bm_num_pes = " << lp.num_procs << "u;\n"
+     << "extern const uint32_t bm_num_vars = " << lp.num_vars << "u;\n"
+     << "extern const uint32_t bm_num_vals = " << lp.num_values << "u;\n"
+     << "extern const uint32_t bm_num_barriers = " << lp.barriers.size()
+     << "u;\n"
+     << "extern bm_pe_fn const bm_pes[] = {\n";
+  for (std::uint32_t p = 0; p < lp.num_procs; ++p)
+    os << "  bm_pe" << p << ",\n";
+  os << "};\n}\n";
+  return os.str();
+}
+
+}  // namespace bm::exec

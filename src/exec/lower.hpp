@@ -1,0 +1,135 @@
+// Lowering a verified barrier-MIMD schedule to native form.
+//
+// A Schedule is lowered once into a LoweredProgram — per-PE straight-line
+// instruction segments separated by barrier waits, with every operand
+// resolved to a value slot or an immediate — which two backends consume:
+//
+//   - the in-process runtime (exec/runtime.hpp) interprets the decoded ops
+//     on real hardware threads with real barrier primitives;
+//   - emit_cpp() renders the same lowering as a standalone, dependency-free
+//     C++ translation unit — one function per PE stream of straight-line
+//     code, barriers lowered to an indirect runtime call — which
+//     exec/jit.hpp compiles with the system compiler and runs via dlopen.
+//
+// Only verified schedules are runnable: lower() re-derives the safety
+// argument with the static verifier (src/verify) and throws on any error
+// diagnostic.
+//
+// Timing-proven edges become handshakes. The model's machine has a common
+// clock, so the verifier accepts two kinds of proof for a cross-PE
+// dependence: a separating barrier chain, or a §4.4 [min,max] timing
+// window ("the producer's worst finish precedes the consumer's best
+// start"). Commodity threads have no static timing — a window proof means
+// nothing when a core gets descheduled — so lower() re-derives which
+// cross-PE dependence edges are *structurally* covered (NextBar(u) reaches
+// LastBar(v) in the barrier dag, whose acquire/release chains carry real
+// happens-before) and materializes every remaining edge as a per-
+// instruction ready flag: release-published by the producer, acquire-
+// awaited by the consumer just before it needs the result. Value and
+// ordering semantics are preserved exactly; the handshake count is
+// reported (LoweredProgram::timing_edges) because it is the honest price
+// of running a clock-synchronous schedule on asynchronous silicon.
+//
+// Value semantics are exactly the repo's reference semantics (ir/interp,
+// fold_binary): 64-bit two's-complement wrap for Add/Sub/Mul, division and
+// modulo by zero yield 0, INT64_MIN/-1 guarded.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+#include "sched/schedule.hpp"
+#include "verify/verify.hpp"
+
+namespace bm::exec {
+
+/// One decoded straight-line instruction. `dst` is the value slot (== the
+/// tuple's dense id); operands are a value slot or an immediate.
+struct ExecOp {
+  Opcode op = Opcode::kAdd;
+  std::uint32_t dst = 0;
+  std::uint32_t var = 0;  ///< Load/Store only
+  bool lhs_imm = false;
+  bool rhs_imm = false;
+  /// Release-publish this instruction's ready flag after executing (set
+  /// when some timing-proven cross-PE edge leaves this node).
+  bool publish = false;
+  std::int64_t lhs = 0;  ///< slot index or immediate (Store: value stored)
+  std::int64_t rhs = 0;
+  /// [await_begin, await_end) into PeStream::awaits: producer instruction
+  /// ids whose ready flags must be acquire-observed before this op runs —
+  /// the timing-proven in-edges no barrier chain covers.
+  std::uint32_t await_begin = 0;
+  std::uint32_t await_end = 0;
+};
+
+/// One entry of a lowered PE stream: either a run of ops (straight-line
+/// segment) or a barrier wait.
+struct LoweredStep {
+  enum class Kind : std::uint8_t { kSegment, kBarrier };
+  Kind kind = Kind::kSegment;
+  std::uint32_t a = 0;  ///< segment: first op index; barrier: dense index
+  std::uint32_t b = 0;  ///< segment: one-past-last op index; barrier: slot
+};
+
+struct PeStream {
+  std::vector<ExecOp> ops;        ///< all ops of this PE, stream order
+  std::vector<LoweredStep> steps;
+  /// Flattened await lists (producer instruction ids); see ExecOp.
+  std::vector<std::uint32_t> awaits;
+};
+
+/// One lowered barrier (dense renumbering of the schedule's alive barriers
+/// that appear in any stream; the implicit initial barrier is the runtime's
+/// start line and is not lowered).
+struct LoweredBarrier {
+  BarrierId schedule_id = 0;
+  std::vector<ProcId> participants;  ///< mask order; a PE's slot = its index
+  TimeRange predicted_fire{0, 0};    ///< model cycles after the initial barrier
+};
+
+struct LoweredProgram {
+  std::uint32_t num_procs = 0;
+  std::uint32_t num_vars = 0;
+  std::uint32_t num_values = 0;
+  std::vector<PeStream> pes;
+  std::vector<LoweredBarrier> barriers;
+  /// Predicted per-PE completion envelope (Schedule::proc_finish), model
+  /// cycles — what `bmexec calibrate` compares measured wall-clock against.
+  std::vector<TimeRange> pe_envelope;
+  /// Dense barrier index for each schedule BarrierId (kNoBarrier if dead /
+  /// initial).
+  std::vector<std::uint32_t> dense_of_barrier;
+  std::size_t total_ops = 0;
+  /// Cross-PE dependence edges enforced by ready-flag handshakes because
+  /// only a timing window proves them in the model (total await entries).
+  std::size_t timing_edges = 0;
+
+  static constexpr std::uint32_t kNoBarrier = ~std::uint32_t{0};
+};
+
+struct LowerOptions {
+  /// Re-verify the schedule and refuse (throw bm::Error) on any error
+  /// diagnostic. Only tests of the gate itself turn this off.
+  bool verify = true;
+  VerifyOptions verify_options;
+};
+
+/// Lowers `sched` (built over InstrDag::build(prog, ...)) for native
+/// execution. Throws bm::Error if the schedule fails verification or does
+/// not place every instruction of `prog`.
+LoweredProgram lower(const Program& prog, const Schedule& sched,
+                     const LowerOptions& options = {});
+
+/// Renders the lowering as a standalone C++17 translation unit: the
+/// `bm_exec_ctx` ABI struct (memory, values, ready flags, runtime handle,
+/// barrier callback), value-semantics + handshake helpers, one
+/// `extern "C" void bm_pe<K>(bm_exec_ctx*)` function of straight-line code
+/// per PE, and exported tables (`bm_pes`, `bm_num_pes`, `bm_num_vars`,
+/// `bm_num_vals`, `bm_num_barriers`). Compiles with just a C++ compiler —
+/// no repo headers.
+std::string emit_cpp(const LoweredProgram& lp);
+
+}  // namespace bm::exec

@@ -1,0 +1,50 @@
+#include "sim/value_sim.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/assert.hpp"
+
+namespace bm {
+
+ValueSimResult simulate_values(const Program& prog, const Schedule& sched,
+                               const ExecTrace& trace,
+                               const std::vector<std::int64_t>&
+                                   initial_memory) {
+  BM_REQUIRE(sched.instr_dag().num_instructions() == prog.size(),
+             "schedule was not built over this program");
+  BM_REQUIRE(trace.start.size() == prog.size(),
+             "trace shape does not match the program");
+
+  std::vector<NodeId> order(prog.size());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  for (NodeId i = 0; i < prog.size(); ++i)
+    BM_REQUIRE(trace.start[i] != kNotExecuted,
+               "trace left an instruction unexecuted");
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return trace.start[a] < trace.start[b];
+  });
+
+  ValueSimResult r;
+  r.memory.assign(prog.num_vars(), 0);
+  for (std::size_t i = 0;
+       i < initial_memory.size() && i < r.memory.size(); ++i)
+    r.memory[i] = initial_memory[i];
+  r.values.assign(prog.size(), 0);
+
+  const auto operand = [&](const Operand& o) {
+    return o.is_const() ? o.const_value() : r.values[o.tuple_id()];
+  };
+  for (const NodeId id : order) {
+    const Tuple& t = prog[id];
+    if (t.is_load())
+      r.values[id] = r.memory[t.var];
+    else if (t.is_store())
+      r.memory[t.var] = operand(t.lhs);
+    else
+      r.values[id] = fold_binary(t.op, operand(t.lhs), operand(t.rhs));
+  }
+  return r;
+}
+
+}  // namespace bm

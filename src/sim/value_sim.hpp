@@ -1,0 +1,40 @@
+// Value-accurate simulation: attach data values to a timing trace.
+//
+// The discrete-event simulators (sim/simulator.hpp) model *when* things
+// happen; this layer models *what* they compute. simulate_values() replays
+// the instructions in the trace's observed execution order — ascending
+// start time, ties broken by node id — applying the reference value
+// semantics (ir/opcode fold_binary: wrap on Add/Sub/Mul, guarded Div/Mod),
+// and returns the final variable memory and per-tuple values.
+//
+// For a schedule that passes the static verifier the result is independent
+// of the draw (any trace order consistent with the barriers computes the
+// same state, equal to the order-independent oracle ir/interp
+// eval_program) — which is exactly what the native execution backend's
+// differential tests assert against real threads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/program.hpp"
+#include "sched/schedule.hpp"
+#include "sim/trace.hpp"
+
+namespace bm {
+
+struct ValueSimResult {
+  std::vector<std::int64_t> memory;  ///< final variables [num_vars]
+  std::vector<std::int64_t> values;  ///< per-tuple results [prog.size()]
+};
+
+/// Replays `trace` (produced by simulate/simulate_into over `sched`, which
+/// was built over `prog`) in observed start order. `initial_memory` is
+/// zero-padded to prog.num_vars(). Throws bm::Error if the trace and
+/// program disagree in shape or any instruction never executed.
+ValueSimResult simulate_values(const Program& prog, const Schedule& sched,
+                               const ExecTrace& trace,
+                               const std::vector<std::int64_t>&
+                                   initial_memory = {});
+
+}  // namespace bm

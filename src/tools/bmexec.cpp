@@ -1,0 +1,318 @@
+// bmexec — run verified schedules natively on hardware threads.
+//
+//   bmexec emit [gen flags] [--out FILE]     lower a schedule and print the
+//                                            generated standalone C++ TU
+//   bmexec run [gen flags] [exec flags]      execute natively and diff the
+//                                            final state against the
+//                                            value-accurate simulator and
+//                                            the order-independent oracle
+//   bmexec calibrate [gen flags] [--repeats N --rounds N]
+//                                            per-primitive barrier overhead
+//                                            and measured-vs-predicted
+//                                            envelope report
+//
+// Generation flags (shared; the same pipeline as bmverify gen):
+//   --seed N --statements N --variables N --procs N
+//   --policy conservative|optimal --machine sbm|dbm --latency N
+//
+// Exit codes: 0 = success (run: all executions value-identical),
+// 1 = value mismatch, 2 = usage / input / environment errors.
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "codegen/synthesize.hpp"
+#include "exec/calibrate.hpp"
+#include "exec/jit.hpp"
+#include "exec/lower.hpp"
+#include "exec/runtime.hpp"
+#include "graph/instr_dag.hpp"
+#include "ir/interp.hpp"
+#include "ir/timing.hpp"
+#include "obs/trace.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "sim/value_sim.hpp"
+#include "support/cli.hpp"
+
+namespace bm {
+namespace {
+
+int usage(std::ostream& os, int code) {
+  os << "usage: bmexec <command> [flags]\n"
+        "\n"
+        "commands:\n"
+        "  emit       print the schedule lowered to a standalone C++ TU\n"
+        "             --out FILE\n"
+        "  run        execute natively and check values\n"
+        "             --barrier central|tree|both --threads N (0 = one per\n"
+        "             PE) --spin N --pin --compiled --trace FILE --json\n"
+        "  calibrate  measured vs predicted envelopes, barrier overhead\n"
+        "             --repeats N --rounds N --spin N --pin\n"
+        "\n"
+        "generation flags (all commands):\n"
+        "  --seed N --statements N --variables N --procs N\n"
+        "  --policy conservative|optimal --machine sbm|dbm --latency N\n"
+        "\n"
+        "exit codes: 0 ok, 1 value mismatch, 2 usage/input errors\n";
+  return code;
+}
+
+std::vector<FlagSpec> gen_flags() {
+  return {int_flag("seed", 1990, "RNG seed"),
+          int_flag("statements", 24, "statements in the synthesized block"),
+          int_flag("variables", 8, "variable pool size"),
+          int_flag("procs", 8, "processors to schedule onto"),
+          string_flag("policy", "conservative",
+                      "barrier insertion: conservative|optimal"),
+          string_flag("machine", "sbm", "target machine: sbm|dbm"),
+          int_flag("latency", 0, "hardware barrier latency (cycles)")};
+}
+
+std::vector<FlagSpec> with_gen(std::vector<FlagSpec> extra) {
+  std::vector<FlagSpec> all = gen_flags();
+  for (FlagSpec& f : extra) all.push_back(std::move(f));
+  return all;
+}
+
+/// The generated program + schedule. Non-movable: the Schedule holds a
+/// pointer into `dag`.
+struct Built {
+  Program prog{0};
+  std::optional<InstrDag> dag;
+  ScheduleResult sr;
+  SchedulerConfig cfg;
+  Built() = default;
+  Built(const Built&) = delete;
+  Built& operator=(const Built&) = delete;
+};
+
+std::unique_ptr<Built> build(const CliFlags& flags) {
+  auto b = std::make_unique<Built>();
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1990)));
+  GeneratorConfig gen;
+  gen.num_statements =
+      static_cast<std::uint32_t>(flags.get_int("statements", 24));
+  gen.num_variables =
+      static_cast<std::uint32_t>(flags.get_int("variables", 8));
+  b->prog = synthesize_benchmark(gen, rng).program;
+  b->dag.emplace(InstrDag::build(b->prog, TimingModel::table1()));
+
+  b->cfg.num_procs = static_cast<std::size_t>(flags.get_int("procs", 8));
+  const std::string policy = flags.get("policy", "conservative");
+  BM_REQUIRE(policy == "conservative" || policy == "optimal",
+             "--policy must be conservative or optimal");
+  b->cfg.insertion = policy == "optimal" ? InsertionPolicy::kOptimal
+                                         : InsertionPolicy::kConservative;
+  const std::string machine = flags.get("machine", "sbm");
+  BM_REQUIRE(machine == "sbm" || machine == "dbm",
+             "--machine must be sbm or dbm");
+  b->cfg.machine = machine == "dbm" ? MachineKind::kDBM : MachineKind::kSBM;
+  b->cfg.barrier_latency = flags.get_int("latency", 0);
+  b->sr = schedule_program(*b->dag, b->cfg, rng);
+  return b;
+}
+
+int cmd_emit(const CliFlags& flags) {
+  flags.validate(
+      {}, with_gen({string_flag("out", "", "write the TU to FILE")}));
+  const auto b = build(flags);
+  const exec::LoweredProgram lp = exec::lower(b->prog, *b->sr.schedule);
+  const std::string tu = exec::emit_cpp(lp);
+  if (const std::string out = flags.get("out", ""); !out.empty()) {
+    std::ofstream os(out, std::ios::binary);
+    os << tu;
+    BM_REQUIRE(os.good(), "failed writing " + out);
+    std::cerr << "bmexec emit: wrote " << out << " (" << lp.num_procs
+              << " PEs, " << lp.barriers.size() << " barriers, "
+              << lp.total_ops << " ops)\n";
+  } else {
+    std::cout << tu;
+  }
+  return 0;
+}
+
+bool state_matches(const std::vector<std::int64_t>& mem,
+                   const std::vector<std::int64_t>& val,
+                   const EvalResult& oracle) {
+  return mem == oracle.memory && val == oracle.values;
+}
+
+/// First few mismatching slots, for the human on the other end of a
+/// failing `bmexec run`.
+void print_diff(std::ostream& os, const char* what,
+                const std::vector<std::int64_t>& got,
+                const std::vector<std::int64_t>& want) {
+  int shown = 0;
+  for (std::size_t i = 0; i < got.size() && i < want.size() && shown < 8;
+       ++i) {
+    if (got[i] != want[i]) {
+      os << "  " << what << "[" << i << "] = " << got[i] << ", expected "
+         << want[i] << "\n";
+      ++shown;
+    }
+  }
+}
+
+int cmd_run(const CliFlags& flags) {
+  flags.validate(
+      {},
+      with_gen(
+          {string_flag("barrier", "both",
+                       "primitive: central|tree|both"),
+           int_flag("threads", 0, "carrier threads (0 = one per PE)"),
+           int_flag("spin", 128, "spin bound before yielding"),
+           bool_flag("pin", false, "pin thread k to cpu k"),
+           bool_flag("compiled", false,
+                     "also run the dlopen-compiled emission"),
+           string_flag("trace", "", "write a Perfetto timeline to FILE"),
+           bool_flag("json", false, "machine-readable summary")}));
+  const auto b = build(flags);
+  const Schedule& sched = *b->sr.schedule;
+  const exec::LoweredProgram lp = exec::lower(b->prog, sched);
+
+  // Two independent references: the order-independent oracle and the
+  // value-accurate simulator replaying a simulated trace's order.
+  const EvalResult oracle = eval_program(b->prog, {});
+  Rng sim_rng(static_cast<std::uint64_t>(flags.get_int("seed", 1990)) ^
+              0x5157u);
+  SimConfig sim_cfg;
+  sim_cfg.machine = b->cfg.machine;
+  const ExecTrace trace = simulate(sched, sim_cfg, sim_rng);
+  const ValueSimResult vsim = simulate_values(b->prog, sched, trace);
+  if (!state_matches(vsim.memory, vsim.values, oracle)) {
+    std::cerr << "bmexec run: INTERNAL: value simulator disagrees with the "
+                 "oracle\n";
+    return 1;
+  }
+
+  std::vector<exec::BarrierKind> kinds;
+  const std::string which = flags.get("barrier", "both");
+  if (which == "both")
+    kinds.assign(std::begin(exec::kAllBarrierKinds),
+                 std::end(exec::kAllBarrierKinds));
+  else
+    kinds.push_back(exec::barrier_kind_from_name(which));
+
+  const bool json = flags.get_bool("json", false);
+  bool all_ok = true;
+  std::ostringstream jout;
+  jout << "{\"runs\":[";
+  bool first = true;
+  exec::ExecResult last;
+  for (const exec::BarrierKind kind : kinds) {
+    exec::ExecOptions eo;
+    eo.barrier = kind;
+    eo.threads = static_cast<std::uint32_t>(flags.get_int("threads", 0));
+    eo.spin_iters = static_cast<std::uint32_t>(flags.get_int("spin", 128));
+    eo.pin = flags.get_bool("pin", false);
+    const exec::ExecResult r = exec::execute(lp, eo);
+    const bool ok = state_matches(r.memory, r.values, oracle);
+    all_ok = all_ok && ok;
+    if (json) {
+      jout << (first ? "" : ",") << "{\"barrier\":\""
+           << exec::barrier_kind_name(kind) << "\",\"backend\":\"interp\""
+           << ",\"threads\":" << r.carrier_threads
+           << ",\"blocking\":" << (r.blocking ? "true" : "false")
+           << ",\"wall_ns\":" << r.wall_ns << ",\"spins\":" << r.spins
+           << ",\"yields\":" << r.yields
+           << ",\"match\":" << (ok ? "true" : "false") << "}";
+      first = false;
+    } else {
+      std::cout << "[" << exec::barrier_kind_name(kind) << "/interp] "
+                << r.carrier_threads
+                << (r.blocking ? " threads (one per PE), " : " carriers, ")
+                << r.wall_ns << " ns wall, " << r.spins << " spins, "
+                << r.yields << " yields: "
+                << (ok ? "values MATCH" : "values MISMATCH") << "\n";
+    }
+    if (!ok) {
+      print_diff(std::cerr, "mem", r.memory, oracle.memory);
+      print_diff(std::cerr, "val", r.values, oracle.values);
+    }
+    last = r;
+
+    if (flags.get_bool("compiled", false)) {
+      if (!exec::JitModule::available()) {
+        std::cerr << "bmexec run: --compiled unavailable (no compiler, "
+                     "sanitized build, or BM_EXEC_NO_JIT); skipping\n";
+      } else {
+        const exec::JitModule mod(lp);
+        const exec::ExecResult jr = mod.run(eo);
+        const bool jok = state_matches(jr.memory, jr.values, oracle);
+        all_ok = all_ok && jok;
+        if (json) {
+          jout << ",{\"barrier\":\"" << exec::barrier_kind_name(kind)
+               << "\",\"backend\":\"compiled\",\"threads\":"
+               << jr.carrier_threads << ",\"blocking\":true,\"wall_ns\":"
+               << jr.wall_ns << ",\"match\":" << (jok ? "true" : "false")
+               << "}";
+        } else {
+          std::cout << "[" << exec::barrier_kind_name(kind) << "/compiled] "
+                    << jr.carrier_threads << " threads (one per PE), "
+                    << jr.wall_ns << " ns wall: "
+                    << (jok ? "values MATCH" : "values MISMATCH") << "\n";
+        }
+      }
+    }
+  }
+  if (json) {
+    jout << "],\"match\":" << (all_ok ? "true" : "false") << "}\n";
+    std::cout << jout.str();
+  }
+
+  if (const std::string path = flags.get("trace", ""); !path.empty()) {
+    std::ofstream os(path, std::ios::binary);
+    const std::size_t n = obs::write_trace_events_json(
+        os, exec::exec_trace_events(lp, last),
+        {{exec::kExecPid, "native execution"}});
+    BM_REQUIRE(os.good(), "failed writing " + path);
+    std::cerr << "bmexec run: wrote " << n << " trace events to " << path
+              << "\n";
+  }
+  return all_ok ? 0 : 1;
+}
+
+int cmd_calibrate(const CliFlags& flags) {
+  flags.validate(
+      {},
+      with_gen({int_flag("repeats", 5, "program runs per primitive"),
+                int_flag("rounds", 2000, "barrier crossings to average"),
+                int_flag("spin", 128, "spin bound before yielding"),
+                bool_flag("pin", false, "pin thread k to cpu k")}));
+  const auto b = build(flags);
+  const exec::LoweredProgram lp = exec::lower(b->prog, *b->sr.schedule);
+  exec::CalibrateOptions co;
+  co.repeats = static_cast<std::uint32_t>(flags.get_int("repeats", 5));
+  co.barrier_rounds =
+      static_cast<std::uint32_t>(flags.get_int("rounds", 2000));
+  co.spin_iters = static_cast<std::uint32_t>(flags.get_int("spin", 128));
+  co.pin = flags.get_bool("pin", false);
+  std::cout << format_calibration(exec::calibrate(lp, co));
+  return 0;
+}
+
+}  // namespace
+}  // namespace bm
+
+int main(int argc, char** argv) {
+  using namespace bm;
+  if (argc < 2) return usage(std::cerr, 2);
+  const std::string cmd = argv[1];
+  try {
+    const CliFlags flags(argc - 1, argv + 1);
+    if (cmd == "emit") return cmd_emit(flags);
+    if (cmd == "run") return cmd_run(flags);
+    if (cmd == "calibrate") return cmd_calibrate(flags);
+    if (cmd == "help" || cmd == "--help" || cmd == "-h")
+      return usage(std::cout, 0);
+    std::cerr << "bmexec: unknown command '" << cmd << "'\n";
+    return usage(std::cerr, 2);
+  } catch (const std::exception& e) {
+    std::cerr << "bmexec: " << e.what() << '\n';
+    return 2;
+  }
+}

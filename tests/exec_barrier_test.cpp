@@ -1,0 +1,203 @@
+// Unit and stress tests for the native barrier primitives
+// (exec/barrier.hpp): phase reuse across many rounds, ragged arrival
+// orders, oversubscribed hammering, the split arrive/poll interface the
+// cooperative runtime depends on, and the TreeBarrier shape. The whole
+// file is in the check.sh --tsan leg: the sense-reversing release/acquire
+// chains are exactly what TSan certifies here — every cross-thread access
+// below is ordered only by the barrier under test.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "exec/barrier.hpp"
+#include "support/assert.hpp"
+
+namespace bm::exec {
+namespace {
+
+bool slow_enabled() { return std::getenv("BM_EXEC_SLOW") != nullptr; }
+
+class BarrierKindTest : public ::testing::TestWithParam<BarrierKind> {};
+
+// Phase reuse with plain (non-atomic) data handed across the barrier:
+// every thread writes its cell, syncs, reads everyone's cells, syncs
+// again before overwriting. Only the barrier orders these accesses — a
+// broken sense reversal shows up as a wrong sum (or a TSan race).
+TEST_P(BarrierKindTest, ReuseAcrossManyPhasesHandsOffValues) {
+  constexpr std::uint32_t kThreads = 4;
+  constexpr std::uint64_t kPhases = 200;
+  const std::unique_ptr<Barrier> bar = make_barrier(GetParam(), kThreads, 32);
+
+  std::vector<std::uint64_t> cells(kThreads, 0);
+  std::atomic<std::uint64_t> bad_sums{0};
+  std::vector<std::thread> threads;
+  for (std::uint32_t slot = 0; slot < kThreads; ++slot) {
+    threads.emplace_back([&, slot] {
+      for (std::uint64_t phase = 0; phase < kPhases; ++phase) {
+        cells[slot] = phase * kThreads + slot;
+        bar->arrive_and_wait(slot);
+        std::uint64_t sum = 0;
+        for (std::uint32_t i = 0; i < kThreads; ++i) sum += cells[i];
+        const std::uint64_t want =
+            phase * kThreads * kThreads + kThreads * (kThreads - 1) / 2;
+        if (sum != want) bad_sums.fetch_add(1, std::memory_order_relaxed);
+        bar->arrive_and_wait(slot);  // read barrier before the next write
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(bad_sums.load(), 0u);
+}
+
+// Ragged arrivals: each thread delays a pseudo-random, slot-dependent
+// amount before arriving, so arrival order differs phase to phase. The
+// relaxed counter is readable between the two barriers of a phase only
+// because the barrier carries happens-before from all increments.
+TEST_P(BarrierKindTest, RaggedArrivalOrdersStayExact) {
+  constexpr std::uint32_t kThreads = 6;
+  constexpr std::uint64_t kPhases = 60;
+  const std::unique_ptr<Barrier> bar = make_barrier(GetParam(), kThreads, 16);
+
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> bad_reads{0};
+  std::vector<std::thread> threads;
+  for (std::uint32_t slot = 0; slot < kThreads; ++slot) {
+    threads.emplace_back([&, slot] {
+      std::uint64_t lcg = 0x9E3779B97F4A7C15ull ^ slot;
+      for (std::uint64_t phase = 0; phase < kPhases; ++phase) {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        if ((lcg >> 33) % 3 == 0)
+          std::this_thread::sleep_for(
+              std::chrono::microseconds((lcg >> 40) % 200));
+        // mo: the barrier below publishes this increment to every reader.
+        count.fetch_add(1, std::memory_order_relaxed);
+        bar->arrive_and_wait(slot);
+        // mo: happens-after all kThreads increments via the barrier.
+        if (count.load(std::memory_order_relaxed) != kThreads * (phase + 1))
+          bad_reads.fetch_add(1, std::memory_order_relaxed);
+        bar->arrive_and_wait(slot);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(bad_reads.load(), 0u);
+  EXPECT_EQ(count.load(), kThreads * kPhases);
+}
+
+// The split interface must let ONE thread drive every slot: arrive() all
+// participants without blocking, then observe the phase released. The
+// cooperative runtime's no-deadlock argument under oversubscription rests
+// on exactly this.
+TEST_P(BarrierKindTest, SplitInterfaceMultiplexesFromOneThread) {
+  constexpr std::uint32_t kSlots = 5;
+  const std::unique_ptr<Barrier> bar = make_barrier(GetParam(), kSlots, 8);
+  for (int phase = 0; phase < 3; ++phase) {
+    std::vector<Barrier::Ticket> tickets;
+    for (std::uint32_t s = 0; s < kSlots; ++s) {
+      if (s > 0) {  // phase not released while arrivals are outstanding
+        EXPECT_FALSE(bar->poll(tickets[0])) << "phase " << phase;
+      }
+      tickets.push_back(bar->arrive(s));
+    }
+    for (const Barrier::Ticket t : tickets)
+      EXPECT_TRUE(bar->poll(t)) << "phase " << phase;
+  }
+}
+
+// Oversubscribed hammering: many more waiters than this box has cores,
+// spin_iters=0 so every wait goes straight to the yield path. Tier-1 runs
+// a moderate shape; the 64-way version is in the slow label.
+void hammer(BarrierKind kind, std::uint32_t nthreads, std::uint64_t phases) {
+  const std::unique_ptr<Barrier> bar = make_barrier(kind, nthreads, 0);
+  std::atomic<std::uint64_t> count{0};
+  std::vector<std::thread> threads;
+  for (std::uint32_t slot = 0; slot < nthreads; ++slot) {
+    threads.emplace_back([&, slot] {
+      WaitStats stats;
+      for (std::uint64_t phase = 0; phase < phases; ++phase) {
+        // mo: published by the barrier, checked after the join.
+        count.fetch_add(1, std::memory_order_relaxed);
+        const Barrier::Ticket t = bar->arrive(slot);
+        bar->wait(t, &stats);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(count.load(), std::uint64_t{nthreads} * phases);
+}
+
+TEST_P(BarrierKindTest, HammerEightWay) { hammer(GetParam(), 8, 50); }
+
+TEST_P(BarrierKindTest, HammerSixtyFourWaySlow) {
+  if (!slow_enabled())
+    GTEST_SKIP() << "set BM_EXEC_SLOW=1 (or run check.sh --exec-smoke)";
+  hammer(GetParam(), 64, 100);
+}
+
+// wait() accounts its spinning: with one participant held back, the
+// waiter must record spin iterations (and yields once the bound runs out).
+TEST_P(BarrierKindTest, WaitStatsAccumulate) {
+  const std::unique_ptr<Barrier> bar = make_barrier(GetParam(), 2, 4);
+  WaitStats stats;
+  std::thread late([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    bar->arrive(1);
+  });
+  bar->arrive_and_wait(0, &stats);
+  late.join();
+  EXPECT_GT(stats.spins + stats.yields, 0u);
+}
+
+// The fire sink observes the release instant: set, it is written exactly
+// at phase release with a plausible steady-clock reading.
+TEST_P(BarrierKindTest, FireSinkRecordsReleaseInstant) {
+  const std::unique_ptr<Barrier> bar = make_barrier(GetParam(), 3, 16);
+  std::atomic<std::uint64_t> fire{0};
+  bar->set_fire_ns_sink(&fire);
+  const std::uint64_t before = steady_now_ns();
+  std::vector<std::thread> threads;
+  for (std::uint32_t slot = 0; slot < 3; ++slot)
+    threads.emplace_back([&, slot] { bar->arrive_and_wait(slot); });
+  for (std::thread& t : threads) t.join();
+  const std::uint64_t after = steady_now_ns();
+  // mo: threads joined; post-mortem read.
+  const std::uint64_t f = fire.load(std::memory_order_relaxed);
+  EXPECT_GE(f, before);
+  EXPECT_LE(f, after);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, BarrierKindTest,
+                         ::testing::ValuesIn(kAllBarrierKinds),
+                         [](const ::testing::TestParamInfo<BarrierKind>& i) {
+                           return std::string(barrier_kind_name(i.param));
+                         });
+
+// -- shape and naming --------------------------------------------------------
+
+TEST(TreeBarrierTest, NodeCountMatchesArityFourTree) {
+  const auto nodes = [](std::uint32_t n) {
+    TreeBarrier b(n, 0);
+    return b.node_count();
+  };
+  EXPECT_EQ(nodes(1), 1u);
+  EXPECT_EQ(nodes(4), 1u);
+  EXPECT_EQ(nodes(5), 3u);   // 2 leaves + root
+  EXPECT_EQ(nodes(16), 5u);  // 4 leaves + root
+  EXPECT_EQ(nodes(17), 8u);  // 5 leaves + 2 mid + root
+  EXPECT_EQ(nodes(64), 21u);
+}
+
+TEST(BarrierNamesTest, RoundTripAndReject) {
+  for (const BarrierKind k : kAllBarrierKinds)
+    EXPECT_EQ(barrier_kind_from_name(barrier_kind_name(k)), k);
+  EXPECT_THROW(barrier_kind_from_name("bogus"), Error);
+}
+
+}  // namespace
+}  // namespace bm::exec

@@ -1,0 +1,184 @@
+// Property tests for the predicted [min,max] envelopes and the measured
+// native timeline. Wall-clock on a shared CI box proves nothing, so these
+// assert *structure* only:
+//
+//   - predicted fire ranges are internally consistent (min <= max) and
+//     monotone along barrier-dag order — a successor barrier is never
+//     predicted to fire before a predecessor;
+//   - predictions are monotone under added work: within a PE stream, the
+//     next barrier's predicted fire is at least the previous one's plus
+//     the model time of the segment between them;
+//   - the measured timeline respects every ordering the prediction
+//     implies: barrier k's measured fire never precedes a barrier-dag
+//     predecessor's, and a PE never finishes before its last barrier.
+//
+// Real timing *comparison* (scaled envelope vs measured ns) is
+// deliberately only in `bmexec calibrate` output, never asserted here.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "codegen/synthesize.hpp"
+#include "exec/lower.hpp"
+#include "exec/runtime.hpp"
+#include "harness/experiment.hpp"
+#include "sched/scheduler.hpp"
+
+namespace bm {
+namespace {
+
+struct Built {
+  Program prog{0};
+  std::optional<InstrDag> dag;
+  ScheduleResult sr;
+};
+
+std::unique_ptr<Built> build_case(InsertionPolicy insertion, MachineKind mk,
+                                  std::size_t index, long barrier_latency) {
+  GeneratorConfig gen;
+  SchedulerConfig sc;
+  sc.insertion = insertion;
+  sc.machine = mk;
+  sc.barrier_latency = barrier_latency;
+
+  auto b = std::make_unique<Built>();
+  Rng rng = benchmark_rng(1990, index);
+  SynthesisResult synth = synthesize_benchmark(gen, rng);
+  b->prog = std::move(synth.program);
+  b->dag.emplace(InstrDag::build(b->prog, TimingModel::table1()));
+  b->sr = schedule_program(*b->dag, sc, rng);
+  return b;
+}
+
+TEST(ExecEnvelopeTest, PredictedRangesAreConsistentAndDagMonotone) {
+  const std::unique_ptr<Built> b =
+      build_case(InsertionPolicy::kConservative, MachineKind::kSBM, 2, 0);
+  const Schedule& sched = *b->sr.schedule;
+  const exec::LoweredProgram lp = exec::lower(b->prog, sched);
+
+  for (const exec::LoweredBarrier& lb : lp.barriers)
+    EXPECT_LE(lb.predicted_fire.min, lb.predicted_fire.max)
+        << "barrier " << lb.schedule_id;
+  for (std::size_t p = 0; p < lp.pe_envelope.size(); ++p)
+    EXPECT_LE(lp.pe_envelope[p].min, lp.pe_envelope[p].max) << "pe " << p;
+
+  // Along every barrier-dag path, predicted fire is pointwise monotone.
+  const BarrierDag& bdag = sched.barrier_dag();
+  for (const exec::LoweredBarrier& u : lp.barriers) {
+    for (const exec::LoweredBarrier& v : lp.barriers) {
+      if (u.schedule_id == v.schedule_id) continue;
+      if (!bdag.path_exists(u.schedule_id, v.schedule_id)) continue;
+      EXPECT_LE(u.predicted_fire.min, v.predicted_fire.min)
+          << "b" << u.schedule_id << " ->* b" << v.schedule_id;
+      EXPECT_LE(u.predicted_fire.max, v.predicted_fire.max)
+          << "b" << u.schedule_id << " ->* b" << v.schedule_id;
+    }
+  }
+
+  // Completion dominates every PE's envelope.
+  const TimeRange done = sched.completion();
+  for (std::size_t p = 0; p < lp.pe_envelope.size(); ++p) {
+    EXPECT_GE(done.min, lp.pe_envelope[p].min) << "pe " << p;
+    EXPECT_GE(done.max, lp.pe_envelope[p].max) << "pe " << p;
+  }
+}
+
+// Monotone under added work: walking a PE stream, each barrier's predicted
+// fire is at least the previous barrier's plus the model time of the ops
+// between them (the §4.2 arrival bound from this participant alone — the
+// true fire is a max over all participants, so >= holds a fortiori).
+TEST(ExecEnvelopeTest, PredictionsMonotoneUnderSegmentWork) {
+  for (const long latency : {0L, 7L}) {
+    const std::unique_ptr<Built> b =
+        build_case(InsertionPolicy::kOptimal, MachineKind::kSBM, 5, latency);
+    const exec::LoweredProgram lp = exec::lower(b->prog, *b->sr.schedule);
+    const InstrDag& dag = *b->dag;
+
+    for (std::uint32_t p = 0; p < lp.num_procs; ++p) {
+      const exec::PeStream& pe = lp.pes[p];
+      TimeRange prev{0, 0};  // the initial barrier fires at t=0
+      Time seg_min = 0, seg_max = 0;
+      for (const exec::LoweredStep& step : pe.steps) {
+        if (step.kind == exec::LoweredStep::Kind::kSegment) {
+          for (std::uint32_t i = step.a; i < step.b; ++i) {
+            const TimeRange& t = dag.time(pe.ops[i].dst);
+            seg_min += t.min;
+            seg_max += t.max;
+          }
+          continue;
+        }
+        const TimeRange fire = lp.barriers[step.a].predicted_fire;
+        EXPECT_GE(fire.min, prev.min + seg_min)
+            << "pe " << p << " barrier b" << lp.barriers[step.a].schedule_id
+            << " latency " << latency;
+        EXPECT_GE(fire.max, prev.max + seg_max)
+            << "pe " << p << " barrier b" << lp.barriers[step.a].schedule_id
+            << " latency " << latency;
+        prev = fire;
+        seg_min = seg_max = 0;
+      }
+      // The PE's completion envelope covers its last barrier plus tail.
+      EXPECT_GE(lp.pe_envelope[p].min, prev.min + seg_min) << "pe " << p;
+      EXPECT_GE(lp.pe_envelope[p].max, prev.max + seg_max) << "pe " << p;
+    }
+  }
+}
+
+// Measured timeline: every ordering the prediction implies must hold on
+// silicon — across both primitives and both thread mappings.
+TEST(ExecEnvelopeTest, MeasuredTimelineRespectsPredictedOrder) {
+  const std::unique_ptr<Built> b =
+      build_case(InsertionPolicy::kConservative, MachineKind::kDBM, 9, 0);
+  const Schedule& sched = *b->sr.schedule;
+  const exec::LoweredProgram lp = exec::lower(b->prog, sched);
+  const BarrierDag& bdag = sched.barrier_dag();
+
+  for (const exec::BarrierKind kind : exec::kAllBarrierKinds) {
+    for (const std::uint32_t threads : {0u, 2u}) {
+      exec::ExecOptions opts;
+      opts.barrier = kind;
+      opts.threads = threads;
+      opts.spin_iters = 32;
+      opts.timeline = true;
+      const exec::ExecResult r = exec::execute(lp, opts);
+      ASSERT_EQ(r.barrier_fire_ns.size(), lp.barriers.size());
+      ASSERT_EQ(r.pe_finish_ns.size(), lp.num_procs);
+
+      // Barrier k never fires before a barrier-dag predecessor.
+      for (std::size_t u = 0; u < lp.barriers.size(); ++u)
+        for (std::size_t v = 0; v < lp.barriers.size(); ++v) {
+          if (u == v) continue;
+          if (!bdag.path_exists(lp.barriers[u].schedule_id,
+                                lp.barriers[v].schedule_id))
+            continue;
+          EXPECT_LE(r.barrier_fire_ns[u], r.barrier_fire_ns[v])
+              << exec::barrier_kind_name(kind) << " threads " << threads
+              << ": b" << lp.barriers[u].schedule_id << " ->* b"
+              << lp.barriers[v].schedule_id;
+        }
+
+      // A PE never finishes before the fire of its last barrier, and its
+      // stream's fires are measured in stream order.
+      for (std::uint32_t p = 0; p < lp.num_procs; ++p) {
+        std::uint64_t prev_fire = 0;
+        for (const exec::LoweredStep& step : lp.pes[p].steps) {
+          if (step.kind != exec::LoweredStep::Kind::kBarrier) continue;
+          const std::uint64_t f = r.barrier_fire_ns[step.a];
+          EXPECT_GE(f, prev_fire)
+              << exec::barrier_kind_name(kind) << " threads " << threads
+              << " pe " << p;
+          prev_fire = f;
+        }
+        EXPECT_GE(r.pe_finish_ns[p], prev_fire)
+            << exec::barrier_kind_name(kind) << " threads " << threads
+            << " pe " << p;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bm

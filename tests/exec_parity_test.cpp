@@ -1,0 +1,242 @@
+// Differential parity: native execution vs the reference semantics, over
+// the same deterministic corpus the golden-schedule files pin down
+// (kBaseSeed=1990, 25 seeds x {conservative,optimal} x {SBM,DBM}).
+//
+// For every corpus schedule the lowered program is executed on real
+// threads with BOTH barrier primitives across a thread grid that includes
+// oversubscription (one thread per PE on a small box, and cooperative
+// carriers with fewer threads than PEs), and the final memory/value state
+// must be bit-identical to two independent references:
+//
+//   - eval_program: the order-independent interpreter oracle;
+//   - simulate_values: the value-accurate replay of a simulated trace's
+//     start order (itself asserted against the oracle).
+//
+// Tier-1 runs a spot subset; the full 100-schedule sweep is the *Slow*
+// tests, gated on BM_EXEC_SLOW (scripts/check.sh --exec-smoke sets it,
+// and ctest exposes them under the `slow` label).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "codegen/synthesize.hpp"
+#include "exec/jit.hpp"
+#include "exec/lower.hpp"
+#include "exec/runtime.hpp"
+#include "harness/experiment.hpp"
+#include "ir/interp.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "sim/value_sim.hpp"
+
+namespace bm {
+namespace {
+
+constexpr std::uint64_t kBaseSeed = 1990;  // matches golden_parity_test
+constexpr std::size_t kSeedsPerCombo = 25;
+
+struct Combo {
+  const char* name;
+  InsertionPolicy insertion;
+  MachineKind machine;
+};
+
+constexpr Combo kCombos[] = {
+    {"conservative_sbm", InsertionPolicy::kConservative, MachineKind::kSBM},
+    {"conservative_dbm", InsertionPolicy::kConservative, MachineKind::kDBM},
+    {"optimal_sbm", InsertionPolicy::kOptimal, MachineKind::kSBM},
+    {"optimal_dbm", InsertionPolicy::kOptimal, MachineKind::kDBM},
+};
+
+bool slow_enabled() { return std::getenv("BM_EXEC_SLOW") != nullptr; }
+
+/// A corpus case; the schedule holds pointers into the dag, so both live
+/// together behind one allocation.
+struct Built {
+  Program prog{0};
+  std::optional<InstrDag> dag;
+  ScheduleResult sr;
+};
+
+std::unique_ptr<Built> build_case(const Combo& c, std::size_t index) {
+  GeneratorConfig gen;  // defaults == the golden corpus block shape
+  SchedulerConfig sc;
+  sc.insertion = c.insertion;
+  sc.machine = c.machine;
+
+  auto b = std::make_unique<Built>();
+  Rng rng = benchmark_rng(kBaseSeed, index);
+  SynthesisResult synth = synthesize_benchmark(gen, rng);
+  b->prog = std::move(synth.program);
+  b->dag.emplace(InstrDag::build(b->prog, TimingModel::table1()));
+  b->sr = schedule_program(*b->dag, sc, rng);
+  return b;
+}
+
+/// Non-trivial initial memory so Load paths are distinguishable from the
+/// all-zero default state.
+std::vector<std::int64_t> initial_for(std::size_t num_vars) {
+  std::vector<std::int64_t> init(num_vars);
+  for (std::size_t i = 0; i < num_vars; ++i)
+    init[i] = static_cast<std::int64_t>(i) * 13 - 7;
+  return init;
+}
+
+/// Thread grid: one-per-PE blocking (0), single carrier, the hardware
+/// width, and 2x the hardware width — oversubscription on any box.
+std::vector<std::uint32_t> thread_grid() {
+  const std::uint32_t hc = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<std::uint32_t> grid{0, 1, hc, 2 * hc};
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+  return grid;
+}
+
+void expect_parity(const Built& b, const Combo& c, std::size_t seed,
+                   const std::vector<std::uint32_t>& threads) {
+  const exec::LoweredProgram lp = exec::lower(b.prog, *b.sr.schedule);
+  const std::vector<std::int64_t> init = initial_for(lp.num_vars);
+  const EvalResult oracle = eval_program(b.prog, init);
+
+  // Independent reference #2: value-accurate replay of a simulated order.
+  Rng sim_rng(kBaseSeed ^ (seed * 2654435761u) ^ 0x5157u);
+  SimConfig sim_cfg;
+  sim_cfg.machine = c.machine;
+  const ExecTrace trace = simulate(*b.sr.schedule, sim_cfg, sim_rng);
+  const ValueSimResult vsim = simulate_values(b.prog, *b.sr.schedule, trace, init);
+  ASSERT_EQ(vsim.memory, oracle.memory)
+      << c.name << " seed " << seed << ": value simulator vs oracle";
+  ASSERT_EQ(vsim.values, oracle.values)
+      << c.name << " seed " << seed << ": value simulator vs oracle";
+
+  for (const exec::BarrierKind kind : exec::kAllBarrierKinds) {
+    for (const std::uint32_t t : threads) {
+      exec::ExecOptions opts;
+      opts.barrier = kind;
+      opts.threads = t;
+      opts.spin_iters = 64;  // small bound: force the yield path too
+      opts.initial_memory = init;
+      const exec::ExecResult r = exec::execute(lp, opts);
+      ASSERT_EQ(r.memory, oracle.memory)
+          << c.name << " seed " << seed << " barrier "
+          << exec::barrier_kind_name(kind) << " threads " << t;
+      ASSERT_EQ(r.values, oracle.values)
+          << c.name << " seed " << seed << " barrier "
+          << exec::barrier_kind_name(kind) << " threads " << t;
+    }
+  }
+}
+
+class ExecParityTest : public ::testing::TestWithParam<Combo> {};
+
+// Tier-1 spot check: first and last corpus seed of each combo, both
+// primitives, full thread grid (blocking, single-carrier, oversubscribed).
+TEST_P(ExecParityTest, SpotSeedsMatchOracle) {
+  const Combo& c = GetParam();
+  const std::vector<std::uint32_t> grid = thread_grid();
+  for (const std::size_t seed : {std::size_t{0}, kSeedsPerCombo - 1}) {
+    const std::unique_ptr<Built> b = build_case(c, seed);
+    expect_parity(*b, c, seed, grid);
+    if (HasFatalFailure()) return;
+  }
+}
+
+// The full 100-schedule corpus, both primitives, blocking + one-carrier
+// cooperative. Gated: set BM_EXEC_SLOW=1 (check.sh --exec-smoke).
+TEST_P(ExecParityTest, FullCorpusMatchesOracleSlow) {
+  if (!slow_enabled())
+    GTEST_SKIP() << "set BM_EXEC_SLOW=1 (or run check.sh --exec-smoke)";
+  const Combo& c = GetParam();
+  const std::vector<std::uint32_t> grid{0, 1};
+  for (std::size_t seed = 0; seed < kSeedsPerCombo; ++seed) {
+    const std::unique_ptr<Built> b = build_case(c, seed);
+    expect_parity(*b, c, seed, grid);
+    if (HasFatalFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, ExecParityTest,
+                         ::testing::ValuesIn(kCombos),
+                         [](const ::testing::TestParamInfo<Combo>& info) {
+                           return std::string(info.param.name);
+                         });
+
+// The dlopen-compiled leg: the emitted TU must compute the same state as
+// the interpreter runtime and the oracle. Skipped where the JIT is
+// unavailable (sanitizer builds, no system compiler, BM_EXEC_NO_JIT).
+TEST(ExecJitParityTest, CompiledModuleMatchesOracle) {
+  if (!exec::JitModule::available())
+    GTEST_SKIP() << "JIT backend unavailable (sanitizer build, "
+                    "BM_EXEC_NO_JIT, or no system compiler)";
+  const Combo& c = kCombos[0];
+  const std::unique_ptr<Built> b = build_case(c, 7);
+  const exec::LoweredProgram lp = exec::lower(b->prog, *b->sr.schedule);
+  const std::vector<std::int64_t> init = initial_for(lp.num_vars);
+  const EvalResult oracle = eval_program(b->prog, init);
+
+  const exec::JitModule mod(lp);
+  for (const exec::BarrierKind kind : exec::kAllBarrierKinds) {
+    exec::ExecOptions opts;
+    opts.barrier = kind;
+    opts.spin_iters = 64;
+    opts.initial_memory = init;
+    const exec::ExecResult r = mod.run(opts);
+    EXPECT_EQ(r.memory, oracle.memory)
+        << "jit barrier " << exec::barrier_kind_name(kind);
+    EXPECT_EQ(r.values, oracle.values)
+        << "jit barrier " << exec::barrier_kind_name(kind);
+  }
+}
+
+// Every combo through the compiled leg; slow because each case pays a
+// system-compiler invocation.
+TEST(ExecJitParityTest, AllCombosCompileSlow) {
+  if (!slow_enabled())
+    GTEST_SKIP() << "set BM_EXEC_SLOW=1 (or run check.sh --exec-smoke)";
+  if (!exec::JitModule::available())
+    GTEST_SKIP() << "JIT backend unavailable (sanitizer build, "
+                    "BM_EXEC_NO_JIT, or no system compiler)";
+  for (const Combo& c : kCombos) {
+    const std::unique_ptr<Built> b = build_case(c, 3);
+    const exec::LoweredProgram lp = exec::lower(b->prog, *b->sr.schedule);
+    const std::vector<std::int64_t> init = initial_for(lp.num_vars);
+    const EvalResult oracle = eval_program(b->prog, init);
+    const exec::JitModule mod(lp);
+    exec::ExecOptions opts;
+    opts.initial_memory = init;
+    const exec::ExecResult r = mod.run(opts);
+    EXPECT_EQ(r.memory, oracle.memory) << c.name;
+    EXPECT_EQ(r.values, oracle.values) << c.name;
+  }
+}
+
+// The gate satellite: only verified schedules are runnable.
+TEST(ExecLowerGateTest, UnverifiedScheduleIsRefused) {
+  const std::unique_ptr<Built> b = build_case(kCombos[0], 0);
+
+  // A hand-built schedule that places every instruction on one PE in
+  // *reverse* id order: consumers run before their producers, which the
+  // verifier flags and lower() must refuse.
+  Schedule bad(*b->dag, 2);
+  for (std::size_t n = b->dag->num_instructions(); n-- > 0;)
+    bad.append_instr(0, static_cast<NodeId>(n));
+  EXPECT_THROW(exec::lower(b->prog, bad), Error);
+
+  // A schedule that never placed anything is refused before verification.
+  const Schedule empty(*b->dag, 2);
+  EXPECT_THROW(exec::lower(b->prog, empty), Error);
+
+  // The corpus schedule itself passes the gate (and with the gate off).
+  exec::LowerOptions off;
+  off.verify = false;
+  EXPECT_NO_THROW(exec::lower(b->prog, *b->sr.schedule, off));
+  EXPECT_NO_THROW(exec::lower(b->prog, *b->sr.schedule));
+}
+
+}  // namespace
+}  // namespace bm

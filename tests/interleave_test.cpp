@@ -427,6 +427,92 @@ TEST(InterleaveMutantTest, TeardownSplitExchangeIsCaught) {
       << describe(r);
 }
 
+// -- native barrier sense reversal (exec/barrier.hpp CentralBarrier) ---------
+
+// Miniature of CentralBarrier::arrive/wait: two participants, two
+// consecutive phases, plain data handed across each crossing exactly the
+// way the native runtime hands the lowered memory/value arrays across
+// barriers — no ordering but the barrier itself. A protocol hole is a
+// FastTrack race, a wrong sum, or a deadlocked phase.
+struct BarSt {
+  static constexpr std::uint64_t kN = 2;
+  ix::Cell<std::uint64_t> remaining{"bar.remaining", kN};
+  ix::Cell<std::uint64_t> sense{"bar.sense", 0};
+  ix::Plain<std::uint64_t> cell0{"cell0", 0};
+  ix::Plain<std::uint64_t> cell1{"cell1", 0};
+  ix::Plain<std::uint64_t> sum0{"sum0", 0};  ///< thread 0's post-phase-0 read
+  ix::Plain<std::uint64_t> sum1{"sum1", 0};
+};
+
+enum class BarMutant { kNone, kDroppedSense, kResetAfterRelease };
+
+void bar_cross(const std::shared_ptr<BarSt>& st, BarMutant mutant) {
+  const std::uint64_t target =
+      mutant == BarMutant::kDroppedSense
+          // Seeded bug: wait on a fixed flag value instead of the reversed
+          // sense — phase 2's waiters see phase 1's stale release and sail
+          // through before everyone arrived.
+          ? 1
+          : 1 - st->sense.load(mo::kRelaxed);
+  const std::uint64_t left =
+      st->remaining.fetch_add(~std::uint64_t{0}, mo::kAcqRel);  // -1
+  if (left == 1) {  // phase winner: reset, then publish the new sense
+    if (mutant == BarMutant::kResetAfterRelease) {
+      // Seeded bug: sense published while the counter still reads 0 — a
+      // fast re-arrival decrements the unreset counter.
+      st->sense.store(target, mo::kRelease);
+      st->remaining.store(BarSt::kN, mo::kRelaxed);
+    } else {
+      st->remaining.store(BarSt::kN, mo::kRelaxed);
+      st->sense.store(target, mo::kRelease);
+    }
+  } else {
+    st->sense.await_eq(target);  // models Barrier::wait's bounded spin
+  }
+}
+
+void bar_model(ix::Env& env, BarMutant mutant) {
+  auto st = std::make_shared<BarSt>();
+  for (std::uint64_t i = 0; i < BarSt::kN; ++i) {
+    env.thread([st, mutant, i] {
+      ix::Plain<std::uint64_t>& mine = i == 0 ? st->cell0 : st->cell1;
+      ix::Plain<std::uint64_t>& sum = i == 0 ? st->sum0 : st->sum1;
+      mine.write(i + 1);             // phase-0 value
+      bar_cross(st, mutant);         // crossing 1
+      sum.write(st->cell0.read() + st->cell1.read());
+      bar_cross(st, mutant);         // crossing 2 (read barrier)
+      mine.write(10 * (i + 1));      // phase-1 value; races with the
+    });                              // peer's reads if crossing 2 is broken
+  }
+  env.invariant("both threads summed the phase-0 cells", [st] {
+    return st->sum0.peek() == 3 && st->sum1.peek() == 3;
+  });
+  env.invariant("phase-1 writes landed", [st] {
+    return st->cell0.peek() == 10 && st->cell1.peek() == 20;
+  });
+  env.invariant("counter reset for the next phase",
+                [st] { return st->remaining.peek() == BarSt::kN; });
+}
+
+TEST(InterleaveTest, SenseReversingBarrierIsClean) {
+  const ix::Result r =
+      run([](ix::Env& env) { bar_model(env, BarMutant::kNone); });
+  EXPECT_TRUE(r.ok()) << describe(r);
+  EXPECT_TRUE(r.complete) << "barrier model space must be fully explored";
+}
+
+TEST(InterleaveMutantTest, BarrierDroppedSenseIsCaught) {
+  const ix::Result r =
+      run([](ix::Env& env) { bar_model(env, BarMutant::kDroppedSense); });
+  ASSERT_TRUE(r.violation.has_value()) << "dropped sense reversal escaped";
+}
+
+TEST(InterleaveMutantTest, BarrierResetAfterReleaseIsCaught) {
+  const ix::Result r = run(
+      [](ix::Env& env) { bar_model(env, BarMutant::kResetAfterRelease); });
+  ASSERT_TRUE(r.violation.has_value()) << "reset/publish reorder escaped";
+}
+
 // -- reduction cross-check ---------------------------------------------------
 
 TEST(InterleaveTest, SleepSetsPreserveVerdicts) {
